@@ -1,0 +1,97 @@
+//! Extension ablation — grouped-query attention (GQA) and decoding
+//! capacity.
+//!
+//! §3.2: "advanced memory management techniques for LLM KV caches, such
+//! as Paged-Attention and GQA, enable further scaling the decoding batch
+//! size." This harness quantifies that on LLaMA-2-70B: the GQA variant's
+//! 8× smaller KV cache admits far more concurrent requests per decoding
+//! instance, lifting decoding-phase goodput.
+
+use distserve_bench::{header, paper_cost};
+use distserve_core::Table;
+use distserve_models::{
+    CostModel, DType, DecodeBatch, GpuSpec, LlamaModel, ModelArch, ParallelismConfig,
+};
+use distserve_placement::goodput::{max_goodput, probe_count_with};
+use distserve_placement::phase_sim::{decode_tpots, PhaseSimConfig};
+use distserve_placement::TraceSource;
+use distserve_workload::datasets::FixedLengths;
+
+fn mha_twin(gqa: &ModelArch) -> ModelArch {
+    // The same model with full multi-head attention (what LLaMA-2-70B
+    // would cost without GQA).
+    ModelArch::new(
+        "LLaMA-2-70B-MHA",
+        gqa.num_layers,
+        gqa.hidden,
+        gqa.num_heads,
+        gqa.ffn,
+        gqa.vocab,
+        gqa.max_seq_len,
+    )
+    .expect("valid")
+    .with_gated_ffn()
+}
+
+fn main() {
+    header(
+        "Ablation: GQA",
+        "decoding capacity with vs without grouped-query attention (LLaMA-2-70B, decode tp4)",
+        "§3.2: GQA enables scaling the decoding batch size (8x smaller KV cache for this model)",
+    );
+    let cost = paper_cost();
+    let gqa = LlamaModel::Llama2_70B.arch();
+    let mha = mha_twin(&gqa);
+    let par = ParallelismConfig::new(4, 1);
+    let source = FixedLengths {
+        input_len: 512,
+        output_len: 128,
+    };
+    let tpot_slo = 0.15;
+
+    let mut table = Table::new(vec![
+        "variant",
+        "KV MB/token",
+        "tokens in 4xA100 pool",
+        "step @bs=256 (ms)",
+        "decode goodput (rps)",
+    ]);
+    for arch in [&gqa, &mha] {
+        let kv_mb = arch.kv_bytes_per_token(DType::F16) as f64 / 1e6;
+        let gpu = GpuSpec::a100_80g();
+        let shard = par.shard_weight_bytes(arch, DType::F16);
+        let pool = (gpu.mem_capacity - gpu.mem_capacity / 10 - shard) * u64::from(par.num_gpus());
+        let capacity_tokens = pool / arch.kv_bytes_per_token(DType::F16);
+        let step = cost
+            .decode_stage_time(arch, par, &DecodeBatch::uniform(256, 640))
+            .total();
+        let cfg = PhaseSimConfig::new(arch.clone(), gpu);
+        let goodput = max_goodput(
+            |r| {
+                let n = probe_count_with(r, 192, 45.0);
+                let trace = source.make_trace(r, n, 6);
+                let s = decode_tpots(&cost, &cfg, par, &trace);
+                if s.is_empty() {
+                    0.0
+                } else {
+                    s.fraction_at_most(tpot_slo)
+                }
+            },
+            0.9,
+            0.5,
+            7,
+        );
+        table.row(vec![
+            arch.name.clone(),
+            format!("{kv_mb:.2}"),
+            format!("{capacity_tokens}"),
+            format!("{:.1}", step * 1e3),
+            format!("{goodput:.2}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nGQA's 8x smaller KV cache both admits ~8x more context into the pool and \
+         cuts the KV-read time per decoding step — the §3.2 mechanism."
+    );
+}

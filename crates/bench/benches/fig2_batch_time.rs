@@ -1,0 +1,76 @@
+//! Figure 2 — batch execution time: decoding-only vs +1 prefill request.
+//!
+//! For OPT-13B, prices one iteration of a decoding batch as batch size
+//! grows, then the same batch with a single prefill request (128 / 512 /
+//! 1024 prompt tokens) added — the continuous-batching interference the
+//! paper motivates disaggregation with.
+//!
+//! Paper claims: adding one prefill request slows the step down by
+//! multiples; the slowdown grows with prefill length; adding decodes to a
+//! prefill batch also lengthens it, especially at capacity.
+
+use distserve_bench::{header, paper_cost};
+use distserve_core::Table;
+use distserve_models::{CostModel, DecodeBatch, OptModel, ParallelismConfig, PrefillBatch};
+
+fn main() {
+    header(
+        "Figure 2",
+        "one-iteration execution time vs batch size (OPT-13B): decode-only vs +1 prefill",
+        "one prefill request added to a decoding batch significantly slows the whole step; worse with longer prefill",
+    );
+    let cost = paper_cost();
+    let arch = OptModel::Opt13B.arch();
+    let par = ParallelismConfig::SINGLE;
+    let ctx = 256u32;
+
+    let mut table = Table::new(vec![
+        "batch size",
+        "decode-only (ms)",
+        "+prefill 128 (ms)",
+        "+prefill 512 (ms)",
+        "+prefill 1024 (ms)",
+    ]);
+    let mut slowdown_at_64 = 0.0;
+    for bs in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let decode = DecodeBatch::uniform(bs, ctx);
+        let base = cost.decode_stage_time(&arch, par, &decode).total();
+        let with = |len: u32| {
+            cost.mixed_stage_time(&arch, par, &PrefillBatch::single(len), &decode)
+                .total()
+        };
+        let w512 = with(512);
+        if bs == 64 {
+            slowdown_at_64 = w512 / base;
+        }
+        table.row(vec![
+            bs.to_string(),
+            format!("{:.2}", base * 1e3),
+            format!("{:.2}", with(128) * 1e3),
+            format!("{:.2}", w512 * 1e3),
+            format!("{:.2}", with(1024) * 1e3),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "slowdown from one 512-token prefill at batch 64: {slowdown_at_64:.2}x \
+         (paper: 'significantly slows down both processes')"
+    );
+
+    // The reverse direction: decodes added to a prefill batch.
+    println!();
+    let mut table = Table::new(vec!["decodes added", "prefill-1024 step (ms)"]);
+    for extra in [0usize, 16, 64, 128, 256] {
+        let t = cost
+            .mixed_stage_time(
+                &arch,
+                par,
+                &PrefillBatch::single(1024),
+                &DecodeBatch::uniform(extra, ctx),
+            )
+            .total();
+        table.row(vec![extra.to_string(), format!("{:.2}", t * 1e3)]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,102 @@
+//! Figure 4 — prefill parallelism preference (OPT-66B on two A100s).
+//!
+//! (a) Average TTFT versus rate for 2-way intra-op (tensor) versus 2-way
+//! inter-op (pipeline) parallelism, measured by the discrete-event phase
+//! simulator with uniform 512-token prompts, overlaid with the M/D/1
+//! closed forms (Eqs. 2 and 3).
+//! (b) Sensitivity to the intra-op speedup coefficient `K`: the analytic
+//! crossover rate as `K` varies.
+//!
+//! Paper claims: intra-op wins at low rates (shorter execution), inter-op
+//! wins as the rate grows (better queueing); smaller `K` weakens intra-op.
+
+use distserve_bench::{header, paper_cost};
+use distserve_core::Table;
+use distserve_models::queueing::{eq2_avg_ttft_inter, eq3_avg_ttft_intra, intra_inter_crossover};
+use distserve_models::{CostModel, GpuSpec, OptModel, ParallelismConfig, PrefillBatch};
+use distserve_placement::phase_sim::{prefill_ttfts, PhaseSimConfig};
+use distserve_placement::TraceSource;
+use distserve_workload::datasets::FixedLengths;
+
+fn main() {
+    header(
+        "Figure 4",
+        "average TTFT under 2-way intra-op vs inter-op parallelism (OPT-66B, 2×A100, 512-token prompts)",
+        "intra-op better at low rates, inter-op better at high rates; stringent SLOs and larger K favor intra-op",
+    );
+    let cost = paper_cost();
+    let arch = OptModel::Opt66B.arch();
+    let intra = ParallelismConfig::new(2, 1);
+    let inter = ParallelismConfig::new(1, 2);
+    let mut cfg = PhaseSimConfig::new(arch.clone(), GpuSpec::a100_80g());
+    cfg.l_m = 1; // No batching: the regime Eqs. 1-3 model.
+    let source = FixedLengths {
+        input_len: 512,
+        output_len: 1,
+    };
+
+    let d = cost
+        .prefill_latency(
+            &arch,
+            ParallelismConfig::SINGLE,
+            &PrefillBatch::single(512),
+        )
+        .total();
+    let d_intra = cost
+        .prefill_latency(&arch, intra, &PrefillBatch::single(512))
+        .total();
+    let k = d / d_intra;
+    println!("\nsingle-device D = {:.1} ms, measured intra-op speedup K = {k:.2}", d * 1e3);
+
+    println!("\n(a) average TTFT (ms), DES vs closed forms:");
+    let mut table = Table::new(vec![
+        "rate (rps)",
+        "intra DES",
+        "intra Eq.3",
+        "inter DES",
+        "inter Eq.2",
+    ]);
+    let max_rate = 1.9 / d;
+    let mut crossover_seen = None;
+    let mut prev = (0.0f64, 0.0f64);
+    for i in 1..=9 {
+        let rate = max_rate * f64::from(i) / 10.0;
+        let n = ((rate * 120.0) as usize).clamp(1500, 6000);
+        let trace = source.make_trace(rate, n, 44);
+        let mi = prefill_ttfts(&cost, &cfg, intra, &trace).mean();
+        let me = prefill_ttfts(&cost, &cfg, inter, &trace).mean();
+        if crossover_seen.is_none() && i > 1 && prev.0 <= prev.1 && mi > me {
+            crossover_seen = Some(rate);
+        }
+        prev = (mi, me);
+        let e3 = eq3_avg_ttft_intra(rate, d, k).map_or("-".into(), |v| format!("{:.1}", v * 1e3));
+        let e2 = eq2_avg_ttft_inter(rate, d).map_or("-".into(), |v| format!("{:.1}", v * 1e3));
+        table.row(vec![
+            format!("{rate:.2}"),
+            format!("{:.1}", mi * 1e3),
+            e3,
+            format!("{:.1}", me * 1e3),
+            e2,
+        ]);
+    }
+    print!("{}", table.render());
+    match (crossover_seen, intra_inter_crossover(d, k)) {
+        (Some(des), Some(theory)) => println!(
+            "\nDES crossover ≈ {des:.2} rps; analytic crossover = {theory:.2} rps"
+        ),
+        (_, Some(theory)) => println!("\nanalytic crossover = {theory:.2} rps (DES: intra dominated sampled range)"),
+        _ => println!("\nintra-op dominates the whole stable range at K = {k:.2}"),
+    }
+
+    println!("\n(b) crossover rate vs speedup coefficient K (analytic):");
+    let mut table = Table::new(vec!["K", "crossover rate (rps)", "intra TTFT@1rps (ms)"]);
+    for k_syn in [1.2, 1.4, 1.6, 1.8, 1.95] {
+        let cross = intra_inter_crossover(d, k_syn)
+            .map_or("none (inter dominates early)".into(), |c| format!("{c:.2}"));
+        let ttft = eq3_avg_ttft_intra(1.0, d, k_syn)
+            .map_or("-".into(), |v| format!("{:.1}", v * 1e3));
+        table.row(vec![format!("{k_syn:.2}"), cross, ttft]);
+    }
+    print!("{}", table.render());
+    println!("\nsmaller K ⇒ earlier crossover ⇒ intra-op less attractive (paper Fig. 4b)");
+}

@@ -1,0 +1,77 @@
+//! Figure 7 — input/output length distributions of the three datasets.
+//!
+//! Samples the synthetic ShareGPT / HumanEval / LongBench generators and
+//! prints their marginal statistics plus ASCII histograms, so the shapes
+//! the serving experiments depend on are inspectable.
+//!
+//! Paper claims: LongBench has much longer inputs than the other two;
+//! ShareGPT is wide with a heavy tail; HumanEval prompts are short and
+//! concentrated.
+
+use distserve_bench::header;
+use distserve_core::Table;
+use distserve_simcore::{Histogram, SimRng, Summary};
+use distserve_workload::Dataset;
+
+fn main() {
+    header(
+        "Figure 7",
+        "input/output token-length distributions of ShareGPT, HumanEval, LongBench (synthetic)",
+        "LongBench inputs are much longer than the other two datasets",
+    );
+    const N: usize = 50_000;
+
+    let mut table = Table::new(vec![
+        "dataset",
+        "in mean",
+        "in P50",
+        "in P90",
+        "in max",
+        "out mean",
+        "out P50",
+        "out P90",
+    ]);
+    let mut means = Vec::new();
+    for dataset in Dataset::ALL {
+        let sampler = dataset.sampler();
+        let mut rng = SimRng::seed(2026);
+        let mut input = Summary::new();
+        let mut output = Summary::new();
+        for _ in 0..N {
+            let (i, o) = sampler.sample(&mut rng);
+            input.record(f64::from(i));
+            output.record(f64::from(o));
+        }
+        means.push((dataset.name(), input.mean()));
+        table.row(vec![
+            dataset.name().to_string(),
+            format!("{:.0}", input.mean()),
+            format!("{:.0}", input.percentile(0.5)),
+            format!("{:.0}", input.percentile(0.9)),
+            format!("{:.0}", input.max()),
+            format!("{:.0}", output.mean()),
+            format!("{:.0}", output.percentile(0.5)),
+            format!("{:.0}", output.percentile(0.9)),
+        ]);
+    }
+    print!("{}", table.render());
+
+    for dataset in Dataset::ALL {
+        let sampler = dataset.sampler();
+        let mut rng = SimRng::seed(2026);
+        let mut hist = Histogram::new(0.0, 2048.0, 16);
+        for _ in 0..N {
+            let (i, _) = sampler.sample(&mut rng);
+            hist.record(f64::from(i));
+        }
+        println!("\n{} input-length histogram (tokens):", dataset.name());
+        print!("{}", hist.render(40));
+    }
+
+    let lb = means.iter().find(|(n, _)| *n == "LongBench").expect("present").1;
+    let sg = means.iter().find(|(n, _)| *n == "ShareGPT").expect("present").1;
+    println!(
+        "\nLongBench mean input is {:.1}x ShareGPT's (paper: 'much longer')",
+        lb / sg
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 8 — chatbot end-to-end on ShareGPT (OPT-13B / 66B / 175B).
+//!
+//! For each model: plans DistServe on the 4×8 A100 testbed, builds the
+//! paper's vLLM baseline (intra-op 1/4/8), and reports SLO attainment
+//! versus per-GPU rate and versus SLO scale, the goodput factor, the SLO
+//! stringency factor, and the chosen placements (Appendix B).
+//!
+//! Paper claims: DistServe sustains 2.0×–3.41× higher rates and
+//! 1.4×–1.8× more stringent SLOs than vLLM on ShareGPT.
+
+use distserve_bench::{compare_systems, header};
+use distserve_core::{Application, Table};
+
+fn main() {
+    header(
+        "Figure 8",
+        "chatbot on ShareGPT: SLO attainment vs per-GPU rate and vs SLO scale",
+        "DistServe: 2.0x-3.41x rate, 1.4x-1.8x SLO stringency over vLLM",
+    );
+
+    let runs = [
+        (Application::ChatbotOpt13B, 4.0, 30.0),
+        (Application::ChatbotOpt66B, 1.0, 30.0),
+        (Application::ChatbotOpt175B, 0.4, 30.0),
+    ];
+    let mut results = Vec::new();
+    for (app, plan_rate, probe_secs) in runs {
+        results.push(compare_systems(app, plan_rate, probe_secs, 8));
+    }
+
+    println!("\n=== summary (paper: rate 2.0x-3.41x, SLO 1.4x-1.8x) ===");
+    let mut table = Table::new(vec![
+        "model",
+        "DistServe rps/GPU",
+        "vLLM rps/GPU",
+        "rate factor",
+        "SLO factor",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.app.name().to_string(),
+            format!("{:.3}", r.goodput_distserve),
+            format!("{:.3}", r.goodput_vllm),
+            format!("{:.2}x", r.rate_factor()),
+            format!("{:.2}x", r.slo_factor()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n=== chosen placements (compare Appendix B) ===");
+    let mut table = Table::new(vec!["model", "DistServe placement", "paper (Appendix B)"]);
+    let paper = [
+        "prefill tp2pp1, decode tp1pp1",
+        "prefill tp4pp1, decode tp2pp2",
+        "prefill tp3pp3, decode tp4pp3",
+    ];
+    for (r, p) in results.iter().zip(paper) {
+        table.row(vec![
+            r.app.name().to_string(),
+            r.placement.clone(),
+            p.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

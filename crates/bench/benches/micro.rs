@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of this repository's own hot paths: cost
+//! model evaluation, the event queue, the KV block manager, pipeline
+//! commits, workload generation, and tinyllm decoding throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use distserve_engine::pipeline::Pipeline;
+use distserve_engine::KvBlockManager;
+use distserve_models::{
+    CostModel, DecodeBatch, OptModel, ParallelismConfig, PrefillBatch, RooflineModel,
+};
+use distserve_simcore::{EventQueue, SimRng, SimTime};
+use distserve_workload::{Dataset, RequestId, TraceBuilder};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cost = RooflineModel::a100();
+    let arch = OptModel::Opt66B.arch();
+    let par = ParallelismConfig::new(4, 2);
+    let prefill = PrefillBatch::new(vec![512, 128, 256]);
+    let decode = DecodeBatch::uniform(128, 400);
+    c.bench_function("cost/mixed_stage_time_66b", |b| {
+        b.iter(|| {
+            std::hint::black_box(cost.mixed_stage_time(
+                std::hint::black_box(&arch),
+                par,
+                &prefill,
+                &decode,
+            ))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("simcore/event_queue_push_pop_1k", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter_batched(
+            || {
+                (0..1000)
+                    .map(|_| SimTime::from_secs(rng.uniform() * 100.0))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(*t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                std::hint::black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kv_manager(c: &mut Criterion) {
+    c.bench_function("engine/kv_alloc_free_256", |b| {
+        b.iter(|| {
+            let mut kv = KvBlockManager::new(16_384, 16);
+            for i in 0..256u64 {
+                kv.alloc(RequestId(i), 300 + (i as u32 % 200)).expect("fits");
+            }
+            for i in 0..256u64 {
+                kv.free(RequestId(i)).expect("allocated");
+            }
+            std::hint::black_box(kv.free_blocks())
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("engine/pipeline_commit_1k", |b| {
+        b.iter(|| {
+            let mut p = Pipeline::new(4);
+            for i in 0..1000 {
+                let t = 0.01 + f64::from(i % 7) * 0.001;
+                std::hint::black_box(p.commit(SimTime::ZERO, t));
+            }
+            p.drained_at()
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("workload/sharegpt_trace_1k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed(7);
+            let trace = TraceBuilder::new(Dataset::ShareGpt.sampler())
+                .rate(10.0)
+                .num_requests(1000)
+                .build(&mut rng);
+            std::hint::black_box(trace.len())
+        })
+    });
+}
+
+fn bench_tinyllm(c: &mut Criterion) {
+    let model = tinyllm::Model::random(&tinyllm::TinyConfig::tiny(), 3);
+    c.bench_function("tinyllm/generate_16_tokens", |b| {
+        b.iter(|| std::hint::black_box(model.generate(&[1, 2, 3, 4], 16)))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cost_model,
+        bench_event_queue,
+        bench_kv_manager,
+        bench_pipeline,
+        bench_trace_generation,
+        bench_tinyllm
+);
+criterion_main!(micro);

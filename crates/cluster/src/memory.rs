@@ -1,0 +1,222 @@
+//! Per-GPU memory accounting.
+//!
+//! Each GPU's memory is split into three regions: model weights (fixed at
+//! load time), a reserved activation/runtime margin, and the KV-cache pool
+//! that backs PagedAttention blocks. The ledger enforces capacity: the
+//! engines ask it whether a request's KV cache fits before admitting the
+//! request, which is how the decoding batch size becomes memory-bound
+//! (§3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from the memory ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The weights plus margin already exceed capacity.
+    WeightsDontFit {
+        /// Bytes needed for weights and margin.
+        needed: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// A KV allocation would exceed the KV pool.
+    KvPoolExhausted {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free in the pool.
+        free: u64,
+    },
+    /// Freed more KV bytes than were allocated — an accounting bug.
+    KvUnderflow,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::WeightsDontFit { needed, capacity } => {
+                write!(f, "weights need {needed} B but capacity is {capacity} B")
+            }
+            MemoryError::KvPoolExhausted { requested, free } => {
+                write!(f, "KV allocation of {requested} B exceeds free {free} B")
+            }
+            MemoryError::KvUnderflow => write!(f, "freed more KV bytes than allocated"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Memory ledger for one GPU (or one homogeneous GPU group, by passing
+/// the aggregate capacity).
+///
+/// # Examples
+///
+/// ```
+/// use distserve_cluster::MemoryLedger;
+///
+/// // 80 GB GPU hosting a 26 GB weight shard, 10% runtime margin.
+/// let mut ledger = MemoryLedger::new(80 << 30, 26 << 30, 0.10).unwrap();
+/// assert!(ledger.kv_capacity() > 40 << 30);
+/// ledger.alloc_kv(1 << 30).unwrap();
+/// assert_eq!(ledger.kv_in_use(), 1 << 30);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryLedger {
+    capacity: u64,
+    weights: u64,
+    margin: u64,
+    kv_in_use: u64,
+}
+
+impl MemoryLedger {
+    /// Creates a ledger for a device of `capacity` bytes hosting a weight
+    /// shard of `weights` bytes, reserving `margin_frac` of capacity for
+    /// activations and runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::WeightsDontFit`] when weights plus margin exceed
+    /// capacity.
+    pub fn new(capacity: u64, weights: u64, margin_frac: f64) -> Result<Self, MemoryError> {
+        debug_assert!((0.0..1.0).contains(&margin_frac));
+        let margin = (capacity as f64 * margin_frac) as u64;
+        if weights + margin > capacity {
+            return Err(MemoryError::WeightsDontFit {
+                needed: weights + margin,
+                capacity,
+            });
+        }
+        Ok(MemoryLedger {
+            capacity,
+            weights,
+            margin,
+            kv_in_use: 0,
+        })
+    }
+
+    /// Total KV pool size in bytes.
+    #[must_use]
+    pub fn kv_capacity(&self) -> u64 {
+        self.capacity - self.weights - self.margin
+    }
+
+    /// KV bytes currently allocated.
+    #[must_use]
+    pub fn kv_in_use(&self) -> u64 {
+        self.kv_in_use
+    }
+
+    /// KV bytes still free.
+    #[must_use]
+    pub fn kv_free(&self) -> u64 {
+        self.kv_capacity() - self.kv_in_use
+    }
+
+    /// Fraction of the KV pool in use, `0.0..=1.0`.
+    #[must_use]
+    pub fn kv_utilization(&self) -> f64 {
+        if self.kv_capacity() == 0 {
+            return 1.0;
+        }
+        self.kv_in_use as f64 / self.kv_capacity() as f64
+    }
+
+    /// Whether `bytes` more KV would fit.
+    #[must_use]
+    pub fn kv_fits(&self, bytes: u64) -> bool {
+        bytes <= self.kv_free()
+    }
+
+    /// Allocates KV bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::KvPoolExhausted`] when the pool cannot satisfy the
+    /// request.
+    pub fn alloc_kv(&mut self, bytes: u64) -> Result<(), MemoryError> {
+        if !self.kv_fits(bytes) {
+            return Err(MemoryError::KvPoolExhausted {
+                requested: bytes,
+                free: self.kv_free(),
+            });
+        }
+        self.kv_in_use += bytes;
+        Ok(())
+    }
+
+    /// Frees KV bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::KvUnderflow`] when freeing more than allocated.
+    pub fn free_kv(&mut self, bytes: u64) -> Result<(), MemoryError> {
+        if bytes > self.kv_in_use {
+            return Err(MemoryError::KvUnderflow);
+        }
+        self.kv_in_use -= bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn kv_pool_arithmetic() {
+        let ledger = MemoryLedger::new(80 * GIB, 26 * GIB, 0.10).unwrap();
+        assert_eq!(ledger.kv_capacity(), 80 * GIB - 26 * GIB - 8 * GIB);
+        assert_eq!(ledger.kv_free(), ledger.kv_capacity());
+        assert_eq!(ledger.kv_utilization(), 0.0);
+    }
+
+    #[test]
+    fn weights_dont_fit() {
+        // OPT-175B (350 GB) on a single 80 GB GPU.
+        assert!(matches!(
+            MemoryLedger::new(80 * GIB, 350 * GIB, 0.10),
+            Err(MemoryError::WeightsDontFit { .. })
+        ));
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut ledger = MemoryLedger::new(80 * GIB, 26 * GIB, 0.10).unwrap();
+        ledger.alloc_kv(10 * GIB).unwrap();
+        ledger.alloc_kv(5 * GIB).unwrap();
+        assert_eq!(ledger.kv_in_use(), 15 * GIB);
+        ledger.free_kv(15 * GIB).unwrap();
+        assert_eq!(ledger.kv_in_use(), 0);
+    }
+
+    #[test]
+    fn exhaustion_detected() {
+        let mut ledger = MemoryLedger::new(10 * GIB, 5 * GIB, 0.10).unwrap();
+        let pool = ledger.kv_capacity();
+        assert!(ledger.alloc_kv(pool).is_ok());
+        assert!(matches!(
+            ledger.alloc_kv(1),
+            Err(MemoryError::KvPoolExhausted { .. })
+        ));
+        assert_eq!(ledger.kv_utilization(), 1.0);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut ledger = MemoryLedger::new(10 * GIB, 5 * GIB, 0.10).unwrap();
+        ledger.alloc_kv(GIB).unwrap();
+        assert_eq!(ledger.free_kv(2 * GIB), Err(MemoryError::KvUnderflow));
+    }
+
+    #[test]
+    fn fits_check_matches_alloc() {
+        let mut ledger = MemoryLedger::new(10 * GIB, 5 * GIB, 0.10).unwrap();
+        let free = ledger.kv_free();
+        assert!(ledger.kv_fits(free));
+        assert!(!ledger.kv_fits(free + 1));
+        ledger.alloc_kv(free / 2).unwrap();
+        assert!(!ledger.kv_fits(free));
+    }
+}

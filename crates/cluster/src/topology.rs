@@ -1,0 +1,254 @@
+//! Cluster topology: nodes, GPUs, and the links between them.
+
+use serde::{Deserialize, Serialize};
+
+use distserve_models::{GpuSpec, LinkSpec};
+
+/// Identifies a node within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifies one GPU as `(node, local index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId {
+    /// Hosting node.
+    pub node: NodeId,
+    /// Index within the node, `0..gpus_per_node`.
+    pub index: u32,
+}
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}g{}", self.node.0, self.index)
+    }
+}
+
+/// A homogeneous GPU cluster.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_cluster::Cluster;
+///
+/// let c = Cluster::paper_testbed();
+/// assert_eq!(c.num_nodes(), 4);
+/// assert_eq!(c.gpus_per_node(), 8);
+/// // GPUs on one node talk over NVLink; across nodes over 25 Gbps.
+/// let a = c.gpu(0, 0);
+/// let same = c.gpu(0, 3);
+/// let other = c.gpu(1, 0);
+/// assert!(c.link_between(a, same).bandwidth > c.link_between(a, other).bandwidth);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    num_nodes: u32,
+    gpus_per_node: u32,
+    gpu: GpuSpec,
+    intra_node: LinkSpec,
+    cross_node: LinkSpec,
+}
+
+impl Cluster {
+    /// Creates a homogeneous cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(
+        num_nodes: u32,
+        gpus_per_node: u32,
+        gpu: GpuSpec,
+        intra_node: LinkSpec,
+        cross_node: LinkSpec,
+    ) -> Self {
+        assert!(num_nodes > 0 && gpus_per_node > 0, "cluster cannot be empty");
+        Cluster {
+            num_nodes,
+            gpus_per_node,
+            gpu,
+            intra_node,
+            cross_node,
+        }
+    }
+
+    /// The paper's evaluation testbed (§6.1): 4 nodes × 8 A100-80G with
+    /// NVLink inside nodes and 25 Gbps across — a *low node-affinity*
+    /// cluster, hence Algorithm 2 in most experiments.
+    #[must_use]
+    pub fn paper_testbed() -> Self {
+        Cluster::new(
+            4,
+            8,
+            GpuSpec::a100_80g(),
+            LinkSpec::nvlink(),
+            LinkSpec::ethernet_25g(),
+        )
+    }
+
+    /// A *high node-affinity* cluster (§4.1): same shape but with 800 Gbps
+    /// InfiniBand across nodes, where Algorithm 1 applies.
+    #[must_use]
+    pub fn high_affinity(num_nodes: u32, gpus_per_node: u32) -> Self {
+        Cluster::new(
+            num_nodes,
+            gpus_per_node,
+            GpuSpec::a100_80g(),
+            LinkSpec::nvlink(),
+            LinkSpec::infiniband_800g(),
+        )
+    }
+
+    /// A single node with `gpus` A100s (Figures 1–5 settings).
+    #[must_use]
+    pub fn single_node(gpus: u32) -> Self {
+        Cluster::new(
+            1,
+            gpus,
+            GpuSpec::a100_80g(),
+            LinkSpec::nvlink(),
+            LinkSpec::ethernet_25g(),
+        )
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// GPUs per node.
+    #[must_use]
+    pub fn gpus_per_node(&self) -> u32 {
+        self.gpus_per_node
+    }
+
+    /// Total GPUs in the cluster.
+    #[must_use]
+    pub fn total_gpus(&self) -> u32 {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// The (homogeneous) GPU description.
+    #[must_use]
+    pub fn gpu_spec(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Intra-node link (NVLink).
+    #[must_use]
+    pub fn intra_node_link(&self) -> LinkSpec {
+        self.intra_node
+    }
+
+    /// Cross-node link (Ethernet or InfiniBand).
+    #[must_use]
+    pub fn cross_node_link(&self) -> LinkSpec {
+        self.cross_node
+    }
+
+    /// Constructs a [`GpuId`], checking bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the cluster.
+    #[must_use]
+    pub fn gpu(&self, node: u32, index: u32) -> GpuId {
+        assert!(node < self.num_nodes, "node {node} out of range");
+        assert!(index < self.gpus_per_node, "gpu {index} out of range");
+        GpuId {
+            node: NodeId(node),
+            index,
+        }
+    }
+
+    /// Iterates over every GPU in the cluster, node-major.
+    pub fn all_gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        (0..self.num_nodes).flat_map(move |n| {
+            (0..self.gpus_per_node).map(move |g| GpuId {
+                node: NodeId(n),
+                index: g,
+            })
+        })
+    }
+
+    /// The link connecting two GPUs: NVLink when they share a node, the
+    /// cross-node fabric otherwise. A GPU "talking to itself" (same id)
+    /// is treated as an intra-node copy.
+    #[must_use]
+    pub fn link_between(&self, a: GpuId, b: GpuId) -> LinkSpec {
+        if a.node == b.node {
+            self.intra_node
+        } else {
+            self.cross_node
+        }
+    }
+
+    /// Whether the cross-node fabric is fast enough to treat the cluster
+    /// as high node-affinity: the heuristic DistServe uses to pick between
+    /// Algorithm 1 and Algorithm 2. The threshold is 100 Gbps — enough to
+    /// stream KV caches at the rates computed in §3.3.
+    #[must_use]
+    pub fn is_high_affinity(&self) -> bool {
+        self.cross_node.bandwidth * 8.0 >= 100e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.total_gpus(), 32);
+        assert!(!c.is_high_affinity());
+        assert_eq!(c.all_gpus().count(), 32);
+    }
+
+    #[test]
+    fn high_affinity_detection() {
+        assert!(Cluster::high_affinity(4, 8).is_high_affinity());
+        assert!(!Cluster::paper_testbed().is_high_affinity());
+    }
+
+    #[test]
+    fn link_selection() {
+        let c = Cluster::paper_testbed();
+        let a = c.gpu(0, 0);
+        let b = c.gpu(0, 7);
+        let x = c.gpu(3, 0);
+        assert_eq!(c.link_between(a, b), c.intra_node_link());
+        assert_eq!(c.link_between(a, x), c.cross_node_link());
+        assert_eq!(c.link_between(a, a), c.intra_node_link());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpu_bounds_checked() {
+        let c = Cluster::single_node(4);
+        let _ = c.gpu(0, 4);
+    }
+
+    #[test]
+    fn all_gpus_node_major_order() {
+        let c = Cluster::new(
+            2,
+            2,
+            GpuSpec::a100_80g(),
+            LinkSpec::nvlink(),
+            LinkSpec::ethernet_25g(),
+        );
+        let ids: Vec<_> = c.all_gpus().collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], c.gpu(0, 0));
+        assert_eq!(ids[1], c.gpu(0, 1));
+        assert_eq!(ids[2], c.gpu(1, 0));
+    }
+
+    #[test]
+    fn display_format() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.gpu(2, 5).to_string(), "n2g5");
+    }
+}

@@ -1,0 +1,137 @@
+//! The paper's evaluation applications (Table 1).
+//!
+//! | Application            | Model    | TTFT   | TPOT  | Dataset   |
+//! |------------------------|----------|--------|-------|-----------|
+//! | Chatbot                | OPT-13B  | 0.2 s  | 0.1 s | ShareGPT  |
+//! | Chatbot                | OPT-66B  | 0.4 s  | 0.1 s | ShareGPT  |
+//! | Chatbot                | OPT-175B | 4.0 s  | 0.2 s | ShareGPT  |
+//! | Code completion        | OPT-66B  | 0.125 s| 0.2 s | HumanEval |
+//! | Summarization          | OPT-66B  | 15 s   | 0.15 s| LongBench |
+
+use distserve_models::{OptModel, ParallelismConfig};
+use distserve_placement::SloSpec;
+use distserve_workload::Dataset;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// Chatbot on OPT-13B over ShareGPT.
+    ChatbotOpt13B,
+    /// Chatbot on OPT-66B over ShareGPT.
+    ChatbotOpt66B,
+    /// Chatbot on OPT-175B over ShareGPT.
+    ChatbotOpt175B,
+    /// Code completion on OPT-66B over HumanEval.
+    CodeCompletionOpt66B,
+    /// Summarization on OPT-66B over LongBench.
+    SummarizationOpt66B,
+}
+
+impl Application {
+    /// All five Table 1 rows.
+    pub const ALL: [Application; 5] = [
+        Application::ChatbotOpt13B,
+        Application::ChatbotOpt66B,
+        Application::ChatbotOpt175B,
+        Application::CodeCompletionOpt66B,
+        Application::SummarizationOpt66B,
+    ];
+
+    /// The served model.
+    #[must_use]
+    pub fn model(self) -> OptModel {
+        match self {
+            Application::ChatbotOpt13B => OptModel::Opt13B,
+            Application::ChatbotOpt66B
+            | Application::CodeCompletionOpt66B
+            | Application::SummarizationOpt66B => OptModel::Opt66B,
+            Application::ChatbotOpt175B => OptModel::Opt175B,
+        }
+    }
+
+    /// The latency requirements (90% attainment target).
+    #[must_use]
+    pub fn slo(self) -> SloSpec {
+        match self {
+            Application::ChatbotOpt13B => SloSpec::new(0.2, 0.1),
+            Application::ChatbotOpt66B => SloSpec::new(0.4, 0.1),
+            Application::ChatbotOpt175B => SloSpec::new(4.0, 0.2),
+            Application::CodeCompletionOpt66B => SloSpec::new(0.125, 0.2),
+            Application::SummarizationOpt66B => SloSpec::new(15.0, 0.15),
+        }
+    }
+
+    /// The workload dataset.
+    #[must_use]
+    pub fn dataset(self) -> Dataset {
+        match self {
+            Application::ChatbotOpt13B
+            | Application::ChatbotOpt66B
+            | Application::ChatbotOpt175B => Dataset::ShareGpt,
+            Application::CodeCompletionOpt66B => Dataset::HumanEval,
+            Application::SummarizationOpt66B => Dataset::LongBench,
+        }
+    }
+
+    /// The vLLM baseline's parallelism: "we follow previous work to set
+    /// intra-op equals 1, 4, and 8 for the three OPT models" (§6.1).
+    #[must_use]
+    pub fn vllm_parallelism(self) -> ParallelismConfig {
+        match self.model() {
+            OptModel::Opt13B => ParallelismConfig::new(1, 1),
+            OptModel::Opt66B => ParallelismConfig::new(4, 1),
+            OptModel::Opt175B => ParallelismConfig::new(8, 1),
+            _ => ParallelismConfig::SINGLE,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Application::ChatbotOpt13B => "Chatbot OPT-13B",
+            Application::ChatbotOpt66B => "Chatbot OPT-66B",
+            Application::ChatbotOpt175B => "Chatbot OPT-175B",
+            Application::CodeCompletionOpt66B => "Code Completion OPT-66B",
+            Application::SummarizationOpt66B => "Summarization OPT-66B",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let chat13 = Application::ChatbotOpt13B;
+        assert_eq!(chat13.model(), OptModel::Opt13B);
+        assert_eq!(chat13.slo().ttft, 0.2);
+        assert_eq!(chat13.slo().tpot, 0.1);
+        assert_eq!(chat13.dataset(), Dataset::ShareGpt);
+
+        let summ = Application::SummarizationOpt66B;
+        assert_eq!(summ.slo().ttft, 15.0);
+        assert_eq!(summ.slo().tpot, 0.15);
+        assert_eq!(summ.dataset(), Dataset::LongBench);
+
+        let code = Application::CodeCompletionOpt66B;
+        assert_eq!(code.slo().ttft, 0.125);
+        assert_eq!(code.dataset(), Dataset::HumanEval);
+    }
+
+    #[test]
+    fn vllm_parallelism_per_model() {
+        assert_eq!(Application::ChatbotOpt13B.vllm_parallelism().tp, 1);
+        assert_eq!(Application::ChatbotOpt66B.vllm_parallelism().tp, 4);
+        assert_eq!(Application::ChatbotOpt175B.vllm_parallelism().tp, 8);
+    }
+
+    #[test]
+    fn all_apps_have_valid_vllm_configs() {
+        for app in Application::ALL {
+            let arch = app.model().arch();
+            assert!(app.vllm_parallelism().validate(&arch).is_ok(), "{}", app.name());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Periodic replanning (paper §4.3).
+//!
+//! "A workload profiler monitors key parameters ... If a significant
+//! pattern shift is detected, DistServe will trigger a rerun of the
+//! placement algorithm based on recent historical data."
+//! [`ReplanController`] owns the profiler and the current deployment;
+//! callers feed it observed requests and poll for replacement plans.
+
+use distserve_placement::deploy::Deployment;
+use distserve_placement::SloSpec;
+use distserve_workload::profiler::WorkloadProfiler;
+use distserve_workload::Request;
+
+use crate::serving::Planner;
+
+/// Outcome of a replanning poll.
+#[derive(Debug)]
+pub enum ReplanDecision {
+    /// Workload stable; keep the current deployment.
+    Keep,
+    /// Shift detected and a new plan produced.
+    Replanned(Deployment),
+    /// Shift detected but planning failed (e.g. infeasible rate).
+    Failed(String),
+}
+
+/// Watches the workload and replans on significant shifts.
+pub struct ReplanController {
+    profiler: WorkloadProfiler,
+    slo: SloSpec,
+    replans: u32,
+}
+
+impl ReplanController {
+    /// Creates a controller with an observation window of `window_secs`
+    /// and a relative `shift_threshold` (0.3 = replan on 30% drift).
+    #[must_use]
+    pub fn new(window_secs: f64, shift_threshold: f64, slo: SloSpec) -> Self {
+        ReplanController {
+            profiler: WorkloadProfiler::new(window_secs, shift_threshold),
+            slo,
+            replans: 0,
+        }
+    }
+
+    /// Records an arrived request.
+    pub fn observe(&mut self, request: &Request) {
+        self.profiler.observe(request);
+    }
+
+    /// Marks the current window as the pattern the active plan serves.
+    pub fn baseline(&mut self) {
+        self.profiler.set_baseline();
+    }
+
+    /// Number of replans triggered so far.
+    #[must_use]
+    pub fn replans(&self) -> u32 {
+        self.replans
+    }
+
+    /// Checks for a shift; when detected, refits the workload from the
+    /// window and reruns the placement search.
+    pub fn poll(&mut self, planner: &Planner<'_>) -> ReplanDecision {
+        if !self.profiler.shift_detected() {
+            return ReplanDecision::Keep;
+        }
+        let snapshot = match self.profiler.snapshot() {
+            Some(s) => s,
+            None => return ReplanDecision::Keep,
+        };
+        let empirical = match self.profiler.fit_empirical() {
+            Ok(e) => e,
+            Err(e) => return ReplanDecision::Failed(e),
+        };
+        match planner.plan_distserve(&empirical, self.slo, snapshot.rate) {
+            Ok(d) => {
+                self.replans += 1;
+                // The new plan serves the new pattern: rebaseline.
+                self.profiler.set_baseline();
+                ReplanDecision::Replanned(d)
+            }
+            Err(e) => ReplanDecision::Failed(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distserve_cluster::Cluster;
+    use distserve_models::{OptModel, RooflineModel};
+    use distserve_placement::alg1::SearchParams;
+    use distserve_simcore::SimTime;
+    use distserve_workload::RequestId;
+
+    fn req(id: u64, t: f64, input: u32, output: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(t),
+            input_len: input,
+            output_len: output,
+        }
+    }
+
+    fn quick_planner<'a>(
+        cost: &'a RooflineModel,
+        cluster: &'a Cluster,
+    ) -> Planner<'a> {
+        let mut p = Planner::new(cost, cluster, OptModel::Opt13B.arch());
+        p.params = SearchParams {
+            max_tp: 2,
+            max_pp: 1,
+            probe_requests: 48,
+            probe_secs: 12.0,
+            search_iters: 3,
+            threads: 4,
+            seed: 0,
+        };
+        p
+    }
+
+    #[test]
+    fn stable_workload_keeps_plan() {
+        let cost = RooflineModel::a100();
+        let cluster = Cluster::paper_testbed();
+        let planner = quick_planner(&cost, &cluster);
+        let mut ctl = ReplanController::new(60.0, 0.3, SloSpec::new(0.25, 0.1));
+        for i in 0..100 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        ctl.baseline();
+        for i in 100..150 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
+        assert_eq!(ctl.replans(), 0);
+    }
+
+    #[test]
+    fn shifted_workload_triggers_replan() {
+        let cost = RooflineModel::a100();
+        let cluster = Cluster::paper_testbed();
+        let planner = quick_planner(&cost, &cluster);
+        let mut ctl = ReplanController::new(120.0, 0.3, SloSpec::new(0.25, 0.1));
+        // Chatbot-like baseline at 2 rps.
+        for i in 0..100 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        ctl.baseline();
+        // Shift to much longer prompts (summarization-like traffic).
+        for i in 0..100 {
+            ctl.observe(&req(1000 + i, 50.0 + f64::from(i as u32) * 0.5, 1400, 80));
+        }
+        match ctl.poll(&planner) {
+            ReplanDecision::Replanned(d) => {
+                // The refit plan must be materializable.
+                assert!(planner.materialize(&d).is_ok());
+            }
+            other => panic!("expected replan, got {other:?}"),
+        }
+        assert_eq!(ctl.replans(), 1);
+        // After rebaselining, the same pattern no longer triggers.
+        assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulated LLM serving engines.
+//!
+//! This crate is the discrete-event stand-in for the paper's C++/CUDA
+//! parallel execution engine plus its orchestration layer (§5). It
+//! simulates, with the Appendix-A cost model supplying batch execution
+//! times:
+//!
+//! * **Disaggregated serving** (DistServe): prefill instances with the
+//!   §4.3 token-budget batching policy, decoding instances with
+//!   continuous batching, pull-based KV-cache transfer between them, and
+//!   shortest-queue / least-loaded dispatch.
+//! * **Colocated serving** (the vLLM baseline): iteration-level
+//!   scheduling that prioritizes prefill and batches decoding steps of
+//!   running requests, with PagedAttention-style block-granular KV
+//!   accounting; optional Sarathi-style chunked prefill.
+//!
+//! Modules:
+//!
+//! * [`fidelity`] — knobs separating the *idealized* planner simulator
+//!   from the *detailed* "real system" proxy (Table 2's comparison).
+//! * [`kvcache`] — the paged KV block manager.
+//! * [`request`] — per-request lifecycle records with the five-stage
+//!   latency breakdown of Figure 10.
+//! * [`pipeline`] — pipeline-parallel stage occupancy (bubbles included).
+//! * [`batching`] — the prefill batch former (`L_m` policy, §4.3).
+//! * [`spec`] — instance and simulation configuration.
+//! * [`sim`] — the event loop tying everything together.
+
+pub mod batching;
+pub mod fidelity;
+pub mod kvcache;
+pub mod pipeline;
+pub mod request;
+pub mod sim;
+pub mod spec;
+
+pub use fidelity::FidelityConfig;
+pub use kvcache::KvBlockManager;
+pub use request::{RequestRecord, StageBreakdown};
+pub use sim::{ServingSim, SimOutcome};
+pub use spec::{ColocatedPolicy, InstanceRole, InstanceSpec, SimConfig};

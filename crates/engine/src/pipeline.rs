@@ -1,0 +1,230 @@
+//! Pipeline-parallel stage occupancy.
+//!
+//! An instance with `pp` stages can hold `pp` batches in flight. Batch `i`
+//! finishes stage `s` at
+//!
+//! ```text
+//! C(i, s) = max(C(i, s−1), C(i−1, s)) + T_i
+//! ```
+//!
+//! where `T_i` is batch `i`'s per-stage time and `C(i, −1)` is the launch
+//! time. The recurrence makes pipeline *bubbles* emerge naturally: when
+//! consecutive batches have different execution times (the non-uniform
+//! prompt lengths of §3.3), a slow batch stalls behind or starves the
+//! stages ahead — exactly the deviation from the M/D/1 model the paper
+//! describes, and the thing §4.3's length-balanced batching mitigates.
+
+use distserve_simcore::SimTime;
+
+/// Occupancy tracker for one instance's pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_engine::pipeline::Pipeline;
+/// use distserve_simcore::SimTime;
+///
+/// let mut p = Pipeline::new(2);
+/// // Two equal batches: the second enters stage 0 as soon as the first
+/// // leaves it, and the pipeline overlaps their execution.
+/// let a = p.commit(SimTime::ZERO, 1.0);
+/// let b = p.commit(SimTime::ZERO, 1.0);
+/// assert_eq!(a.done, SimTime::from_secs(2.0));
+/// assert_eq!(b.done, SimTime::from_secs(3.0)); // Not 4.0: overlapped.
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// `C(i−1, s)` for the most recently committed batch.
+    prev_done: Vec<SimTime>,
+    /// Cumulative busy time of stage 0 (utilization accounting).
+    busy: f64,
+    committed: u64,
+}
+
+/// Result of committing one batch to the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Commit {
+    /// When the batch actually started executing (stage 0 entry).
+    pub start: SimTime,
+    /// When stage 0 becomes free for the next batch.
+    pub stage0_free: SimTime,
+    /// When the batch exits the last stage.
+    pub done: SimTime,
+}
+
+impl Pipeline {
+    /// Creates an idle pipeline of `stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    #[must_use]
+    pub fn new(stages: u32) -> Self {
+        assert!(stages > 0, "pipeline needs at least one stage");
+        Pipeline {
+            prev_done: vec![SimTime::ZERO; stages as usize],
+            busy: 0.0,
+            committed: 0,
+        }
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.prev_done.len() as u32
+    }
+
+    /// Earliest time a batch readied at `ready` could start executing.
+    #[must_use]
+    pub fn earliest_start(&self, ready: SimTime) -> SimTime {
+        ready.max(self.prev_done[0])
+    }
+
+    /// Whether stage 0 is free at `now` (a new batch could start).
+    #[must_use]
+    pub fn stage0_free_at(&self, now: SimTime) -> bool {
+        self.prev_done[0] <= now
+    }
+
+    /// When the whole pipeline drains (last committed batch completes).
+    #[must_use]
+    pub fn drained_at(&self) -> SimTime {
+        *self.prev_done.last().expect("at least one stage")
+    }
+
+    /// Commits a batch readied at `ready` with per-stage time
+    /// `stage_time`, returning its schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_time` is negative or non-finite.
+    pub fn commit(&mut self, ready: SimTime, stage_time: f64) -> Commit {
+        assert!(
+            stage_time.is_finite() && stage_time >= 0.0,
+            "invalid stage time {stage_time}"
+        );
+        let start = self.earliest_start(ready);
+        let mut entry = start;
+        for s in 0..self.prev_done.len() {
+            // The batch may enter stage s only when it finished stage s−1
+            // and the previous batch vacated stage s.
+            let begin = entry.max(self.prev_done[s]);
+            let done = begin.after(stage_time);
+            self.prev_done[s] = done;
+            entry = done;
+        }
+        self.busy += stage_time;
+        self.committed += 1;
+        Commit {
+            start,
+            stage0_free: self.prev_done[0],
+            done: entry,
+        }
+    }
+
+    /// Cumulative stage-0 busy seconds (for utilization reports).
+    #[must_use]
+    pub fn busy_secs(&self) -> f64 {
+        self.busy
+    }
+
+    /// Batches committed so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn single_stage_serializes() {
+        let mut p = Pipeline::new(1);
+        let a = p.commit(t(0.0), 1.0);
+        let b = p.commit(t(0.0), 1.0);
+        assert_eq!(a.done, t(1.0));
+        assert_eq!(b.start, t(1.0));
+        assert_eq!(b.done, t(2.0));
+    }
+
+    #[test]
+    fn deep_pipeline_overlaps() {
+        let mut p = Pipeline::new(4);
+        let mut last = Commit {
+            start: t(0.0),
+            stage0_free: t(0.0),
+            done: t(0.0),
+        };
+        for _ in 0..8 {
+            last = p.commit(t(0.0), 0.5);
+        }
+        // 8 batches through a 4-stage pipeline of 0.5 s stages:
+        // total = fill (4 × 0.5) + 7 more slots of 0.5 = 5.5 s.
+        assert_eq!(last.done, t(5.5));
+    }
+
+    #[test]
+    fn throughput_is_one_per_stage_time() {
+        let mut p = Pipeline::new(2);
+        let mut dones = Vec::new();
+        for _ in 0..10 {
+            dones.push(p.commit(t(0.0), 1.0).done.as_secs());
+        }
+        for pair in dones.windows(2) {
+            assert!((pair[1] - pair[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bubble_from_nonuniform_batches() {
+        // A slow batch behind a fast one stalls in later stages; a fast
+        // batch behind a slow one starves — both inflate completion
+        // versus the uniform ideal.
+        let mut p = Pipeline::new(2);
+        p.commit(t(0.0), 1.0);
+        let slow = p.commit(t(0.0), 3.0);
+        // Enters stage 0 at 1.0 (when batch 1 vacates), stage 1 at 4.0,
+        // exits at 7.0.
+        assert_eq!(slow.done, t(7.0));
+        let fast = p.commit(t(0.0), 1.0);
+        // Stage 0 free at 4.0; stage 1 free at 7.0 → done 8.0 (a 2-second
+        // bubble versus back-to-back fast batches).
+        assert_eq!(fast.start, t(4.0));
+        assert_eq!(fast.done, t(8.0));
+    }
+
+    #[test]
+    fn idle_gap_respected() {
+        let mut p = Pipeline::new(2);
+        p.commit(t(0.0), 1.0);
+        // Batch arrives long after the pipeline drained.
+        let late = p.commit(t(10.0), 1.0);
+        assert_eq!(late.start, t(10.0));
+        assert_eq!(late.done, t(12.0));
+    }
+
+    #[test]
+    fn stage0_free_query() {
+        let mut p = Pipeline::new(2);
+        assert!(p.stage0_free_at(t(0.0)));
+        let c = p.commit(t(0.0), 2.0);
+        assert!(!p.stage0_free_at(t(1.0)));
+        assert!(p.stage0_free_at(c.stage0_free));
+        assert_eq!(p.drained_at(), c.done);
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut p = Pipeline::new(3);
+        p.commit(t(0.0), 0.25);
+        p.commit(t(0.0), 0.5);
+        assert!((p.busy_secs() - 0.75).abs() < 1e-12);
+        assert_eq!(p.committed(), 2);
+    }
+}

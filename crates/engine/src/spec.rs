@@ -1,0 +1,288 @@
+//! Instance and simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use distserve_cluster::GpuId;
+use distserve_models::{DType, GpuSpec, ModelArch, ParallelismConfig};
+
+/// What work an instance performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceRole {
+    /// Disaggregated prefill instance: prompt processing only, buffering
+    /// KV until a decoding instance pulls it.
+    Prefill,
+    /// Disaggregated decoding instance: continuous batching over pulled
+    /// requests.
+    Decode,
+    /// Colocated instance (the vLLM baseline): both phases on one set of
+    /// GPUs with iteration-level scheduling.
+    Colocated,
+}
+
+/// Scheduling policy for a colocated instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColocatedPolicy {
+    /// Maximum prompt tokens batched into one prefill step.
+    pub prefill_token_budget: u32,
+    /// `Some(chunk)`: SARATHI-style chunked prefill — each step carries at
+    /// most `chunk` prompt tokens piggybacked onto the decoding batch.
+    /// `None`: vLLM-style alternation with prefill prioritized.
+    pub chunked_prefill: Option<u32>,
+}
+
+impl Default for ColocatedPolicy {
+    fn default() -> Self {
+        ColocatedPolicy {
+            prefill_token_budget: 2048,
+            chunked_prefill: None,
+        }
+    }
+}
+
+/// One serving instance: role, parallelism, and physical placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Role of the instance.
+    pub role: InstanceRole,
+    /// Tensor / pipeline parallelism.
+    pub par: ParallelismConfig,
+    /// GPU groups per pipeline stage (`stages.len() == par.pp`, each group
+    /// `par.tp` GPUs on one node).
+    pub stages: Vec<Vec<GpuId>>,
+    /// Colocated scheduling policy (ignored for disaggregated roles).
+    pub policy: ColocatedPolicy,
+}
+
+impl InstanceSpec {
+    /// Creates a spec, checking the stage structure matches `par`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the stage/group shape disagrees with `par`.
+    pub fn new(
+        role: InstanceRole,
+        par: ParallelismConfig,
+        stages: Vec<Vec<GpuId>>,
+    ) -> Result<Self, String> {
+        if stages.len() != par.pp as usize {
+            return Err(format!(
+                "{} stages provided for pp={}",
+                stages.len(),
+                par.pp
+            ));
+        }
+        for (i, group) in stages.iter().enumerate() {
+            if group.len() != par.tp as usize {
+                return Err(format!(
+                    "stage {i} has {} GPUs, expected tp={}",
+                    group.len(),
+                    par.tp
+                ));
+            }
+            if group.iter().any(|g| g.node != group[0].node) {
+                return Err(format!("stage {i}'s tensor-parallel group spans nodes"));
+            }
+        }
+        Ok(InstanceSpec {
+            role,
+            par,
+            stages,
+            policy: ColocatedPolicy::default(),
+        })
+    }
+
+    /// Sets the colocated scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ColocatedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Total GPUs the instance occupies.
+    #[must_use]
+    pub fn num_gpus(&self) -> u32 {
+        self.par.num_gpus()
+    }
+
+    /// Bytes of KV pool across the whole instance: per-GPU capacity minus
+    /// the weight shard and a runtime margin, summed over GPUs.
+    #[must_use]
+    pub fn kv_pool_bytes(
+        &self,
+        arch: &ModelArch,
+        gpu: &GpuSpec,
+        dtype: DType,
+        margin_frac: f64,
+    ) -> u64 {
+        let shard = self.par.shard_weight_bytes(arch, dtype);
+        let margin = (gpu.mem_capacity as f64 * margin_frac) as u64;
+        let per_gpu = gpu.mem_capacity.saturating_sub(shard + margin);
+        per_gpu * u64::from(self.num_gpus())
+    }
+}
+
+/// Global simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Model being served.
+    pub arch: ModelArch,
+    /// Weight and KV precision.
+    pub dtype: DType,
+    /// Fidelity perturbations (ideal for planning, detailed for Table 2).
+    pub fidelity: crate::fidelity::FidelityConfig,
+    /// PagedAttention block size, tokens.
+    pub block_size: u32,
+    /// Fraction of GPU memory reserved for activations and runtime.
+    pub mem_margin: f64,
+    /// Maximum requests per decoding iteration.
+    pub max_decode_batch: usize,
+    /// Prefill saturation threshold `L_m`, tokens (§3.1): the batching
+    /// policy packs prefill batches up to this total.
+    pub l_m: u32,
+    /// Queue discipline for prefill work (FCFS per §4.3, or SJF to
+    /// mitigate the convoy effect the paper discusses).
+    pub prefill_discipline: crate::batching::QueueDiscipline,
+    /// RNG seed for jitter and tie-breaking randomness.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Reasonable defaults for `arch` at fp16.
+    #[must_use]
+    pub fn new(arch: ModelArch) -> Self {
+        SimConfig {
+            arch,
+            dtype: DType::F16,
+            fidelity: crate::fidelity::FidelityConfig::ideal(),
+            block_size: 16,
+            mem_margin: 0.10,
+            max_decode_batch: 256,
+            l_m: 512,
+            prefill_discipline: crate::batching::QueueDiscipline::Fcfs,
+            seed: 0,
+        }
+    }
+
+    /// Switches the prefill queues to shortest-job-first.
+    #[must_use]
+    pub fn with_sjf_prefill(mut self) -> Self {
+        self.prefill_discipline = crate::batching::QueueDiscipline::Sjf;
+        self
+    }
+
+    /// Sets the prefill saturation threshold `L_m`.
+    #[must_use]
+    pub fn with_l_m(mut self, l_m: u32) -> Self {
+        self.l_m = l_m.max(1);
+        self
+    }
+
+    /// Switches on detailed fidelity.
+    #[must_use]
+    pub fn detailed(mut self) -> Self {
+        self.fidelity = crate::fidelity::FidelityConfig::detailed();
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distserve_cluster::Cluster;
+    use distserve_models::OptModel;
+
+    #[test]
+    fn spec_shape_validation() {
+        let c = Cluster::paper_testbed();
+        let par = ParallelismConfig::new(2, 2);
+        let good = InstanceSpec::new(
+            InstanceRole::Prefill,
+            par,
+            vec![
+                vec![c.gpu(0, 0), c.gpu(0, 1)],
+                vec![c.gpu(1, 0), c.gpu(1, 1)],
+            ],
+        );
+        assert!(good.is_ok());
+        // Wrong stage count.
+        assert!(InstanceSpec::new(
+            InstanceRole::Prefill,
+            par,
+            vec![vec![c.gpu(0, 0), c.gpu(0, 1)]],
+        )
+        .is_err());
+        // Wrong group size.
+        assert!(InstanceSpec::new(
+            InstanceRole::Prefill,
+            par,
+            vec![vec![c.gpu(0, 0)], vec![c.gpu(1, 0)]],
+        )
+        .is_err());
+        // Tensor-parallel group spanning nodes.
+        assert!(InstanceSpec::new(
+            InstanceRole::Prefill,
+            par,
+            vec![
+                vec![c.gpu(0, 0), c.gpu(1, 1)],
+                vec![c.gpu(2, 0), c.gpu(2, 1)],
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn kv_pool_scales_with_gpus() {
+        let c = Cluster::paper_testbed();
+        let arch = OptModel::Opt13B.arch();
+        let one = InstanceSpec::new(
+            InstanceRole::Decode,
+            ParallelismConfig::SINGLE,
+            vec![vec![c.gpu(0, 0)]],
+        )
+        .unwrap();
+        let two = InstanceSpec::new(
+            InstanceRole::Decode,
+            ParallelismConfig::new(2, 1),
+            vec![vec![c.gpu(0, 1), c.gpu(0, 2)]],
+        )
+        .unwrap();
+        let p1 = one.kv_pool_bytes(&arch, c.gpu_spec(), DType::F16, 0.1);
+        let p2 = two.kv_pool_bytes(&arch, c.gpu_spec(), DType::F16, 0.1);
+        // Two GPUs hold the same weights but twice the capacity: the pool
+        // more than doubles.
+        assert!(p2 > 2 * p1, "p1 {p1}, p2 {p2}");
+        // A 13B model on one A100 leaves roughly 80·0.9 − 26 ≈ 46 GB.
+        let gb = p1 as f64 / 1e9;
+        assert!((35.0..55.0).contains(&gb), "pool {gb} GB");
+    }
+
+    #[test]
+    fn oversized_shard_gives_zero_pool() {
+        let c = Cluster::paper_testbed();
+        let arch = OptModel::Opt175B.arch();
+        let spec = InstanceSpec::new(
+            InstanceRole::Decode,
+            ParallelismConfig::SINGLE,
+            vec![vec![c.gpu(0, 0)]],
+        )
+        .unwrap();
+        assert_eq!(spec.kv_pool_bytes(&arch, c.gpu_spec(), DType::F16, 0.1), 0);
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = SimConfig::new(OptModel::Opt13B.arch())
+            .detailed()
+            .with_seed(7);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.fidelity.jitter_frac > 0.0);
+        assert_eq!(cfg.block_size, 16);
+    }
+}

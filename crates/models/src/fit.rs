@@ -1,0 +1,232 @@
+//! Ordinary least-squares fitting.
+//!
+//! The paper determines its latency-model constants `C1..C5` by "profiling
+//! and interpolation" (Appendix A). [`LeastSquares`] is the interpolation
+//! half: it fits linear coefficients from observed `(features, time)`
+//! samples by solving the normal equations with Gaussian elimination. The
+//! systems involved are tiny (2–3 unknowns), so a dense direct solve is
+//! the right tool.
+
+/// Accumulates samples and solves `argmin_β ‖Xβ − y‖²`.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_models::fit::LeastSquares;
+///
+/// // Recover y = 2·a + 3·b + 1 from exact samples.
+/// let mut ls = LeastSquares::new(3);
+/// for (a, b) in [(1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (2.0, 5.0)] {
+///     ls.add(&[a, b, 1.0], 2.0 * a + 3.0 * b + 1.0);
+/// }
+/// let beta = ls.solve().unwrap();
+/// assert!((beta[0] - 2.0).abs() < 1e-9);
+/// assert!((beta[1] - 3.0).abs() < 1e-9);
+/// assert!((beta[2] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeastSquares {
+    dims: usize,
+    /// Normal matrix `XᵀX`, row-major.
+    xtx: Vec<f64>,
+    /// Right-hand side `Xᵀy`.
+    xty: Vec<f64>,
+    samples: usize,
+}
+
+/// Errors from the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than unknowns.
+    Underdetermined,
+    /// The normal matrix is singular (features are collinear).
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Underdetermined => write!(f, "fewer samples than unknowns"),
+            FitError::Singular => write!(f, "normal matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl LeastSquares {
+    /// Creates a fitter for `dims` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "need at least one coefficient");
+        LeastSquares {
+            dims,
+            xtx: vec![0.0; dims * dims],
+            xty: vec![0.0; dims],
+            samples: 0,
+        }
+    }
+
+    /// Adds one observation: feature vector `x` with response `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dims`.
+    pub fn add(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.dims, "feature vector length mismatch");
+        for i in 0..self.dims {
+            for j in 0..self.dims {
+                self.xtx[i * self.dims + j] += x[i] * x[j];
+            }
+            self.xty[i] += x[i] * y;
+        }
+        self.samples += 1;
+    }
+
+    /// Number of observations added so far.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Solves for the coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::Underdetermined`] with fewer samples than unknowns,
+    /// [`FitError::Singular`] when features are linearly dependent.
+    pub fn solve(&self) -> Result<Vec<f64>, FitError> {
+        if self.samples < self.dims {
+            return Err(FitError::Underdetermined);
+        }
+        let n = self.dims;
+        let mut a = self.xtx.clone();
+        let mut b = self.xty.clone();
+
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[r1 * n + col]
+                        .abs()
+                        .total_cmp(&a[r2 * n + col].abs())
+                })
+                .expect("non-empty range");
+            let pivot = a[pivot_row * n + col];
+            if pivot.abs() < 1e-30 {
+                return Err(FitError::Singular);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                b.swap(col, pivot_row);
+            }
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / a[col * n + col];
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+
+        // Back substitution.
+        let mut beta = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..n {
+                acc -= a[row * n + k] * beta[k];
+            }
+            beta[row] = acc / a[row * n + row];
+        }
+        Ok(beta)
+    }
+
+    /// Root-mean-square error of a coefficient vector over fresh samples.
+    #[must_use]
+    pub fn rmse(beta: &[f64], samples: &[(Vec<f64>, f64)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = samples
+            .iter()
+            .map(|(x, y)| {
+                let pred: f64 = x.iter().zip(beta).map(|(xi, bi)| xi * bi).sum();
+                (pred - y) * (pred - y)
+            })
+            .sum();
+        (sse / samples.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery_one_dim() {
+        let mut ls = LeastSquares::new(1);
+        for x in 1..=5 {
+            ls.add(&[f64::from(x)], 4.0 * f64::from(x));
+        }
+        let beta = ls.solve().unwrap();
+        assert!((beta[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_recovery_converges() {
+        // Deterministic pseudo-noise; the fit should land near truth.
+        let mut ls = LeastSquares::new(2);
+        for i in 0..200 {
+            let x = f64::from(i) / 10.0;
+            let noise = if i % 2 == 0 { 0.01 } else { -0.01 };
+            ls.add(&[x, 1.0], 5.0 * x + 2.0 + noise);
+        }
+        let beta = ls.solve().unwrap();
+        assert!((beta[0] - 5.0).abs() < 0.01);
+        assert!((beta[1] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let mut ls = LeastSquares::new(3);
+        ls.add(&[1.0, 2.0, 3.0], 6.0);
+        assert_eq!(ls.solve(), Err(FitError::Underdetermined));
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let mut ls = LeastSquares::new(2);
+        // Second feature is always twice the first: collinear.
+        for i in 1..=5 {
+            let x = f64::from(i);
+            ls.add(&[x, 2.0 * x], 3.0 * x);
+        }
+        assert_eq!(ls.solve(), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First sample makes xtx[0][0] small relative to others.
+        let mut ls = LeastSquares::new(2);
+        ls.add(&[0.0, 1.0], 3.0);
+        ls.add(&[1.0, 0.0], 2.0);
+        ls.add(&[1.0, 1.0], 5.0);
+        let beta = ls.solve().unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_zero_on_exact_fit() {
+        let beta = vec![2.0, 1.0];
+        let samples = vec![(vec![1.0, 1.0], 3.0), (vec![2.0, 1.0], 5.0)];
+        assert!(LeastSquares::rmse(&beta, &samples) < 1e-12);
+        assert_eq!(LeastSquares::rmse(&beta, &[]), 0.0);
+    }
+}

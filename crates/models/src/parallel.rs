@@ -1,0 +1,303 @@
+//! Model parallelism configurations.
+//!
+//! DistServe searches over tensor (intra-operator) and pipeline
+//! (inter-operator) parallelism per phase. A [`ParallelismConfig`] is one
+//! point in that space; [`ParallelismConfig::enumerate`] yields all legal
+//! points for a given architecture and GPU budget, which is exactly the
+//! loop structure of Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::arch::{DType, ModelArch};
+use crate::hardware::GpuSpec;
+
+/// A (tensor-parallel, pipeline-parallel) configuration for one instance.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_models::{OptModel, ParallelismConfig};
+///
+/// let arch = OptModel::Opt66B.arch();
+/// let cfg = ParallelismConfig::new(4, 2);
+/// assert!(cfg.validate(&arch).is_ok());
+/// assert_eq!(cfg.num_gpus(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Tensor (intra-operator) parallel degree.
+    pub tp: u32,
+    /// Pipeline (inter-operator) parallel degree.
+    pub pp: u32,
+}
+
+/// Why a parallelism configuration is invalid for an architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelismError {
+    /// Degrees must be at least 1.
+    ZeroDegree,
+    /// `num_heads` must be divisible by the tensor-parallel degree.
+    HeadsNotDivisible {
+        /// Attention heads in the model.
+        heads: u32,
+        /// Requested tensor-parallel degree.
+        tp: u32,
+    },
+    /// `num_layers` must be divisible by the pipeline-parallel degree.
+    LayersNotDivisible {
+        /// Layers in the model.
+        layers: u32,
+        /// Requested pipeline-parallel degree.
+        pp: u32,
+    },
+    /// The per-GPU weight shard exceeds GPU memory.
+    ShardTooLarge {
+        /// Bytes required per GPU for the weight shard.
+        shard_bytes: u64,
+        /// Bytes available on the GPU.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for ParallelismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelismError::ZeroDegree => write!(f, "parallel degrees must be >= 1"),
+            ParallelismError::HeadsNotDivisible { heads, tp } => {
+                write!(f, "{heads} heads not divisible by tp={tp}")
+            }
+            ParallelismError::LayersNotDivisible { layers, pp } => {
+                write!(f, "{layers} layers not divisible by pp={pp}")
+            }
+            ParallelismError::ShardTooLarge {
+                shard_bytes,
+                capacity,
+            } => write!(
+                f,
+                "weight shard of {shard_bytes} bytes exceeds GPU capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParallelismError {}
+
+impl ParallelismConfig {
+    /// No parallelism: a single GPU holds the whole model.
+    pub const SINGLE: ParallelismConfig = ParallelismConfig { tp: 1, pp: 1 };
+
+    /// Creates a configuration. Degrees are taken as given; call
+    /// [`validate`](Self::validate) to check against an architecture.
+    #[must_use]
+    pub fn new(tp: u32, pp: u32) -> Self {
+        ParallelismConfig { tp, pp }
+    }
+
+    /// Total GPUs this instance occupies.
+    #[must_use]
+    pub fn num_gpus(&self) -> u32 {
+        self.tp * self.pp
+    }
+
+    /// Checks divisibility constraints against `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ParallelismError`] violated.
+    pub fn validate(&self, arch: &ModelArch) -> Result<(), ParallelismError> {
+        if self.tp == 0 || self.pp == 0 {
+            return Err(ParallelismError::ZeroDegree);
+        }
+        if arch.num_heads % self.tp != 0 {
+            return Err(ParallelismError::HeadsNotDivisible {
+                heads: arch.num_heads,
+                tp: self.tp,
+            });
+        }
+        // Under GQA the K/V heads must also split evenly across the
+        // tensor-parallel group.
+        if arch.kv_heads % self.tp != 0 {
+            return Err(ParallelismError::HeadsNotDivisible {
+                heads: arch.kv_heads,
+                tp: self.tp,
+            });
+        }
+        if arch.num_layers % self.pp != 0 {
+            return Err(ParallelismError::LayersNotDivisible {
+                layers: arch.num_layers,
+                pp: self.pp,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks both divisibility and that the per-GPU weight shard (plus a
+    /// working margin) fits in `gpu` memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ParallelismError`] violated.
+    pub fn validate_memory(
+        &self,
+        arch: &ModelArch,
+        gpu: &GpuSpec,
+        dtype: DType,
+    ) -> Result<(), ParallelismError> {
+        self.validate(arch)?;
+        let shard = self.shard_weight_bytes(arch, dtype);
+        // Reserve 10% of capacity for activations and CUDA context.
+        let usable = gpu.mem_capacity - gpu.mem_capacity / 10;
+        if shard > usable {
+            return Err(ParallelismError::ShardTooLarge {
+                shard_bytes: shard,
+                capacity: usable,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes of model weights held by each GPU.
+    #[must_use]
+    pub fn shard_weight_bytes(&self, arch: &ModelArch, dtype: DType) -> u64 {
+        arch.weight_bytes(dtype) / u64::from(self.num_gpus())
+    }
+
+    /// Bytes of KV cache per token position held by each GPU of one
+    /// pipeline stage (KV is sharded over both tp and pp).
+    #[must_use]
+    pub fn shard_kv_bytes_per_token(&self, arch: &ModelArch, dtype: DType) -> u64 {
+        arch.kv_bytes_per_token(dtype) / u64::from(self.num_gpus())
+    }
+
+    /// Layers per pipeline stage.
+    #[must_use]
+    pub fn layers_per_stage(&self, arch: &ModelArch) -> u32 {
+        arch.num_layers / self.pp
+    }
+
+    /// Enumerates all legal configurations with `tp <= max_tp`,
+    /// `pp <= max_pp`, and a weight shard fitting `gpu` memory — the search
+    /// space walked by Algorithms 1 and 2.
+    #[must_use]
+    pub fn enumerate(
+        arch: &ModelArch,
+        gpu: &GpuSpec,
+        dtype: DType,
+        max_tp: u32,
+        max_pp: u32,
+    ) -> Vec<ParallelismConfig> {
+        let mut out = Vec::new();
+        for tp in 1..=max_tp {
+            for pp in 1..=max_pp {
+                let cfg = ParallelismConfig::new(tp, pp);
+                if cfg.validate_memory(arch, gpu, dtype).is_ok() {
+                    out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParallelismConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tp{}pp{}", self.tp, self.pp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::OptModel;
+
+    #[test]
+    fn gpu_counts() {
+        assert_eq!(ParallelismConfig::new(4, 2).num_gpus(), 8);
+        assert_eq!(ParallelismConfig::SINGLE.num_gpus(), 1);
+    }
+
+    #[test]
+    fn divisibility_checks() {
+        let arch = OptModel::Opt13B.arch(); // 40 heads, 40 layers.
+        assert!(ParallelismConfig::new(8, 1).validate(&arch).is_ok());
+        assert!(ParallelismConfig::new(5, 4).validate(&arch).is_ok());
+        assert!(matches!(
+            ParallelismConfig::new(3, 1).validate(&arch),
+            Err(ParallelismError::HeadsNotDivisible { .. })
+        ));
+        assert!(matches!(
+            ParallelismConfig::new(1, 3).validate(&arch),
+            Err(ParallelismError::LayersNotDivisible { .. })
+        ));
+        assert!(matches!(
+            ParallelismConfig::new(0, 1).validate(&arch),
+            Err(ParallelismError::ZeroDegree)
+        ));
+    }
+
+    #[test]
+    fn memory_check_rejects_oversized_shards() {
+        // OPT-175B is 350 GB at fp16: it cannot fit on fewer than 5 A100s.
+        let arch = OptModel::Opt175B.arch();
+        let gpu = GpuSpec::a100_80g();
+        assert!(matches!(
+            ParallelismConfig::new(2, 2).validate_memory(&arch, &gpu, DType::F16),
+            Err(ParallelismError::ShardTooLarge { .. })
+        ));
+        assert!(ParallelismConfig::new(4, 2)
+            .validate_memory(&arch, &gpu, DType::F16)
+            .is_ok());
+    }
+
+    #[test]
+    fn shard_sizes_divide_evenly() {
+        let arch = OptModel::Opt66B.arch();
+        let cfg = ParallelismConfig::new(2, 2);
+        assert_eq!(
+            cfg.shard_weight_bytes(&arch, DType::F16),
+            arch.weight_bytes(DType::F16) / 4
+        );
+        assert_eq!(
+            cfg.shard_kv_bytes_per_token(&arch, DType::F16),
+            arch.kv_bytes_per_token(DType::F16) / 4
+        );
+        assert_eq!(cfg.layers_per_stage(&arch), 32);
+    }
+
+    #[test]
+    fn enumerate_respects_all_constraints() {
+        let arch = OptModel::Opt66B.arch(); // 72 heads, 64 layers, 132 GB.
+        let gpu = GpuSpec::a100_80g();
+        let configs = ParallelismConfig::enumerate(&arch, &gpu, DType::F16, 8, 4);
+        assert!(!configs.is_empty());
+        for cfg in &configs {
+            assert!(cfg.validate_memory(&arch, &gpu, DType::F16).is_ok());
+            assert!(cfg.tp <= 8 && cfg.pp <= 4);
+        }
+        // tp=1, pp=1 puts 132 GB on one 80 GB GPU: must be excluded.
+        assert!(!configs.contains(&ParallelismConfig::SINGLE));
+        // tp=2, pp=1 gives 66 GB per GPU: within the 90% usable budget.
+        assert!(configs.contains(&ParallelismConfig::new(2, 1)));
+        // tp=5 does not divide 72 heads: excluded even though memory fits.
+        assert!(!configs.iter().any(|c| c.tp == 5));
+    }
+
+    #[test]
+    fn gqa_constrains_tensor_parallelism() {
+        use crate::arch::LlamaModel;
+        // LLaMA-2-70B: 64 query heads but only 8 KV heads — tp=16 splits
+        // queries but not KV.
+        let arch = LlamaModel::Llama2_70B.arch();
+        assert!(ParallelismConfig::new(8, 1).validate(&arch).is_ok());
+        assert!(matches!(
+            ParallelismConfig::new(16, 1).validate(&arch),
+            Err(ParallelismError::HeadsNotDivisible { heads: 8, tp: 16 })
+        ));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ParallelismConfig::new(4, 3).to_string(), "tp4pp3");
+    }
+}

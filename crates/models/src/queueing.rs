@@ -1,0 +1,180 @@
+//! Closed-form M/D/1 queueing results (paper §3.1, Eqs. 1–3).
+//!
+//! After disaggregation, a prefill instance serving uniform-length prompts
+//! FCFS without batching behaves as an M/D/1 queue. The paper uses three
+//! closed forms to explain the parallelism preference of the prefill phase;
+//! they are reproduced here and used to (a) drive Figure 4(b) and (b)
+//! validate the discrete-event engine against theory.
+
+/// Average waiting time (excluding service) in an M/D/1 queue with arrival
+/// rate `rate` and deterministic service time `d`: `R·D² / (2(1 − R·D))`.
+///
+/// Returns `None` when the queue is unstable (`rate * d >= 1`) or the
+/// parameters are not positive.
+#[must_use]
+pub fn md1_avg_wait(rate: f64, d: f64) -> Option<f64> {
+    if !(rate > 0.0) || !(d > 0.0) || rate * d >= 1.0 {
+        return None;
+    }
+    Some(rate * d * d / (2.0 * (1.0 - rate * d)))
+}
+
+/// Eq. 1 — average TTFT on a single device: `D + R·D² / (2(1 − R·D))`.
+#[must_use]
+pub fn eq1_avg_ttft(rate: f64, d: f64) -> Option<f64> {
+    Some(d + md1_avg_wait(rate, d)?)
+}
+
+/// Eq. 2 — average TTFT under 2-way inter-op (pipeline) parallelism.
+///
+/// With `D ≈ D_s ≈ 2·D_m`, the queue drains at the slowest-stage rate:
+/// `D + R·D² / (4(2 − R·D))`.
+#[must_use]
+pub fn eq2_avg_ttft_inter(rate: f64, d: f64) -> Option<f64> {
+    if !(rate > 0.0) || !(d > 0.0) || rate * d >= 2.0 {
+        return None;
+    }
+    Some(d + rate * d * d / (4.0 * (2.0 - rate * d)))
+}
+
+/// Eq. 3 — average TTFT under 2-way intra-op (tensor) parallelism with
+/// speedup coefficient `k ∈ (1, 2]`: `D/K + R·D² / (2K(K − R·D))`.
+#[must_use]
+pub fn eq3_avg_ttft_intra(rate: f64, d: f64, k: f64) -> Option<f64> {
+    if !(rate > 0.0) || !(d > 0.0) || !(k > 1.0) || rate * d >= k {
+        return None;
+    }
+    Some(d / k + rate * d * d / (2.0 * k * (k - rate * d)))
+}
+
+/// The arrival rate at which intra-op (Eq. 3) and inter-op (Eq. 2) yield
+/// equal average TTFT, found by bisection; below it intra-op wins, above
+/// it inter-op wins (Figure 4's crossover).
+///
+/// Returns `None` if intra-op dominates over the whole stable range
+/// (possible when `k` is close to 2).
+#[must_use]
+pub fn intra_inter_crossover(d: f64, k: f64) -> Option<f64> {
+    if !(d > 0.0) || !(k > 1.0) {
+        return None;
+    }
+    let diff = |r: f64| -> Option<f64> {
+        Some(eq3_avg_ttft_intra(r, d, k)? - eq2_avg_ttft_inter(r, d)?)
+    };
+    // Scan for a sign change over the jointly stable range (0, k/d).
+    let hi_limit = (k / d).min(2.0 / d) * 0.999;
+    let steps = 4096;
+    let mut prev_r = hi_limit / f64::from(steps);
+    let mut prev = diff(prev_r)?;
+    for i in 2..=steps {
+        let r = hi_limit * f64::from(i) / f64::from(steps);
+        let Some(cur) = diff(r) else { break };
+        if prev <= 0.0 && cur > 0.0 {
+            // Bisect between prev_r and r.
+            let (mut lo, mut hi) = (prev_r, r);
+            for _ in 0..64 {
+                let mid = 0.5 * (lo + hi);
+                match diff(mid) {
+                    Some(v) if v > 0.0 => hi = mid,
+                    Some(_) => lo = mid,
+                    None => break,
+                }
+            }
+            return Some(0.5 * (lo + hi));
+        }
+        prev = cur;
+        prev_r = r;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_wait_grows_with_utilization() {
+        let d = 0.1;
+        let w1 = md1_avg_wait(1.0, d).unwrap();
+        let w5 = md1_avg_wait(5.0, d).unwrap();
+        let w9 = md1_avg_wait(9.0, d).unwrap();
+        assert!(w1 < w5 && w5 < w9);
+    }
+
+    #[test]
+    fn md1_unstable_rejected() {
+        assert_eq!(md1_avg_wait(10.0, 0.1), None);
+        assert_eq!(md1_avg_wait(11.0, 0.1), None);
+        assert_eq!(md1_avg_wait(-1.0, 0.1), None);
+        assert_eq!(md1_avg_wait(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn known_md1_value() {
+        // ρ = 0.5: wait = R·D²/(2·(1−ρ)) = 5·0.01/1 = 0.05... with R=5, D=0.1:
+        // 5·0.01/(2·0.5) = 0.05.
+        let w = md1_avg_wait(5.0, 0.1).unwrap();
+        assert!((w - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_is_service_plus_wait() {
+        let t = eq1_avg_ttft(5.0, 0.1).unwrap();
+        assert!((t - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_rate_intra_beats_inter() {
+        // §3.1: at lower rates execution time dominates, so intra-op's
+        // shorter execution wins.
+        let d = 0.1;
+        let k = 1.7;
+        let r = 0.5;
+        let intra = eq3_avg_ttft_intra(r, d, k).unwrap();
+        let inter = eq2_avg_ttft_inter(r, d).unwrap();
+        assert!(intra < inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn high_rate_inter_beats_intra() {
+        // As the rate approaches intra-op's stability limit K/D, its
+        // queueing delay blows up while inter-op (limit 2/D) stays calm.
+        let d = 0.1;
+        let k = 1.7;
+        let r = 16.5; // Close to K/D = 17.
+        let intra = eq3_avg_ttft_intra(r, d, k).unwrap();
+        let inter = eq2_avg_ttft_inter(r, d).unwrap();
+        assert!(inter < intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn crossover_moves_right_with_k() {
+        // A better speedup coefficient keeps intra-op competitive to
+        // higher rates (Figure 4b).
+        let d = 0.1;
+        let c15 = intra_inter_crossover(d, 1.5).unwrap();
+        let c18 = intra_inter_crossover(d, 1.8).unwrap();
+        assert!(c18 > c15, "c(K=1.8) = {c18} <= c(K=1.5) = {c15}");
+        // Both crossovers sit inside the stable region.
+        assert!(c15 > 0.0 && c15 < 2.0 / d);
+    }
+
+    #[test]
+    fn crossover_consistent_with_formulas() {
+        let d = 0.08;
+        let k = 1.6;
+        let r = intra_inter_crossover(d, k).unwrap();
+        let intra = eq3_avg_ttft_intra(r, d, k).unwrap();
+        let inter = eq2_avg_ttft_inter(r, d).unwrap();
+        assert!(
+            (intra - inter).abs() < 1e-6,
+            "at crossover {r}: intra {intra} != inter {inter}"
+        );
+    }
+
+    #[test]
+    fn eq3_rejects_k_at_most_one() {
+        assert_eq!(eq3_avg_ttft_intra(1.0, 0.1, 1.0), None);
+        assert_eq!(eq3_avg_ttft_intra(1.0, 0.1, 0.5), None);
+    }
+}

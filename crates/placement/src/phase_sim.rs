@@ -1,0 +1,420 @@
+//! Single-phase simulators: the paper's `simu_prefill` and `simu_decode`.
+//!
+//! Algorithm 1 evaluates candidate parallelism configurations for each
+//! phase *in isolation*: the prefill simulator measures TTFT attainment of
+//! a prefill-only instance under Poisson arrivals; the decoding simulator
+//! measures TPOT attainment of a decoding-only instance that receives KV
+//! caches for free (the other phase is assumed elsewhere and ideal). Both
+//! reuse the engine's pipeline-occupancy model and batching policies, so
+//! phase-level estimates are consistent with the full-system simulator.
+
+use std::collections::VecDeque;
+
+use distserve_engine::batching::{PrefillItem, PrefillQueue};
+use distserve_engine::pipeline::Pipeline;
+use distserve_engine::KvBlockManager;
+use distserve_models::{
+    CostModel, DType, DecodeBatch, ModelArch, GpuSpec, ParallelismConfig, PrefillBatch,
+};
+use distserve_simcore::{EventQueue, SimTime, Summary};
+use distserve_workload::{RequestId, Trace};
+
+/// Shared knobs for the phase simulators.
+#[derive(Debug, Clone)]
+pub struct PhaseSimConfig {
+    /// Model served.
+    pub arch: ModelArch,
+    /// Precision.
+    pub dtype: DType,
+    /// GPU description (memory sizing for the decode simulator).
+    pub gpu: GpuSpec,
+    /// Prefill batching token budget `L_m`.
+    pub l_m: u32,
+    /// Fraction of GPU memory reserved beyond weights.
+    pub mem_margin: f64,
+    /// PagedAttention block size.
+    pub block_size: u32,
+    /// Maximum decoding batch per micro-batch group.
+    pub max_decode_batch: usize,
+}
+
+impl PhaseSimConfig {
+    /// Defaults matching the engine's [`distserve_engine::SimConfig`].
+    #[must_use]
+    pub fn new(arch: ModelArch, gpu: GpuSpec) -> Self {
+        PhaseSimConfig {
+            arch,
+            dtype: DType::F16,
+            gpu,
+            l_m: 512,
+            mem_margin: 0.10,
+            block_size: 16,
+            max_decode_batch: 256,
+        }
+    }
+}
+
+/// Fraction of requests in `trace` meeting `ttft_slo` when served by one
+/// prefill-only instance with parallelism `par` (the paper's
+/// `simu_prefill`).
+#[must_use]
+pub fn prefill_attainment(
+    cost: &dyn CostModel,
+    cfg: &PhaseSimConfig,
+    par: ParallelismConfig,
+    trace: &Trace,
+    ttft_slo: f64,
+) -> f64 {
+    let s = prefill_ttfts(cost, cfg, par, trace);
+    if s.is_empty() {
+        return 0.0;
+    }
+    s.fraction_at_most(ttft_slo)
+}
+
+/// Per-request TTFTs of a prefill-only instance (the figure harnesses
+/// plot percentiles of this).
+#[must_use]
+pub fn prefill_ttfts(
+    cost: &dyn CostModel,
+    cfg: &PhaseSimConfig,
+    par: ParallelismConfig,
+    trace: &Trace,
+) -> Summary {
+    let mut out = Summary::new();
+    if trace.is_empty() {
+        return out;
+    }
+    #[derive(Debug)]
+    enum Ev {
+        Arrive(usize),
+        Free,
+        Done(Vec<(RequestId, SimTime)>),
+    }
+    let mut queue = PrefillQueue::new(cfg.l_m);
+    let mut pipeline = Pipeline::new(par.pp);
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut arrivals: Vec<SimTime> = Vec::with_capacity(trace.len());
+    for (i, r) in trace.requests().iter().enumerate() {
+        events.push(r.arrival, Ev::Arrive(i));
+        arrivals.push(r.arrival);
+    }
+    let mut done = 0usize;
+    while done < trace.len() {
+        let Some((now, ev)) = events.pop() else {
+            unreachable!("prefill simulation cannot stall");
+        };
+        match ev {
+            Ev::Arrive(i) => {
+                let r = &trace.requests()[i];
+                queue.push(PrefillItem {
+                    id: r.id,
+                    input_len: r.input_len,
+                });
+            }
+            Ev::Free | Ev::Done(_) => {}
+        }
+        if let Ev::Done(members) = ev {
+            for (id, arrival) in members {
+                done += 1;
+                let _ = id;
+                out.record(now.since(arrival));
+            }
+        }
+        // Launch as long as stage 0 is free and work is queued.
+        while pipeline.stage0_free_at(now) {
+            let Some(batch) = queue.form_batch(|_| true) else {
+                break;
+            };
+            let lens: Vec<u32> = batch.iter().map(|b| b.input_len).collect();
+            let stage_time = cost
+                .prefill_stage_time(&cfg.arch, par, &PrefillBatch::new(lens))
+                .total();
+            let commit = pipeline.commit(now, stage_time);
+            let members: Vec<(RequestId, SimTime)> = batch
+                .iter()
+                .map(|b| (b.id, arrivals[b.id.0 as usize]))
+                .collect();
+            events.push(commit.done, Ev::Done(members));
+            events.push(commit.stage0_free, Ev::Free);
+        }
+    }
+    out
+}
+
+/// Fraction of requests in `trace` meeting `tpot_slo` when decoded by one
+/// decoding-only instance with parallelism `par`, KV caches arriving for
+/// free at the request's arrival instant (the paper's `simu_decode`).
+///
+/// Single-token requests never reach a decoding instance and are counted
+/// as trivially meeting the SLO (TPOT zero).
+#[must_use]
+pub fn decode_attainment(
+    cost: &dyn CostModel,
+    cfg: &PhaseSimConfig,
+    par: ParallelismConfig,
+    trace: &Trace,
+    tpot_slo: f64,
+) -> f64 {
+    let s = decode_tpots(cost, cfg, par, trace);
+    if s.is_empty() {
+        return 0.0;
+    }
+    s.fraction_at_most(tpot_slo)
+}
+
+/// Per-request TPOTs of a decoding-only instance. A configuration whose
+/// weight shard does not fit returns an empty summary. Single-token
+/// requests record a TPOT of zero.
+#[must_use]
+pub fn decode_tpots(
+    cost: &dyn CostModel,
+    cfg: &PhaseSimConfig,
+    par: ParallelismConfig,
+    trace: &Trace,
+) -> Summary {
+    let mut out = Summary::new();
+    if trace.is_empty() {
+        return out;
+    }
+    #[derive(Debug)]
+    enum Ev {
+        Arrive(usize),
+        Free,
+        Done(usize, Vec<usize>),
+    }
+    struct Slot {
+        arrival: SimTime,
+        input_len: u32,
+        output_len: u32,
+        generated: u32,
+    }
+    // KV pool sized like the engine does for an instance.
+    let shard = par.shard_weight_bytes(&cfg.arch, cfg.dtype);
+    let margin = (cfg.gpu.mem_capacity as f64 * cfg.mem_margin) as u64;
+    let per_gpu = cfg.gpu.mem_capacity.saturating_sub(shard + margin);
+    let pool = per_gpu * u64::from(par.num_gpus());
+    if pool == 0 {
+        return out;
+    }
+    let mut kv = KvBlockManager::from_bytes(
+        pool,
+        cfg.arch.kv_bytes_per_token(cfg.dtype),
+        cfg.block_size,
+    );
+
+    let mut slots: Vec<Slot> = trace
+        .requests()
+        .iter()
+        .map(|r| Slot {
+            arrival: r.arrival,
+            input_len: r.input_len,
+            output_len: r.output_len,
+            generated: 1,
+        })
+        .collect();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); par.pp as usize];
+    let mut busy = vec![false; par.pp as usize];
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut pipeline = Pipeline::new(par.pp);
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut done = 0usize;
+    let mut next_group = 0usize;
+
+    for (i, r) in trace.requests().iter().enumerate() {
+        if r.output_len <= 1 {
+            // Never decoded: trivially meets TPOT.
+            out.record(0.0);
+            done += 1;
+        } else {
+            events.push(r.arrival, Ev::Arrive(i));
+        }
+    }
+
+    let admit = |kv: &mut KvBlockManager,
+                 groups: &mut Vec<Vec<usize>>,
+                 slots: &[Slot],
+                 i: usize,
+                 max_batch: usize|
+     -> bool {
+        let total = slots[i].input_len + slots[i].output_len;
+        let smallest = groups
+            .iter_mut()
+            .filter(|g| g.len() < max_batch)
+            .min_by_key(|g| g.len());
+        let Some(group) = smallest else { return false };
+        if kv.alloc(RequestId(i as u64), total).is_err() {
+            return false;
+        }
+        group.push(i);
+        true
+    };
+
+    while done < trace.len() {
+        let Some((now, ev)) = events.pop() else {
+            unreachable!("decode simulation cannot stall");
+        };
+        match ev {
+            Ev::Arrive(i) => {
+                // FCFS admission: join only behind earlier waiters.
+                if waiting.is_empty()
+                    && admit(&mut kv, &mut groups, &slots, i, cfg.max_decode_batch)
+                {
+                    // Admitted directly.
+                } else {
+                    waiting.push_back(i);
+                }
+            }
+            Ev::Free => {}
+            Ev::Done(g, members) => {
+                busy[g] = false;
+                for &i in &members {
+                    slots[i].generated += 1;
+                    if slots[i].generated >= slots[i].output_len {
+                        kv.free(RequestId(i as u64)).expect("allocated");
+                        groups[g].retain(|m| *m != i);
+                        done += 1;
+                        let span = now.since(slots[i].arrival);
+                        out.record(span / f64::from(slots[i].output_len - 1));
+                    }
+                }
+                // Drain waiters into freed capacity, FCFS.
+                while let Some(&head) = waiting.front() {
+                    if admit(&mut kv, &mut groups, &slots, head, cfg.max_decode_batch) {
+                        waiting.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Launch ready groups while stage 0 is free.
+        while pipeline.stage0_free_at(now) {
+            let n = groups.len();
+            let mut chosen = None;
+            for off in 0..n {
+                let g = (next_group + off) % n;
+                if !busy[g] && !groups[g].is_empty() {
+                    chosen = Some(g);
+                    break;
+                }
+            }
+            let Some(g) = chosen else { break };
+            next_group = (g + 1) % n;
+            busy[g] = true;
+            let members = groups[g].clone();
+            let contexts: Vec<u32> = members
+                .iter()
+                .map(|&i| slots[i].input_len + slots[i].generated)
+                .collect();
+            let stage_time = cost
+                .decode_stage_time(&cfg.arch, par, &DecodeBatch::new(contexts))
+                .total();
+            let commit = pipeline.commit(now, stage_time);
+            events.push(commit.done, Ev::Done(g, members));
+            events.push(commit.stage0_free, Ev::Free);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSource;
+    use distserve_models::{OptModel, RooflineModel};
+    use distserve_workload::datasets::FixedLengths;
+
+    fn cfg13b() -> PhaseSimConfig {
+        PhaseSimConfig::new(OptModel::Opt13B.arch(), GpuSpec::a100_80g())
+    }
+
+    fn fixed() -> FixedLengths {
+        FixedLengths {
+            input_len: 512,
+            output_len: 64,
+        }
+    }
+
+    #[test]
+    fn prefill_attainment_decreases_with_rate() {
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let par = ParallelismConfig::SINGLE;
+        let low = fixed().make_trace(2.0, 200, 1);
+        let high = fixed().make_trace(14.0, 200, 1);
+        let a_low = prefill_attainment(&cost, &cfg, par, &low, 0.2);
+        let a_high = prefill_attainment(&cost, &cfg, par, &high, 0.2);
+        assert!(a_low > 0.9, "low-rate attainment {a_low}");
+        assert!(a_high < 0.5, "overloaded attainment {a_high}");
+    }
+
+    #[test]
+    fn prefill_tp_helps_tight_slo() {
+        // §3.1: intra-op parallelism reduces execution time, meeting
+        // tighter TTFT SLOs at the same rate.
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let trace = fixed().make_trace(6.0, 200, 2);
+        let tight = 0.1;
+        let a1 = prefill_attainment(&cost, &cfg, ParallelismConfig::new(1, 1), &trace, tight);
+        let a2 = prefill_attainment(&cost, &cfg, ParallelismConfig::new(2, 1), &trace, tight);
+        assert!(a2 > a1, "tp2 {a2} should beat tp1 {a1}");
+    }
+
+    #[test]
+    fn decode_attainment_high_at_moderate_rate() {
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let trace = fixed().make_trace(8.0, 200, 3);
+        let a = decode_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &trace, 0.1);
+        assert!(a > 0.9, "decode attainment {a}");
+    }
+
+    #[test]
+    fn decode_attainment_fails_impossible_slo() {
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let trace = fixed().make_trace(1.0, 50, 4);
+        // A 13B decoding step takes ≥ 15 ms; 1 ms TPOT is unattainable.
+        let a = decode_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &trace, 0.001);
+        assert!(a < 0.05, "impossible SLO attained {a}");
+    }
+
+    #[test]
+    fn decode_oversized_model_scores_zero() {
+        let cost = RooflineModel::a100();
+        let cfg = PhaseSimConfig::new(OptModel::Opt175B.arch(), GpuSpec::a100_80g());
+        let trace = fixed().make_trace(1.0, 20, 5);
+        let a = decode_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &trace, 1.0);
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn single_token_requests_trivially_met() {
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let single = FixedLengths {
+            input_len: 128,
+            output_len: 1,
+        };
+        let trace = single.make_trace(5.0, 50, 6);
+        let a = decode_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &trace, 1e-9);
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn empty_trace_scores_zero() {
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let empty = Trace::default();
+        assert_eq!(
+            prefill_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &empty, 1.0),
+            0.0
+        );
+        assert_eq!(
+            decode_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &empty, 1.0),
+            0.0
+        );
+    }
+}

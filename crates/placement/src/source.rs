@@ -1,0 +1,104 @@
+//! Trace sources for the placement simulator.
+//!
+//! The planner needs to synthesize traces at arbitrary candidate rates
+//! (§4: DistServe "resamples new traces from the distribution as the
+//! input workload to the simulator"). [`TraceSource`] abstracts over
+//! where the length distribution comes from: a synthetic dataset, an
+//! empirical refit from the workload profiler, or fixed lengths for
+//! controlled experiments.
+
+use distserve_simcore::SimRng;
+use distserve_workload::datasets::FixedLengths;
+use distserve_workload::{Dataset, EmpiricalLengths, Trace, TraceBuilder};
+
+/// Synthesizes traces at a requested rate.
+pub trait TraceSource: Sync {
+    /// Builds a trace of `n` requests arriving Poisson at `rate`.
+    fn make_trace(&self, rate: f64, n: usize, seed: u64) -> Trace;
+
+    /// Human-readable name for reports.
+    fn label(&self) -> String;
+}
+
+impl TraceSource for Dataset {
+    fn make_trace(&self, rate: f64, n: usize, seed: u64) -> Trace {
+        let mut rng = SimRng::seed(seed).split("placement-trace");
+        TraceBuilder::new(self.sampler())
+            .rate(rate)
+            .num_requests(n)
+            .build(&mut rng)
+    }
+
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+impl TraceSource for EmpiricalLengths {
+    fn make_trace(&self, rate: f64, n: usize, seed: u64) -> Trace {
+        let mut rng = SimRng::seed(seed).split("placement-trace");
+        TraceBuilder::new(Box::new(self.clone()))
+            .rate(rate)
+            .num_requests(n)
+            .build(&mut rng)
+    }
+
+    fn label(&self) -> String {
+        "empirical".to_string()
+    }
+}
+
+impl TraceSource for FixedLengths {
+    fn make_trace(&self, rate: f64, n: usize, seed: u64) -> Trace {
+        let mut rng = SimRng::seed(seed).split("placement-trace");
+        TraceBuilder::new(Box::new(*self))
+            .rate(rate)
+            .num_requests(n)
+            .build(&mut rng)
+    }
+
+    fn label(&self) -> String {
+        format!("fixed({}, {})", self.input_len, self.output_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_source() {
+        let t = Dataset::ShareGpt.make_trace(5.0, 100, 1);
+        assert_eq!(t.len(), 100);
+        assert!((t.observed_rate() - 5.0).abs() < 2.0);
+        assert_eq!(Dataset::ShareGpt.label(), "ShareGPT");
+    }
+
+    #[test]
+    fn sources_are_deterministic() {
+        let a = Dataset::LongBench.make_trace(2.0, 50, 9);
+        let b = Dataset::LongBench.make_trace(2.0, 50, 9);
+        assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn fixed_source() {
+        let f = FixedLengths {
+            input_len: 512,
+            output_len: 64,
+        };
+        let t = f.make_trace(1.0, 10, 0);
+        assert!(t.requests().iter().all(|r| r.input_len == 512));
+        assert_eq!(f.label(), "fixed(512, 64)");
+    }
+
+    #[test]
+    fn empirical_source() {
+        let e = EmpiricalLengths::from_pairs(vec![(100, 10), (200, 20)]).unwrap();
+        let t = e.make_trace(1.0, 30, 3);
+        assert!(t
+            .requests()
+            .iter()
+            .all(|r| r.input_len == 100 || r.input_len == 200));
+    }
+}

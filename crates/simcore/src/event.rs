@@ -1,0 +1,212 @@
+//! Deterministic future-event list.
+//!
+//! The event queue is the heart of the discrete-event simulator. Events are
+//! popped in non-decreasing time order; events scheduled for the same
+//! instant pop in insertion order (FIFO), which makes every simulation run
+//! bit-for-bit reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the future-event list.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse so the earliest (and, within a
+        // tie, the first-inserted) entry is the maximum.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(1.0), "a");
+/// q.push(SimTime::from_secs(1.0), "b");
+/// q.push(SimTime::from_secs(0.5), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, vec!["c", "a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// Scheduling into the past is a logic error in the caller; in debug
+    /// builds it is caught by an assertion, in release builds the event is
+    /// clamped to `now` so the simulation clock never runs backwards.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event at {time} before current time {}",
+            self.now
+        );
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedules `event` at `delay` seconds after the current clock.
+    pub fn push_after(&mut self, delay: f64, event: E) {
+        let at = self.now.after(delay);
+        self.push(at, event);
+    }
+
+    /// Pops the earliest event, advancing the simulation clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Returns the time of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, e) in [(3.0, 'c'), (1.0, 'a'), (2.0, 'b')] {
+            q.push(SimTime::from_secs(t), e);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for e in 0..100 {
+            q.push(t, e);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn push_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2.0), 0);
+        q.pop();
+        q.push_after(1.5, 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(3.5));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(1.0), ());
+        q.push(SimTime::from_secs(0.5), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(0.5)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_deterministic() {
+        // Two structurally identical runs must produce identical sequences.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.push(SimTime::from_secs(1.0), 1u32);
+            q.push(SimTime::from_secs(1.0), 2);
+            out.push(q.pop().unwrap().1);
+            q.push(SimTime::from_secs(1.0), 3);
+            while let Some((_, e)) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,437 @@
+//! The forward pass: an OPT-style decoder reading a paged KV cache.
+//!
+//! The layer computation is factored into *partial* pieces parameterized
+//! by a [`Shard`] (a head range plus an FFN column range) so the same
+//! code runs single-threaded (the full shard) and tensor-parallel (each
+//! worker a proper shard, summing partials — the all-reduce). This
+//! mirrors Megatron-style intra-operator parallelism (§2.2).
+
+use crate::kv::{PagedKv, SeqId};
+use crate::model::{TinyConfig, Weights};
+use crate::tensor::{add_bias, layer_norm, relu, softmax, Matrix};
+
+/// A tensor-parallel shard: which heads and FFN columns this worker owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First owned attention head.
+    pub head_lo: usize,
+    /// One past the last owned head.
+    pub head_hi: usize,
+    /// First owned FFN column.
+    pub ffn_lo: usize,
+    /// One past the last owned FFN column.
+    pub ffn_hi: usize,
+}
+
+impl Shard {
+    /// The whole model (single-device execution).
+    #[must_use]
+    pub fn full(cfg: &TinyConfig) -> Self {
+        Shard {
+            head_lo: 0,
+            head_hi: cfg.heads,
+            ffn_lo: 0,
+            ffn_hi: cfg.ffn,
+        }
+    }
+
+    /// The `rank`-th of `world` equal shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `world` divides both the head count and FFN width
+    /// and `rank < world`.
+    #[must_use]
+    pub fn of(cfg: &TinyConfig, rank: usize, world: usize) -> Self {
+        assert!(rank < world, "rank {rank} out of {world}");
+        assert_eq!(cfg.heads % world, 0, "heads % world != 0");
+        assert_eq!(cfg.ffn % world, 0, "ffn % world != 0");
+        let hpw = cfg.heads / world;
+        let fpw = cfg.ffn / world;
+        Shard {
+            head_lo: rank * hpw,
+            head_hi: (rank + 1) * hpw,
+            ffn_lo: rank * fpw,
+            ffn_hi: (rank + 1) * fpw,
+        }
+    }
+}
+
+/// A transformer model with weights, ready for inference.
+#[derive(Debug, Clone)]
+pub struct Model {
+    cfg: TinyConfig,
+    weights: Weights,
+}
+
+impl Model {
+    /// Builds a model with deterministic random weights.
+    #[must_use]
+    pub fn random(cfg: &TinyConfig, seed: u64) -> Self {
+        Model {
+            cfg: cfg.clone(),
+            weights: Weights::random(cfg, seed),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TinyConfig {
+        &self.cfg
+    }
+
+    /// Token plus learned position embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token or position is out of range.
+    #[must_use]
+    pub fn embed_token(&self, token: u32, pos: usize) -> Vec<f32> {
+        let t = token as usize;
+        assert!(t < self.cfg.vocab, "token {t} out of vocab");
+        assert!(pos < self.cfg.max_seq, "position {pos} past max_seq");
+        self.weights
+            .embed
+            .row(t)
+            .iter()
+            .zip(self.weights.pos.row(pos))
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    /// Pre-attention LayerNorm.
+    #[must_use]
+    pub fn ln1(&self, layer: usize, x: &[f32]) -> Vec<f32> {
+        let lw = &self.weights.layers[layer];
+        layer_norm(
+            &Matrix::from_vec(1, x.len(), x.to_vec()),
+            &lw.ln1_scale,
+            &lw.ln1_shift,
+        )
+        .data
+    }
+
+    /// Pre-FFN LayerNorm.
+    #[must_use]
+    pub fn ln2(&self, layer: usize, x: &[f32]) -> Vec<f32> {
+        let lw = &self.weights.layers[layer];
+        layer_norm(
+            &Matrix::from_vec(1, x.len(), x.to_vec()),
+            &lw.ln2_scale,
+            &lw.ln2_shift,
+        )
+        .data
+    }
+
+    /// Attention for the shard's heads at `(seq, pos)`: projects Q/K/V,
+    /// appends this position's K/V (shard's head slice only) to the cache,
+    /// attends causally over positions `0..=pos`, and applies the shard's
+    /// slice of the output projection. Summing all shards' results gives
+    /// the layer's attention output (the all-reduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KV append fails (pool exhausted or sequence not
+    /// registered) — the scheduler must admit within capacity.
+    #[must_use]
+    pub fn attn_partial(
+        &self,
+        layer: usize,
+        x_norm: &[f32],
+        seq: SeqId,
+        pos: usize,
+        kv: &mut PagedKv,
+        shard: Shard,
+    ) -> Vec<f32> {
+        let h = self.cfg.hidden;
+        let d = self.cfg.head_dim();
+        let lw = &self.weights.layers[layer];
+        let x = Matrix::from_vec(1, h, x_norm.to_vec());
+        let qkv = x.matmul(&lw.wqkv);
+        let (q, rest) = qkv.data.split_at(h);
+        let (k, v) = rest.split_at(h);
+
+        // Write this position's K/V: only the shard's head slice is
+        // meaningful in this worker's cache copy; other dims stay zero.
+        let mut k_masked = vec![0.0; h];
+        let mut v_masked = vec![0.0; h];
+        let lo = shard.head_lo * d;
+        let hi = shard.head_hi * d;
+        k_masked[lo..hi].copy_from_slice(&k[lo..hi]);
+        v_masked[lo..hi].copy_from_slice(&v[lo..hi]);
+        kv.append(seq, layer, pos, &k_masked, &v_masked)
+            .expect("KV append within capacity");
+
+        // Per-head causal attention over the cache.
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut attn_out = vec![0.0; h];
+        for head in shard.head_lo..shard.head_hi {
+            let hl = head * d;
+            let q_h = &q[hl..hl + d];
+            let mut scores = Vec::with_capacity(pos + 1);
+            for p in 0..=pos {
+                let k_p = &kv.key(seq, layer, p)[hl..hl + d];
+                let dot: f32 = q_h.iter().zip(k_p).map(|(a, b)| a * b).sum();
+                scores.push(dot * scale);
+            }
+            softmax(&mut scores);
+            for (p, w) in scores.iter().enumerate() {
+                let v_p = &kv.value(seq, layer, p)[hl..hl + d];
+                for (o, &vv) in attn_out[hl..hl + d].iter_mut().zip(v_p) {
+                    *o += w * vv;
+                }
+            }
+        }
+
+        // Output projection: rows outside the shard's dims are zero in
+        // `attn_out`, and the matmul skips zero inputs, so this computes
+        // exactly the shard's partial sum.
+        Matrix::from_vec(1, h, attn_out).matmul(&lw.wo).data
+    }
+
+    /// FFN for the shard's columns: `relu(x·W1[:, lo..hi]) · W2[lo..hi, :]`.
+    #[must_use]
+    pub fn ffn_partial(&self, layer: usize, x_norm: &[f32], shard: Shard) -> Vec<f32> {
+        let lw = &self.weights.layers[layer];
+        let x = Matrix::from_vec(1, x_norm.len(), x_norm.to_vec());
+        let mut mid = x.matmul_cols(&lw.w1, shard.ffn_lo, shard.ffn_hi);
+        relu(&mut mid);
+        // Zero-pad to full FFN width; zero rows are skipped by matmul.
+        let mut padded = vec![0.0; self.cfg.ffn];
+        padded[shard.ffn_lo..shard.ffn_hi].copy_from_slice(&mid.data);
+        Matrix::from_vec(1, self.cfg.ffn, padded).matmul(&lw.w2).data
+    }
+
+    /// Output logits from a final hidden state (tied embeddings).
+    #[must_use]
+    pub fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let mut normed = layer_norm(
+            &Matrix::from_vec(1, x.len(), x.to_vec()),
+            &self.weights.lnf_scale,
+            &self.weights.lnf_shift,
+        );
+        add_bias(&mut normed, &vec![0.0; x.len()]);
+        let mut out = vec![0.0; self.cfg.vocab];
+        for (t, o) in out.iter_mut().enumerate() {
+            *o = normed
+                .row(0)
+                .iter()
+                .zip(self.weights.embed.row(t))
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        out
+    }
+
+    /// Full (single-shard) forward pass of one token, returning logits.
+    #[must_use]
+    pub fn forward_token(
+        &self,
+        seq: SeqId,
+        pos: usize,
+        token: u32,
+        kv: &mut PagedKv,
+    ) -> Vec<f32> {
+        let shard = Shard::full(&self.cfg);
+        let mut x = self.embed_token(token, pos);
+        for layer in 0..self.cfg.layers {
+            let xa = self.ln1(layer, &x);
+            let attn = self.attn_partial(layer, &xa, seq, pos, kv, shard);
+            for (xi, a) in x.iter_mut().zip(&attn) {
+                *xi += a;
+            }
+            let xf = self.ln2(layer, &x);
+            let ffn = self.ffn_partial(layer, &xf, shard);
+            for (xi, f) in x.iter_mut().zip(&ffn) {
+                *xi += f;
+            }
+        }
+        self.logits(&x)
+    }
+
+    /// Builds a KV pool sized for `max_tokens` total positions.
+    #[must_use]
+    pub fn make_kv(&self, max_tokens: usize, block_size: usize) -> PagedKv {
+        let blocks = max_tokens.div_ceil(block_size).max(1);
+        PagedKv::new(self.cfg.layers, self.cfg.hidden, block_size, blocks)
+    }
+
+    /// Greedy generation: prefills `prompt` and emits `max_new` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or exceeds `max_seq`.
+    #[must_use]
+    pub fn generate(&self, prompt: &[u32], max_new: usize) -> Vec<u32> {
+        self.generate_with(
+            prompt,
+            max_new,
+            &mut crate::sampling::Sampler::new(crate::sampling::Sampling::Greedy, 0),
+        )
+    }
+
+    /// Generation with an explicit sampling strategy (§5: the frontend
+    /// exposes sampling parameters such as temperature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or exceeds `max_seq`.
+    #[must_use]
+    pub fn generate_with(
+        &self,
+        prompt: &[u32],
+        max_new: usize,
+        sampler: &mut crate::sampling::Sampler,
+    ) -> Vec<u32> {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(
+            prompt.len() + max_new <= self.cfg.max_seq,
+            "sequence exceeds max_seq"
+        );
+        let mut kv = self.make_kv(prompt.len() + max_new, 16);
+        kv.register(0);
+        let mut logits = Vec::new();
+        for (pos, &tok) in prompt.iter().enumerate() {
+            logits = self.forward_token(0, pos, tok, &mut kv);
+        }
+        let mut out = Vec::with_capacity(max_new);
+        let mut pos = prompt.len();
+        for _ in 0..max_new {
+            let next = sampler.sample(&logits);
+            out.push(next);
+            if out.len() == max_new {
+                break;
+            }
+            logits = self.forward_token(0, pos, next, &mut kv);
+            pos += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Model {
+        Model::random(&TinyConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = model();
+        let a = m.generate(&[1, 2, 3], 8);
+        let b = m.generate(&[1, 2, 3], 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|&t| (t as usize) < m.config().vocab));
+    }
+
+    #[test]
+    fn different_prompts_differ() {
+        let m = model();
+        let a = m.generate(&[1, 2, 3], 8);
+        let b = m.generate(&[4, 5, 6], 8);
+        assert_ne!(a, b, "distinct prompts should diverge");
+    }
+
+    #[test]
+    fn kv_reuse_equals_recompute() {
+        // Incremental decoding with the cache must equal a from-scratch
+        // forward over the whole prefix — the KV cache's core invariant.
+        let m = model();
+        let seq: Vec<u32> = vec![5, 9, 2, 7];
+
+        // Incremental: feed tokens one at a time into one cache.
+        let mut kv = m.make_kv(16, 4);
+        kv.register(0);
+        let mut logits_inc = Vec::new();
+        for (pos, &t) in seq.iter().enumerate() {
+            logits_inc = m.forward_token(0, pos, t, &mut kv);
+        }
+
+        // From scratch with a fresh cache (same computation order).
+        let mut kv2 = m.make_kv(16, 16);
+        kv2.register(0);
+        let mut logits_fresh = Vec::new();
+        for (pos, &t) in seq.iter().enumerate() {
+            logits_fresh = m.forward_token(0, pos, t, &mut kv2);
+        }
+        for (a, b) in logits_inc.iter().zip(&logits_fresh) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sharded_sums_equal_full() {
+        // The TP decomposition: attention and FFN partials summed over
+        // shards must equal the full-shard result.
+        let m = model();
+        let cfg = m.config().clone();
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.1).sin()).collect();
+        let xa = m.ln1(0, &x);
+
+        // Full reference (its own cache).
+        let mut kv_full = m.make_kv(8, 8);
+        kv_full.register(0);
+        let full = m.attn_partial(0, &xa, 0, 0, &mut kv_full, Shard::full(&cfg));
+
+        // Two shards, each with its own cache copy.
+        let mut sum = vec![0.0; cfg.hidden];
+        for rank in 0..2 {
+            let mut kv_s = m.make_kv(8, 8);
+            kv_s.register(0);
+            let part = m.attn_partial(0, &xa, 0, 0, &mut kv_s, Shard::of(&cfg, rank, 2));
+            for (s, p) in sum.iter_mut().zip(&part) {
+                *s += p;
+            }
+        }
+        for (a, b) in full.iter().zip(&sum) {
+            assert!((a - b).abs() < 1e-5, "attention: {a} vs {b}");
+        }
+
+        // FFN likewise.
+        let xf = m.ln2(0, &x);
+        let full_ffn = m.ffn_partial(0, &xf, Shard::full(&cfg));
+        let mut sum_ffn = vec![0.0; cfg.hidden];
+        for rank in 0..4 {
+            let part = m.ffn_partial(0, &xf, Shard::of(&cfg, rank, 4));
+            for (s, p) in sum_ffn.iter_mut().zip(&part) {
+                *s += p;
+            }
+        }
+        for (a, b) in full_ffn.iter().zip(&sum_ffn) {
+            assert!((a - b).abs() < 1e-5, "ffn: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn attention_attends_to_context() {
+        // The logits at the last position must depend on earlier tokens,
+        // not just the final one.
+        let m = model();
+        let a = m.generate(&[1, 2, 9], 1);
+        let b = m.generate(&[7, 2, 9], 1);
+        // Same final token, different context → (almost surely) different
+        // continuation under random weights.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_seq")]
+    fn overlong_generation_rejected() {
+        let m = model();
+        let prompt = vec![0u32; 200];
+        let _ = m.generate(&prompt, 100); // 300 > max_seq 256.
+    }
+
+    #[test]
+    fn shard_partition_covers_everything() {
+        let cfg = TinyConfig::tiny();
+        let s0 = Shard::of(&cfg, 0, 4);
+        let s3 = Shard::of(&cfg, 3, 4);
+        assert_eq!(s0.head_lo, 0);
+        assert_eq!(s3.head_hi, cfg.heads);
+        assert_eq!(s3.ffn_hi, cfg.ffn);
+    }
+}

@@ -1,0 +1,316 @@
+//! A real paged KV cache (the PagedAttention memory layout).
+//!
+//! Key/value vectors live in fixed-size *blocks* of `block_size` token
+//! positions; each sequence owns a *block table* mapping its logical
+//! positions to physical blocks. Allocation takes blocks from a free
+//! list; freeing a sequence returns them. This is the same structure
+//! `distserve-engine`'s block manager accounts for — here it holds actual
+//! floats that the attention kernel reads back.
+
+use std::collections::HashMap;
+
+/// A sequence identifier.
+pub type SeqId = u64;
+
+/// Errors from the paged cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagedKvError {
+    /// The free list is empty.
+    OutOfBlocks,
+    /// The sequence is unknown.
+    UnknownSeq(SeqId),
+    /// Position written out of order (must append densely).
+    NonContiguousWrite {
+        /// Sequence being written.
+        seq: SeqId,
+        /// Expected next position.
+        expected: usize,
+        /// Position given.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PagedKvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagedKvError::OutOfBlocks => write!(f, "KV pool exhausted"),
+            PagedKvError::UnknownSeq(s) => write!(f, "unknown sequence {s}"),
+            PagedKvError::NonContiguousWrite { seq, expected, got } => {
+                write!(f, "seq {seq}: expected append at {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PagedKvError {}
+
+/// Paged K/V storage for one model.
+///
+/// Physical layout: `blocks[block][layer][slot][2][hidden]` flattened —
+/// each block holds `block_size` consecutive token positions for *all*
+/// layers (keys then values per slot).
+#[derive(Debug, Clone)]
+pub struct PagedKv {
+    layers: usize,
+    hidden: usize,
+    block_size: usize,
+    storage: Vec<f32>,
+    free: Vec<usize>,
+    tables: HashMap<SeqId, Table>,
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    blocks: Vec<usize>,
+    len: usize,
+}
+
+impl PagedKv {
+    /// Creates a pool of `num_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(layers: usize, hidden: usize, block_size: usize, num_blocks: usize) -> Self {
+        assert!(layers > 0 && hidden > 0 && block_size > 0 && num_blocks > 0);
+        let block_floats = layers * block_size * 2 * hidden;
+        PagedKv {
+            layers,
+            hidden,
+            block_size,
+            storage: vec![0.0; block_floats * num_blocks],
+            free: (0..num_blocks).rev().collect(),
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Registers a new sequence with an empty block table.
+    pub fn register(&mut self, seq: SeqId) {
+        self.tables.entry(seq).or_insert(Table {
+            blocks: Vec::new(),
+            len: 0,
+        });
+    }
+
+    /// Number of tokens stored for `seq` (0 if unknown).
+    #[must_use]
+    pub fn seq_len(&self, seq: SeqId) -> usize {
+        self.tables.get(&seq).map_or(0, |t| t.len)
+    }
+
+    /// Free blocks remaining.
+    #[must_use]
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total blocks in the pool.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.storage.len() / (self.layers * self.block_size * 2 * self.hidden)
+    }
+
+    /// Appends the K and V vectors of one token position for one layer.
+    /// Layers must be written for the same position before advancing
+    /// (position advances when layer 0 is written).
+    ///
+    /// # Errors
+    ///
+    /// [`PagedKvError`] on unknown sequences, pool exhaustion, or
+    /// out-of-order writes.
+    pub fn append(
+        &mut self,
+        seq: SeqId,
+        layer: usize,
+        pos: usize,
+        k: &[f32],
+        v: &[f32],
+    ) -> Result<(), PagedKvError> {
+        debug_assert_eq!(k.len(), self.hidden);
+        debug_assert_eq!(v.len(), self.hidden);
+        debug_assert!(layer < self.layers);
+        let block_size = self.block_size;
+        let table = self
+            .tables
+            .get_mut(&seq)
+            .ok_or(PagedKvError::UnknownSeq(seq))?;
+        // Layer 0 drives the logical length; other layers fill the same
+        // position.
+        if layer == 0 {
+            if pos != table.len {
+                return Err(PagedKvError::NonContiguousWrite {
+                    seq,
+                    expected: table.len,
+                    got: pos,
+                });
+            }
+            if pos == table.blocks.len() * block_size {
+                let block = self.free.pop().ok_or(PagedKvError::OutOfBlocks)?;
+                let table = self.tables.get_mut(&seq).expect("just present");
+                table.blocks.push(block);
+                table.len += 1;
+            } else {
+                table.len += 1;
+            }
+        } else if pos >= table.len {
+            return Err(PagedKvError::NonContiguousWrite {
+                seq,
+                expected: table.len.saturating_sub(1),
+                got: pos,
+            });
+        }
+        let table = self.tables.get(&seq).expect("present");
+        let block = table.blocks[pos / block_size];
+        let slot = pos % block_size;
+        let base = self.slot_base(block, layer, slot);
+        let h = self.hidden;
+        self.storage[base..base + h].copy_from_slice(k);
+        self.storage[base + h..base + 2 * h].copy_from_slice(v);
+        Ok(())
+    }
+
+    /// Reads the K vector at `(seq, layer, pos)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown sequence or out-of-range position — attention
+    /// must never read unwritten cache.
+    #[must_use]
+    pub fn key(&self, seq: SeqId, layer: usize, pos: usize) -> &[f32] {
+        let (base, h) = self.read_base(seq, layer, pos);
+        &self.storage[base..base + h]
+    }
+
+    /// Reads the V vector at `(seq, layer, pos)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown sequence or out-of-range position.
+    #[must_use]
+    pub fn value(&self, seq: SeqId, layer: usize, pos: usize) -> &[f32] {
+        let (base, h) = self.read_base(seq, layer, pos);
+        &self.storage[base + h..base + 2 * h]
+    }
+
+    fn read_base(&self, seq: SeqId, layer: usize, pos: usize) -> (usize, usize) {
+        let table = self.tables.get(&seq).expect("sequence registered");
+        assert!(pos < table.len, "read past KV length {} at {pos}", table.len);
+        let block = table.blocks[pos / self.block_size];
+        (self.slot_base(block, layer, pos % self.block_size), self.hidden)
+    }
+
+    fn slot_base(&self, block: usize, layer: usize, slot: usize) -> usize {
+        let block_floats = self.layers * self.block_size * 2 * self.hidden;
+        block * block_floats + (layer * self.block_size + slot) * 2 * self.hidden
+    }
+
+    /// Frees a sequence's blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`PagedKvError::UnknownSeq`] when the sequence is not registered.
+    pub fn release(&mut self, seq: SeqId) -> Result<(), PagedKvError> {
+        let table = self
+            .tables
+            .remove(&seq)
+            .ok_or(PagedKvError::UnknownSeq(seq))?;
+        self.free.extend(table.blocks);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv() -> PagedKv {
+        PagedKv::new(2, 4, 4, 8)
+    }
+
+    #[test]
+    fn roundtrip_single_token() {
+        let mut kv = kv();
+        kv.register(1);
+        let k = [1.0, 2.0, 3.0, 4.0];
+        let v = [5.0, 6.0, 7.0, 8.0];
+        kv.append(1, 0, 0, &k, &v).unwrap();
+        kv.append(1, 1, 0, &[9.0; 4], &[10.0; 4]).unwrap();
+        assert_eq!(kv.key(1, 0, 0), &k);
+        assert_eq!(kv.value(1, 0, 0), &v);
+        assert_eq!(kv.key(1, 1, 0), &[9.0; 4]);
+        assert_eq!(kv.seq_len(1), 1);
+    }
+
+    #[test]
+    fn blocks_allocated_on_boundaries() {
+        let mut kv = kv(); // Block size 4, 8 blocks.
+        kv.register(1);
+        for pos in 0..4 {
+            kv.append(1, 0, pos, &[pos as f32; 4], &[0.0; 4]).unwrap();
+        }
+        assert_eq!(kv.free_blocks(), 7);
+        kv.append(1, 0, 4, &[4.0; 4], &[0.0; 4]).unwrap();
+        assert_eq!(kv.free_blocks(), 6);
+        // Values readable across the block boundary.
+        assert_eq!(kv.key(1, 0, 3), &[3.0; 4]);
+        assert_eq!(kv.key(1, 0, 4), &[4.0; 4]);
+    }
+
+    #[test]
+    fn release_returns_blocks() {
+        let mut kv = kv();
+        kv.register(1);
+        for pos in 0..8 {
+            kv.append(1, 0, pos, &[0.0; 4], &[0.0; 4]).unwrap();
+        }
+        assert_eq!(kv.free_blocks(), 6);
+        kv.release(1).unwrap();
+        assert_eq!(kv.free_blocks(), 8);
+        assert_eq!(kv.release(1), Err(PagedKvError::UnknownSeq(1)));
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut kv = PagedKv::new(1, 4, 2, 1);
+        kv.register(1);
+        kv.append(1, 0, 0, &[0.0; 4], &[0.0; 4]).unwrap();
+        kv.append(1, 0, 1, &[0.0; 4], &[0.0; 4]).unwrap();
+        assert_eq!(
+            kv.append(1, 0, 2, &[0.0; 4], &[0.0; 4]),
+            Err(PagedKvError::OutOfBlocks)
+        );
+    }
+
+    #[test]
+    fn out_of_order_write_rejected() {
+        let mut kv = kv();
+        kv.register(1);
+        assert!(matches!(
+            kv.append(1, 0, 3, &[0.0; 4], &[0.0; 4]),
+            Err(PagedKvError::NonContiguousWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn interleaved_sequences_stay_separate() {
+        let mut kv = kv();
+        kv.register(1);
+        kv.register(2);
+        kv.append(1, 0, 0, &[1.0; 4], &[1.5; 4]).unwrap();
+        kv.append(2, 0, 0, &[2.0; 4], &[2.5; 4]).unwrap();
+        kv.append(1, 0, 1, &[3.0; 4], &[3.5; 4]).unwrap();
+        assert_eq!(kv.key(1, 0, 0), &[1.0; 4]);
+        assert_eq!(kv.key(2, 0, 0), &[2.0; 4]);
+        assert_eq!(kv.value(1, 0, 1), &[3.5; 4]);
+    }
+
+    #[test]
+    fn unknown_sequence_append_fails() {
+        let mut kv = kv();
+        assert_eq!(
+            kv.append(9, 0, 0, &[0.0; 4], &[0.0; 4]),
+            Err(PagedKvError::UnknownSeq(9))
+        );
+    }
+}

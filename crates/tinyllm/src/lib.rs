@@ -1,0 +1,45 @@
+//! tinyllm — a real (CPU, f32) transformer inference engine.
+//!
+//! The DistServe paper's execution engine is 8.1K lines of C++/CUDA; the
+//! simulation crates model its *timing*. This crate rebuilds its *logic*
+//! for real: an OPT-style decoder-only transformer (pre-LayerNorm, learned
+//! positions, ReLU FFN) that actually multiplies matrices, with
+//!
+//! * a **paged KV cache** ([`kv::PagedKv`]) — fixed-size token blocks, a
+//!   free list, and per-sequence block tables, exactly the PagedAttention
+//!   memory layout;
+//! * **continuous batching** ([`scheduler::ContinuousBatcher`]) — the
+//!   iteration-level colocated policy (prefill prioritized, decode
+//!   otherwise) running against real forward passes;
+//! * **tensor parallelism** ([`parallel`]) — head/FFN-column sharded
+//!   execution across OS threads with an explicit all-reduce, verified
+//!   numerically equal to single-threaded execution.
+//!
+//! Weights are deterministic pseudo-random: serving behavior (the subject
+//! of the paper) depends on architecture shape, not weight values.
+//!
+//! # Examples
+//!
+//! ```
+//! use tinyllm::{Model, TinyConfig};
+//!
+//! let config = TinyConfig::tiny();
+//! let model = Model::random(&config, 42);
+//! let prompt = vec![1, 5, 9];
+//! let out = model.generate(&prompt, 4);
+//! assert_eq!(out.len(), 4);
+//! ```
+
+pub mod engine;
+pub mod kv;
+pub mod model;
+pub mod parallel;
+pub mod sampling;
+pub mod scheduler;
+pub mod tensor;
+
+pub use engine::Model;
+pub use kv::PagedKv;
+pub use model::TinyConfig;
+pub use sampling::{Sampler, Sampling};
+pub use scheduler::{ContinuousBatcher, GenRequest};

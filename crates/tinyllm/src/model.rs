@@ -1,0 +1,195 @@
+//! Model configuration and deterministic random weights.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::tensor::Matrix;
+
+/// Shape of a tinyllm transformer (OPT-style decoder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TinyConfig {
+    /// Transformer layers.
+    pub layers: usize,
+    /// Hidden size (must divide evenly by `heads`).
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN intermediate size.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length (learned positions).
+    pub max_seq: usize,
+}
+
+impl TinyConfig {
+    /// A test-sized model: 2 layers, 32 hidden, 4 heads.
+    #[must_use]
+    pub fn tiny() -> Self {
+        TinyConfig {
+            layers: 2,
+            hidden: 32,
+            heads: 4,
+            ffn: 128,
+            vocab: 128,
+            max_seq: 256,
+        }
+    }
+
+    /// A small-but-nontrivial model for examples and profiling.
+    #[must_use]
+    pub fn small() -> Self {
+        TinyConfig {
+            layers: 4,
+            hidden: 64,
+            heads: 8,
+            ffn: 256,
+            vocab: 512,
+            max_seq: 512,
+        }
+    }
+
+    /// Per-head dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0, "hidden % heads != 0");
+        self.hidden / self.heads
+    }
+
+    /// Approximate parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        let h = self.hidden;
+        let per_layer = 4 * h * h + 2 * h * self.ffn + 4 * h + self.ffn + h;
+        self.layers * per_layer + self.vocab * h + self.max_seq * h
+    }
+}
+
+/// Weights of one transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Fused QKV projection, `(hidden × 3·hidden)`.
+    pub wqkv: Matrix,
+    /// Attention output projection, `(hidden × hidden)`.
+    pub wo: Matrix,
+    /// FFN up projection, `(hidden × ffn)`.
+    pub w1: Matrix,
+    /// FFN down projection, `(ffn × hidden)`.
+    pub w2: Matrix,
+    /// Pre-attention LayerNorm scale.
+    pub ln1_scale: Vec<f32>,
+    /// Pre-attention LayerNorm shift.
+    pub ln1_shift: Vec<f32>,
+    /// Pre-FFN LayerNorm scale.
+    pub ln2_scale: Vec<f32>,
+    /// Pre-FFN LayerNorm shift.
+    pub ln2_shift: Vec<f32>,
+}
+
+/// Full model weights.
+#[derive(Debug, Clone)]
+pub struct Weights {
+    /// Token embeddings, `(vocab × hidden)`.
+    pub embed: Matrix,
+    /// Learned position embeddings, `(max_seq × hidden)`.
+    pub pos: Matrix,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final LayerNorm scale.
+    pub lnf_scale: Vec<f32>,
+    /// Final LayerNorm shift.
+    pub lnf_shift: Vec<f32>,
+}
+
+impl Weights {
+    /// Deterministic pseudo-random weights, scaled like standard
+    /// transformer initialization (`±0.02 / sqrt(fan_in)`-ish) so
+    /// activations stay well-conditioned.
+    #[must_use]
+    pub fn random(cfg: &TinyConfig, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut mat = |rows: usize, cols: usize, scale: f32| -> Matrix {
+            let data = (0..rows * cols)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect();
+            Matrix::from_vec(rows, cols, data)
+        };
+        let h = cfg.hidden;
+        let att_scale = 0.5 / (h as f32).sqrt();
+        let ffn_scale = 0.5 / (cfg.ffn as f32).sqrt();
+        let layers = (0..cfg.layers)
+            .map(|_| LayerWeights {
+                wqkv: mat(h, 3 * h, att_scale),
+                wo: mat(h, h, att_scale),
+                w1: mat(h, cfg.ffn, att_scale),
+                w2: mat(cfg.ffn, h, ffn_scale),
+                ln1_scale: vec![1.0; h],
+                ln1_shift: vec![0.0; h],
+                ln2_scale: vec![1.0; h],
+                ln2_shift: vec![0.0; h],
+            })
+            .collect();
+        Weights {
+            embed: mat(cfg.vocab, h, 0.1),
+            pos: mat(cfg.max_seq, h, 0.05),
+            layers,
+            lnf_scale: vec![1.0; h],
+            lnf_shift: vec![0.0; h],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dim_checks() {
+        assert_eq!(TinyConfig::tiny().head_dim(), 8);
+        assert_eq!(TinyConfig::small().head_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden % heads")]
+    fn bad_head_split_panics() {
+        let cfg = TinyConfig {
+            heads: 5,
+            ..TinyConfig::tiny()
+        };
+        let _ = cfg.head_dim();
+    }
+
+    #[test]
+    fn weights_deterministic_by_seed() {
+        let cfg = TinyConfig::tiny();
+        let a = Weights::random(&cfg, 7);
+        let b = Weights::random(&cfg, 7);
+        let c = Weights::random(&cfg, 8);
+        assert_eq!(a.embed.data, b.embed.data);
+        assert_ne!(a.embed.data, c.embed.data);
+    }
+
+    #[test]
+    fn weight_shapes() {
+        let cfg = TinyConfig::tiny();
+        let w = Weights::random(&cfg, 1);
+        assert_eq!(w.layers.len(), cfg.layers);
+        assert_eq!(w.layers[0].wqkv.cols, 3 * cfg.hidden);
+        assert_eq!(w.layers[0].w1.cols, cfg.ffn);
+        assert_eq!(w.layers[0].w2.rows, cfg.ffn);
+        assert_eq!(w.embed.rows, cfg.vocab);
+        assert_eq!(w.pos.rows, cfg.max_seq);
+    }
+
+    #[test]
+    fn param_count_sane() {
+        let cfg = TinyConfig::tiny();
+        // 2 layers × (4·32² + 2·32·128 + small) + embeddings.
+        let p = cfg.param_count();
+        assert!(p > 30_000 && p < 80_000, "params {p}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Tensor-parallel execution across OS threads.
+//!
+//! Each worker owns a [`Shard`] (heads + FFN columns) and its own paged
+//! KV cache copy for its head slice; after every attention and FFN it
+//! contributes its partial output to a shared accumulator and waits at a
+//! barrier — a literal all-reduce. This is the execution structure the
+//! cost model prices with `allreduce_time` (§2.2, §3.1), here validated
+//! numerically: the tensor-parallel result equals single-threaded
+//! execution to float tolerance.
+
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::{Model, Shard};
+use crate::tensor::argmax;
+
+/// Shared all-reduce state for one tensor-parallel group.
+struct AllReduce {
+    acc: Mutex<Vec<f32>>,
+    barrier: Barrier,
+    world: usize,
+}
+
+impl AllReduce {
+    fn new(world: usize, width: usize) -> Self {
+        AllReduce {
+            acc: Mutex::new(vec![0.0; width]),
+            barrier: Barrier::new(world),
+            world,
+        }
+    }
+
+    /// Contributes `partial` and returns the summed vector; rank 0 resets
+    /// the accumulator for the next round.
+    fn reduce(&self, rank: usize, partial: &[f32]) -> Vec<f32> {
+        {
+            let mut acc = self.acc.lock().expect("no poisoning");
+            for (a, p) in acc.iter_mut().zip(partial) {
+                *a += p;
+            }
+        }
+        self.barrier.wait();
+        let full = self.acc.lock().expect("no poisoning").clone();
+        self.barrier.wait();
+        if rank == 0 {
+            let mut acc = self.acc.lock().expect("no poisoning");
+            for a in acc.iter_mut() {
+                *a = 0.0;
+            }
+        }
+        self.barrier.wait();
+        let _ = self.world;
+        full
+    }
+}
+
+/// Greedy generation with `world`-way tensor parallelism over threads.
+///
+/// Produces the same tokens as [`Model::generate`] up to floating-point
+/// reassociation in the all-reduce.
+///
+/// # Panics
+///
+/// Panics if `world` does not divide the model's head count and FFN
+/// width, or the sequence exceeds `max_seq`.
+#[must_use]
+pub fn generate_tp(model: &Model, prompt: &[u32], max_new: usize, world: usize) -> Vec<u32> {
+    assert!(world >= 1, "world must be at least 1");
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let cfg = model.config().clone();
+    assert!(
+        prompt.len() + max_new <= cfg.max_seq,
+        "sequence exceeds max_seq"
+    );
+    // Validate the split before spawning, so misuse fails on the caller's
+    // thread with a clear message.
+    assert_eq!(cfg.heads % world, 0, "heads % world != 0");
+    assert_eq!(cfg.ffn % world, 0, "ffn % world != 0");
+    if world == 1 {
+        return model.generate(prompt, max_new);
+    }
+
+    let reduce = AllReduce::new(world, cfg.hidden);
+    // The emitted token of each step, written by rank 0.
+    let emitted: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    let total_steps = prompt.len() + max_new - 1;
+
+    crossbeam::thread::scope(|s| {
+        for rank in 0..world {
+            let reduce = &reduce;
+            let emitted = &emitted;
+            let cfg = cfg.clone();
+            s.spawn(move |_| {
+                let shard = Shard::of(&cfg, rank, world);
+                let mut kv = model.make_kv(prompt.len() + max_new, 16);
+                kv.register(0);
+                let mut last_token = prompt[0];
+                for pos in 0..total_steps {
+                    // Pick this position's input token: prompt, or the
+                    // previously emitted token (identical on all ranks).
+                    let token = if pos < prompt.len() {
+                        prompt[pos]
+                    } else {
+                        last_token
+                    };
+                    let mut x = model.embed_token(token, pos);
+                    for layer in 0..cfg.layers {
+                        let xa = model.ln1(layer, &x);
+                        let part = model.attn_partial(layer, &xa, 0, pos, &mut kv, shard);
+                        let attn = reduce.reduce(rank, &part);
+                        for (xi, a) in x.iter_mut().zip(&attn) {
+                            *xi += a;
+                        }
+                        let xf = model.ln2(layer, &x);
+                        let part = model.ffn_partial(layer, &xf, shard);
+                        let ffn = reduce.reduce(rank, &part);
+                        for (xi, f) in x.iter_mut().zip(&ffn) {
+                            *xi += f;
+                        }
+                    }
+                    // Every rank holds the identical hidden state; rank 0
+                    // publishes the sampled token, the barrier in the
+                    // next reduce round keeps steps in lockstep. Emission
+                    // starts at the last prompt position.
+                    if pos + 1 >= prompt.len() {
+                        let logits = model.logits(&x);
+                        let next = argmax(&logits) as u32;
+                        if rank == 0 {
+                            emitted.lock().expect("no poisoning").push(next);
+                        }
+                        last_token = next;
+                    }
+                }
+            });
+        }
+    })
+    .expect("tensor-parallel workers do not panic");
+
+    emitted.into_inner().expect("no poisoning")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TinyConfig;
+
+    #[test]
+    fn tp2_matches_single_thread() {
+        let model = Model::random(&TinyConfig::tiny(), 42);
+        let prompt = vec![3, 1, 4, 1, 5];
+        let reference = model.generate(&prompt, 10);
+        let tp = generate_tp(&model, &prompt, 10, 2);
+        assert_eq!(reference, tp);
+    }
+
+    #[test]
+    fn tp4_matches_single_thread() {
+        let model = Model::random(&TinyConfig::tiny(), 7);
+        let prompt = vec![9, 9, 1];
+        let reference = model.generate(&prompt, 8);
+        let tp = generate_tp(&model, &prompt, 8, 4);
+        assert_eq!(reference, tp);
+    }
+
+    #[test]
+    fn world_one_is_passthrough() {
+        let model = Model::random(&TinyConfig::tiny(), 11);
+        let prompt = vec![2, 4];
+        assert_eq!(
+            generate_tp(&model, &prompt, 5, 1),
+            model.generate(&prompt, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heads % world")]
+    fn indivisible_world_rejected() {
+        let model = Model::random(&TinyConfig::tiny(), 1);
+        let _ = generate_tp(&model, &[1], 2, 3); // 4 heads % 3 != 0.
+    }
+}

@@ -1,0 +1,363 @@
+//! Continuous batching over real inference.
+//!
+//! [`ContinuousBatcher`] is the colocated (vLLM-style) iteration-level
+//! scheduler running against actual forward passes: each step either
+//! prefills waiting requests (prioritized, subject to KV-block admission)
+//! or decodes one token for every running request. It is the executable
+//! twin of `distserve-engine`'s colocated policy — same decisions, real
+//! tensors — and what a DistServe prefill/decoding worker would run
+//! internally per instance.
+
+use std::collections::VecDeque;
+
+use crate::engine::Model;
+use crate::kv::{PagedKv, SeqId};
+use crate::tensor::argmax;
+
+/// A generation request.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Caller-chosen identifier (also the KV sequence id).
+    pub id: SeqId,
+    /// Prompt tokens.
+    pub prompt: Vec<u32>,
+    /// Tokens to generate.
+    pub max_new: usize,
+}
+
+/// A finished generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedGen {
+    /// Request identifier.
+    pub id: SeqId,
+    /// Generated tokens (`max_new` long).
+    pub tokens: Vec<u32>,
+    /// Scheduler step index at which the first token was emitted.
+    pub first_token_step: u64,
+    /// Scheduler step index at which the request completed.
+    pub completion_step: u64,
+}
+
+#[derive(Debug)]
+struct Running {
+    id: SeqId,
+    pos: usize,
+    last_logits: Vec<f32>,
+    generated: Vec<u32>,
+    max_new: usize,
+    first_token_step: u64,
+}
+
+/// What one scheduler step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Prefilled waiting requests.
+    Prefill {
+        /// Requests prefetched into the running set.
+        requests: usize,
+        /// Prompt tokens processed.
+        tokens: usize,
+    },
+    /// Decoded one token per running request.
+    Decode {
+        /// Running requests advanced.
+        requests: usize,
+    },
+    /// Nothing to do.
+    Idle,
+}
+
+/// Iteration-level scheduler with paged-KV admission control.
+pub struct ContinuousBatcher {
+    model: Model,
+    kv: PagedKv,
+    waiting: VecDeque<GenRequest>,
+    running: Vec<Running>,
+    finished: Vec<FinishedGen>,
+    /// Maximum prompt tokens per prefill step.
+    token_budget: usize,
+    /// Maximum concurrent running requests.
+    max_running: usize,
+    /// Blocks promised to admitted-but-still-growing requests. Blocks are
+    /// physically taken lazily as tokens append, so admission must count
+    /// promises, not just the current free list.
+    reserved_blocks: usize,
+    steps: u64,
+}
+
+impl ContinuousBatcher {
+    /// Creates a batcher over `model` with a KV pool of `kv_tokens` total
+    /// positions.
+    #[must_use]
+    pub fn new(model: Model, kv_tokens: usize) -> Self {
+        let kv = model.make_kv(kv_tokens, 16);
+        ContinuousBatcher {
+            model,
+            kv,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+            token_budget: 512,
+            max_running: 64,
+            reserved_blocks: 0,
+            steps: 0,
+        }
+    }
+
+    /// Sets the per-step prefill token budget.
+    #[must_use]
+    pub fn with_token_budget(mut self, budget: usize) -> Self {
+        self.token_budget = budget.max(1);
+        self
+    }
+
+    /// Submits a request.
+    pub fn submit(&mut self, req: GenRequest) {
+        self.waiting.push_back(req);
+    }
+
+    /// Requests waiting for admission.
+    #[must_use]
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests currently decoding.
+    #[must_use]
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Scheduler steps taken.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Executes one scheduler iteration (prefill prioritized).
+    pub fn step(&mut self) -> StepKind {
+        self.steps += 1;
+        // Admission: the whole lifetime footprint must fit the pool, the
+        // running set must have room, and the step's token budget must
+        // not be exceeded.
+        let mut admitted = Vec::new();
+        let mut budget = self.token_budget;
+        while let Some(head) = self.waiting.front() {
+            let need_tokens = head.prompt.len() + head.max_new;
+            let need_blocks = Self::lifetime_blocks(need_tokens);
+            if self.running.len() + admitted.len() >= self.max_running
+                || head.prompt.len() > budget
+                || self.kv.total_blocks() < need_blocks + self.reserved_blocks
+            {
+                break;
+            }
+            self.reserved_blocks += need_blocks;
+            budget -= head.prompt.len();
+            admitted.push(self.waiting.pop_front().expect("peeked"));
+            if budget == 0 {
+                break;
+            }
+        }
+        if !admitted.is_empty() {
+            let mut tokens = 0;
+            let n = admitted.len();
+            for req in admitted {
+                self.kv.register(req.id);
+                let mut logits = Vec::new();
+                for (pos, &tok) in req.prompt.iter().enumerate() {
+                    logits = self.model.forward_token(req.id, pos, tok, &mut self.kv);
+                }
+                tokens += req.prompt.len();
+                let first = argmax(&logits) as u32;
+                let mut running = Running {
+                    id: req.id,
+                    pos: req.prompt.len(),
+                    last_logits: logits,
+                    generated: vec![first],
+                    max_new: req.max_new,
+                    first_token_step: self.steps,
+                };
+                if running.generated.len() >= running.max_new {
+                    self.retire(&mut running);
+                } else {
+                    self.running.push(running);
+                }
+            }
+            return StepKind::Prefill {
+                requests: n,
+                tokens,
+            };
+        }
+        if self.running.is_empty() {
+            return StepKind::Idle;
+        }
+        // Decode one token for every running request.
+        let mut still_running = Vec::with_capacity(self.running.len());
+        let mut advanced = 0;
+        for mut r in std::mem::take(&mut self.running) {
+            let tok = *r.generated.last().expect("has first token");
+            let logits = self.model.forward_token(r.id, r.pos, tok, &mut self.kv);
+            r.pos += 1;
+            r.last_logits = logits;
+            let next = argmax(&r.last_logits) as u32;
+            r.generated.push(next);
+            advanced += 1;
+            if r.generated.len() >= r.max_new {
+                self.retire(&mut r);
+            } else {
+                still_running.push(r);
+            }
+        }
+        self.running = still_running;
+        StepKind::Decode {
+            requests: advanced,
+        }
+    }
+
+    fn lifetime_blocks(tokens: usize) -> usize {
+        tokens.div_ceil(16)
+    }
+
+    fn retire(&mut self, r: &mut Running) {
+        // At retirement the lifetime footprint is `prompt + max_new`
+        // tokens, which equals `pos + 1` (the final token was emitted but
+        // never fed back).
+        self.reserved_blocks -= Self::lifetime_blocks(r.pos + 1);
+        self.kv.release(r.id).expect("running request has KV");
+        self.finished.push(FinishedGen {
+            id: r.id,
+            tokens: std::mem::take(&mut r.generated),
+            first_token_step: r.first_token_step,
+            completion_step: self.steps,
+        });
+    }
+
+    /// Runs until all submitted requests finish; returns them in
+    /// completion order.
+    pub fn run_to_completion(&mut self) -> Vec<FinishedGen> {
+        let mut idle_streak = 0;
+        while !self.waiting.is_empty() || !self.running.is_empty() {
+            match self.step() {
+                StepKind::Idle => {
+                    idle_streak += 1;
+                    assert!(
+                        idle_streak < 3,
+                        "scheduler idle with work outstanding: admission livelock"
+                    );
+                }
+                _ => idle_streak = 0,
+            }
+        }
+        std::mem::take(&mut self.finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TinyConfig;
+
+    fn model() -> Model {
+        Model::random(&TinyConfig::tiny(), 42)
+    }
+
+    fn req(id: u64, prompt: Vec<u32>, max_new: usize) -> GenRequest {
+        GenRequest {
+            id,
+            prompt,
+            max_new,
+        }
+    }
+
+    #[test]
+    fn batched_equals_standalone() {
+        // Continuous batching must not change any request's output
+        // versus running it alone — scheduling is about *when*, not
+        // *what*.
+        let m = model();
+        let solo_a = m.generate(&[1, 2, 3], 6);
+        let solo_b = m.generate(&[9, 8], 5);
+        let mut batcher = ContinuousBatcher::new(m, 4096);
+        batcher.submit(req(0, vec![1, 2, 3], 6));
+        batcher.submit(req(1, vec![9, 8], 5));
+        let mut done = batcher.run_to_completion();
+        done.sort_by_key(|f| f.id);
+        assert_eq!(done[0].tokens, solo_a);
+        assert_eq!(done[1].tokens, solo_b);
+    }
+
+    #[test]
+    fn interleaving_decodes_share_steps() {
+        let m = model();
+        let mut batcher = ContinuousBatcher::new(m, 4096);
+        for i in 0..4 {
+            batcher.submit(req(i, vec![1 + i as u32, 2], 5));
+        }
+        let done = batcher.run_to_completion();
+        assert_eq!(done.len(), 4);
+        // All four decode together: completion steps must coincide.
+        let steps: Vec<u64> = done.iter().map(|f| f.completion_step).collect();
+        assert!(steps.windows(2).all(|w| w[0] == w[1]), "{steps:?}");
+    }
+
+    #[test]
+    fn admission_respects_kv_capacity() {
+        let m = model();
+        // Pool of 64 tokens (4 blocks): one 48-token lifetime (3 blocks)
+        // fits, two at once do not.
+        let mut batcher = ContinuousBatcher::new(m, 64);
+        batcher.submit(req(0, vec![1; 24], 24));
+        batcher.submit(req(1, vec![2; 24], 24));
+        let k1 = batcher.step();
+        assert!(matches!(k1, StepKind::Prefill { requests: 1, .. }), "{k1:?}");
+        // Second stays waiting until the first finishes.
+        assert_eq!(batcher.waiting_len(), 1);
+        let done = batcher.run_to_completion();
+        assert_eq!(done.len(), 2);
+        // Serialized: distinct completion steps.
+        assert_ne!(done[0].completion_step, done[1].completion_step);
+    }
+
+    #[test]
+    fn token_budget_limits_prefill_batch() {
+        let m = model();
+        let mut batcher = ContinuousBatcher::new(m, 4096).with_token_budget(10);
+        batcher.submit(req(0, vec![1; 6], 2));
+        batcher.submit(req(1, vec![2; 6], 2));
+        let k = batcher.step();
+        // 6 + 6 > 10: only the first admits this step.
+        assert!(matches!(k, StepKind::Prefill { requests: 1, .. }), "{k:?}");
+        assert_eq!(batcher.running_len() + batcher.waiting_len(), 2);
+    }
+
+    #[test]
+    fn prefill_prioritized_over_decode() {
+        let m = model();
+        let mut batcher = ContinuousBatcher::new(m, 4096);
+        batcher.submit(req(0, vec![1, 2], 4));
+        assert!(matches!(batcher.step(), StepKind::Prefill { .. }));
+        batcher.submit(req(1, vec![3, 4], 4));
+        // New arrival preempts the decode of request 0 at the next step.
+        assert!(matches!(batcher.step(), StepKind::Prefill { .. }));
+        assert!(matches!(batcher.step(), StepKind::Decode { requests: 2 }));
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        let m = model();
+        let mut batcher = ContinuousBatcher::new(m, 1024);
+        assert_eq!(batcher.step(), StepKind::Idle);
+    }
+
+    #[test]
+    fn single_token_request_retires_at_prefill() {
+        let m = model();
+        let solo = m.generate(&[4, 5, 6], 1);
+        let mut batcher = ContinuousBatcher::new(m, 1024);
+        batcher.submit(req(7, vec![4, 5, 6], 1));
+        let done = batcher.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tokens, solo);
+        assert_eq!(done[0].first_token_step, done[0].completion_step);
+    }
+}

@@ -1,0 +1,246 @@
+//! Minimal dense linear algebra for the inference engine.
+//!
+//! Everything here is plain `f32` row-major matrices — no SIMD intrinsics,
+//! no unsafe. The goal is correctness and readability; the simulation
+//! crates own performance questions.
+
+/// A row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major elements, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Immutable row view.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self × other`, where `other` is `(self.cols × n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × other[:, col_lo..col_hi]` — a column-sliced product, used
+    /// by tensor-parallel shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or an invalid column range.
+    #[must_use]
+    pub fn matmul_cols(&self, other: &Matrix, col_lo: usize, col_hi: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        assert!(col_lo <= col_hi && col_hi <= other.cols, "column range");
+        let n = col_hi - col_lo;
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.row(k)[col_lo..col_hi];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Adds `bias` to every row of `m` in place.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != m.cols`.
+pub fn add_bias(m: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), m.cols, "bias length");
+    for r in 0..m.rows {
+        for (v, b) in m.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// ReLU in place (OPT's FFN activation).
+pub fn relu(m: &mut Matrix) {
+    for v in &mut m.data {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// LayerNorm over the last dimension with learned scale and shift.
+///
+/// # Panics
+///
+/// Panics if `scale` or `shift` length differs from `m.cols`.
+pub fn layer_norm(m: &Matrix, scale: &[f32], shift: &[f32]) -> Matrix {
+    assert_eq!(scale.len(), m.cols);
+    assert_eq!(shift.len(), m.cols);
+    let mut out = Matrix::zeros(m.rows, m.cols);
+    for r in 0..m.rows {
+        let row = m.row(r);
+        let mean = row.iter().sum::<f32>() / m.cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.cols as f32;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        let out_row = out.row_mut(r);
+        for c in 0..m.cols {
+            out_row[c] = (row[c] - mean) * inv * scale[c] + shift[c];
+        }
+    }
+    out
+}
+
+/// Numerically stable softmax in place over a slice.
+pub fn softmax(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in xs.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Index of the maximum element (greedy sampling), ties to the lowest
+/// index for determinism.
+#[must_use]
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_cols_equals_slice_of_full() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let full = a.matmul(&b);
+        let part = a.matmul_cols(&b, 1, 3);
+        for r in 0..2 {
+            assert_eq!(&full.row(r)[1..3], part.row(r));
+        }
+    }
+
+    #[test]
+    fn bias_and_relu() {
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]);
+        add_bias(&mut m, &[0.5, 0.5, 0.5]);
+        relu(&mut m);
+        assert_eq!(m.data, vec![0.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = layer_norm(&m, &[1.0; 4], &[0.0; 4]);
+        let mean: f32 = out.data.iter().sum::<f32>() / 4.0;
+        let var: f32 = out.data.iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut xs = vec![1.0, 3.0, 2.0];
+        softmax(&mut xs);
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(xs[1] > xs[2] && xs[2] > xs[0]);
+        // Stability with large magnitudes.
+        let mut big = vec![1000.0, 1001.0];
+        softmax(&mut big);
+        assert!(big.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn argmax_ties_to_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

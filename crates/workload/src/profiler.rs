@@ -1,0 +1,267 @@
+//! The workload profiler behind periodic replanning (paper §4.3).
+//!
+//! DistServe "monitors key parameters such as the average input and output
+//! length of the requests, the average arrival rate, etc. If a significant
+//! pattern shift is detected, DistServe will trigger a rerun of the
+//! placement algorithm based on recent historical data." [`WorkloadProfiler`]
+//! implements exactly that: a sliding window of observed requests, summary
+//! statistics over the window, shift detection against a baseline snapshot,
+//! and refitting into an [`EmpiricalLengths`] the placement simulator can
+//! resample from.
+
+use std::collections::VecDeque;
+
+use distserve_simcore::SimTime;
+
+use crate::datasets::EmpiricalLengths;
+use crate::trace::Request;
+
+/// Summary of a workload over an observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSnapshot {
+    /// Average arrival rate, requests per second.
+    pub rate: f64,
+    /// Mean prompt length, tokens.
+    pub mean_input: f64,
+    /// Mean output length, tokens.
+    pub mean_output: f64,
+    /// Requests in the window.
+    pub count: usize,
+}
+
+/// Sliding-window workload monitor with shift detection.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_simcore::SimTime;
+/// use distserve_workload::profiler::WorkloadProfiler;
+/// use distserve_workload::{Request, RequestId};
+///
+/// let mut p = WorkloadProfiler::new(60.0, 0.3);
+/// for i in 0..100 {
+///     p.observe(&Request {
+///         id: RequestId(i),
+///         arrival: SimTime::from_secs(i as f64 * 0.5),
+///         input_len: 300,
+///         output_len: 100,
+///     });
+/// }
+/// let snap = p.snapshot().unwrap();
+/// assert!((snap.rate - 2.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadProfiler {
+    window_secs: f64,
+    shift_threshold: f64,
+    history: VecDeque<(SimTime, u32, u32)>,
+    baseline: Option<WorkloadSnapshot>,
+}
+
+impl WorkloadProfiler {
+    /// Creates a profiler with a sliding window of `window_secs` and a
+    /// relative shift threshold (e.g. `0.3` = flag 30% changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` or `shift_threshold` is not positive.
+    #[must_use]
+    pub fn new(window_secs: f64, shift_threshold: f64) -> Self {
+        assert!(window_secs > 0.0, "window must be positive");
+        assert!(shift_threshold > 0.0, "threshold must be positive");
+        WorkloadProfiler {
+            window_secs,
+            shift_threshold,
+            history: VecDeque::new(),
+            baseline: None,
+        }
+    }
+
+    /// Records one arrived request and evicts entries older than the
+    /// window.
+    pub fn observe(&mut self, request: &Request) {
+        self.history
+            .push_back((request.arrival, request.input_len, request.output_len));
+        let cutoff = request.arrival.as_secs() - self.window_secs;
+        while let Some(&(t, _, _)) = self.history.front() {
+            if t.as_secs() < cutoff {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of requests currently inside the window.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Summarizes the current window; `None` with fewer than two requests.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<WorkloadSnapshot> {
+        if self.history.len() < 2 {
+            return None;
+        }
+        let first = self.history.front().expect("non-empty").0;
+        let last = self.history.back().expect("non-empty").0;
+        let span = (last - first).max(1e-9);
+        let n = self.history.len();
+        let (si, so) = self
+            .history
+            .iter()
+            .fold((0.0, 0.0), |(si, so), &(_, i, o)| {
+                (si + f64::from(i), so + f64::from(o))
+            });
+        Some(WorkloadSnapshot {
+            rate: (n as f64 - 1.0) / span,
+            mean_input: si / n as f64,
+            mean_output: so / n as f64,
+            count: n,
+        })
+    }
+
+    /// Marks the current window as the baseline the plan was made for.
+    pub fn set_baseline(&mut self) {
+        self.baseline = self.snapshot();
+    }
+
+    /// The snapshot the current placement was planned against.
+    #[must_use]
+    pub fn baseline(&self) -> Option<WorkloadSnapshot> {
+        self.baseline
+    }
+
+    /// Whether the window has drifted from the baseline by more than the
+    /// threshold on any monitored parameter — the replanning trigger.
+    #[must_use]
+    pub fn shift_detected(&self) -> bool {
+        let (Some(base), Some(now)) = (self.baseline, self.snapshot()) else {
+            return false;
+        };
+        let rel = |a: f64, b: f64| {
+            if a.abs() < 1e-12 {
+                0.0
+            } else {
+                (b - a).abs() / a.abs()
+            }
+        };
+        rel(base.rate, now.rate) > self.shift_threshold
+            || rel(base.mean_input, now.mean_input) > self.shift_threshold
+            || rel(base.mean_output, now.mean_output) > self.shift_threshold
+    }
+
+    /// Refits the window into an empirical distribution for the placement
+    /// simulator to resample (§4: "fits a distribution from the history
+    /// request traces and resamples new traces").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window is empty.
+    pub fn fit_empirical(&self) -> Result<EmpiricalLengths, String> {
+        EmpiricalLengths::from_pairs(self.history.iter().map(|&(_, i, o)| (i, o)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RequestId;
+
+    fn req(id: u64, t: f64, input: u32, output: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(t),
+            input_len: input,
+            output_len: output,
+        }
+    }
+
+    #[test]
+    fn window_eviction() {
+        let mut p = WorkloadProfiler::new(10.0, 0.3);
+        for i in 0..30 {
+            p.observe(&req(i, f64::from(i as u32), 100, 50));
+        }
+        // Arrivals at t=0..29 with a 10 s window anchored at t=29: keep
+        // t in [19, 29].
+        assert_eq!(p.window_len(), 11);
+    }
+
+    #[test]
+    fn snapshot_values() {
+        let mut p = WorkloadProfiler::new(100.0, 0.3);
+        for i in 0..11 {
+            p.observe(&req(i, f64::from(i as u32) * 2.0, 200, 100));
+        }
+        let s = p.snapshot().unwrap();
+        assert!((s.rate - 0.5).abs() < 1e-9);
+        assert_eq!(s.mean_input, 200.0);
+        assert_eq!(s.mean_output, 100.0);
+        assert_eq!(s.count, 11);
+    }
+
+    #[test]
+    fn no_snapshot_for_tiny_window() {
+        let mut p = WorkloadProfiler::new(10.0, 0.3);
+        assert!(p.snapshot().is_none());
+        p.observe(&req(0, 0.0, 10, 10));
+        assert!(p.snapshot().is_none());
+    }
+
+    #[test]
+    fn shift_detection_on_rate_change() {
+        let mut p = WorkloadProfiler::new(1000.0, 0.3);
+        // Baseline: 1 rps.
+        for i in 0..50 {
+            p.observe(&req(i, f64::from(i as u32), 300, 100));
+        }
+        p.set_baseline();
+        assert!(!p.shift_detected());
+        // Burst: 10 rps shifts the windowed rate well past 30%.
+        for i in 0..500 {
+            p.observe(&req(100 + i, 50.0 + f64::from(i as u32) * 0.1, 300, 100));
+        }
+        assert!(p.shift_detected());
+    }
+
+    #[test]
+    fn shift_detection_on_length_change() {
+        let mut p = WorkloadProfiler::new(30.0, 0.3);
+        for i in 0..60 {
+            p.observe(&req(i, f64::from(i as u32) * 0.5, 300, 100));
+        }
+        p.set_baseline();
+        // Same rate, but input lengths quadruple (chatbot → summarization).
+        for i in 0..60 {
+            p.observe(&req(100 + i, 30.0 + f64::from(i as u32) * 0.5, 1200, 100));
+        }
+        assert!(p.shift_detected());
+    }
+
+    #[test]
+    fn no_shift_without_baseline() {
+        let mut p = WorkloadProfiler::new(10.0, 0.3);
+        for i in 0..20 {
+            p.observe(&req(i, f64::from(i as u32) * 0.1, 100, 10));
+        }
+        assert!(!p.shift_detected());
+    }
+
+    #[test]
+    fn fit_empirical_roundtrip() {
+        let mut p = WorkloadProfiler::new(100.0, 0.3);
+        p.observe(&req(0, 0.0, 123, 45));
+        p.observe(&req(1, 1.0, 678, 90));
+        let emp = p.fit_empirical().unwrap();
+        assert_eq!(emp.len(), 2);
+        assert!((emp.mean_input() - 400.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_empirical_empty_window_errors() {
+        let p = WorkloadProfiler::new(10.0, 0.3);
+        assert!(p.fit_empirical().is_err());
+    }
+}

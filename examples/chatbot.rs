@@ -1,0 +1,87 @@
+//! Chatbot scenario: DistServe vs vLLM on ShareGPT (Figure 8 style).
+//!
+//! Serves the OPT-13B chatbot workload at increasing per-GPU rates with
+//! both systems and prints the attainment series, marking each system's
+//! goodput at the 90% target.
+//!
+//! Run with: `cargo run --release --example chatbot`
+
+use distserve::core::{rate_sweep, Application, Planner, Table};
+use distserve::cluster::Cluster;
+use distserve::models::RooflineModel;
+use distserve::placement::alg1::SearchParams;
+
+fn main() {
+    let app = Application::ChatbotOpt13B;
+    let cluster = Cluster::paper_testbed();
+    let cost = RooflineModel::a100_conservative();
+    let arch = app.model().arch();
+    let slo = app.slo();
+    let dataset = app.dataset();
+
+    let mut planner = Planner::new(&cost, &cluster, arch.clone());
+    planner.params = SearchParams {
+        probe_requests: 384,
+        search_iters: 6,
+        ..planner.params
+    };
+
+    println!("== Chatbot OPT-13B on ShareGPT: DistServe vs vLLM ==\n");
+
+    // DistServe: planned placement.
+    let distserve = planner
+        .plan_distserve(&dataset, slo, 6.0)
+        .expect("plannable");
+    let ds_specs = planner.materialize(&distserve).expect("fits");
+
+    // vLLM baseline: tp=1 (§6.1), one replica.
+    let vllm = planner
+        .plan_vllm(app.vllm_parallelism(), 1)
+        .expect("valid");
+    let vllm_specs = planner.materialize(&vllm).expect("fits");
+
+    let rates = [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0];
+    let ds = rate_sweep(
+        &cost, &cluster, &arch, &ds_specs, &dataset, slo, &rates, 300, 3,
+    )
+    .expect("sweep runs");
+    let vl = rate_sweep(
+        &cost, &cluster, &arch, &vllm_specs, &dataset, slo, &rates, 300, 3,
+    )
+    .expect("sweep runs");
+
+    let mut table = Table::new(vec![
+        "rate/GPU",
+        "DistServe",
+        "Dist-TTFT",
+        "Dist-TPOT",
+        "vLLM",
+        "vLLM-TTFT",
+        "vLLM-TPOT",
+    ]);
+    for (d, v) in ds.iter().zip(&vl) {
+        table.row(vec![
+            format!("{:.2}", d.x),
+            format!("{:.2}", d.attainment),
+            format!("{:.2}", d.ttft_attainment),
+            format!("{:.2}", d.tpot_attainment),
+            format!("{:.2}", v.attainment),
+            format!("{:.2}", v.ttft_attainment),
+            format!("{:.2}", v.tpot_attainment),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let goodput = |pts: &[distserve::core::SweepPoint]| -> f64 {
+        pts.iter()
+            .filter(|p| p.attainment >= slo.target)
+            .map(|p| p.x)
+            .fold(0.0, f64::max)
+    };
+    let gd = goodput(&ds);
+    let gv = goodput(&vl);
+    println!("\nper-GPU goodput @90%: DistServe {gd:.2} rps, vLLM {gv:.2} rps");
+    if gv > 0.0 {
+        println!("improvement: {:.2}x", gd / gv);
+    }
+}

@@ -1,0 +1,194 @@
+//! Targeted behavioral tests of the serving engines: dispatch balance,
+//! admission under tiny KV pools, decode-batch overflow, and pull-based
+//! transfer backpressure.
+
+use distserve::cluster::Cluster;
+use distserve::engine::{InstanceRole, InstanceSpec, ServingSim, SimConfig, SimOutcome};
+use distserve::models::{OptModel, ParallelismConfig, RooflineModel};
+use distserve::placement::TraceSource;
+use distserve::workload::datasets::FixedLengths;
+
+fn cost() -> RooflineModel {
+    RooflineModel::a100_conservative()
+}
+
+fn spec(cluster: &Cluster, role: InstanceRole, gpu: u32) -> InstanceSpec {
+    InstanceSpec::new(
+        role,
+        ParallelismConfig::SINGLE,
+        vec![vec![cluster.gpu(0, gpu)]],
+    )
+    .unwrap()
+}
+
+fn run(cluster: &Cluster, cfg: SimConfig, specs: Vec<InstanceSpec>, n: usize, rate: f64) -> SimOutcome {
+    let cost = cost();
+    let trace = FixedLengths {
+        input_len: 256,
+        output_len: 32,
+    }
+    .make_trace(rate, n, 5);
+    ServingSim::new(cfg, &cost, cluster, specs).unwrap().run(&trace)
+}
+
+#[test]
+fn shortest_queue_dispatch_balances_prefill_instances() {
+    let cluster = Cluster::single_node(3);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Prefill, 1),
+        spec(&cluster, InstanceRole::Decode, 2),
+    ];
+    // Near joint capacity, so arrivals almost always see outstanding
+    // work and the shortest-queue metric actually discriminates. (At low
+    // load both counters read zero and ties legitimately go to the first
+    // instance.)
+    let out = run(
+        &cluster,
+        SimConfig::new(OptModel::Opt13B.arch()),
+        specs,
+        300,
+        25.0,
+    );
+    // First tokens produced on the two prefill instances should split
+    // roughly evenly under shortest-queue dispatch.
+    let p0 = out.instances[0].tokens_out as f64;
+    let p1 = out.instances[1].tokens_out as f64;
+    assert_eq!(p0 + p1, 300.0);
+    let imbalance = (p0 - p1).abs() / 300.0;
+    assert!(imbalance < 0.2, "prefill imbalance {imbalance}");
+    // All decoding happened on the decode instance.
+    assert_eq!(out.instances[2].tokens_out, 300 * 31);
+}
+
+#[test]
+fn least_loaded_dispatch_balances_decode_instances() {
+    let cluster = Cluster::single_node(3);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Decode, 1),
+        spec(&cluster, InstanceRole::Decode, 2),
+    ];
+    let out = run(
+        &cluster,
+        SimConfig::new(OptModel::Opt13B.arch()),
+        specs,
+        300,
+        8.0,
+    );
+    let d0 = out.instances[1].tokens_out as f64;
+    let d1 = out.instances[2].tokens_out as f64;
+    assert_eq!(d0 + d1, 300.0 * 31.0);
+    let imbalance = (d0 - d1).abs() / (d0 + d1);
+    assert!(imbalance < 0.2, "decode imbalance {imbalance}");
+}
+
+#[test]
+fn decode_overflow_queue_engages_and_drains() {
+    // Cap the decode batch far below the concurrency the trace creates:
+    // extra requests must wait in the overflow queue and still finish.
+    let cluster = Cluster::single_node(2);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Decode, 1),
+    ];
+    let mut cfg = SimConfig::new(OptModel::Opt13B.arch());
+    cfg.max_decode_batch = 4;
+    let out = run(&cluster, cfg, specs, 120, 30.0);
+    assert_eq!(out.records.len(), 120);
+    // With batch 4 and ~30 rps of arrivals, decode queueing must be
+    // visible in the breakdown.
+    let b = out.breakdown_totals();
+    assert!(
+        b.decode_queue > 0.0,
+        "expected overflow-induced decode queueing"
+    );
+}
+
+#[test]
+fn tiny_decode_pool_backpressures_into_prefill_buffer() {
+    // Give the decode instance almost no KV pool by serving a model whose
+    // shard almost fills its GPU... simpler: shrink the margin knob so
+    // the pool is small relative to demand, then check transfers stall
+    // (transfer stage time >> wire time) without losing requests.
+    let cluster = Cluster::single_node(2);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Decode, 1),
+    ];
+    let mut cfg = SimConfig::new(OptModel::Opt13B.arch());
+    // A 66% margin leaves only ~3.5 GB of KV pool per instance — room
+    // for ~14 concurrent requests against ~20 in steady state.
+    cfg.mem_margin = 0.66;
+    let out = run(&cluster, cfg, specs, 80, 20.0);
+    assert_eq!(out.records.len(), 80, "backpressure must not lose requests");
+    let b = out.breakdown_totals();
+    // Waiting-to-be-pulled time dwarfs pure wire time.
+    let wire: f64 = out.records.iter().map(|r| r.transfer_active).sum();
+    assert!(
+        b.transfer > 5.0 * wire,
+        "expected pull stalls: stage {} vs wire {wire}",
+        b.transfer
+    );
+    // And the decode pool saturated at some point.
+    assert!(out.instances[1].kv_peak_utilization > 0.9);
+}
+
+#[test]
+fn decode_pipeline_groups_interleave() {
+    // A pp=2 decode instance forms two micro-batch groups; both must see
+    // work and the instance must produce every token.
+    let cluster = Cluster::single_node(3);
+    let decode = InstanceSpec::new(
+        InstanceRole::Decode,
+        ParallelismConfig::new(1, 2),
+        vec![vec![cluster.gpu(0, 1)], vec![cluster.gpu(0, 2)]],
+    )
+    .unwrap();
+    let specs = vec![spec(&cluster, InstanceRole::Prefill, 0), decode];
+    let out = run(
+        &cluster,
+        SimConfig::new(OptModel::Opt13B.arch()),
+        specs,
+        200,
+        15.0,
+    );
+    assert_eq!(out.records.len(), 200);
+    assert_eq!(out.instances[1].tokens_out, 200 * 31);
+    // Two groups interleaving means at least ~2x the batches a single
+    // group of the same size would commit.
+    assert!(out.instances[1].batches > 62, "batches {}", out.instances[1].batches);
+}
+
+#[test]
+fn makespan_and_busy_accounting_consistent() {
+    let cluster = Cluster::single_node(2);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Decode, 1),
+    ];
+    let out = run(
+        &cluster,
+        SimConfig::new(OptModel::Opt13B.arch()),
+        specs,
+        150,
+        10.0,
+    );
+    // No instance can be busy longer than the simulation ran.
+    for s in &out.instances {
+        assert!(
+            s.busy_secs <= out.makespan.as_secs() + 1e-9,
+            "busy {} > makespan {}",
+            s.busy_secs,
+            out.makespan
+        );
+    }
+    // Completions are ordered and the makespan is the last one.
+    let last = out
+        .records
+        .iter()
+        .map(|r| r.completion)
+        .max()
+        .unwrap();
+    assert_eq!(last, out.makespan);
+}

@@ -1,0 +1,213 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! These exercise public invariants end-to-end with randomized inputs:
+//! request conservation and timeline ordering through the serving
+//! simulator, KV-block conservation, latency-model monotonicity, and
+//! scheduler/indexing invariants of the real inference engine.
+
+use proptest::prelude::*;
+
+use distserve::cluster::Cluster;
+use distserve::engine::{InstanceRole, InstanceSpec, KvBlockManager, ServingSim, SimConfig};
+use distserve::models::{
+    CostModel, DecodeBatch, OptModel, ParallelismConfig, PrefillBatch, RooflineModel,
+};
+use distserve::simcore::{SimRng, SimTime, Summary};
+use distserve::workload::{Request, RequestId, Trace};
+
+fn arb_trace(max_requests: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (1u32..1024, 1u32..128, 0.0f64..30.0),
+        1..max_requests,
+    )
+    .prop_map(|entries| {
+        let requests = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (input, output, at))| Request {
+                id: RequestId(i as u64),
+                arrival: SimTime::from_secs(at),
+                input_len: input,
+                output_len: output,
+            })
+            .collect();
+        Trace::new(requests)
+    })
+}
+
+fn disagg_specs(cluster: &Cluster) -> Vec<InstanceSpec> {
+    vec![
+        InstanceSpec::new(
+            InstanceRole::Prefill,
+            ParallelismConfig::SINGLE,
+            vec![vec![cluster.gpu(0, 0)]],
+        )
+        .unwrap(),
+        InstanceSpec::new(
+            InstanceRole::Decode,
+            ParallelismConfig::SINGLE,
+            vec![vec![cluster.gpu(0, 1)]],
+        )
+        .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serving_sim_conserves_requests(trace in arb_trace(60)) {
+        let cluster = Cluster::single_node(2);
+        let cost = RooflineModel::a100();
+        let sim = ServingSim::new(
+            SimConfig::new(OptModel::Opt13B.arch()),
+            &cost,
+            &cluster,
+            disagg_specs(&cluster),
+        ).unwrap();
+        let out = sim.run(&trace);
+        // Every request completes exactly once, with an ordered timeline.
+        prop_assert_eq!(out.records.len(), trace.len());
+        for r in &out.records {
+            prop_assert!(r.prefill_start >= r.arrival);
+            prop_assert!(r.first_token >= r.prefill_start);
+            prop_assert!(r.transfer_done >= r.first_token);
+            prop_assert!(r.decode_start >= r.transfer_done);
+            prop_assert!(r.completion >= r.decode_start);
+            prop_assert!(r.ttft() >= 0.0);
+            prop_assert!(r.tpot() >= 0.0);
+        }
+        // KV pools drain completely: peak was recorded but final state
+        // must show all tokens produced and nothing stuck.
+        let produced: u64 = out.instances.iter().map(|i| i.tokens_out).sum();
+        let expected: u64 = trace.requests().iter().map(|r| u64::from(r.output_len)).sum();
+        prop_assert_eq!(produced, expected);
+    }
+
+    #[test]
+    fn colocated_sim_conserves_requests(trace in arb_trace(60)) {
+        let cluster = Cluster::single_node(1);
+        let cost = RooflineModel::a100();
+        let spec = InstanceSpec::new(
+            InstanceRole::Colocated,
+            ParallelismConfig::SINGLE,
+            vec![vec![cluster.gpu(0, 0)]],
+        ).unwrap();
+        let sim = ServingSim::new(
+            SimConfig::new(OptModel::Opt13B.arch()),
+            &cost,
+            &cluster,
+            vec![spec],
+        ).unwrap();
+        let out = sim.run(&trace);
+        prop_assert_eq!(out.records.len(), trace.len());
+        for r in &out.records {
+            // Colocated serving has no transfer stage.
+            prop_assert_eq!(r.transfer_done, r.first_token);
+            prop_assert!(r.transfer_active == 0.0);
+        }
+    }
+
+    #[test]
+    fn kv_manager_conserves_blocks(
+        ops in prop::collection::vec((0u64..16, 1u32..500), 1..200)
+    ) {
+        // Alternate alloc/free with random sizes; free blocks plus used
+        // blocks must always equal the total.
+        let mut kv = KvBlockManager::new(128, 16);
+        let mut live: std::collections::HashSet<u64> = Default::default();
+        for (id, tokens) in ops {
+            let rid = RequestId(id);
+            if live.contains(&id) {
+                let freed = kv.free(rid).unwrap();
+                prop_assert!(freed > 0 || tokens == 0);
+                live.remove(&id);
+            } else if kv.alloc(rid, tokens).is_ok() {
+                live.insert(id);
+            }
+            prop_assert_eq!(kv.free_blocks() + kv.blocks_in_use(), kv.total_blocks());
+            prop_assert_eq!(kv.num_allocations(), live.len());
+        }
+        for id in live {
+            kv.free(RequestId(id)).unwrap();
+        }
+        prop_assert_eq!(kv.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn latency_model_monotone_in_tokens(
+        t1 in 16u32..1024,
+        extra in 1u32..1024,
+        bs in 1usize..64,
+        ctx in 16u32..1024,
+    ) {
+        let cost = RooflineModel::a100();
+        let arch = OptModel::Opt13B.arch();
+        let par = ParallelismConfig::SINGLE;
+        // More prompt tokens never make prefill faster.
+        let a = cost.prefill_latency(&arch, par, &PrefillBatch::single(t1)).total();
+        let b = cost.prefill_latency(&arch, par, &PrefillBatch::single(t1 + extra)).total();
+        prop_assert!(b >= a);
+        // A bigger decode batch never takes less time, and never less
+        // than proportionally amortizes below the single-request time.
+        let d1 = cost.decode_stage_time(&arch, par, &DecodeBatch::uniform(bs, ctx)).total();
+        let d2 = cost.decode_stage_time(&arch, par, &DecodeBatch::uniform(bs + 1, ctx)).total();
+        prop_assert!(d2 >= d1);
+    }
+
+    #[test]
+    fn summary_percentiles_match_sorted_reference(
+        values in prop::collection::vec(0.0f64..1e6, 1..300),
+        p in 0.0f64..=1.0,
+    ) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = p * (sorted.len() as f64 - 1.0);
+        let lo = sorted[rank.floor() as usize];
+        let hi = sorted[rank.ceil() as usize];
+        let got = s.percentile(p);
+        prop_assert!(got >= lo - 1e-9 && got <= hi + 1e-9,
+            "p={p}: got {got}, bracket [{lo}, {hi}]");
+        prop_assert!((s.max() - sorted[sorted.len() - 1]).abs() < 1e-12);
+        prop_assert!((s.min() - sorted[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tinyllm_batched_equals_standalone(
+        seeds in prop::collection::vec(0u32..100u32, 1..4),
+        max_new in 2usize..6,
+    ) {
+        let model = distserve::tinyllm::Model::random(
+            &distserve::tinyllm::TinyConfig::tiny(), 5);
+        let mut batcher = distserve::tinyllm::ContinuousBatcher::new(model.clone(), 8192);
+        let mut expected = Vec::new();
+        for (i, s) in seeds.iter().enumerate() {
+            let prompt = vec![s % 128, (s * 7 + 1) % 128, 3];
+            expected.push(model.generate(&prompt, max_new));
+            batcher.submit(distserve::tinyllm::GenRequest {
+                id: i as u64,
+                prompt,
+                max_new,
+            });
+        }
+        let mut done = batcher.run_to_completion();
+        done.sort_by_key(|f| f.id);
+        for (f, e) in done.iter().zip(&expected) {
+            prop_assert_eq!(&f.tokens, e);
+        }
+    }
+
+    #[test]
+    fn rng_split_streams_do_not_collide(seed in 0u64..1_000_000) {
+        let parent = SimRng::seed(seed);
+        let mut a = parent.split("a");
+        let mut b = parent.split("b");
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64_raw()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64_raw()).collect();
+        prop_assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,133 @@
+//! Validates the discrete-event engine against M/D/1 queueing theory
+//! (paper §3.1, Eqs. 1–3).
+//!
+//! With uniform prompt lengths, Poisson arrivals, single-request batches
+//! (`L_m = 1`), and single-token outputs, a prefill instance *is* an
+//! M/D/1 queue. The DES's mean TTFT must match the closed forms.
+
+use distserve::cluster::Cluster;
+use distserve::engine::{InstanceRole, InstanceSpec, ServingSim, SimConfig};
+use distserve::models::queueing::{eq1_avg_ttft, eq2_avg_ttft_inter, eq3_avg_ttft_intra};
+use distserve::models::{CostModel, OptModel, ParallelismConfig, PrefillBatch, RooflineModel};
+use distserve::placement::TraceSource;
+use distserve::workload::datasets::FixedLengths;
+
+const INPUT_LEN: u32 = 512;
+
+/// Mean TTFT measured by the DES for a prefill-only workload served by
+/// one instance with parallelism `par`.
+fn measured_avg_ttft(par: ParallelismConfig, rate: f64, n: usize) -> f64 {
+    let cluster = Cluster::single_node(8);
+    let cost = RooflineModel::a100();
+    let arch = OptModel::Opt13B.arch();
+    // Output length 1: requests complete at prefill; decode instance idle.
+    let trace = FixedLengths {
+        input_len: INPUT_LEN,
+        output_len: 1,
+    }
+    .make_trace(rate, n, 1234);
+
+    let prefill_stages = (0..par.pp)
+        .map(|s| (0..par.tp).map(|k| cluster.gpu(0, s * par.tp + k)).collect())
+        .collect();
+    let specs = vec![
+        InstanceSpec::new(InstanceRole::Prefill, par, prefill_stages).unwrap(),
+        InstanceSpec::new(
+            InstanceRole::Decode,
+            ParallelismConfig::SINGLE,
+            vec![vec![cluster.gpu(0, 7)]],
+        )
+        .unwrap(),
+    ];
+    // L_m = 1 disables batching: FCFS single-request service, as the
+    // M/D/1 model assumes.
+    let cfg = SimConfig::new(arch).with_l_m(1);
+    let sim = ServingSim::new(cfg, &cost, &cluster, specs).unwrap();
+    let out = sim.run(&trace);
+    out.ttft_summary().mean()
+}
+
+/// Deterministic service time of one 512-token prefill at `par`.
+fn service_time(par: ParallelismConfig) -> f64 {
+    let cost = RooflineModel::a100();
+    let arch = OptModel::Opt13B.arch();
+    cost.prefill_latency(&arch, par, &PrefillBatch::single(INPUT_LEN))
+        .total()
+}
+
+#[test]
+fn eq1_matches_des_single_device() {
+    let par = ParallelismConfig::SINGLE;
+    let d = service_time(par);
+    for rate in [2.0, 5.0, 8.0] {
+        let theory = eq1_avg_ttft(rate, d).expect("stable");
+        let measured = measured_avg_ttft(par, rate, 4000);
+        let rel = (measured - theory).abs() / theory;
+        assert!(
+            rel < 0.12,
+            "rate {rate}: DES {measured:.4}s vs Eq.1 {theory:.4}s ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn eq2_matches_des_two_stage_pipeline() {
+    let par = ParallelismConfig::new(1, 2);
+    // Eq. 2 is parameterized by the single-device time D with D_s ≈ D.
+    let d = service_time(ParallelismConfig::SINGLE);
+    for rate in [5.0, 10.0, 15.0] {
+        let theory = eq2_avg_ttft_inter(rate, d).expect("stable");
+        let measured = measured_avg_ttft(par, rate, 4000);
+        let rel = (measured - theory).abs() / theory;
+        // The DES charges per-stage launch overhead and stage-boundary
+        // transfers Eq. 2 ignores, so the tolerance is looser.
+        assert!(
+            rel < 0.15,
+            "rate {rate}: DES {measured:.4}s vs Eq.2 {theory:.4}s ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn eq3_matches_des_tensor_parallel() {
+    let par = ParallelismConfig::new(2, 1);
+    let d = service_time(ParallelismConfig::SINGLE);
+    // Measure the speedup coefficient K from the cost model itself.
+    let k = d / service_time(par);
+    assert!(k > 1.0 && k < 2.0, "K = {k}");
+    for rate in [5.0, 10.0] {
+        let theory = eq3_avg_ttft_intra(rate, d, k).expect("stable");
+        let measured = measured_avg_ttft(par, rate, 4000);
+        let rel = (measured - theory).abs() / theory;
+        assert!(
+            rel < 0.12,
+            "rate {rate}: DES {measured:.4}s vs Eq.3 {theory:.4}s ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn crossover_direction_matches_theory() {
+    // Figure 4(a): intra-op wins at low rate, inter-op wins close to
+    // saturation.
+    let d = service_time(ParallelismConfig::SINGLE);
+    let intra = ParallelismConfig::new(2, 1);
+    let inter = ParallelismConfig::new(1, 2);
+    let low = 2.0;
+    let high = 0.95 * 2.0 / d; // Close to the inter-op stability limit.
+    let intra_low = measured_avg_ttft(intra, low, 3000);
+    let inter_low = measured_avg_ttft(inter, low, 3000);
+    assert!(
+        intra_low < inter_low,
+        "low rate: intra {intra_low} should beat inter {inter_low}"
+    );
+    let intra_high = measured_avg_ttft(intra, high, 3000);
+    let inter_high = measured_avg_ttft(inter, high, 3000);
+    assert!(
+        inter_high < intra_high,
+        "high rate: inter {inter_high} should beat intra {intra_high}"
+    );
+}
