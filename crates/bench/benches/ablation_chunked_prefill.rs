@@ -16,9 +16,7 @@
 use distserve_bench::{header, paper_cost};
 use distserve_cluster::Cluster;
 use distserve_core::{serve_trace, Table};
-use distserve_engine::{
-    ColocatedPolicy, FidelityConfig, InstanceRole, InstanceSpec,
-};
+use distserve_engine::{ColocatedPolicy, FidelityConfig, InstanceRole, InstanceSpec};
 use distserve_models::{OptModel, ParallelismConfig};
 use distserve_placement::TraceSource;
 use distserve_workload::Dataset;

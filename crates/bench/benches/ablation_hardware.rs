@@ -38,13 +38,7 @@ fn main() {
             gpu: gpu.clone(),
             ..RooflineModel::a100_conservative()
         };
-        let cluster = Cluster::new(
-            4,
-            8,
-            gpu,
-            LinkSpec::nvlink(),
-            LinkSpec::ethernet_25g(),
-        );
+        let cluster = Cluster::new(4, 8, gpu, LinkSpec::nvlink(), LinkSpec::ethernet_25g());
         let mut planner = Planner::new(&cost, &cluster, arch.clone());
         planner.params = SearchParams {
             probe_requests: 192,

@@ -90,8 +90,7 @@ fn main() {
         if sjf {
             cfg = cfg.with_sjf_prefill();
         }
-        let sim =
-            ServingSim::new(cfg, &cost, &cluster, disagg_specs(&cluster)).expect("valid");
+        let sim = ServingSim::new(cfg, &cost, &cluster, disagg_specs(&cluster)).expect("valid");
         let out = sim.run(&trace);
         let mut short = distserve_simcore::Summary::new();
         let mut long = distserve_simcore::Summary::new();
@@ -172,8 +171,8 @@ fn main() {
     );
     let build = |bursty: bool| -> Trace {
         let mut rng = SimRng::seed(99);
-        let builder = TraceBuilder::new(distserve_workload::Dataset::ShareGpt.sampler())
-            .num_requests(800);
+        let builder =
+            TraceBuilder::new(distserve_workload::Dataset::ShareGpt.sampler()).num_requests(800);
         let builder = if bursty {
             builder.arrival(ArrivalProcess::bursty(2.5, 3.0))
         } else {

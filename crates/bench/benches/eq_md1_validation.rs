@@ -32,7 +32,11 @@ fn main() {
         .prefill_latency(&arch, ParallelismConfig::SINGLE, &PrefillBatch::single(512))
         .total();
     let d2 = cost
-        .prefill_latency(&arch, ParallelismConfig::new(2, 1), &PrefillBatch::single(512))
+        .prefill_latency(
+            &arch,
+            ParallelismConfig::new(2, 1),
+            &PrefillBatch::single(512),
+        )
         .total();
     let k = d / d2;
     println!("\nD = {:.1} ms, K = {k:.2}", d * 1e3);
@@ -72,5 +76,8 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nworst relative deviation from theory: {:.1}%", worst * 100.0);
+    println!(
+        "\nworst relative deviation from theory: {:.1}%",
+        worst * 100.0
+    );
 }

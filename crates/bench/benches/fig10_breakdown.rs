@@ -88,7 +88,8 @@ fn main() {
         .map(|r| r.transfer_active * 1e3)
         .collect();
     let cdf = Cdf::from_samples(wire);
-    println!("\nKV transfer wire time (ms): P50 {:.2}, P90 {:.2}, P95 {:.2}, max {:.2}",
+    println!(
+        "\nKV transfer wire time (ms): P50 {:.2}, P90 {:.2}, P95 {:.2}, max {:.2}",
         cdf.quantile(0.5),
         cdf.quantile(0.9),
         cdf.quantile(0.95),

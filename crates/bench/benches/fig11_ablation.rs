@@ -40,9 +40,7 @@ fn main() {
     let mut rows: Vec<(String, String, f64)> = Vec::new();
 
     // vLLM: the paper's default parallelism (tp1 for 13B).
-    let vllm = planner
-        .plan_vllm(app.vllm_parallelism(), 1)
-        .expect("valid");
+    let vllm = planner.plan_vllm(app.vllm_parallelism(), 1).expect("valid");
     let specs = planner.materialize(&vllm).expect("fits");
     let g = per_gpu_goodput(&cost, &cluster, &arch, &specs, &dataset, slo, probe_secs, 4);
     rows.push(("vLLM".into(), format!("{}", app.vllm_parallelism()), g));

@@ -55,16 +55,7 @@ fn main() {
         for threads in [1usize, 0] {
             let p = params(max_tp, max_pp, threads);
             let start = Instant::now();
-            let _ = high_affinity_placement(
-                &cost,
-                &gpu,
-                &arch,
-                DType::F16,
-                &dataset,
-                slo,
-                4.0,
-                &p,
-            );
+            let _ = high_affinity_placement(&cost, &gpu, &arch, DType::F16, &dataset, slo, 4.0, &p);
             row.push(format!("{:.2}", start.elapsed().as_secs_f64()));
         }
         let cluster = Cluster::new(
@@ -77,16 +68,8 @@ fn main() {
         for threads in [1usize, 0] {
             let p = params(max_tp, max_pp, threads);
             let start = Instant::now();
-            let _ = low_affinity_placement(
-                &cost,
-                &cluster,
-                &arch,
-                DType::F16,
-                &dataset,
-                slo,
-                4.0,
-                &p,
-            );
+            let _ =
+                low_affinity_placement(&cost, &cluster, &arch, DType::F16, &dataset, slo, 4.0, &p);
             row.push(format!("{:.2}", start.elapsed().as_secs_f64()));
         }
         table.row(row);
@@ -101,16 +84,8 @@ fn main() {
         let arch = model.arch();
         let p = params(4, 2, 0);
         let start = Instant::now();
-        let _ = high_affinity_placement(
-            &cost,
-            &cost.gpu,
-            &arch,
-            DType::F16,
-            &dataset,
-            slo,
-            2.0,
-            &p,
-        );
+        let _ =
+            high_affinity_placement(&cost, &cost.gpu, &arch, DType::F16, &dataset, slo, 2.0, &p);
         table.row(vec![
             arch.name.clone(),
             format!("{:.2}", start.elapsed().as_secs_f64()),

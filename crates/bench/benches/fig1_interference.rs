@@ -30,11 +30,7 @@ fn source() -> FixedLengths {
     }
 }
 
-fn coloc_outcome(
-    cluster: &Cluster,
-    rate: f64,
-    n: usize,
-) -> distserve_engine::SimOutcome {
+fn coloc_outcome(cluster: &Cluster, rate: f64, n: usize) -> distserve_engine::SimOutcome {
     let cost = paper_cost();
     let arch = OptModel::Opt13B.arch();
     let spec = InstanceSpec::new(

@@ -40,7 +40,13 @@ fn main() {
     println!("\nprofiled saturation threshold L_m = {lm} tokens (paper: ~512 for 13B)");
 
     println!("\n(b) decoding throughput, tokens/s:");
-    let mut table = Table::new(vec!["batch size", "ctx=128", "ctx=256", "ctx=512", "ctx=1024"]);
+    let mut table = Table::new(vec![
+        "batch size",
+        "ctx=128",
+        "ctx=256",
+        "ctx=512",
+        "ctx=1024",
+    ]);
     for bs in [1usize, 4, 16, 64, 128, 256] {
         let mut row = vec![bs.to_string()];
         for ctx in [128u32, 256, 512, 1024] {

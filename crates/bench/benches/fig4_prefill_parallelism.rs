@@ -36,17 +36,16 @@ fn main() {
     };
 
     let d = cost
-        .prefill_latency(
-            &arch,
-            ParallelismConfig::SINGLE,
-            &PrefillBatch::single(512),
-        )
+        .prefill_latency(&arch, ParallelismConfig::SINGLE, &PrefillBatch::single(512))
         .total();
     let d_intra = cost
         .prefill_latency(&arch, intra, &PrefillBatch::single(512))
         .total();
     let k = d / d_intra;
-    println!("\nsingle-device D = {:.1} ms, measured intra-op speedup K = {k:.2}", d * 1e3);
+    println!(
+        "\nsingle-device D = {:.1} ms, measured intra-op speedup K = {k:.2}",
+        d * 1e3
+    );
 
     println!("\n(a) average TTFT (ms), DES vs closed forms:");
     let mut table = Table::new(vec![
@@ -81,10 +80,12 @@ fn main() {
     }
     print!("{}", table.render());
     match (crossover_seen, intra_inter_crossover(d, k)) {
-        (Some(des), Some(theory)) => println!(
-            "\nDES crossover ≈ {des:.2} rps; analytic crossover = {theory:.2} rps"
-        ),
-        (_, Some(theory)) => println!("\nanalytic crossover = {theory:.2} rps (DES: intra dominated sampled range)"),
+        (Some(des), Some(theory)) => {
+            println!("\nDES crossover ≈ {des:.2} rps; analytic crossover = {theory:.2} rps")
+        }
+        (_, Some(theory)) => {
+            println!("\nanalytic crossover = {theory:.2} rps (DES: intra dominated sampled range)")
+        }
         _ => println!("\nintra-op dominates the whole stable range at K = {k:.2}"),
     }
 
@@ -93,8 +94,8 @@ fn main() {
     for k_syn in [1.2, 1.4, 1.6, 1.8, 1.95] {
         let cross = intra_inter_crossover(d, k_syn)
             .map_or("none (inter dominates early)".into(), |c| format!("{c:.2}"));
-        let ttft = eq3_avg_ttft_intra(1.0, d, k_syn)
-            .map_or("-".into(), |v| format!("{:.1}", v * 1e3));
+        let ttft =
+            eq3_avg_ttft_intra(1.0, d, k_syn).map_or("-".into(), |v| format!("{:.1}", v * 1e3));
         table.row(vec![format!("{k_syn:.2}"), cross, ttft]);
     }
     print!("{}", table.render());

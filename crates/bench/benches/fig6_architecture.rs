@@ -30,8 +30,7 @@ fn main() {
             .expect("valid"),
         InstanceSpec::new(InstanceRole::Prefill, par, vec![vec![cluster.gpu(0, 1)]])
             .expect("valid"),
-        InstanceSpec::new(InstanceRole::Decode, par, vec![vec![cluster.gpu(0, 2)]])
-            .expect("valid"),
+        InstanceSpec::new(InstanceRole::Decode, par, vec![vec![cluster.gpu(0, 2)]]).expect("valid"),
     ];
 
     let trace = FixedLengths {

@@ -22,14 +22,7 @@ fn main() {
     const N: usize = 50_000;
 
     let mut table = Table::new(vec![
-        "dataset",
-        "in mean",
-        "in P50",
-        "in P90",
-        "in max",
-        "out mean",
-        "out P50",
-        "out P90",
+        "dataset", "in mean", "in P50", "in P90", "in max", "out mean", "out P50", "out P90",
     ]);
     let mut means = Vec::new();
     for dataset in Dataset::ALL {
@@ -68,8 +61,16 @@ fn main() {
         print!("{}", hist.render(40));
     }
 
-    let lb = means.iter().find(|(n, _)| *n == "LongBench").expect("present").1;
-    let sg = means.iter().find(|(n, _)| *n == "ShareGPT").expect("present").1;
+    let lb = means
+        .iter()
+        .find(|(n, _)| *n == "LongBench")
+        .expect("present")
+        .1;
+    let sg = means
+        .iter()
+        .find(|(n, _)| *n == "ShareGPT")
+        .expect("present")
+        .1;
     println!(
         "\nLongBench mean input is {:.1}x ShareGPT's (paper: 'much longer')",
         lb / sg

@@ -1,0 +1,435 @@
+//! A faithful pin of the growth seed's token-at-a-time decode path
+//! (commit 50a573e), kept inside the bench crate so `BENCH_tinyllm.json`
+//! always compares the batched engine against the *same* baseline, even
+//! as the library keeps improving.
+//!
+//! Everything performance-relevant is reproduced verbatim from the seed:
+//! the zero-skip branch in the matmul inner loop, per-call `Vec`
+//! allocations and `to_vec` copies, masked full-hidden KV writes,
+//! `HashMap` point-reads per attended position, the zero-pad tricks in
+//! the output/down projections, the no-op `add_bias` in `logits`, and a
+//! `f32::exp` (libm) softmax. Weights use the seed's exact init recipe,
+//! so ReLU sparsity — which the zero-skip branch exploits — matches the
+//! live engine's workload. Error paths are trimmed to panics; they never
+//! fire in a benchmark.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinyllm::TinyConfig;
+
+pub struct SeedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl SeedMatrix {
+    fn zeros(rows: usize, cols: usize) -> Self {
+        SeedMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    // The seed matmul: allocating, with the data-dependent zero-skip
+    // branch in the k-loop.
+    fn matmul(&self, other: &SeedMatrix) -> SeedMatrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = SeedMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    fn matmul_cols(&self, other: &SeedMatrix, col_lo: usize, col_hi: usize) -> SeedMatrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let n = col_hi - col_lo;
+        let mut out = SeedMatrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.row(k)[col_lo..col_hi];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn add_bias(m: &mut SeedMatrix, bias: &[f32]) {
+    assert_eq!(bias.len(), m.cols, "bias length");
+    for r in 0..m.rows {
+        for (v, b) in m.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+fn relu(m: &mut SeedMatrix) {
+    for v in &mut m.data {
+        *v = v.max(0.0);
+    }
+}
+
+fn layer_norm(m: &SeedMatrix, scale: &[f32], shift: &[f32]) -> SeedMatrix {
+    let mut out = SeedMatrix::zeros(m.rows, m.cols);
+    for r in 0..m.rows {
+        let row = m.row(r);
+        let mean = row.iter().sum::<f32>() / row.len() as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for c in 0..row.len() {
+            out.row_mut(r)[c] = (row[c] - mean) * inv * scale[c] + shift[c];
+        }
+    }
+    out
+}
+
+// The seed softmax: a scalar libm `exp` call per score.
+fn softmax(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in xs.iter_mut() {
+        *v /= sum;
+    }
+}
+
+pub fn seed_argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+struct Table {
+    blocks: Vec<usize>,
+    len: usize,
+}
+
+/// The seed's paged KV cache: `HashMap` table lookup plus divide/modulo
+/// block math on every point read and write.
+pub struct SeedKv {
+    layers: usize,
+    hidden: usize,
+    block_size: usize,
+    storage: Vec<f32>,
+    free: Vec<usize>,
+    tables: HashMap<u64, Table>,
+}
+
+impl SeedKv {
+    pub fn new(layers: usize, hidden: usize, block_size: usize, num_blocks: usize) -> Self {
+        let block_floats = layers * block_size * 2 * hidden;
+        SeedKv {
+            layers,
+            hidden,
+            block_size,
+            storage: vec![0.0; block_floats * num_blocks],
+            free: (0..num_blocks).rev().collect(),
+            tables: HashMap::new(),
+        }
+    }
+
+    pub fn register(&mut self, seq: u64) {
+        self.tables.entry(seq).or_insert(Table {
+            blocks: Vec::new(),
+            len: 0,
+        });
+    }
+
+    fn append(&mut self, seq: u64, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        let block_size = self.block_size;
+        let table = self.tables.get_mut(&seq).expect("registered");
+        if layer == 0 {
+            assert_eq!(pos, table.len, "dense append");
+            if pos == table.blocks.len() * block_size {
+                let block = self.free.pop().expect("blocks available");
+                let table = self.tables.get_mut(&seq).expect("just present");
+                table.blocks.push(block);
+                table.len += 1;
+            } else {
+                table.len += 1;
+            }
+        }
+        let table = self.tables.get(&seq).expect("present");
+        let block = table.blocks[pos / block_size];
+        let slot = pos % block_size;
+        let base = self.slot_base(block, layer, slot);
+        let h = self.hidden;
+        self.storage[base..base + h].copy_from_slice(k);
+        self.storage[base + h..base + 2 * h].copy_from_slice(v);
+    }
+
+    fn key(&self, seq: u64, layer: usize, pos: usize) -> &[f32] {
+        let (base, h) = self.read_base(seq, layer, pos);
+        &self.storage[base..base + h]
+    }
+
+    fn value(&self, seq: u64, layer: usize, pos: usize) -> &[f32] {
+        let (base, h) = self.read_base(seq, layer, pos);
+        &self.storage[base + h..base + 2 * h]
+    }
+
+    fn read_base(&self, seq: u64, layer: usize, pos: usize) -> (usize, usize) {
+        let table = self.tables.get(&seq).expect("sequence registered");
+        let block = table.blocks[pos / self.block_size];
+        (
+            self.slot_base(block, layer, pos % self.block_size),
+            self.hidden,
+        )
+    }
+
+    fn slot_base(&self, block: usize, layer: usize, slot: usize) -> usize {
+        let block_floats = self.layers * self.block_size * 2 * self.hidden;
+        block * block_floats + (layer * self.block_size + slot) * 2 * self.hidden
+    }
+}
+
+struct SeedLayer {
+    wqkv: SeedMatrix,
+    wo: SeedMatrix,
+    w1: SeedMatrix,
+    w2: SeedMatrix,
+    ln1_scale: Vec<f32>,
+    ln1_shift: Vec<f32>,
+    ln2_scale: Vec<f32>,
+    ln2_shift: Vec<f32>,
+}
+
+/// The seed engine: one token per forward call, full shard.
+pub struct SeedModel {
+    cfg: TinyConfig,
+    embed: SeedMatrix,
+    pos: SeedMatrix,
+    layers: Vec<SeedLayer>,
+    lnf_scale: Vec<f32>,
+    lnf_shift: Vec<f32>,
+}
+
+impl SeedModel {
+    /// The seed's exact weight init (same RNG, order, and scales as
+    /// `tinyllm::Model::random`), so activation statistics — and with
+    /// them the zero-skip branch's benefit — match the live engine.
+    pub fn random(cfg: &TinyConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mat = |rows: usize, cols: usize, scale: f32| -> SeedMatrix {
+            let data = (0..rows * cols)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect();
+            SeedMatrix { rows, cols, data }
+        };
+        let h = cfg.hidden;
+        let att_scale = 0.5 / (h as f32).sqrt();
+        let ffn_scale = 0.5 / (cfg.ffn as f32).sqrt();
+        let layers = (0..cfg.layers)
+            .map(|_| SeedLayer {
+                wqkv: mat(h, 3 * h, att_scale),
+                wo: mat(h, h, att_scale),
+                w1: mat(h, cfg.ffn, att_scale),
+                w2: mat(cfg.ffn, h, ffn_scale),
+                ln1_scale: vec![1.0; h],
+                ln1_shift: vec![0.0; h],
+                ln2_scale: vec![1.0; h],
+                ln2_shift: vec![0.0; h],
+            })
+            .collect();
+        SeedModel {
+            cfg: cfg.clone(),
+            embed: mat(cfg.vocab, h, 0.1),
+            pos: mat(cfg.max_seq, h, 0.05),
+            layers,
+            lnf_scale: vec![1.0; h],
+            lnf_shift: vec![0.0; h],
+        }
+    }
+
+    pub fn make_kv(&self, max_tokens: usize, block_size: usize) -> SeedKv {
+        let blocks = max_tokens.div_ceil(block_size).max(1);
+        SeedKv::new(self.cfg.layers, self.cfg.hidden, block_size, blocks)
+    }
+
+    fn embed_token(&self, token: u32, pos: usize) -> Vec<f32> {
+        self.embed
+            .row(token as usize)
+            .iter()
+            .zip(self.pos.row(pos))
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    fn attn(
+        &self,
+        layer: usize,
+        x_norm: &[f32],
+        seq: u64,
+        pos: usize,
+        kv: &mut SeedKv,
+    ) -> Vec<f32> {
+        let h = self.cfg.hidden;
+        let d = self.cfg.head_dim();
+        let lw = &self.layers[layer];
+        let x = SeedMatrix {
+            rows: 1,
+            cols: h,
+            data: x_norm.to_vec(),
+        };
+        let qkv = x.matmul(&lw.wqkv);
+        let (q, rest) = qkv.data.split_at(h);
+        let (k, v) = rest.split_at(h);
+
+        // Full shard, but the seed still allocated + copied through the
+        // masked staging buffers.
+        let mut k_masked = vec![0.0; h];
+        let mut v_masked = vec![0.0; h];
+        k_masked[..h].copy_from_slice(k);
+        v_masked[..h].copy_from_slice(v);
+        kv.append(seq, layer, pos, &k_masked, &v_masked);
+
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut attn_out = vec![0.0; h];
+        for head in 0..self.cfg.heads {
+            let hl = head * d;
+            let q_h = &q[hl..hl + d];
+            let mut scores = Vec::with_capacity(pos + 1);
+            for p in 0..=pos {
+                let k_p = &kv.key(seq, layer, p)[hl..hl + d];
+                let dot: f32 = q_h.iter().zip(k_p).map(|(a, b)| a * b).sum();
+                scores.push(dot * scale);
+            }
+            softmax(&mut scores);
+            for (p, w) in scores.iter().enumerate() {
+                let v_p = &kv.value(seq, layer, p)[hl..hl + d];
+                for (o, &vv) in attn_out[hl..hl + d].iter_mut().zip(v_p) {
+                    *o += w * vv;
+                }
+            }
+        }
+        SeedMatrix {
+            rows: 1,
+            cols: h,
+            data: attn_out,
+        }
+        .matmul(&lw.wo)
+        .data
+    }
+
+    fn ffn(&self, layer: usize, x_norm: &[f32]) -> Vec<f32> {
+        let lw = &self.layers[layer];
+        let x = SeedMatrix {
+            rows: 1,
+            cols: x_norm.len(),
+            data: x_norm.to_vec(),
+        };
+        let mut mid = x.matmul_cols(&lw.w1, 0, self.cfg.ffn);
+        relu(&mut mid);
+        // The seed zero-padded even the full shard and leaned on the
+        // zero-skip branch.
+        let mut padded = vec![0.0; self.cfg.ffn];
+        padded.copy_from_slice(&mid.data);
+        SeedMatrix {
+            rows: 1,
+            cols: self.cfg.ffn,
+            data: padded,
+        }
+        .matmul(&lw.w2)
+        .data
+    }
+
+    fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let mut normed = layer_norm(
+            &SeedMatrix {
+                rows: 1,
+                cols: x.len(),
+                data: x.to_vec(),
+            },
+            &self.lnf_scale,
+            &self.lnf_shift,
+        );
+        // The seed's no-op bias add, executed once per decoded token.
+        add_bias(&mut normed, &vec![0.0; x.len()]);
+        let mut out = vec![0.0; self.cfg.vocab];
+        for (t, o) in out.iter_mut().enumerate() {
+            *o = normed
+                .row(0)
+                .iter()
+                .zip(self.embed.row(t))
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        out
+    }
+
+    pub fn forward_token(&self, seq: u64, pos: usize, token: u32, kv: &mut SeedKv) -> Vec<f32> {
+        let mut x = self.embed_token(token, pos);
+        for layer in 0..self.cfg.layers {
+            let lw = &self.layers[layer];
+            let xa = layer_norm(
+                &SeedMatrix {
+                    rows: 1,
+                    cols: x.len(),
+                    data: x.to_vec(),
+                },
+                &lw.ln1_scale,
+                &lw.ln1_shift,
+            );
+            let attn = self.attn(layer, &xa.data, seq, pos, kv);
+            for (xi, a) in x.iter_mut().zip(&attn) {
+                *xi += a;
+            }
+            let xf = layer_norm(
+                &SeedMatrix {
+                    rows: 1,
+                    cols: x.len(),
+                    data: x.to_vec(),
+                },
+                &lw.ln2_scale,
+                &lw.ln2_shift,
+            );
+            let ffn = self.ffn(layer, &xf.data);
+            for (xi, f) in x.iter_mut().zip(&ffn) {
+                *xi += f;
+            }
+        }
+        self.logits(&x)
+    }
+}

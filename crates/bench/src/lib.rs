@@ -203,7 +203,9 @@ pub fn compare_systems(
         app.vllm_parallelism(),
     );
 
-    let g_ds = per_gpu_goodput(&cost, &cluster, &arch, &ds_specs, &dataset, slo, probe_secs, seed);
+    let g_ds = per_gpu_goodput(
+        &cost, &cluster, &arch, &ds_specs, &dataset, slo, probe_secs, seed,
+    );
     let g_vl = per_gpu_goodput(
         &cost,
         &cluster,
@@ -223,7 +225,15 @@ pub fn compare_systems(
     )
     .expect("sweep runs");
     let vl_pts = rate_sweep(
-        &cost, &cluster, &arch, &vllm_specs, &dataset, slo, &rates, 192, seed,
+        &cost,
+        &cluster,
+        &arch,
+        &vllm_specs,
+        &dataset,
+        slo,
+        &rates,
+        192,
+        seed,
     )
     .expect("sweep runs");
     let mut table = Table::new(vec![

@@ -31,7 +31,10 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::InsufficientGpus { requested, available } => {
+            AllocError::InsufficientGpus {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} GPUs, only {available} free")
             }
             AllocError::NoNodeWithCapacity { requested } => {

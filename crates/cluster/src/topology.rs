@@ -62,7 +62,10 @@ impl Cluster {
         intra_node: LinkSpec,
         cross_node: LinkSpec,
     ) -> Self {
-        assert!(num_nodes > 0 && gpus_per_node > 0, "cluster cannot be empty");
+        assert!(
+            num_nodes > 0 && gpus_per_node > 0,
+            "cluster cannot be empty"
+        );
         Cluster {
             num_nodes,
             gpus_per_node,

@@ -108,10 +108,8 @@ impl KvTransferModel {
                     continue;
                 }
                 let bytes = bytes_per_layer * overlap;
-                let link = cluster.link_between(
-                    Self::representative(p_group),
-                    Self::representative(d_group),
-                );
+                let link = cluster
+                    .link_between(Self::representative(p_group), Self::representative(d_group));
                 // The KV slice is itself sharded over the TP group; shards
                 // move in parallel over per-GPU links.
                 let shards = f64::from(prefill_par.tp.max(decode_par.tp));
@@ -242,9 +240,6 @@ mod tests {
     #[test]
     fn kv_bytes_scale_linearly() {
         let m = model66b();
-        assert_eq!(
-            m.request_kv_bytes(1024),
-            2 * m.request_kv_bytes(512)
-        );
+        assert_eq!(m.request_kv_bytes(1024), 2 * m.request_kv_bytes(512));
     }
 }

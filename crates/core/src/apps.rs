@@ -131,7 +131,11 @@ mod tests {
     fn all_apps_have_valid_vllm_configs() {
         for app in Application::ALL {
             let arch = app.model().arch();
-            assert!(app.vllm_parallelism().validate(&arch).is_ok(), "{}", app.name());
+            assert!(
+                app.vllm_parallelism().validate(&arch).is_ok(),
+                "{}",
+                app.name()
+            );
         }
     }
 }

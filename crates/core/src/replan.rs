@@ -103,10 +103,7 @@ mod tests {
         }
     }
 
-    fn quick_planner<'a>(
-        cost: &'a RooflineModel,
-        cluster: &'a Cluster,
-    ) -> Planner<'a> {
+    fn quick_planner<'a>(cost: &'a RooflineModel, cluster: &'a Cluster) -> Planner<'a> {
         let mut p = Planner::new(cost, cluster, OptModel::Opt13B.arch());
         p.params = SearchParams {
             max_tp: 2,

@@ -10,8 +10,8 @@ use distserve_cluster::Cluster;
 use distserve_engine::{FidelityConfig, InstanceSpec, ServingSim, SimConfig, SimOutcome};
 use distserve_models::{CostModel, DType, ModelArch, ParallelismConfig};
 use distserve_placement::alg1::SearchParams;
-use distserve_placement::goodput::probe_count;
 use distserve_placement::deploy::Deployment;
+use distserve_placement::goodput::probe_count;
 use distserve_placement::vllm_pp::ColocPlacement;
 use distserve_placement::{
     high_affinity_placement, low_affinity_placement, materialize, vllm_plus_plus, SloSpec,
@@ -379,9 +379,7 @@ mod tests {
         let arch = OptModel::Opt13B.arch();
         let slo = SloSpec::new(0.2, 0.1);
         let planner = Planner::new(&cost, &cluster, arch.clone());
-        let vllm = planner
-            .plan_vllm(ParallelismConfig::SINGLE, 1)
-            .unwrap();
+        let vllm = planner.plan_vllm(ParallelismConfig::SINGLE, 1).unwrap();
         let specs = planner.materialize(&vllm).unwrap();
         let points = rate_sweep(
             &cost,
@@ -414,7 +412,16 @@ mod tests {
         let vllm = planner.plan_vllm(ParallelismConfig::SINGLE, 1).unwrap();
         let specs = planner.materialize(&vllm).unwrap();
         let points = slo_scale_sweep(
-            &cost, &cluster, &arch, &specs, &source(), slo, 1.0, &[0.4, 1.0, 2.0], 96, 0,
+            &cost,
+            &cluster,
+            &arch,
+            &specs,
+            &source(),
+            slo,
+            1.0,
+            &[0.4, 1.0, 2.0],
+            96,
+            0,
         )
         .unwrap();
         // Looser SLO (larger scale) ⇒ higher attainment.

@@ -139,7 +139,10 @@ impl PrefillQueue {
     /// blocks the queue (FCFS — §4.3 notes the convoy effect this keeps).
     ///
     /// Returns `None` when no batch can be formed.
-    pub fn form_batch(&mut self, mut admit: impl FnMut(&PrefillItem) -> bool) -> Option<Vec<PrefillItem>> {
+    pub fn form_batch(
+        &mut self,
+        mut admit: impl FnMut(&PrefillItem) -> bool,
+    ) -> Option<Vec<PrefillItem>> {
         let head = *self.queue.front()?;
         if !admit(&head) {
             return None;
@@ -148,7 +151,9 @@ impl PrefillQueue {
         let mut tokens = head.input_len;
         // A head at or past the budget runs alone.
         while tokens < self.token_budget && batch.len() < self.max_batch {
-            let Some(next) = self.queue.front() else { break };
+            let Some(next) = self.queue.front() else {
+                break;
+            };
             if tokens + next.input_len > self.token_budget {
                 break;
             }
@@ -230,9 +235,7 @@ mod tests {
         let mut q = PrefillQueue::new(512);
         q.push(item(0, 100));
         q.push(item(1, 100));
-        let batch = q
-            .form_batch(|i| i.id == RequestId(0))
-            .unwrap();
+        let batch = q.form_batch(|i| i.id == RequestId(0)).unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(q.len(), 1);
     }
@@ -273,7 +276,7 @@ mod tests {
         let batch = q.form_batch(|_| true).unwrap();
         let ids: Vec<u64> = batch.iter().map(|b| b.id.0).collect();
         assert_eq!(ids, vec![1, 3, 2]); // 100 + 100 + 300 = 500 <= 512.
-        // The convoy-causing long prompt runs last, alone.
+                                        // The convoy-causing long prompt runs last, alone.
         let batch = q.form_batch(|_| true).unwrap();
         assert_eq!(batch[0].id, RequestId(0));
     }

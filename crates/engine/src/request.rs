@@ -95,7 +95,11 @@ impl StageBreakdown {
     /// Sum of all stages — the request's total latency.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.prefill_queue + self.prefill_exec + self.transfer + self.decode_queue + self.decode_exec
+        self.prefill_queue
+            + self.prefill_exec
+            + self.transfer
+            + self.decode_queue
+            + self.decode_exec
     }
 
     /// Accumulates another request's breakdown (for Figure 10's

@@ -248,8 +248,7 @@ impl<'a> ServingSim<'a> {
             spec.par
                 .validate(&cfg.arch)
                 .map_err(|e| format!("instance {i}: {e}"))?;
-            let pool =
-                spec.kv_pool_bytes(&cfg.arch, cluster.gpu_spec(), cfg.dtype, cfg.mem_margin);
+            let pool = spec.kv_pool_bytes(&cfg.arch, cluster.gpu_spec(), cfg.dtype, cfg.mem_margin);
             if pool == 0 {
                 return Err(format!(
                     "instance {i} ({}) cannot hold its weight shard",
@@ -274,8 +273,7 @@ impl<'a> ServingSim<'a> {
             instances.push(Instance {
                 pipeline: Pipeline::new(spec.par.pp),
                 kv,
-                prefill_queue: PrefillQueue::new(budget)
-                    .with_discipline(cfg.prefill_discipline),
+                prefill_queue: PrefillQueue::new(budget).with_discipline(cfg.prefill_discipline),
                 groups,
                 overflow: VecDeque::new(),
                 pull_queue: VecDeque::new(),
@@ -661,10 +659,7 @@ impl<'a> ServingSim<'a> {
                 *generated >= st.request.output_len
             };
             if done {
-                self.instances[d]
-                    .kv
-                    .free(id)
-                    .expect("decode KV allocated");
+                self.instances[d].kv.free(id).expect("decode KV allocated");
                 freed = true;
                 let inst = &mut self.instances[d];
                 inst.groups[g].members.retain(|m| *m != id);
@@ -801,17 +796,11 @@ impl<'a> ServingSim<'a> {
         let mut chunks: Vec<(RequestId, u32, bool)> = Vec::new();
         let mut pbatch = PrefillBatch::empty();
         let mut budget = chunk;
-        loop {
-            let Some(head) = self.instances[c].prefill_queue.front().copied() else {
-                break;
-            };
+        while let Some(head) = self.instances[c].prefill_queue.front().copied() {
             if budget == 0 {
                 break;
             }
-            let prior = *self.instances[c]
-                .chunk_progress
-                .get(&head.id)
-                .unwrap_or(&0);
+            let prior = *self.instances[c].chunk_progress.get(&head.id).unwrap_or(&0);
             if prior == 0 {
                 // First chunk: admit with the whole lifetime footprint.
                 if self.instances[c].running.len() + chunks.len() >= max_running {

@@ -94,7 +94,7 @@ impl ModelArch {
         if num_layers == 0 || hidden == 0 || num_heads == 0 || ffn == 0 {
             return Err("all architecture dimensions must be non-zero".into());
         }
-        if hidden % num_heads != 0 {
+        if !hidden.is_multiple_of(num_heads) {
             return Err(format!(
                 "hidden size {hidden} not divisible by {num_heads} heads"
             ));
@@ -120,7 +120,7 @@ impl ModelArch {
     ///
     /// Returns an error string unless `kv_heads` divides `num_heads`.
     pub fn with_gqa(mut self, kv_heads: u32) -> Result<Self, String> {
-        if kv_heads == 0 || self.num_heads % kv_heads != 0 {
+        if kv_heads == 0 || !self.num_heads.is_multiple_of(kv_heads) {
             return Err(format!(
                 "{} query heads not divisible by {kv_heads} KV heads",
                 self.num_heads

@@ -110,11 +110,7 @@ impl LeastSquares {
         // Gaussian elimination with partial pivoting.
         for col in 0..n {
             let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[r1 * n + col]
-                        .abs()
-                        .total_cmp(&a[r2 * n + col].abs())
-                })
+                .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
                 .expect("non-empty range");
             let pivot = a[pivot_row * n + col];
             if pivot.abs() < 1e-30 {

@@ -187,7 +187,11 @@ mod tests {
 
     #[test]
     fn effective_rates_below_peak() {
-        for g in [GpuSpec::a100_80g(), GpuSpec::a100_40g(), GpuSpec::h100_80g()] {
+        for g in [
+            GpuSpec::a100_80g(),
+            GpuSpec::a100_40g(),
+            GpuSpec::h100_80g(),
+        ] {
             assert!(g.effective_flops() < g.peak_flops);
             assert!(g.effective_bandwidth() < g.mem_bandwidth);
             assert!(g.effective_flops() > 0.0);

@@ -288,7 +288,12 @@ impl RooflineModel {
     }
 
     /// Activation bytes crossing a pipeline-stage boundary for this batch.
-    fn pp_boundary_bytes(&self, arch: &ModelArch, prefill: &PrefillBatch, decode: &DecodeBatch) -> u64 {
+    fn pp_boundary_bytes(
+        &self,
+        arch: &ModelArch,
+        prefill: &PrefillBatch,
+        decode: &DecodeBatch,
+    ) -> u64 {
         let t_new = prefill.total_tokens() + decode.batch_size() as u64;
         t_new * u64::from(arch.hidden) * self.dtype.bytes()
     }
@@ -400,8 +405,7 @@ mod tests {
         let t = model()
             .decode_latency(&arch, p1(), &DecodeBatch::uniform(1, 512))
             .total();
-        let weight_read =
-            arch.weight_bytes(DType::F16) as f64 / model().gpu.effective_bandwidth();
+        let weight_read = arch.weight_bytes(DType::F16) as f64 / model().gpu.effective_bandwidth();
         assert!(
             t > weight_read && t < weight_read * 1.8,
             "step {t}s vs weight read {weight_read}s"
@@ -423,8 +427,12 @@ mod tests {
     fn prefill_time_scales_superlinearly_past_saturation() {
         let arch = OptModel::Opt13B.arch();
         let m = model();
-        let t512 = m.prefill_latency(&arch, p1(), &PrefillBatch::single(512)).total();
-        let t1024 = m.prefill_latency(&arch, p1(), &PrefillBatch::single(1024)).total();
+        let t512 = m
+            .prefill_latency(&arch, p1(), &PrefillBatch::single(512))
+            .total();
+        let t1024 = m
+            .prefill_latency(&arch, p1(), &PrefillBatch::single(1024))
+            .total();
         assert!(t1024 > 1.8 * t512, "1024: {t1024}, 512: {t512}");
     }
 
@@ -502,9 +510,15 @@ mod tests {
         let arch = OptModel::Opt13B.arch();
         let m = model();
         let batch = DecodeBatch::uniform(128, 256);
-        let l1 = m.decode_latency(&arch, ParallelismConfig::new(1, 1), &batch).total();
-        let l2 = m.decode_latency(&arch, ParallelismConfig::new(2, 1), &batch).total();
-        let l4 = m.decode_latency(&arch, ParallelismConfig::new(4, 1), &batch).total();
+        let l1 = m
+            .decode_latency(&arch, ParallelismConfig::new(1, 1), &batch)
+            .total();
+        let l2 = m
+            .decode_latency(&arch, ParallelismConfig::new(2, 1), &batch)
+            .total();
+        let l4 = m
+            .decode_latency(&arch, ParallelismConfig::new(4, 1), &batch)
+            .total();
         let s2 = l1 / l2;
         let s4 = l1 / l4;
         assert!(s2 > 1.2 && s2 < 2.0, "s2 = {s2}");
@@ -517,12 +531,8 @@ mod tests {
     #[test]
     fn empty_batch_costs_nothing() {
         let arch = OptModel::Opt13B.arch();
-        let t = model().mixed_stage_time(
-            &arch,
-            p1(),
-            &PrefillBatch::empty(),
-            &DecodeBatch::empty(),
-        );
+        let t =
+            model().mixed_stage_time(&arch, p1(), &PrefillBatch::empty(), &DecodeBatch::empty());
         assert_eq!(t.total(), 0.0);
     }
 

@@ -109,7 +109,7 @@ impl ParallelismConfig {
         if self.tp == 0 || self.pp == 0 {
             return Err(ParallelismError::ZeroDegree);
         }
-        if arch.num_heads % self.tp != 0 {
+        if !arch.num_heads.is_multiple_of(self.tp) {
             return Err(ParallelismError::HeadsNotDivisible {
                 heads: arch.num_heads,
                 tp: self.tp,
@@ -117,13 +117,13 @@ impl ParallelismConfig {
         }
         // Under GQA the K/V heads must also split evenly across the
         // tensor-parallel group.
-        if arch.kv_heads % self.tp != 0 {
+        if !arch.kv_heads.is_multiple_of(self.tp) {
             return Err(ParallelismError::HeadsNotDivisible {
                 heads: arch.kv_heads,
                 tp: self.tp,
             });
         }
-        if arch.num_layers % self.pp != 0 {
+        if !arch.num_layers.is_multiple_of(self.pp) {
             return Err(ParallelismError::LayersNotDivisible {
                 layers: arch.num_layers,
                 pp: self.pp,

@@ -6,6 +6,12 @@
 //! they are reproduced here and used to (a) drive Figure 4(b) and (b)
 //! validate the discrete-event engine against theory.
 
+/// `x > lo` spelled via `partial_cmp` so NaN (incomparable) is rejected
+/// explicitly instead of falling through a negated comparison.
+fn exceeds(x: f64, lo: f64) -> bool {
+    x.partial_cmp(&lo) == Some(core::cmp::Ordering::Greater)
+}
+
 /// Average waiting time (excluding service) in an M/D/1 queue with arrival
 /// rate `rate` and deterministic service time `d`: `R·D² / (2(1 − R·D))`.
 ///
@@ -13,7 +19,7 @@
 /// parameters are not positive.
 #[must_use]
 pub fn md1_avg_wait(rate: f64, d: f64) -> Option<f64> {
-    if !(rate > 0.0) || !(d > 0.0) || rate * d >= 1.0 {
+    if !exceeds(rate, 0.0) || !exceeds(d, 0.0) || rate * d >= 1.0 {
         return None;
     }
     Some(rate * d * d / (2.0 * (1.0 - rate * d)))
@@ -31,7 +37,7 @@ pub fn eq1_avg_ttft(rate: f64, d: f64) -> Option<f64> {
 /// `D + R·D² / (4(2 − R·D))`.
 #[must_use]
 pub fn eq2_avg_ttft_inter(rate: f64, d: f64) -> Option<f64> {
-    if !(rate > 0.0) || !(d > 0.0) || rate * d >= 2.0 {
+    if !exceeds(rate, 0.0) || !exceeds(d, 0.0) || rate * d >= 2.0 {
         return None;
     }
     Some(d + rate * d * d / (4.0 * (2.0 - rate * d)))
@@ -41,7 +47,7 @@ pub fn eq2_avg_ttft_inter(rate: f64, d: f64) -> Option<f64> {
 /// speedup coefficient `k ∈ (1, 2]`: `D/K + R·D² / (2K(K − R·D))`.
 #[must_use]
 pub fn eq3_avg_ttft_intra(rate: f64, d: f64, k: f64) -> Option<f64> {
-    if !(rate > 0.0) || !(d > 0.0) || !(k > 1.0) || rate * d >= k {
+    if !exceeds(rate, 0.0) || !exceeds(d, 0.0) || !exceeds(k, 1.0) || rate * d >= k {
         return None;
     }
     Some(d / k + rate * d * d / (2.0 * k * (k - rate * d)))
@@ -55,12 +61,11 @@ pub fn eq3_avg_ttft_intra(rate: f64, d: f64, k: f64) -> Option<f64> {
 /// (possible when `k` is close to 2).
 #[must_use]
 pub fn intra_inter_crossover(d: f64, k: f64) -> Option<f64> {
-    if !(d > 0.0) || !(k > 1.0) {
+    if !exceeds(d, 0.0) || !exceeds(k, 1.0) {
         return None;
     }
-    let diff = |r: f64| -> Option<f64> {
-        Some(eq3_avg_ttft_intra(r, d, k)? - eq2_avg_ttft_inter(r, d)?)
-    };
+    let diff =
+        |r: f64| -> Option<f64> { Some(eq3_avg_ttft_intra(r, d, k)? - eq2_avg_ttft_inter(r, d)?) };
     // Scan for a sign change over the jointly stable range (0, k/d).
     let hi_limit = (k / d).min(2.0 / d) * 0.999;
     let steps = 4096;

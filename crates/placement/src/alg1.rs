@@ -123,6 +123,7 @@ impl HighPlacement {
 /// Runs Algorithm 1. Returns `None` if no legal configuration exists
 /// (e.g. the model does not fit the GPU budget at all).
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn high_affinity_placement(
     cost: &dyn CostModel,
     gpu: &GpuSpec,
@@ -306,14 +307,10 @@ mod tests {
         p1.threads = 1;
         let mut p4 = quick_params();
         p4.threads = 4;
-        let a = high_affinity_placement(
-            &cost, &gpu, &arch, DType::F16, &source(), slo, 4.0, &p1,
-        )
-        .unwrap();
-        let b = high_affinity_placement(
-            &cost, &gpu, &arch, DType::F16, &source(), slo, 4.0, &p4,
-        )
-        .unwrap();
+        let a = high_affinity_placement(&cost, &gpu, &arch, DType::F16, &source(), slo, 4.0, &p1)
+            .unwrap();
+        let b = high_affinity_placement(&cost, &gpu, &arch, DType::F16, &source(), slo, 4.0, &p4)
+            .unwrap();
         assert_eq!(a.prefill.par, b.prefill.par);
         assert_eq!(a.decode.par, b.decode.par);
         assert_eq!(a.num_prefill, b.num_prefill);

@@ -139,7 +139,11 @@ pub fn unit_specs_on_node(
         ));
     }
     let p_stages = (0..prefill_par.pp)
-        .map(|s| (0..prefill_par.tp).map(|k| cluster.gpu(node + s, k)).collect())
+        .map(|s| {
+            (0..prefill_par.tp)
+                .map(|k| cluster.gpu(node + s, k))
+                .collect()
+        })
         .collect();
     let d_stages = (0..decode_par.pp)
         .map(|s| {
@@ -168,6 +172,7 @@ pub fn unit_specs(
 }
 
 /// Measures one unit's SLO attainment at `rate` with the full simulator.
+#[allow(clippy::too_many_arguments)]
 fn unit_attainment(
     cost: &dyn CostModel,
     cluster: &Cluster,
@@ -197,6 +202,7 @@ fn unit_attainment(
 
 /// Runs Algorithm 2. Returns `None` if no unit configuration fits a node.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn low_affinity_placement(
     cost: &dyn CostModel,
     cluster: &Cluster,
@@ -217,10 +223,8 @@ pub fn low_affinity_placement(
     for &p in &singles {
         for &d in &singles {
             let single_node = p.num_gpus() + d.num_gpus() <= m && p.pp == 1 && d.pp == 1;
-            let segment_paired = p.pp == d.pp
-                && p.pp > 1
-                && p.tp + d.tp <= m
-                && p.pp <= cluster.num_nodes();
+            let segment_paired =
+                p.pp == d.pp && p.pp > 1 && p.tp + d.tp <= m && p.pp <= cluster.num_nodes();
             // Also allow small pipelined pairs inside one node.
             let small_pipelined = p.num_gpus() + d.num_gpus() <= m && (p.pp > 1 || d.pp > 1);
             if single_node || segment_paired || small_pipelined {
@@ -233,8 +237,7 @@ pub fn low_affinity_placement(
         return None;
     }
 
-    let results: Mutex<Vec<(ParallelismConfig, ParallelismConfig, f64)>> =
-        Mutex::new(Vec::new());
+    let results: Mutex<Vec<(ParallelismConfig, ParallelismConfig, f64)>> = Mutex::new(Vec::new());
     let next: Mutex<usize> = Mutex::new(0);
     let workers = params.worker_count(combos.len());
     thread::scope(|s| {
@@ -251,11 +254,7 @@ pub fn low_affinity_placement(
                 }
                 let (p, d) = combos[idx];
                 let goodput = max_goodput(
-                    |r| {
-                        unit_attainment(
-                            cost, cluster, arch, dtype, p, d, source, slo, r, params,
-                        )
-                    },
+                    |r| unit_attainment(cost, cluster, arch, dtype, p, d, source, slo, r, params),
                     slo.target,
                     0.5,
                     params.search_iters,

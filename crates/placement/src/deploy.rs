@@ -30,7 +30,10 @@ pub enum Deployment {
 /// # Errors
 ///
 /// Returns a message when the cluster lacks the GPUs the placement needs.
-pub fn materialize(cluster: &Cluster, deployment: &Deployment) -> Result<Vec<InstanceSpec>, String> {
+pub fn materialize(
+    cluster: &Cluster,
+    deployment: &Deployment,
+) -> Result<Vec<InstanceSpec>, String> {
     let mut alloc = GpuAllocator::new(cluster);
     let mut specs = Vec::new();
     match deployment {
@@ -142,7 +145,10 @@ mod tests {
         let specs = materialize(&cluster, &Deployment::High(p)).unwrap();
         assert_eq!(specs.len(), 5);
         assert_eq!(
-            specs.iter().filter(|s| s.role == InstanceRole::Prefill).count(),
+            specs
+                .iter()
+                .filter(|s| s.role == InstanceRole::Prefill)
+                .count(),
             3
         );
         let gpus: usize = specs.iter().map(|s| s.num_gpus() as usize).sum();

@@ -14,7 +14,7 @@ use distserve_engine::batching::{PrefillItem, PrefillQueue};
 use distserve_engine::pipeline::Pipeline;
 use distserve_engine::KvBlockManager;
 use distserve_models::{
-    CostModel, DType, DecodeBatch, ModelArch, GpuSpec, ParallelismConfig, PrefillBatch,
+    CostModel, DType, DecodeBatch, GpuSpec, ModelArch, ParallelismConfig, PrefillBatch,
 };
 use distserve_simcore::{EventQueue, SimTime, Summary};
 use distserve_workload::{RequestId, Trace};
@@ -197,11 +197,8 @@ pub fn decode_tpots(
     if pool == 0 {
         return out;
     }
-    let mut kv = KvBlockManager::from_bytes(
-        pool,
-        cfg.arch.kv_bytes_per_token(cfg.dtype),
-        cfg.block_size,
-    );
+    let mut kv =
+        KvBlockManager::from_bytes(pool, cfg.arch.kv_bytes_per_token(cfg.dtype), cfg.block_size);
 
     let mut slots: Vec<Slot> = trace
         .requests()

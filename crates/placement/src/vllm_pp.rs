@@ -67,15 +67,14 @@ pub fn coloc_spec(cluster: &Cluster, par: ParallelismConfig) -> Result<InstanceS
         .map(|s| {
             let node = s / per_node;
             let base = (s % per_node) * par.tp;
-            (0..par.tp)
-                .map(|k| cluster.gpu(node, base + k))
-                .collect()
+            (0..par.tp).map(|k| cluster.gpu(node, base + k)).collect()
         })
         .collect();
     InstanceSpec::new(InstanceRole::Colocated, par, stages)
 }
 
 /// Measures a colocated config's attainment at `rate`.
+#[allow(clippy::too_many_arguments)]
 fn coloc_attainment(
     cost: &dyn CostModel,
     cluster: &Cluster,
@@ -104,6 +103,7 @@ fn coloc_attainment(
 /// Measures the goodput of a *fixed* colocated parallelism — this is
 /// plain vLLM with the paper's default settings.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn vllm_goodput(
     cost: &dyn CostModel,
     cluster: &Cluster,
@@ -124,6 +124,7 @@ pub fn vllm_goodput(
 
 /// Runs the vLLM++ search over tensor-parallel degrees.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn vllm_plus_plus(
     cost: &dyn CostModel,
     cluster: &Cluster,

@@ -78,7 +78,8 @@ impl SimRng {
     /// Derives an independent child generator identified by an index.
     #[must_use]
     pub fn split_index(&self, index: u64) -> SimRng {
-        let mixed = self.s[0] ^ self.s[2].rotate_left(29) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mixed =
+            self.s[0] ^ self.s[2].rotate_left(29) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed(mixed)
     }
 
@@ -177,7 +178,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seed(1);
         let mut b = SimRng::seed(2);
-        let same = (0..100).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..100)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

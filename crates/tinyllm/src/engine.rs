@@ -5,10 +5,22 @@
 //! code runs single-threaded (the full shard) and tensor-parallel (each
 //! worker a proper shard, summing partials — the all-reduce). This
 //! mirrors Megatron-style intra-operator parallelism (§2.2).
+//!
+//! Two execution tiers share the weights. [`Model::forward_token`] is the
+//! token-at-a-time *reference* path, written for readability. The *batch*
+//! path ([`Model::forward_batch`] plus the `*_batch` layer pieces) stacks
+//! many rows — a whole prompt in prefill, one row per active sequence in
+//! fused decode — into single GEMMs over pre-packed weights
+//! ([`PackedMatrix`]), reusing one [`Scratch`] arena across steps so the
+//! hot loop never allocates. The batch kernels accumulate in the same
+//! per-element order as the reference, so both tiers produce identical
+//! tokens (the scheduler tests assert exact equality).
 
-use crate::kv::{PagedKv, SeqId};
+use crate::kv::{KvLayerView, PagedKv, SeqId};
 use crate::model::{TinyConfig, Weights};
-use crate::tensor::{add_bias, layer_norm, relu, softmax, Matrix};
+use crate::tensor::{
+    layer_norm, layer_norm_into, relu, relu_slice, softmax, softmax_cols, Matrix, PackedMatrix,
+};
 
 /// A tensor-parallel shard: which heads and FFN columns this worker owns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,20 +69,200 @@ impl Shard {
     }
 }
 
+/// One row of a batched forward pass: a token of some sequence at some
+/// position. Prefill stacks a prompt's rows (same `seq`, ascending
+/// `pos`); fused decode stacks one row per active sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRow {
+    /// Sequence the row belongs to.
+    pub seq: SeqId,
+    /// Position within the sequence.
+    pub pos: usize,
+    /// Input token at that position.
+    pub token: u32,
+}
+
+/// Per-layer weights re-packed for the blocked kernels (built once at
+/// model construction).
+#[derive(Debug, Clone)]
+struct PackedLayer {
+    wqkv: PackedMatrix,
+    wo: PackedMatrix,
+    w1: PackedMatrix,
+    w2: PackedMatrix,
+}
+
+/// All packed weights: the per-layer projections plus the transposed
+/// embedding (`hidden × vocab`) so tied-embedding logits are one GEMM.
+#[derive(Debug, Clone)]
+struct PackedWeights {
+    layers: Vec<PackedLayer>,
+    embed_t: PackedMatrix,
+}
+
+impl PackedWeights {
+    fn build(w: &Weights) -> Self {
+        PackedWeights {
+            layers: w
+                .layers
+                .iter()
+                .map(|lw| PackedLayer {
+                    wqkv: PackedMatrix::pack(&lw.wqkv),
+                    wo: PackedMatrix::pack(&lw.wo),
+                    w1: PackedMatrix::pack(&lw.w1),
+                    w2: PackedMatrix::pack(&lw.w2),
+                })
+                .collect(),
+            embed_t: PackedMatrix::pack_transposed(&w.embed),
+        }
+    }
+}
+
+/// Reusable buffers for the batch path. One arena serves every step of a
+/// scheduler or generation loop; buffers are resized (never reallocated
+/// once at steady state) and fully overwritten by each kernel.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// `(m × hidden)` residual stream.
+    pub(crate) x: Vec<f32>,
+    /// `(m × hidden)` LayerNorm output.
+    pub(crate) normed: Vec<f32>,
+    /// `(m × 3·hidden)` fused Q/K/V projection.
+    qkv: Vec<f32>,
+    /// `(m × shard head dims)` attention context, shard slice only.
+    attn: Vec<f32>,
+    /// `(m × hidden)` projection partial (attention or FFN output).
+    pub(crate) partial: Vec<f32>,
+    /// `(m × shard FFN width)` FFN mid activation.
+    mid: Vec<f32>,
+    /// Attention scores of one row, position-major
+    /// (`context × shard heads`).
+    scores: Vec<f32>,
+    /// Per-block accumulator of the attention score pass
+    /// (`block_size` floats).
+    acc: Vec<f32>,
+    /// Column-softmax temporaries (`2 × shard heads`).
+    sm_tmp: Vec<f32>,
+    /// Selected rows gathered for the logits projection.
+    sel: Vec<f32>,
+    /// `(picks × vocab)` logits of the selected rows.
+    logits: Vec<f32>,
+    /// Row width of `logits` (the vocab size), set by `logits_batch`.
+    logits_width: usize,
+}
+
+impl Scratch {
+    /// An empty arena; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// The logits row for the `i`-th selected index of the last
+    /// [`Model::logits_batch`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for that call.
+    #[must_use]
+    pub fn logits_row(&self, i: usize) -> &[f32] {
+        let w = self.logits_width;
+        &self.logits[i * w..(i + 1) * w]
+    }
+}
+
+/// Attention score pass monomorphized for panels of `BS` positions: for
+/// each head, `BS` accumulators held in registers sweep the head's dims
+/// in ascending order (the reference dot's order), each step one FMA
+/// across the whole block. Scores land position-major
+/// (`scores[p * heads + hd]`), scaled. Panel columns past `ctx` are
+/// computed on garbage and discarded.
+#[allow(clippy::too_many_arguments)]
+fn score_panels<const BS: usize>(
+    view: &KvLayerView<'_>,
+    ctx: usize,
+    q_s: &[f32],
+    lo: usize,
+    d: usize,
+    heads: usize,
+    scale: f32,
+    scores: &mut [f32],
+) {
+    let mut base_p = 0;
+    for panel in view.key_panels(ctx) {
+        let take = (ctx - base_p).min(BS);
+        for hd in 0..heads {
+            let mut acc = [0.0f32; BS];
+            for (l, &q) in q_s[hd * d..(hd + 1) * d].iter().enumerate() {
+                let row: &[f32; BS] = panel[(lo + hd * d + l) * BS..][..BS]
+                    .try_into()
+                    .expect("BS-wide panel row");
+                for (a, &kv) in acc.iter_mut().zip(row) {
+                    *a += q * kv;
+                }
+            }
+            for (s, &a) in acc[..take].iter().enumerate() {
+                scores[(base_p + s) * heads + hd] = a * scale;
+            }
+        }
+        base_p += take;
+    }
+}
+
+/// Attention weighted-V pass monomorphized for a `W`-float shard width of
+/// `D`-dim heads: the output row rides in registers across the whole
+/// position loop, and positions are indexed with plain arithmetic inside
+/// each block's contiguous slot region (no per-position iterator state).
+/// The inner body is a straight line of `W` const-indexed FMAs. Positions
+/// accumulate in ascending order, exactly the reference path's
+/// association.
+fn weighted_v<const W: usize, const D: usize>(
+    view: &KvLayerView<'_>,
+    ctx: usize,
+    h: usize,
+    lo: usize,
+    scores: &[f32],
+    out_row: &mut [f32],
+) {
+    let heads = W / D;
+    let mut acc = [0.0f32; W];
+    let mut base_p = 0;
+    for (region, n) in view.slot_regions(ctx) {
+        for s in 0..n {
+            let v_s: &[f32; W] = region[s * 2 * h + h + lo..][..W]
+                .try_into()
+                .expect("W-wide V slice");
+            let w_row = &scores[(base_p + s) * heads..][..heads];
+            for hd in 0..heads {
+                let w = w_row[hd];
+                for l in 0..D {
+                    acc[hd * D + l] += w * v_s[hd * D + l];
+                }
+            }
+        }
+        base_p += n;
+    }
+    out_row.copy_from_slice(&acc);
+}
+
 /// A transformer model with weights, ready for inference.
 #[derive(Debug, Clone)]
 pub struct Model {
     cfg: TinyConfig,
     weights: Weights,
+    packed: PackedWeights,
 }
 
 impl Model {
     /// Builds a model with deterministic random weights.
     #[must_use]
     pub fn random(cfg: &TinyConfig, seed: u64) -> Self {
+        let weights = Weights::random(cfg, seed);
+        let packed = PackedWeights::build(&weights);
         Model {
             cfg: cfg.clone(),
-            weights: Weights::random(cfg, seed),
+            weights,
+            packed,
         }
     }
 
@@ -151,15 +343,12 @@ impl Model {
         let (q, rest) = qkv.data.split_at(h);
         let (k, v) = rest.split_at(h);
 
-        // Write this position's K/V: only the shard's head slice is
-        // meaningful in this worker's cache copy; other dims stay zero.
-        let mut k_masked = vec![0.0; h];
-        let mut v_masked = vec![0.0; h];
+        // Write this position's K/V: only the shard's head slice — the
+        // dims this worker will read back. Other dims are other shards'
+        // business (each worker owns a cache copy).
         let lo = shard.head_lo * d;
         let hi = shard.head_hi * d;
-        k_masked[lo..hi].copy_from_slice(&k[lo..hi]);
-        v_masked[lo..hi].copy_from_slice(&v[lo..hi]);
-        kv.append(seq, layer, pos, &k_masked, &v_masked)
+        kv.append_range(seq, layer, pos, lo, &k[lo..hi], &v[lo..hi])
             .expect("KV append within capacity");
 
         // Per-head causal attention over the cache.
@@ -199,18 +388,19 @@ impl Model {
         // Zero-pad to full FFN width; zero rows are skipped by matmul.
         let mut padded = vec![0.0; self.cfg.ffn];
         padded[shard.ffn_lo..shard.ffn_hi].copy_from_slice(&mid.data);
-        Matrix::from_vec(1, self.cfg.ffn, padded).matmul(&lw.w2).data
+        Matrix::from_vec(1, self.cfg.ffn, padded)
+            .matmul(&lw.w2)
+            .data
     }
 
     /// Output logits from a final hidden state (tied embeddings).
     #[must_use]
     pub fn logits(&self, x: &[f32]) -> Vec<f32> {
-        let mut normed = layer_norm(
+        let normed = layer_norm(
             &Matrix::from_vec(1, x.len(), x.to_vec()),
             &self.weights.lnf_scale,
             &self.weights.lnf_shift,
         );
-        add_bias(&mut normed, &vec![0.0; x.len()]);
         let mut out = vec![0.0; self.cfg.vocab];
         for (t, o) in out.iter_mut().enumerate() {
             *o = normed
@@ -223,15 +413,303 @@ impl Model {
         out
     }
 
+    /// Embeds every batch row (token + learned position) into
+    /// `scratch.x`, the `(m × hidden)` residual stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token or position is out of range.
+    pub fn embed_rows(&self, rows: &[BatchRow], scratch: &mut Scratch) {
+        let h = self.cfg.hidden;
+        scratch.x.resize(rows.len() * h, 0.0);
+        for (i, row) in rows.iter().enumerate() {
+            let t = row.token as usize;
+            assert!(t < self.cfg.vocab, "token {t} out of vocab");
+            assert!(
+                row.pos < self.cfg.max_seq,
+                "position {} past max_seq",
+                row.pos
+            );
+            let out = &mut scratch.x[i * h..(i + 1) * h];
+            for ((o, e), p) in out
+                .iter_mut()
+                .zip(self.weights.embed.row(t))
+                .zip(self.weights.pos.row(row.pos))
+            {
+                *o = e + p;
+            }
+        }
+    }
+
+    /// Pre-attention LayerNorm of the whole batch: `scratch.x` →
+    /// `scratch.normed`.
+    pub fn ln1_batch(&self, layer: usize, m: usize, scratch: &mut Scratch) {
+        let lw = &self.weights.layers[layer];
+        let h = self.cfg.hidden;
+        scratch.normed.resize(m * h, 0.0);
+        layer_norm_into(
+            &scratch.x[..m * h],
+            m,
+            &lw.ln1_scale,
+            &lw.ln1_shift,
+            &mut scratch.normed[..m * h],
+        );
+    }
+
+    /// Pre-FFN LayerNorm of the whole batch: `scratch.x` →
+    /// `scratch.normed`.
+    pub fn ln2_batch(&self, layer: usize, m: usize, scratch: &mut Scratch) {
+        let lw = &self.weights.layers[layer];
+        let h = self.cfg.hidden;
+        scratch.normed.resize(m * h, 0.0);
+        layer_norm_into(
+            &scratch.x[..m * h],
+            m,
+            &lw.ln2_scale,
+            &lw.ln2_shift,
+            &mut scratch.normed[..m * h],
+        );
+    }
+
+    /// Batched attention for the shard's heads: one fused Q/K/V GEMM over
+    /// all rows, shard-sliced KV appends, per-row causal attention read
+    /// through a [`crate::kv::KvLayerView`], and the shard's slice of the
+    /// output projection as one row-sliced GEMM. Reads `scratch.normed`,
+    /// leaves the partial in `scratch.partial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a KV append fails — the scheduler must admit within
+    /// capacity.
+    pub fn attn_batch(
+        &self,
+        layer: usize,
+        rows: &[BatchRow],
+        kv: &mut PagedKv,
+        shard: Shard,
+        scratch: &mut Scratch,
+    ) {
+        let h = self.cfg.hidden;
+        let d = self.cfg.head_dim();
+        let m = rows.len();
+        let pw = &self.packed.layers[layer];
+        let lo = shard.head_lo * d;
+        let hi = shard.head_hi * d;
+        let width = hi - lo;
+
+        // One GEMM for every row's Q, K and V.
+        scratch.qkv.resize(m * 3 * h, 0.0);
+        pw.wqkv
+            .matmul_into(&scratch.normed[..m * h], m, &mut scratch.qkv[..m * 3 * h]);
+
+        // Append each row's K/V (shard dims only) before any row attends:
+        // within one batch a prefill row must see its predecessors' keys.
+        for (i, row) in rows.iter().enumerate() {
+            let qkv_row = &scratch.qkv[i * 3 * h..(i + 1) * 3 * h];
+            let k = &qkv_row[h..2 * h];
+            let v = &qkv_row[2 * h..3 * h];
+            kv.append_range(row.seq, layer, row.pos, lo, &k[lo..hi], &v[lo..hi])
+                .expect("KV append within capacity");
+        }
+
+        // Causal attention per row, reading the cache through a
+        // per-sequence layer view (block table resolved once per row).
+        // Scores are stored position-major (`scores[p * heads + hd]`) so
+        // softmax and the weighted-V pass vectorize across the
+        // independent heads; the score pass reads the cache's dim-major
+        // transposed key panels and vectorizes across a block of
+        // positions at a time. Per head every reduction still runs in
+        // the reference path's order (dims ascending for each dot,
+        // positions ascending for softmax sums and V accumulation), so
+        // outputs stay bit-identical.
+        let scale = 1.0 / (d as f32).sqrt();
+        let heads = shard.head_hi - shard.head_lo;
+        scratch.attn.resize(m * width, 0.0);
+        scratch.attn.fill(0.0);
+        for (i, row) in rows.iter().enumerate() {
+            let view = kv.layer_view(row.seq, layer);
+            let ctx = row.pos + 1;
+            let bs = view.block_size();
+            let q_s = &scratch.qkv[i * 3 * h + lo..i * 3 * h + hi];
+            scratch.scores.resize(ctx * heads, 0.0);
+            // Score pass: per head, dims accumulate in ascending order
+            // (the reference dot's order) while each FMA spans the
+            // block's whole position range. The standard block size gets
+            // the monomorphized kernel whose accumulators stay in
+            // registers across the dim loop.
+            if bs == 16 {
+                score_panels::<16>(&view, ctx, q_s, lo, d, heads, scale, &mut scratch.scores);
+            } else {
+                scratch.acc.resize(bs, 0.0);
+                let mut base_p = 0;
+                for panel in view.key_panels(ctx) {
+                    let take = (ctx - base_p).min(bs);
+                    for hd in 0..heads {
+                        let acc = &mut scratch.acc[..bs];
+                        acc.fill(0.0);
+                        for (l, &q) in q_s[hd * d..(hd + 1) * d].iter().enumerate() {
+                            let dim_row = &panel[(lo + hd * d + l) * bs..][..bs];
+                            for (a, &kv) in acc.iter_mut().zip(dim_row) {
+                                *a += q * kv;
+                            }
+                        }
+                        for (s, &a) in acc[..take].iter().enumerate() {
+                            scratch.scores[(base_p + s) * heads + hd] = a * scale;
+                        }
+                    }
+                    base_p += take;
+                }
+            }
+            softmax_cols(
+                &mut scratch.scores[..ctx * heads],
+                ctx,
+                heads,
+                &mut scratch.sm_tmp,
+            );
+            // Weighted-V pass: per position, each head's broadcast weight
+            // times its `d`-float V chunk, weights read contiguously from
+            // the position-major scores. Each output element accumulates
+            // over positions in ascending order. Common shard shapes get
+            // the monomorphized kernel that carries the whole output row
+            // in registers across the position loop.
+            let out_row = &mut scratch.attn[i * width..(i + 1) * width];
+            let scores = &scratch.scores;
+            match (d, width) {
+                (8, 64) => weighted_v::<64, 8>(&view, ctx, h, lo, scores, out_row),
+                (8, 32) => weighted_v::<32, 8>(&view, ctx, h, lo, scores, out_row),
+                (8, 16) => weighted_v::<16, 8>(&view, ctx, h, lo, scores, out_row),
+                (8, 8) => weighted_v::<8, 8>(&view, ctx, h, lo, scores, out_row),
+                _ => {
+                    for (p, v_p) in view.values(ctx).enumerate() {
+                        let w_row = &scores[p * heads..(p + 1) * heads];
+                        let v_s = &v_p[lo..hi];
+                        for ((out_c, v_c), &w) in out_row
+                            .chunks_exact_mut(d)
+                            .zip(v_s.chunks_exact(d))
+                            .zip(w_row)
+                        {
+                            for (o, &vv) in out_c.iter_mut().zip(v_c) {
+                                *o += w * vv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Output projection: only the shard's rows of W_O, fed by the
+        // tight shard-width context (no zero padding).
+        scratch.partial.resize(m * h, 0.0);
+        pw.wo.matmul_rows_into(
+            &scratch.attn[..m * width],
+            m,
+            lo,
+            hi,
+            &mut scratch.partial[..m * h],
+        );
+    }
+
+    /// Batched FFN for the shard's columns:
+    /// `relu(normed · W1[:, lo..hi]) · W2[lo..hi, :]` as two sliced GEMMs.
+    /// Reads `scratch.normed`, leaves the partial in `scratch.partial`.
+    pub fn ffn_batch(&self, layer: usize, m: usize, shard: Shard, scratch: &mut Scratch) {
+        let h = self.cfg.hidden;
+        let pw = &self.packed.layers[layer];
+        let fw = shard.ffn_hi - shard.ffn_lo;
+        scratch.mid.resize(m * fw, 0.0);
+        pw.w1.matmul_cols_into(
+            &scratch.normed[..m * h],
+            m,
+            shard.ffn_lo,
+            shard.ffn_hi,
+            &mut scratch.mid[..m * fw],
+        );
+        relu_slice(&mut scratch.mid[..m * fw]);
+        scratch.partial.resize(m * h, 0.0);
+        pw.w2.matmul_rows_into(
+            &scratch.mid[..m * fw],
+            m,
+            shard.ffn_lo,
+            shard.ffn_hi,
+            &mut scratch.partial[..m * h],
+        );
+    }
+
+    /// Adds the current `scratch.partial` into the residual stream — the
+    /// single-shard stand-in for the tensor-parallel all-reduce.
+    pub fn add_partial(&self, m: usize, scratch: &mut Scratch) {
+        let h = self.cfg.hidden;
+        for (xi, p) in scratch.x[..m * h].iter_mut().zip(&scratch.partial[..m * h]) {
+            *xi += p;
+        }
+    }
+
+    /// Full (single-shard) batched forward pass: every row of `rows`
+    /// through all layers, final hidden states left in `scratch.x`.
+    /// Serves both batched prefill (a whole prompt as one activation
+    /// matrix) and fused decode (one row per active sequence); logits are
+    /// *not* computed here — call [`Model::logits_batch`] on the rows
+    /// that need them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range tokens/positions or KV append failure.
+    pub fn forward_batch(&self, rows: &[BatchRow], kv: &mut PagedKv, scratch: &mut Scratch) {
+        if rows.is_empty() {
+            scratch.x.clear();
+            return;
+        }
+        let shard = Shard::full(&self.cfg);
+        let m = rows.len();
+        self.embed_rows(rows, scratch);
+        for layer in 0..self.cfg.layers {
+            self.ln1_batch(layer, m, scratch);
+            self.attn_batch(layer, rows, kv, shard, scratch);
+            self.add_partial(m, scratch);
+            self.ln2_batch(layer, m, scratch);
+            self.ffn_batch(layer, m, shard, scratch);
+            self.add_partial(m, scratch);
+        }
+    }
+
+    /// Logits for the selected rows of the last [`Model::forward_batch`]:
+    /// final LayerNorm plus one `(picks × vocab)` GEMM against the
+    /// pre-transposed embedding. Results are read back with
+    /// [`Scratch::logits_row`]. Prefill only pays for the rows it needs
+    /// (each prompt's last position) instead of projecting every token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for the forwarded batch.
+    pub fn logits_batch(&self, picks: &[usize], scratch: &mut Scratch) {
+        let h = self.cfg.hidden;
+        let r = picks.len();
+        scratch.sel.resize(r * h, 0.0);
+        for (j, &i) in picks.iter().enumerate() {
+            let src = &scratch.x[i * h..(i + 1) * h];
+            scratch.sel[j * h..(j + 1) * h].copy_from_slice(src);
+        }
+        scratch.normed.resize(r * h, 0.0);
+        layer_norm_into(
+            &scratch.sel[..r * h],
+            r,
+            &self.weights.lnf_scale,
+            &self.weights.lnf_shift,
+            &mut scratch.normed[..r * h],
+        );
+        let vocab = self.cfg.vocab;
+        scratch.logits.resize(r * vocab, 0.0);
+        scratch.logits_width = vocab;
+        self.packed.embed_t.matmul_into(
+            &scratch.normed[..r * h],
+            r,
+            &mut scratch.logits[..r * vocab],
+        );
+    }
+
     /// Full (single-shard) forward pass of one token, returning logits.
     #[must_use]
-    pub fn forward_token(
-        &self,
-        seq: SeqId,
-        pos: usize,
-        token: u32,
-        kv: &mut PagedKv,
-    ) -> Vec<f32> {
+    pub fn forward_token(&self, seq: SeqId, pos: usize, token: u32, kv: &mut PagedKv) -> Vec<f32> {
         let shard = Shard::full(&self.cfg);
         let mut x = self.embed_token(token, pos);
         for layer in 0..self.cfg.layers {
@@ -295,15 +773,13 @@ impl Model {
             logits = self.forward_token(0, pos, tok, &mut kv);
         }
         let mut out = Vec::with_capacity(max_new);
-        let mut pos = prompt.len();
-        for _ in 0..max_new {
+        for pos in prompt.len()..prompt.len() + max_new {
             let next = sampler.sample(&logits);
             out.push(next);
             if out.len() == max_new {
                 break;
             }
             logits = self.forward_token(0, pos, next, &mut kv);
-            pos += 1;
         }
         out
     }
@@ -399,6 +875,140 @@ mod tests {
             for (s, p) in sum_ffn.iter_mut().zip(&part) {
                 *s += p;
             }
+        }
+        for (a, b) in full_ffn.iter().zip(&sum_ffn) {
+            assert!((a - b).abs() < 1e-5, "ffn: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batched_prefill_bit_matches_reference() {
+        // The whole prompt as one activation matrix must produce exactly
+        // the reference token-at-a-time logits — same float ops in the
+        // same order, not merely close.
+        let m = model();
+        let prompt = [7u32, 3, 11, 4, 9];
+
+        let mut kv_ref = m.make_kv(32, 4);
+        kv_ref.register(0);
+        let mut ref_logits = Vec::new();
+        for (pos, &t) in prompt.iter().enumerate() {
+            ref_logits = m.forward_token(0, pos, t, &mut kv_ref);
+        }
+
+        let mut kv_b = m.make_kv(32, 4);
+        kv_b.register(0);
+        let rows: Vec<BatchRow> = prompt
+            .iter()
+            .enumerate()
+            .map(|(pos, &token)| BatchRow { seq: 0, pos, token })
+            .collect();
+        let mut scratch = Scratch::new();
+        m.forward_batch(&rows, &mut kv_b, &mut scratch);
+        m.logits_batch(&[prompt.len() - 1], &mut scratch);
+        assert_eq!(scratch.logits_row(0), &ref_logits[..]);
+    }
+
+    #[test]
+    fn fused_decode_bit_matches_reference() {
+        // Several sequences decoding as one stacked batch must equal each
+        // sequence decoded alone.
+        let m = model();
+        let prompts: [&[u32]; 3] = [&[1, 2, 3], &[9, 8], &[4, 4, 4, 4]];
+
+        // Reference: each sequence in its own cache, token at a time.
+        let mut ref_logits = Vec::new();
+        for prompt in prompts {
+            let mut kv = m.make_kv(16, 4);
+            kv.register(0);
+            let mut logits = Vec::new();
+            for (pos, &t) in prompt.iter().enumerate() {
+                logits = m.forward_token(0, pos, t, &mut kv);
+            }
+            let next = crate::tensor::argmax(&logits) as u32;
+            let logits = m.forward_token(0, prompt.len(), next, &mut kv);
+            ref_logits.push(logits);
+        }
+
+        // Batched: shared cache, prefill each prompt, then one fused
+        // decode step over all three sequences.
+        let mut kv = m.make_kv(64, 4);
+        let mut scratch = Scratch::new();
+        let mut decode_rows = Vec::new();
+        for (s, prompt) in prompts.iter().enumerate() {
+            let seq = s as SeqId;
+            kv.register(seq);
+            let rows: Vec<BatchRow> = prompt
+                .iter()
+                .enumerate()
+                .map(|(pos, &token)| BatchRow { seq, pos, token })
+                .collect();
+            m.forward_batch(&rows, &mut kv, &mut scratch);
+            m.logits_batch(&[prompt.len() - 1], &mut scratch);
+            let next = crate::tensor::argmax(scratch.logits_row(0)) as u32;
+            decode_rows.push(BatchRow {
+                seq,
+                pos: prompt.len(),
+                token: next,
+            });
+        }
+        m.forward_batch(&decode_rows, &mut kv, &mut scratch);
+        m.logits_batch(&[0, 1, 2], &mut scratch);
+        for (i, expect) in ref_logits.iter().enumerate() {
+            assert_eq!(scratch.logits_row(i), &expect[..], "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_batch_partials_sum_to_full() {
+        // attn_batch/ffn_batch over proper shards must sum to the full
+        // shard's partial (the all-reduce invariant, batch tier).
+        let m = model();
+        let cfg = m.config().clone();
+        let rows = [
+            BatchRow {
+                seq: 0,
+                pos: 0,
+                token: 3,
+            },
+            BatchRow {
+                seq: 0,
+                pos: 1,
+                token: 8,
+            },
+        ];
+        let mh = rows.len() * cfg.hidden;
+
+        let mut kv_full = m.make_kv(8, 8);
+        kv_full.register(0);
+        let mut s_full = Scratch::new();
+        m.embed_rows(&rows, &mut s_full);
+        m.ln1_batch(0, rows.len(), &mut s_full);
+        m.attn_batch(0, &rows, &mut kv_full, Shard::full(&cfg), &mut s_full);
+        let full_attn = s_full.partial.clone();
+        m.ffn_batch(0, rows.len(), Shard::full(&cfg), &mut s_full);
+        let full_ffn = s_full.partial.clone();
+
+        let mut sum_attn = vec![0.0; mh];
+        let mut sum_ffn = vec![0.0; mh];
+        for rank in 0..2 {
+            let shard = Shard::of(&cfg, rank, 2);
+            let mut kv_s = m.make_kv(8, 8);
+            kv_s.register(0);
+            let mut s = Scratch::new();
+            m.embed_rows(&rows, &mut s);
+            m.ln1_batch(0, rows.len(), &mut s);
+            m.attn_batch(0, &rows, &mut kv_s, shard, &mut s);
+            for (a, p) in sum_attn.iter_mut().zip(&s.partial) {
+                *a += p;
+            }
+            m.ffn_batch(0, rows.len(), shard, &mut s);
+            for (a, p) in sum_ffn.iter_mut().zip(&s.partial) {
+                *a += p;
+            }
+        }
+        for (a, b) in full_attn.iter().zip(&sum_attn) {
+            assert!((a - b).abs() < 1e-5, "attention: {a} vs {b}");
         }
         for (a, b) in full_ffn.iter().zip(&sum_ffn) {
             assert!((a - b).abs() < 1e-5, "ffn: {a} vs {b}");

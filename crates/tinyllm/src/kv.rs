@@ -46,9 +46,14 @@ impl std::error::Error for PagedKvError {}
 
 /// Paged K/V storage for one model.
 ///
-/// Physical layout: `blocks[block][layer][slot][2][hidden]` flattened —
-/// each block holds `block_size` consecutive token positions for *all*
-/// layers (keys then values per slot).
+/// Physical layout per `(block, layer)`: `block_size` slots of
+/// `[key hidden | value hidden]`, followed by a *transposed key panel* —
+/// the same keys stored dim-major (`kt[dim][slot]`, `hidden × block_size`
+/// floats). Each block holds `block_size` consecutive token positions
+/// for *all* layers. The panel is written on append alongside the
+/// position-major copy; batched attention's score pass reads it so the
+/// per-head dot products vectorize across a whole block of positions
+/// (contiguous in the position index) instead of striding row to row.
 #[derive(Debug, Clone)]
 pub struct PagedKv {
     layers: usize,
@@ -74,7 +79,7 @@ impl PagedKv {
     #[must_use]
     pub fn new(layers: usize, hidden: usize, block_size: usize, num_blocks: usize) -> Self {
         assert!(layers > 0 && hidden > 0 && block_size > 0 && num_blocks > 0);
-        let block_floats = layers * block_size * 2 * hidden;
+        let block_floats = layers * block_size * 3 * hidden;
         PagedKv {
             layers,
             hidden,
@@ -108,7 +113,13 @@ impl PagedKv {
     /// Total blocks in the pool.
     #[must_use]
     pub fn total_blocks(&self) -> usize {
-        self.storage.len() / (self.layers * self.block_size * 2 * self.hidden)
+        self.storage.len() / (self.layers * self.layer_stride())
+    }
+
+    /// Floats per `(block, layer)` region: the position-major slots plus
+    /// the transposed key panel.
+    fn layer_stride(&self) -> usize {
+        self.block_size * 3 * self.hidden
     }
 
     /// Appends the K and V vectors of one token position for one layer.
@@ -129,6 +140,32 @@ impl PagedKv {
     ) -> Result<(), PagedKvError> {
         debug_assert_eq!(k.len(), self.hidden);
         debug_assert_eq!(v.len(), self.hidden);
+        self.append_range(seq, layer, pos, 0, k, v)
+    }
+
+    /// Appends only dims `[dim_lo, dim_lo + k.len())` of one position's K
+    /// and V for one layer — the write a tensor-parallel shard makes for
+    /// its own head slice, replacing the old full-hidden masked write.
+    /// Dims outside the range are left untouched; a shard only ever reads
+    /// the dims it owns. Position accounting is identical to [`append`].
+    ///
+    /// # Errors
+    ///
+    /// [`PagedKvError`] on unknown sequences, pool exhaustion, or
+    /// out-of-order writes.
+    ///
+    /// [`append`]: PagedKv::append
+    pub fn append_range(
+        &mut self,
+        seq: SeqId,
+        layer: usize,
+        pos: usize,
+        dim_lo: usize,
+        k: &[f32],
+        v: &[f32],
+    ) -> Result<(), PagedKvError> {
+        debug_assert_eq!(k.len(), v.len());
+        debug_assert!(dim_lo + k.len() <= self.hidden);
         debug_assert!(layer < self.layers);
         let block_size = self.block_size;
         let table = self
@@ -136,22 +173,24 @@ impl PagedKv {
             .get_mut(&seq)
             .ok_or(PagedKvError::UnknownSeq(seq))?;
         // Layer 0 drives the logical length; other layers fill the same
-        // position.
+        // position. A repeated layer-0 write to the newest position is a
+        // refill (another shard's dim range), not an advance.
         if layer == 0 {
-            if pos != table.len {
+            if pos == table.len {
+                if pos == table.blocks.len() * block_size {
+                    let block = self.free.pop().ok_or(PagedKvError::OutOfBlocks)?;
+                    let table = self.tables.get_mut(&seq).expect("just present");
+                    table.blocks.push(block);
+                    table.len += 1;
+                } else {
+                    table.len += 1;
+                }
+            } else if pos + 1 != table.len {
                 return Err(PagedKvError::NonContiguousWrite {
                     seq,
                     expected: table.len,
                     got: pos,
                 });
-            }
-            if pos == table.blocks.len() * block_size {
-                let block = self.free.pop().ok_or(PagedKvError::OutOfBlocks)?;
-                let table = self.tables.get_mut(&seq).expect("just present");
-                table.blocks.push(block);
-                table.len += 1;
-            } else {
-                table.len += 1;
             }
         } else if pos >= table.len {
             return Err(PagedKvError::NonContiguousWrite {
@@ -165,8 +204,17 @@ impl PagedKv {
         let slot = pos % block_size;
         let base = self.slot_base(block, layer, slot);
         let h = self.hidden;
-        self.storage[base..base + h].copy_from_slice(k);
-        self.storage[base + h..base + 2 * h].copy_from_slice(v);
+        let w = k.len();
+        self.storage[base + dim_lo..base + dim_lo + w].copy_from_slice(k);
+        self.storage[base + h + dim_lo..base + h + dim_lo + w].copy_from_slice(v);
+        // Mirror the key into the block's dim-major transposed panel
+        // (this position's column of each written dim's row).
+        let kt = block * self.layers * self.layer_stride()
+            + layer * self.layer_stride()
+            + 2 * h * block_size;
+        for (j, &kval) in k.iter().enumerate() {
+            self.storage[kt + (dim_lo + j) * block_size + slot] = kval;
+        }
         Ok(())
     }
 
@@ -193,16 +241,46 @@ impl PagedKv {
         &self.storage[base + h..base + 2 * h]
     }
 
+    /// A read view of one `(seq, layer)` pair that resolves the block
+    /// table once; the attention inner loop then indexes positions with
+    /// plain arithmetic instead of a hash lookup per position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is not registered.
+    #[must_use]
+    pub fn layer_view(&self, seq: SeqId, layer: usize) -> KvLayerView<'_> {
+        debug_assert!(layer < self.layers);
+        let table = self.tables.get(&seq).expect("sequence registered");
+        KvLayerView {
+            storage: &self.storage,
+            blocks: &table.blocks,
+            len: table.len,
+            block_size: self.block_size,
+            hidden: self.hidden,
+            block_floats: self.layers * self.layer_stride(),
+            layer_base: layer * self.layer_stride(),
+        }
+    }
+
     fn read_base(&self, seq: SeqId, layer: usize, pos: usize) -> (usize, usize) {
         let table = self.tables.get(&seq).expect("sequence registered");
-        assert!(pos < table.len, "read past KV length {} at {pos}", table.len);
+        assert!(
+            pos < table.len,
+            "read past KV length {} at {pos}",
+            table.len
+        );
         let block = table.blocks[pos / self.block_size];
-        (self.slot_base(block, layer, pos % self.block_size), self.hidden)
+        (
+            self.slot_base(block, layer, pos % self.block_size),
+            self.hidden,
+        )
     }
 
     fn slot_base(&self, block: usize, layer: usize, slot: usize) -> usize {
-        let block_floats = self.layers * self.block_size * 2 * self.hidden;
-        block * block_floats + (layer * self.block_size + slot) * 2 * self.hidden
+        block * self.layers * self.layer_stride()
+            + layer * self.layer_stride()
+            + slot * 2 * self.hidden
     }
 
     /// Frees a sequence's blocks.
@@ -217,6 +295,141 @@ impl PagedKv {
             .ok_or(PagedKvError::UnknownSeq(seq))?;
         self.free.extend(table.blocks);
         Ok(())
+    }
+}
+
+/// Borrowed read access to one sequence's K/V at one layer (see
+/// [`PagedKv::layer_view`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KvLayerView<'a> {
+    storage: &'a [f32],
+    blocks: &'a [usize],
+    len: usize,
+    block_size: usize,
+    hidden: usize,
+    block_floats: usize,
+    layer_base: usize,
+}
+
+impl KvLayerView<'_> {
+    /// Tokens stored for the sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence has no tokens yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_base(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.len, "read past KV length {} at {pos}", self.len);
+        let block = self.blocks[pos / self.block_size];
+        block * self.block_floats + self.layer_base + (pos % self.block_size) * 2 * self.hidden
+    }
+
+    /// The K vector at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is past the stored length.
+    #[inline]
+    #[must_use]
+    pub fn key(&self, pos: usize) -> &[f32] {
+        let base = self.slot_base(pos);
+        &self.storage[base..base + self.hidden]
+    }
+
+    /// The V vector at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is past the stored length.
+    #[inline]
+    #[must_use]
+    pub fn value(&self, pos: usize) -> &[f32] {
+        let base = self.slot_base(pos) + self.hidden;
+        &self.storage[base..base + self.hidden]
+    }
+
+    /// Walks the block table once, yielding K or V rows for positions
+    /// `0..ctx` in order — no per-position divide like [`Self::key`].
+    fn rows(&self, ctx: usize, kv_off: usize) -> impl Iterator<Item = &'_ [f32]> {
+        debug_assert!(ctx <= self.len, "read past KV length {} at {ctx}", self.len);
+        let storage = self.storage;
+        let h = self.hidden;
+        let (bs, bf, lb) = (self.block_size, self.block_floats, self.layer_base);
+        self.blocks
+            .iter()
+            .flat_map(move |&b| {
+                let base = b * bf + lb + kv_off;
+                (0..bs).map(move |s| &storage[base + s * 2 * h..base + s * 2 * h + h])
+            })
+            .take(ctx)
+    }
+
+    /// The K vectors at positions `0..ctx`, in order (attention's
+    /// score pass).
+    pub fn keys(&self, ctx: usize) -> impl Iterator<Item = &'_ [f32]> {
+        self.rows(ctx, 0)
+    }
+
+    /// The V vectors at positions `0..ctx`, in order (attention's
+    /// weighted-sum pass).
+    pub fn values(&self, ctx: usize) -> impl Iterator<Item = &'_ [f32]> {
+        self.rows(ctx, self.hidden)
+    }
+
+    /// Positions per block.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The position-major slot regions covering positions `0..ctx`, one
+    /// per block in order, each paired with its count of valid slots.
+    /// A region is the block's `block_size × [key hidden | value hidden]`
+    /// floats; slot `s`'s V vector starts at `s * 2 * hidden + hidden`.
+    /// Hot loops index slots with plain arithmetic on the region instead
+    /// of driving a per-position iterator.
+    pub fn slot_regions(&self, ctx: usize) -> impl Iterator<Item = (&'_ [f32], usize)> {
+        debug_assert!(ctx <= self.len, "read past KV length {} at {ctx}", self.len);
+        let storage = self.storage;
+        let region = 2 * self.hidden * self.block_size;
+        let (bs, bf, lb) = (self.block_size, self.block_floats, self.layer_base);
+        self.blocks
+            .iter()
+            .take(ctx.div_ceil(bs))
+            .enumerate()
+            .map(move |(bi, &b)| {
+                let base = b * bf + lb;
+                (&storage[base..base + region], (ctx - bi * bs).min(bs))
+            })
+    }
+
+    /// The dim-major transposed key panels covering positions `0..ctx`,
+    /// one per block in order: dim `l`'s row spans the panel's
+    /// `[l * block_size, (l + 1) * block_size)` — that dim's key value at
+    /// each of the block's positions, contiguous in the position index
+    /// (attention's score pass vectorizes over it). The last panel may
+    /// extend past `ctx`; its trailing columns are unwritten garbage the
+    /// caller must ignore.
+    pub fn key_panels(&self, ctx: usize) -> impl Iterator<Item = &'_ [f32]> {
+        debug_assert!(ctx <= self.len, "read past KV length {} at {ctx}", self.len);
+        let storage = self.storage;
+        let panel = self.hidden * self.block_size;
+        let (bf, lb) = (self.block_floats, self.layer_base);
+        let kt_off = 2 * self.hidden * self.block_size;
+        self.blocks
+            .iter()
+            .take(ctx.div_ceil(self.block_size))
+            .map(move |&b| {
+                let base = b * bf + lb + kt_off;
+                &storage[base..base + panel]
+            })
     }
 }
 
@@ -303,6 +516,91 @@ mod tests {
         assert_eq!(kv.key(1, 0, 0), &[1.0; 4]);
         assert_eq!(kv.key(2, 0, 0), &[2.0; 4]);
         assert_eq!(kv.value(1, 0, 1), &[3.5; 4]);
+    }
+
+    #[test]
+    fn append_range_writes_only_its_slice() {
+        let mut kv = kv();
+        kv.register(1);
+        // Two "shards" write disjoint halves of the same position.
+        kv.append_range(1, 0, 0, 0, &[1.0, 2.0], &[5.0, 6.0])
+            .unwrap();
+        kv.append_range(1, 0, 0, 2, &[3.0, 4.0], &[7.0, 8.0])
+            .unwrap();
+        assert_eq!(kv.key(1, 0, 0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(kv.value(1, 0, 0), &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(kv.seq_len(1), 1);
+    }
+
+    #[test]
+    fn append_range_keeps_position_accounting() {
+        let mut kv = kv();
+        kv.register(1);
+        kv.append_range(1, 0, 0, 1, &[9.0], &[9.5]).unwrap();
+        // Layer 0 advanced the length even for a partial-width write.
+        assert!(matches!(
+            kv.append_range(1, 0, 2, 1, &[0.0], &[0.0]),
+            Err(PagedKvError::NonContiguousWrite { .. })
+        ));
+        kv.append_range(1, 1, 0, 1, &[8.0], &[8.5]).unwrap();
+        assert_eq!(kv.key(1, 1, 0)[1], 8.0);
+    }
+
+    #[test]
+    fn layer_view_matches_point_reads() {
+        let mut kv = kv();
+        kv.register(3);
+        for pos in 0..6 {
+            let k = [pos as f32; 4];
+            let v = [pos as f32 + 0.5; 4];
+            kv.append(3, 0, pos, &k, &v).unwrap();
+            kv.append(3, 1, pos, &v, &k).unwrap();
+        }
+        for layer in 0..2 {
+            let view = kv.layer_view(3, layer);
+            assert_eq!(view.len(), 6);
+            assert!(!view.is_empty());
+            for pos in 0..6 {
+                assert_eq!(view.key(pos), kv.key(3, layer, pos));
+                assert_eq!(view.value(pos), kv.value(3, layer, pos));
+            }
+            // The block-walking iterators agree with point reads at
+            // every prefix length (block_size is 4, so ctx 5..6 spans
+            // a block boundary).
+            for ctx in 0..=6 {
+                let keys: Vec<&[f32]> = view.keys(ctx).collect();
+                let values: Vec<&[f32]> = view.values(ctx).collect();
+                assert_eq!(keys.len(), ctx);
+                for pos in 0..ctx {
+                    assert_eq!(keys[pos], view.key(pos));
+                    assert_eq!(values[pos], view.value(pos));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_panels_transpose_point_reads() {
+        let mut kv = kv(); // 2 layers, hidden 4, block size 4.
+        kv.register(3);
+        for pos in 0..6 {
+            let k: Vec<f32> = (0..4).map(|d| (pos * 10 + d) as f32).collect();
+            kv.append(3, 0, pos, &k, &[0.0; 4]).unwrap();
+            kv.append(3, 1, pos, &k, &[1.0; 4]).unwrap();
+        }
+        for layer in 0..2 {
+            let view = kv.layer_view(3, layer);
+            for ctx in 1..=6 {
+                let panels: Vec<&[f32]> = view.key_panels(ctx).collect();
+                assert_eq!(panels.len(), ctx.div_ceil(4));
+                for pos in 0..ctx {
+                    let (pan, slot) = (panels[pos / 4], pos % 4);
+                    for d in 0..4 {
+                        assert_eq!(pan[d * 4 + slot], view.key(pos)[d], "pos {pos} dim {d}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

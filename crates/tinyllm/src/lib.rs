@@ -13,7 +13,11 @@
 //!   otherwise) running against real forward passes;
 //! * **tensor parallelism** ([`parallel`]) — head/FFN-column sharded
 //!   execution across OS threads with an explicit all-reduce, verified
-//!   numerically equal to single-threaded execution.
+//!   numerically equal to single-threaded execution;
+//! * a **batched compute tier** ([`engine::Model::forward_batch`]) —
+//!   prompts and fused decode batches as single GEMMs over pre-packed
+//!   weights ([`tensor::PackedMatrix`]) with a reusable [`engine::Scratch`]
+//!   arena, bit-identical to the token-at-a-time reference path.
 //!
 //! Weights are deterministic pseudo-random: serving behavior (the subject
 //! of the paper) depends on architecture shape, not weight values.
@@ -38,7 +42,7 @@ pub mod sampling;
 pub mod scheduler;
 pub mod tensor;
 
-pub use engine::Model;
+pub use engine::{BatchRow, Model, Scratch, Shard};
 pub use kv::PagedKv;
 pub use model::TinyConfig;
 pub use sampling::{Sampler, Sampling};

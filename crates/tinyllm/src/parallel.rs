@@ -7,33 +7,44 @@
 //! cost model prices with `allreduce_time` (§2.2, §3.1), here validated
 //! numerically: the tensor-parallel result equals single-threaded
 //! execution to float tolerance.
+//!
+//! Workers run the batched engine tier: the whole prompt prefills as one
+//! activation matrix (one all-reduce per projection per layer instead of
+//! one per token), then decode proceeds a row at a time. The reduced
+//! buffers are `(m × hidden)`, so the all-reduce is width-agnostic.
 
 use std::sync::{Barrier, Mutex};
 
-use crate::engine::{Model, Shard};
+use crate::engine::{BatchRow, Model, Scratch, Shard};
 use crate::tensor::argmax;
 
 /// Shared all-reduce state for one tensor-parallel group.
 struct AllReduce {
     acc: Mutex<Vec<f32>>,
     barrier: Barrier,
-    world: usize,
 }
 
 impl AllReduce {
-    fn new(world: usize, width: usize) -> Self {
+    fn new(world: usize) -> Self {
         AllReduce {
-            acc: Mutex::new(vec![0.0; width]),
+            acc: Mutex::new(Vec::new()),
             barrier: Barrier::new(world),
-            world,
         }
     }
 
-    /// Contributes `partial` and returns the summed vector; rank 0 resets
-    /// the accumulator for the next round.
+    /// Contributes `partial` and returns the summed buffer; rank 0 resets
+    /// the accumulator for the next round. All ranks pass equal-length
+    /// buffers in a given round; the width may change between rounds
+    /// (prefill reduces `(m × hidden)`, decode `(1 × hidden)`).
     fn reduce(&self, rank: usize, partial: &[f32]) -> Vec<f32> {
         {
             let mut acc = self.acc.lock().expect("no poisoning");
+            if acc.len() != partial.len() {
+                // First contributor of a round with a new width; the
+                // accumulator holds only zeros here.
+                acc.clear();
+                acc.resize(partial.len(), 0.0);
+            }
             for (a, p) in acc.iter_mut().zip(partial) {
                 *a += p;
             }
@@ -48,7 +59,6 @@ impl AllReduce {
             }
         }
         self.barrier.wait();
-        let _ = self.world;
         full
     }
 }
@@ -78,11 +88,13 @@ pub fn generate_tp(model: &Model, prompt: &[u32], max_new: usize, world: usize) 
     if world == 1 {
         return model.generate(prompt, max_new);
     }
+    if max_new == 0 {
+        return Vec::new();
+    }
 
-    let reduce = AllReduce::new(world, cfg.hidden);
+    let reduce = AllReduce::new(world);
     // The emitted token of each step, written by rank 0.
     let emitted: Mutex<Vec<u32>> = Mutex::new(Vec::new());
-    let total_steps = prompt.len() + max_new - 1;
 
     crossbeam::thread::scope(|s| {
         for rank in 0..world {
@@ -93,41 +105,61 @@ pub fn generate_tp(model: &Model, prompt: &[u32], max_new: usize, world: usize) 
                 let shard = Shard::of(&cfg, rank, world);
                 let mut kv = model.make_kv(prompt.len() + max_new, 16);
                 kv.register(0);
-                let mut last_token = prompt[0];
-                for pos in 0..total_steps {
-                    // Pick this position's input token: prompt, or the
-                    // previously emitted token (identical on all ranks).
-                    let token = if pos < prompt.len() {
-                        prompt[pos]
-                    } else {
-                        last_token
+                let mut scratch = Scratch::new();
+
+                // One sharded layer sweep over `rows`, with an all-reduce
+                // after every attention and FFN partial.
+                let sweep =
+                    |rows: &[BatchRow], kv: &mut crate::kv::PagedKv, scratch: &mut Scratch| {
+                        let m = rows.len();
+                        model.embed_rows(rows, scratch);
+                        for layer in 0..cfg.layers {
+                            model.ln1_batch(layer, m, scratch);
+                            model.attn_batch(layer, rows, kv, shard, scratch);
+                            let full = reduce.reduce(rank, &scratch.partial);
+                            for (xi, a) in scratch.x.iter_mut().zip(&full) {
+                                *xi += a;
+                            }
+                            model.ln2_batch(layer, m, scratch);
+                            model.ffn_batch(layer, m, shard, scratch);
+                            let full = reduce.reduce(rank, &scratch.partial);
+                            for (xi, f) in scratch.x.iter_mut().zip(&full) {
+                                *xi += f;
+                            }
+                        }
                     };
-                    let mut x = model.embed_token(token, pos);
-                    for layer in 0..cfg.layers {
-                        let xa = model.ln1(layer, &x);
-                        let part = model.attn_partial(layer, &xa, 0, pos, &mut kv, shard);
-                        let attn = reduce.reduce(rank, &part);
-                        for (xi, a) in x.iter_mut().zip(&attn) {
-                            *xi += a;
-                        }
-                        let xf = model.ln2(layer, &x);
-                        let part = model.ffn_partial(layer, &xf, shard);
-                        let ffn = reduce.reduce(rank, &part);
-                        for (xi, f) in x.iter_mut().zip(&ffn) {
-                            *xi += f;
-                        }
-                    }
-                    // Every rank holds the identical hidden state; rank 0
-                    // publishes the sampled token, the barrier in the
-                    // next reduce round keeps steps in lockstep. Emission
-                    // starts at the last prompt position.
-                    if pos + 1 >= prompt.len() {
-                        let logits = model.logits(&x);
-                        let next = argmax(&logits) as u32;
-                        if rank == 0 {
-                            emitted.lock().expect("no poisoning").push(next);
-                        }
-                        last_token = next;
+
+                // Batched prefill: the whole prompt as one activation
+                // matrix — layers × 2 all-reduces total, not per token.
+                let rows: Vec<BatchRow> = prompt
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &token)| BatchRow { seq: 0, pos, token })
+                    .collect();
+                sweep(&rows, &mut kv, &mut scratch);
+                // Every rank holds identical hidden states (the reduce
+                // made them so); each computes logits locally and rank 0
+                // publishes. Barriers inside `reduce` keep steps in
+                // lockstep.
+                model.logits_batch(&[prompt.len() - 1], &mut scratch);
+                let mut last_token = argmax(scratch.logits_row(0)) as u32;
+                if rank == 0 {
+                    emitted.lock().expect("no poisoning").push(last_token);
+                }
+
+                // Decode one row at a time, feeding back the emitted
+                // token (identical on all ranks).
+                for step in 0..max_new - 1 {
+                    let row = [BatchRow {
+                        seq: 0,
+                        pos: prompt.len() + step,
+                        token: last_token,
+                    }];
+                    sweep(&row, &mut kv, &mut scratch);
+                    model.logits_batch(&[0], &mut scratch);
+                    last_token = argmax(scratch.logits_row(0)) as u32;
+                    if rank == 0 {
+                        emitted.lock().expect("no poisoning").push(last_token);
                     }
                 }
             });

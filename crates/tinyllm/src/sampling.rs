@@ -65,12 +65,10 @@ impl Sampler {
             Sampling::Greedy => argmax(logits) as u32,
             Sampling::TopK { k, temperature } => {
                 // Collect the k best (index, logit) pairs.
-                let mut indexed: Vec<(usize, f32)> =
-                    logits.iter().copied().enumerate().collect();
+                let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
                 indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 indexed.truncate(k.min(indexed.len()));
-                let mut probs: Vec<f32> =
-                    indexed.iter().map(|(_, l)| l / temperature).collect();
+                let mut probs: Vec<f32> = indexed.iter().map(|(_, l)| l / temperature).collect();
                 softmax(&mut probs);
                 let u = self.next_uniform();
                 let mut acc = 0.0;

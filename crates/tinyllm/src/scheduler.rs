@@ -7,10 +7,17 @@
 //! twin of `distserve-engine`'s colocated policy — same decisions, real
 //! tensors — and what a DistServe prefill/decoding worker would run
 //! internally per instance.
+//!
+//! Both step kinds run the batched engine tier: a prefill step stacks
+//! every admitted prompt into one activation matrix (logits computed only
+//! at each prompt's last position), and a decode step fuses all running
+//! sequences into a single `(batch × hidden)` pass — one GEMM per
+//! projection instead of one per request. Outputs are bit-identical to
+//! the token-at-a-time reference path (asserted by the tests below).
 
 use std::collections::VecDeque;
 
-use crate::engine::Model;
+use crate::engine::{BatchRow, Model, Scratch};
 use crate::kv::{PagedKv, SeqId};
 use crate::tensor::argmax;
 
@@ -42,7 +49,6 @@ pub struct FinishedGen {
 struct Running {
     id: SeqId,
     pos: usize,
-    last_logits: Vec<f32>,
     generated: Vec<u32>,
     max_new: usize,
     first_token_step: u64,
@@ -83,6 +89,8 @@ pub struct ContinuousBatcher {
     /// promises, not just the current free list.
     reserved_blocks: usize,
     steps: u64,
+    /// Reusable activation buffers for the batched forward passes.
+    scratch: Scratch,
 }
 
 impl ContinuousBatcher {
@@ -101,6 +109,7 @@ impl ContinuousBatcher {
             max_running: 64,
             reserved_blocks: 0,
             steps: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -159,20 +168,31 @@ impl ContinuousBatcher {
             }
         }
         if !admitted.is_empty() {
-            let mut tokens = 0;
-            let n = admitted.len();
-            for req in admitted {
+            // Batched prefill: all admitted prompts stacked into one
+            // activation matrix, logits only at each prompt's last row.
+            let mut rows = Vec::new();
+            let mut last_rows = Vec::with_capacity(admitted.len());
+            for req in &admitted {
                 self.kv.register(req.id);
-                let mut logits = Vec::new();
-                for (pos, &tok) in req.prompt.iter().enumerate() {
-                    logits = self.model.forward_token(req.id, pos, tok, &mut self.kv);
+                for (pos, &token) in req.prompt.iter().enumerate() {
+                    rows.push(BatchRow {
+                        seq: req.id,
+                        pos,
+                        token,
+                    });
                 }
-                tokens += req.prompt.len();
-                let first = argmax(&logits) as u32;
+                last_rows.push(rows.len() - 1);
+            }
+            let tokens = rows.len();
+            let n = admitted.len();
+            self.model
+                .forward_batch(&rows, &mut self.kv, &mut self.scratch);
+            self.model.logits_batch(&last_rows, &mut self.scratch);
+            for (i, req) in admitted.into_iter().enumerate() {
+                let first = argmax(self.scratch.logits_row(i)) as u32;
                 let mut running = Running {
                     id: req.id,
                     pos: req.prompt.len(),
-                    last_logits: logits,
                     generated: vec![first],
                     max_new: req.max_new,
                     first_token_step: self.steps,
@@ -191,15 +211,26 @@ impl ContinuousBatcher {
         if self.running.is_empty() {
             return StepKind::Idle;
         }
-        // Decode one token for every running request.
+        // Fused decode: one stacked forward for every running request —
+        // per projection a single (batch × hidden) GEMM.
+        let rows: Vec<BatchRow> = self
+            .running
+            .iter()
+            .map(|r| BatchRow {
+                seq: r.id,
+                pos: r.pos,
+                token: *r.generated.last().expect("has first token"),
+            })
+            .collect();
+        self.model
+            .forward_batch(&rows, &mut self.kv, &mut self.scratch);
+        let picks: Vec<usize> = (0..rows.len()).collect();
+        self.model.logits_batch(&picks, &mut self.scratch);
         let mut still_running = Vec::with_capacity(self.running.len());
         let mut advanced = 0;
-        for mut r in std::mem::take(&mut self.running) {
-            let tok = *r.generated.last().expect("has first token");
-            let logits = self.model.forward_token(r.id, r.pos, tok, &mut self.kv);
+        for (i, mut r) in std::mem::take(&mut self.running).into_iter().enumerate() {
             r.pos += 1;
-            r.last_logits = logits;
-            let next = argmax(&r.last_logits) as u32;
+            let next = argmax(self.scratch.logits_row(i)) as u32;
             r.generated.push(next);
             advanced += 1;
             if r.generated.len() >= r.max_new {
@@ -209,9 +240,7 @@ impl ContinuousBatcher {
             }
         }
         self.running = still_running;
-        StepKind::Decode {
-            requests: advanced,
-        }
+        StepKind::Decode { requests: advanced }
     }
 
     fn lifetime_blocks(tokens: usize) -> usize {
@@ -309,7 +338,10 @@ mod tests {
         batcher.submit(req(0, vec![1; 24], 24));
         batcher.submit(req(1, vec![2; 24], 24));
         let k1 = batcher.step();
-        assert!(matches!(k1, StepKind::Prefill { requests: 1, .. }), "{k1:?}");
+        assert!(
+            matches!(k1, StepKind::Prefill { requests: 1, .. }),
+            "{k1:?}"
+        );
         // Second stays waiting until the first finishes.
         assert_eq!(batcher.waiting_len(), 1);
         let done = batcher.run_to_completion();

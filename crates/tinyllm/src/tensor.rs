@@ -1,10 +1,21 @@
-//! Minimal dense linear algebra for the inference engine.
+//! Dense linear algebra for the inference engine.
 //!
-//! Everything here is plain `f32` row-major matrices — no SIMD intrinsics,
-//! no unsafe. The goal is correctness and readability; the simulation
-//! crates own performance questions.
+//! Two tiers live here. [`Matrix`] is the readable reference
+//! implementation that the property tests compare against. [`PackedMatrix`]
+//! is the performance tier: weights copied once into a k-major (input-dim
+//! contiguous) layout, multiplied by register-tiled kernels ([`MR`] rows
+//! × [`NR`] outputs of accumulators held across the k-loop) that write
+//! into caller-owned scratch — no per-call allocation, no data-dependent
+//! branches in the inner loops. tinyllm owns a real performance budget
+//! (the bench crate records its trajectory in `BENCH_tinyllm.json`); the
+//! simulation crates model timing, this crate has to earn it.
+//!
+//! Every packed kernel accumulates each output element over `k` in
+//! ascending order with a single accumulator — the same association the
+//! reference `Matrix::matmul` uses — so the fast path is bit-compatible
+//! with the reference path, not merely close.
 
-/// A row-major matrix.
+/// A row-major matrix (reference tier).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     /// Number of rows.
@@ -48,7 +59,8 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self × other`, where `other` is `(self.cols × n)`.
+    /// `self × other`, where `other` is `(self.cols × n)`. Reference
+    /// implementation: allocating, unblocked.
     ///
     /// # Panics
     ///
@@ -61,9 +73,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = other.row(k);
                 for (j, &b) in b_row.iter().enumerate() {
                     out_row[j] += a * b;
@@ -74,7 +83,7 @@ impl Matrix {
     }
 
     /// `self × other[:, col_lo..col_hi]` — a column-sliced product, used
-    /// by tensor-parallel shards.
+    /// by tensor-parallel shards (reference tier).
     ///
     /// # Panics
     ///
@@ -89,9 +98,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.row(k)[col_lo..col_hi];
                 for (j, &b) in b_row.iter().enumerate() {
                     out_row[j] += a * b;
@@ -99,6 +105,206 @@ impl Matrix {
             }
         }
         out
+    }
+}
+
+/// Activation rows per register tile. Each weight row loaded from cache
+/// is reused across `MR` output rows — reuse the `m = 1` token-at-a-time
+/// path can never have.
+/// Four rows × two SIMD vectors of accumulators (8) plus a weight
+/// segment (2) and a broadcast lane leaves slack in a 16-register SIMD
+/// file; six rows (14+ live vectors) measurably spills.
+const MR: usize = 4;
+
+/// Output columns per register tile: two SIMD vectors' worth of
+/// accumulators per activation row. The `MR × NR` accumulator block stays
+/// in registers for the whole k-loop; the activation rows (≤ a few KB)
+/// stay in L1 while the packed weights stream through once.
+const NR: usize = 16;
+
+/// A weight matrix packed for the fast path: an owned, contiguous,
+/// k-major copy (`k` = input dimension indexes rows, outputs are
+/// contiguous within each row). Packing happens once at model build;
+/// every forward pass then runs unit-stride inner loops.
+#[derive(Debug, Clone)]
+pub struct PackedMatrix {
+    /// Input dimension (rows of the logical weight).
+    pub k: usize,
+    /// Output dimension (columns of the logical weight).
+    pub n: usize,
+    /// `k × n` row-major: `data[kk * n + j]` = weight from input `kk` to
+    /// output `j`.
+    data: Vec<f32>,
+}
+
+impl PackedMatrix {
+    /// Packs a `(k × n)` weight already stored input-major.
+    #[must_use]
+    pub fn pack(w: &Matrix) -> Self {
+        PackedMatrix {
+            k: w.rows,
+            n: w.cols,
+            data: w.data.clone(),
+        }
+    }
+
+    /// Packs the *transpose* of a `(n × k)` matrix, producing the same
+    /// k-major layout. Used for tied-embedding logits: the `(vocab ×
+    /// hidden)` embedding becomes a `(hidden × vocab)` projection.
+    #[must_use]
+    pub fn pack_transposed(w: &Matrix) -> Self {
+        let (k, n) = (w.cols, w.rows);
+        let mut data = vec![0.0; k * n];
+        for j in 0..n {
+            let src = w.row(j);
+            for (kk, &v) in src.iter().enumerate() {
+                data[kk * n + j] = v;
+            }
+        }
+        PackedMatrix { k, n, data }
+    }
+
+    /// `out = a × W` for `a` a dense `(m × k)` activation block, written
+    /// into caller-owned scratch (every element overwritten). Register
+    /// tiled: [`MR`]`×`[`NR`] accumulator blocks, branch-free unit-stride
+    /// inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k` or `out.len() != m * n`.
+    pub fn matmul_into(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        self.matmul_cols_into(a, m, 0, self.n, out);
+    }
+
+    /// `out = a × W[:, col_lo..col_hi]` — the column-sliced product a
+    /// tensor-parallel shard computes (its heads' Q/K/V slice, its FFN
+    /// columns), without materializing the full-width result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad column range or mismatched buffer lengths.
+    pub fn matmul_cols_into(
+        &self,
+        a: &[f32],
+        m: usize,
+        col_lo: usize,
+        col_hi: usize,
+        out: &mut [f32],
+    ) {
+        assert!(col_lo <= col_hi && col_hi <= self.n, "column range");
+        let width = col_hi - col_lo;
+        assert_eq!(a.len(), m * self.k, "activation shape");
+        assert_eq!(out.len(), m * width, "output shape");
+        self.gemm_into(a, m, self.k, 0, col_lo, width, out);
+    }
+
+    /// `out = a × W[row_lo..row_hi, :]` — the row-sliced product that
+    /// lets a shard feed its partial activations (e.g. its FFN columns,
+    /// its heads' attention output) straight into the down/output
+    /// projection. Replaces the old zero-pad-to-full-width trick: `a`
+    /// holds only the `row_hi - row_lo` live inputs per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad row range or mismatched buffer lengths.
+    pub fn matmul_rows_into(
+        &self,
+        a: &[f32],
+        m: usize,
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f32],
+    ) {
+        assert!(row_lo <= row_hi && row_hi <= self.k, "row range");
+        let depth = row_hi - row_lo;
+        assert_eq!(a.len(), m * depth, "activation shape");
+        assert_eq!(out.len(), m * self.n, "output shape");
+        self.gemm_into(a, m, depth, row_lo, 0, self.n, out);
+    }
+
+    /// Shared register-tiled kernel behind the three public entry points:
+    /// `out[m × width] = a[m × depth] × W[k_off.., col_lo..col_lo+width]`.
+    /// Every output element is overwritten (no pre-zeroing needed).
+    /// The argument list mirrors the GEMM operands (block offsets and
+    /// shapes); a parameter struct would just rename them.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_into(
+        &self,
+        a: &[f32],
+        m: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        out: &mut [f32],
+    ) {
+        let mut i = 0;
+        while i < m {
+            // Monomorphize the row-block height so the accumulator block
+            // is a fixed-size array the compiler keeps in registers.
+            match m - i {
+                1 => self.tile_rows::<1>(a, i, depth, k_off, col_lo, width, out),
+                2 => self.tile_rows::<2>(a, i, depth, k_off, col_lo, width, out),
+                3 => self.tile_rows::<3>(a, i, depth, k_off, col_lo, width, out),
+                4 => self.tile_rows::<4>(a, i, depth, k_off, col_lo, width, out),
+                5 => self.tile_rows::<5>(a, i, depth, k_off, col_lo, width, out),
+                _ => self.tile_rows::<MR>(a, i, depth, k_off, col_lo, width, out),
+            }
+            i += (m - i).min(MR);
+        }
+    }
+
+    /// One `MB`-row band of the output. Each `MB × NR` accumulator tile
+    /// lives in registers across the whole k-loop; each packed weight row
+    /// segment is loaded once and reused by all `MB` activation rows.
+    /// Every output accumulates over `k` ascending with a single
+    /// accumulator — bit-identical to the reference matmul.
+    // `kk` deliberately indexes both the activation rows and the packed
+    // weight base address; an iterator over one of them would hide the
+    // shared induction variable the vectorizer keys on.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn tile_rows<const MB: usize>(
+        &self,
+        a: &[f32],
+        i: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        out: &mut [f32],
+    ) {
+        let a_rows: [&[f32]; MB] = core::array::from_fn(|r| &a[(i + r) * depth..][..depth]);
+        let mut j = 0;
+        while j + NR <= width {
+            let mut acc = [[0.0f32; NR]; MB];
+            for kk in 0..depth {
+                let base = (k_off + kk) * self.n + col_lo + j;
+                let w: &[f32; NR] = self.data[base..base + NR]
+                    .try_into()
+                    .expect("NR-wide weight segment");
+                for r in 0..MB {
+                    let av = a_rows[r][kk];
+                    for (l, acc_l) in acc[r].iter_mut().enumerate() {
+                        *acc_l += av * w[l];
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out[(i + r) * width + j..][..NR].copy_from_slice(acc_row);
+            }
+            j += NR;
+        }
+        // Remainder columns, one scalar accumulator per output.
+        while j < width {
+            for (r, a_row) in a_rows.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (kk, &av) in a_row.iter().enumerate() {
+                    acc += av * self.data[(k_off + kk) * self.n + col_lo + j];
+                }
+                out[(i + r) * width + j] = acc;
+            }
+            j += 1;
+        }
     }
 }
 
@@ -118,33 +324,100 @@ pub fn add_bias(m: &mut Matrix, bias: &[f32]) {
 
 /// ReLU in place (OPT's FFN activation).
 pub fn relu(m: &mut Matrix) {
-    for v in &mut m.data {
-        if *v < 0.0 {
-            *v = 0.0;
-        }
+    relu_slice(&mut m.data);
+}
+
+/// ReLU in place over a raw slice (fast path).
+pub fn relu_slice(xs: &mut [f32]) {
+    for v in xs {
+        *v = v.max(0.0);
     }
 }
 
-/// LayerNorm over the last dimension with learned scale and shift.
+/// LayerNorm over the last dimension with learned scale and shift
+/// (reference tier: allocating).
 ///
 /// # Panics
 ///
 /// Panics if `scale` or `shift` length differs from `m.cols`.
+#[must_use]
 pub fn layer_norm(m: &Matrix, scale: &[f32], shift: &[f32]) -> Matrix {
-    assert_eq!(scale.len(), m.cols);
-    assert_eq!(shift.len(), m.cols);
     let mut out = Matrix::zeros(m.rows, m.cols);
-    for r in 0..m.rows {
-        let row = m.row(r);
-        let mean = row.iter().sum::<f32>() / m.cols as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.cols as f32;
+    layer_norm_into(&m.data, m.rows, scale, shift, &mut out.data);
+    out
+}
+
+/// LayerNorm of an `(m × cols)` activation block into caller scratch.
+/// Both tiers flow through this one implementation (the reference tier
+/// via [`layer_norm`]), so batched and token-at-a-time outputs stay
+/// bit-identical to each other by construction.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with `m * scale.len()`.
+pub fn layer_norm_into(x: &[f32], m: usize, scale: &[f32], shift: &[f32], out: &mut [f32]) {
+    let cols = scale.len();
+    assert_eq!(shift.len(), cols, "shift length");
+    assert_eq!(x.len(), m * cols, "input shape");
+    assert_eq!(out.len(), m * cols, "output shape");
+    for r in 0..m {
+        let row = &x[r * cols..(r + 1) * cols];
+        let mean = sum_lanes(row, |v| v) / cols as f32;
+        let var = sum_lanes(row, |v| (v - mean) * (v - mean)) / cols as f32;
         let inv = 1.0 / (var + 1e-5).sqrt();
-        let out_row = out.row_mut(r);
-        for c in 0..m.cols {
+        let out_row = &mut out[r * cols..(r + 1) * cols];
+        for c in 0..cols {
             out_row[c] = (row[c] - mean) * inv * scale[c] + shift[c];
         }
     }
-    out
+}
+
+/// Deterministic vectorizable reduction: `f` maps each element, and the
+/// mapped values accumulate into 8 independent lanes (element `i` into
+/// lane `i % 8`), which fold left-to-right at the end, followed by the
+/// tail. The fixed lane split keeps results identical across call sites
+/// and runs while the strictly serial left-fold cannot vectorize.
+fn sum_lanes(xs: &[f32], f: impl Fn(f32) -> f32) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let n = xs.len() / 8 * 8;
+    for chunk in xs[..n].chunks_exact(8) {
+        for (l, &v) in lanes.iter_mut().zip(chunk) {
+            *l += f(v);
+        }
+    }
+    let mut total = 0.0;
+    for &l in &lanes {
+        total += l;
+    }
+    for &v in &xs[n..] {
+        total += f(v);
+    }
+    total
+}
+
+/// Fast `e^x` for softmax inputs (`x ≤ 0` after the max shift): splits
+/// `2^(x·log2 e)` into integer and fractional powers, evaluates the
+/// fractional part with a degree-6 polynomial, and assembles the integer
+/// part through the IEEE-754 exponent field. Relative error ≈ 2e-6 —
+/// invisible after normalization — and branch-free, so the softmax loop
+/// auto-vectorizes where `f32::exp` forces a scalar libm call per score.
+/// Both compute tiers share this function, keeping them bit-identical.
+#[inline]
+fn exp_fast(x: f32) -> f32 {
+    // Clamp keeps the exponent assembly in range; e^(z·ln2) for z below
+    // -126 is zero at f32 precision anyway.
+    let z = (x * std::f32::consts::LOG2_E).max(-126.0);
+    let zf = z.floor();
+    let f = z - zf;
+    // 2^f on [0, 1): Taylor coefficients of e^(f·ln2) through degree 6,
+    // i.e. ln2^i / i! — the leading one is exactly LN_2.
+    let p = 1.0
+        + f * (std::f32::consts::LN_2
+            + f * (0.240_226_5
+                + f * (0.055_504_11
+                    + f * (0.009_618_13 + f * (0.001_333_36 + f * 0.000_154_035)))));
+    let scale = f32::from_bits(((zf as i32 + 127) as u32) << 23);
+    scale * p
 }
 
 /// Numerically stable softmax in place over a slice.
@@ -153,13 +426,95 @@ pub fn softmax(xs: &mut [f32]) {
         return;
     }
     let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
+    // Exponentiate in a pure map loop (no serial reduction mixed in, so
+    // the whole `exp_fast` body vectorizes), then sum the stored values
+    // in the same element order the fused loop would have used.
     for v in xs.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
+        *v = exp_fast(*v - max);
+    }
+    let mut sum = 0.0;
+    for &v in xs.iter() {
+        sum += v;
     }
     for v in xs.iter_mut() {
         *v /= sum;
+    }
+}
+
+/// Column-wise softmax over a row-major `(rows × cols)` matrix: each
+/// *column* is one distribution. Every pass (max, exponentiate, sum,
+/// normalize) sweeps rows in ascending order and vectorizes across the
+/// `cols` independent columns, so per column the operations and their
+/// order are exactly those of [`softmax`] on that column's values —
+/// bit-identical results, without the serial per-distribution reduction
+/// that keeps the flat version scalar. `tmp` is caller scratch (resized
+/// to `2 * cols`).
+///
+/// The batched attention path stores scores position-major
+/// (`scores[pos * heads + head]`) and softmaxes all of a row's heads in
+/// one call.
+pub fn softmax_cols(xs: &mut [f32], rows: usize, cols: usize, tmp: &mut Vec<f32>) {
+    debug_assert_eq!(xs.len(), rows * cols);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    // Common head counts take the const-width kernel: the running
+    // max/sum vectors live in registers instead of round-tripping
+    // through memory every row, and each row is one straight-line
+    // vector operation. Identical operations in identical order.
+    match cols {
+        2 => return softmax_cols_w::<2>(xs),
+        4 => return softmax_cols_w::<4>(xs),
+        8 => return softmax_cols_w::<8>(xs),
+        16 => return softmax_cols_w::<16>(xs),
+        _ => {}
+    }
+    tmp.resize(2 * cols, 0.0);
+    let (maxs, sums) = tmp.split_at_mut(cols);
+    maxs.fill(f32::NEG_INFINITY);
+    for r in 0..rows {
+        for (mx, &v) in maxs.iter_mut().zip(&xs[r * cols..(r + 1) * cols]) {
+            *mx = mx.max(v);
+        }
+    }
+    // Exp and sum fuse into one sweep: every op is column-width-wide
+    // (nothing serial within a row), and each column still accumulates
+    // its exp values in row-ascending order — same sums, one fewer
+    // pass over the score block.
+    sums.fill(0.0);
+    for r in 0..rows {
+        let row = &mut xs[r * cols..(r + 1) * cols];
+        for ((v, &mx), sm) in row.iter_mut().zip(&*maxs).zip(sums.iter_mut()) {
+            *v = exp_fast(*v - mx);
+            *sm += *v;
+        }
+    }
+    for r in 0..rows {
+        for (v, &sm) in xs[r * cols..(r + 1) * cols].iter_mut().zip(&*sums) {
+            *v /= sm;
+        }
+    }
+}
+
+/// [`softmax_cols`] monomorphized for a const column count.
+fn softmax_cols_w<const W: usize>(xs: &mut [f32]) {
+    let mut maxs = [f32::NEG_INFINITY; W];
+    for chunk in xs.chunks_exact(W) {
+        for (mx, &v) in maxs.iter_mut().zip(chunk) {
+            *mx = mx.max(v);
+        }
+    }
+    let mut sums = [0.0f32; W];
+    for chunk in xs.chunks_exact_mut(W) {
+        for ((v, &mx), sm) in chunk.iter_mut().zip(&maxs).zip(sums.iter_mut()) {
+            *v = exp_fast(*v - mx);
+            *sm += *v;
+        }
+    }
+    for chunk in xs.chunks_exact_mut(W) {
+        for (v, &sm) in chunk.iter_mut().zip(&sums) {
+            *v /= sm;
+        }
     }
 }
 
@@ -208,6 +563,106 @@ mod tests {
         }
     }
 
+    fn test_weight(k: usize, n: usize) -> Matrix {
+        Matrix::from_vec(
+            k,
+            n,
+            (0..k * n)
+                .map(|i| ((i * 37 + 11) % 97) as f32 * 0.03 - 1.4)
+                .collect(),
+        )
+    }
+
+    fn test_act(m: usize, k: usize) -> Matrix {
+        Matrix::from_vec(
+            m,
+            k,
+            (0..m * k)
+                .map(|i| ((i * 53 + 5) % 89) as f32 * 0.021 - 0.9)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn packed_matmul_bit_matches_reference() {
+        // The fast kernel must reproduce the reference matmul exactly —
+        // same multiply-add order per output element.
+        for (m, k, n) in [(1, 8, 5), (3, 32, 96), (16, 64, 192), (7, 100, 513)] {
+            let a = test_act(m, k);
+            let b = test_weight(k, n);
+            let reference = a.matmul(&b);
+            let packed = PackedMatrix::pack(&b);
+            let mut out = vec![0.0; m * n];
+            packed.matmul_into(&a.data, m, &mut out);
+            assert_eq!(out, reference.data, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_overwrites_dirty_scratch() {
+        let a = test_act(2, 16);
+        let b = test_weight(16, 24);
+        let packed = PackedMatrix::pack(&b);
+        let mut clean = vec![0.0; 2 * 24];
+        packed.matmul_into(&a.data, 2, &mut clean);
+        let mut dirty = vec![123.0; 2 * 24];
+        packed.matmul_into(&a.data, 2, &mut dirty);
+        assert_eq!(clean, dirty);
+    }
+
+    #[test]
+    fn packed_cols_matches_reference_slice() {
+        let a = test_act(4, 48);
+        let b = test_weight(48, 120);
+        let full = a.matmul(&b);
+        let packed = PackedMatrix::pack(&b);
+        let (lo, hi) = (30, 90);
+        let mut out = vec![0.0; 4 * (hi - lo)];
+        packed.matmul_cols_into(&a.data, 4, lo, hi, &mut out);
+        for r in 0..4 {
+            assert_eq!(
+                &full.row(r)[lo..hi],
+                &out[r * (hi - lo)..(r + 1) * (hi - lo)]
+            );
+        }
+    }
+
+    #[test]
+    fn packed_rows_matches_zero_padded_reference() {
+        // matmul_rows_into(a_slice) must equal the old trick of zero
+        // padding the activation to full depth and multiplying the whole
+        // weight.
+        let (m, depth, full_k, n) = (3, 20, 64, 40);
+        let (lo, hi) = (16, 36);
+        assert_eq!(hi - lo, depth);
+        let a = test_act(m, depth);
+        let b = test_weight(full_k, n);
+        let mut padded = Matrix::zeros(m, full_k);
+        for r in 0..m {
+            padded.row_mut(r)[lo..hi].copy_from_slice(a.row(r));
+        }
+        let reference = padded.matmul(&b);
+        let packed = PackedMatrix::pack(&b);
+        let mut out = vec![0.0; m * n];
+        packed.matmul_rows_into(&a.data, m, lo, hi, &mut out);
+        assert_eq!(out, reference.data);
+    }
+
+    #[test]
+    fn pack_transposed_flips_layout() {
+        let w = test_weight(6, 10); // (n=6 rows × k=10 cols) source.
+        let packed = PackedMatrix::pack_transposed(&w);
+        assert_eq!(packed.k, 10);
+        assert_eq!(packed.n, 6);
+        // Multiplying a basis vector extracts one source row.
+        let mut e = vec![0.0; 10];
+        e[3] = 1.0;
+        let mut out = vec![0.0; 6];
+        packed.matmul_into(&e, 1, &mut out);
+        let expect: Vec<f32> = (0..6).map(|j| w.row(j)[3]).collect();
+        assert_eq!(out, expect);
+    }
+
     #[test]
     fn bias_and_relu() {
         let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]);
@@ -227,6 +682,17 @@ mod tests {
     }
 
     #[test]
+    fn layer_norm_into_matches_reference_batch() {
+        let m = test_act(5, 12);
+        let scale: Vec<f32> = (0..12).map(|i| 1.0 + i as f32 * 0.01).collect();
+        let shift: Vec<f32> = (0..12).map(|i| i as f32 * 0.005 - 0.02).collect();
+        let reference = layer_norm(&m, &scale, &shift);
+        let mut out = vec![7.0; 5 * 12];
+        layer_norm_into(&m.data, 5, &scale, &shift, &mut out);
+        assert_eq!(out, reference.data);
+    }
+
+    #[test]
     fn softmax_sums_to_one_and_orders() {
         let mut xs = vec![1.0, 3.0, 2.0];
         softmax(&mut xs);
@@ -236,6 +702,65 @@ mod tests {
         let mut big = vec![1000.0, 1001.0];
         softmax(&mut big);
         assert!(big.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fast_exp_tracks_libm_exp() {
+        // Softmax inputs after the max shift: (-inf, 0]. The approximation
+        // must stay within ~1e-5 relative everywhere the result matters.
+        for i in 0..2000 {
+            let x = -(i as f32) * 0.01; // 0 down to -20
+            let got = exp_fast(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= want * 2e-5 + 1e-12,
+                "exp({x}): got {got}, want {want}"
+            );
+        }
+        assert_eq!(exp_fast(0.0), 1.0);
+        // Clamped underflow floors at 2^-126 — vanishing after the
+        // softmax normalization divide.
+        assert!(exp_fast(-1000.0) <= f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn softmax_close_to_libm_softmax() {
+        let xs: Vec<f32> = (0..64)
+            .map(|i| ((i * 29 + 3) % 23) as f32 * 0.37 - 4.0)
+            .collect();
+        let mut fast = xs.clone();
+        softmax(&mut fast);
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exact: Vec<f32> = xs.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exact.iter().sum();
+        for (f, e) in fast.iter().zip(&exact) {
+            assert!((f - e / sum).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_cols_bit_matches_per_column_softmax() {
+        // The transposed form must be *bit*-identical to running the flat
+        // softmax on each column — the batched attention path relies on
+        // it to stay exactly equal to the reference path.
+        // Width 8 exercises the const-width kernel, 5 the generic one.
+        for cols in [8usize, 5] {
+            let rows = 13;
+            let mut m: Vec<f32> = (0..rows * cols)
+                .map(|i| ((i * 37 + 11) % 41) as f32 * 0.23 - 4.5)
+                .collect();
+            let mut cols_ref = vec![0.0f32; rows * cols];
+            for c in 0..cols {
+                let mut col: Vec<f32> = (0..rows).map(|r| m[r * cols + c]).collect();
+                softmax(&mut col);
+                for (r, v) in col.into_iter().enumerate() {
+                    cols_ref[r * cols + c] = v;
+                }
+            }
+            let mut tmp = Vec::new();
+            softmax_cols(&mut m, rows, cols, &mut tmp);
+            assert_eq!(m, cols_ref, "cols {cols}");
+        }
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl LengthSampler for SyntheticLengths {
         };
         let input = clip(self.input.sample(rng), self.min_len, self.max_len);
         // Leave at least one token of room for generation.
-        let out_cap = (self.max_len - input).max(1).min(1024);
+        let out_cap = (self.max_len - input).clamp(1, 1024);
         let output = clip(self.output.sample(rng), 1, out_cap);
         (input, output)
     }

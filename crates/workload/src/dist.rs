@@ -7,6 +7,12 @@
 
 use distserve_simcore::SimRng;
 
+/// `x > 0.0` spelled via `partial_cmp` so NaN (incomparable) is rejected
+/// explicitly instead of falling through a negated comparison.
+fn positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(core::cmp::Ordering::Greater)
+}
+
 /// A sampleable continuous distribution over the non-negative reals.
 pub trait Sample {
     /// Draws one value.
@@ -41,7 +47,7 @@ impl Exponential {
     ///
     /// Returns an error if `lambda` is not strictly positive and finite.
     pub fn new(lambda: f64) -> Result<Self, String> {
-        if !(lambda > 0.0) || !lambda.is_finite() {
+        if !positive(lambda) || !lambda.is_finite() {
             return Err(format!("exponential rate must be positive, got {lambda}"));
         }
         Ok(Exponential { lambda })
@@ -91,7 +97,9 @@ impl LogNormal {
     /// non-finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, String> {
         if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
-            return Err(format!("invalid log-normal parameters mu={mu} sigma={sigma}"));
+            return Err(format!(
+                "invalid log-normal parameters mu={mu} sigma={sigma}"
+            ));
         }
         Ok(LogNormal { mu, sigma })
     }
@@ -103,7 +111,7 @@ impl LogNormal {
     ///
     /// Returns an error if `mean` is not strictly positive.
     pub fn from_mean(mean: f64, sigma: f64) -> Result<Self, String> {
-        if !(mean > 0.0) {
+        if !positive(mean) {
             return Err(format!("log-normal mean must be positive, got {mean}"));
         }
         LogNormal::new(mean.ln() - sigma * sigma / 2.0, sigma)
@@ -150,8 +158,10 @@ impl Gamma {
     ///
     /// Returns an error unless both parameters are strictly positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self, String> {
-        if !(shape > 0.0) || !(scale > 0.0) {
-            return Err(format!("gamma parameters must be positive: k={shape} theta={scale}"));
+        if !positive(shape) || !positive(scale) {
+            return Err(format!(
+                "gamma parameters must be positive: k={shape} theta={scale}"
+            ));
         }
         Ok(Gamma { shape, scale })
     }
@@ -208,8 +218,10 @@ impl Pareto {
     ///
     /// Returns an error unless both parameters are strictly positive.
     pub fn new(x_min: f64, alpha: f64) -> Result<Self, String> {
-        if !(x_min > 0.0) || !(alpha > 0.0) {
-            return Err(format!("pareto parameters must be positive: x_min={x_min} alpha={alpha}"));
+        if !positive(x_min) || !positive(alpha) {
+            return Err(format!(
+                "pareto parameters must be positive: x_min={x_min} alpha={alpha}"
+            ));
         }
         Ok(Pareto { x_min, alpha })
     }

@@ -102,7 +102,11 @@ impl Trace {
         if self.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| f64::from(r.input_len)).sum::<f64>() / self.len() as f64
+        self.requests
+            .iter()
+            .map(|r| f64::from(r.input_len))
+            .sum::<f64>()
+            / self.len() as f64
     }
 
     /// Mean output length in tokens.
@@ -111,7 +115,11 @@ impl Trace {
         if self.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| f64::from(r.output_len)).sum::<f64>() / self.len() as f64
+        self.requests
+            .iter()
+            .map(|r| f64::from(r.output_len))
+            .sum::<f64>()
+            / self.len() as f64
     }
 }
 
@@ -250,7 +258,11 @@ mod tests {
             .build(&mut rng);
         assert_eq!(trace.len(), 250);
         // Observed rate should be near the nominal 10 rps.
-        assert!((trace.observed_rate() - 10.0).abs() < 2.0, "{}", trace.observed_rate());
+        assert!(
+            (trace.observed_rate() - 10.0).abs() < 2.0,
+            "{}",
+            trace.observed_rate()
+        );
     }
 
     #[test]

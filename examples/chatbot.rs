@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example chatbot`
 
-use distserve::core::{rate_sweep, Application, Planner, Table};
 use distserve::cluster::Cluster;
+use distserve::core::{rate_sweep, Application, Planner, Table};
 use distserve::models::RooflineModel;
 use distserve::placement::alg1::SearchParams;
 
@@ -35,9 +35,7 @@ fn main() {
     let ds_specs = planner.materialize(&distserve).expect("fits");
 
     // vLLM baseline: tp=1 (§6.1), one replica.
-    let vllm = planner
-        .plan_vllm(app.vllm_parallelism(), 1)
-        .expect("valid");
+    let vllm = planner.plan_vllm(app.vllm_parallelism(), 1).expect("valid");
     let vllm_specs = planner.materialize(&vllm).expect("fits");
 
     let rates = [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0];
@@ -46,7 +44,15 @@ fn main() {
     )
     .expect("sweep runs");
     let vl = rate_sweep(
-        &cost, &cluster, &arch, &vllm_specs, &dataset, slo, &rates, 300, 3,
+        &cost,
+        &cluster,
+        &arch,
+        &vllm_specs,
+        &dataset,
+        slo,
+        &rates,
+        300,
+        3,
     )
     .expect("sweep runs");
 

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example code_completion`
 
-use distserve::core::{rate_sweep, Application, Planner, Table};
 use distserve::cluster::Cluster;
+use distserve::core::{rate_sweep, Application, Planner, Table};
 use distserve::models::RooflineModel;
 use distserve::placement::alg1::SearchParams;
 use distserve::placement::deploy::Deployment;
@@ -22,7 +22,10 @@ fn main() {
     let dataset = app.dataset();
 
     println!("== Code completion OPT-66B on HumanEval ==");
-    println!("SLO: TTFT {:.3}s (stringent), TPOT {:.2}s\n", slo.ttft, slo.tpot);
+    println!(
+        "SLO: TTFT {:.3}s (stringent), TPOT {:.2}s\n",
+        slo.ttft, slo.tpot
+    );
 
     let mut planner = Planner::new(&cost, &cluster, arch.clone());
     planner.params = SearchParams {
@@ -50,11 +53,25 @@ fn main() {
     )
     .expect("sweep runs");
     let vl = rate_sweep(
-        &cost, &cluster, &arch, &vllm_specs, &dataset, slo, &rates, 200, 9,
+        &cost,
+        &cluster,
+        &arch,
+        &vllm_specs,
+        &dataset,
+        slo,
+        &rates,
+        200,
+        9,
     )
     .expect("sweep runs");
 
-    let mut table = Table::new(vec!["rate/GPU", "DistServe", "Dist-TTFT-only", "vLLM", "vLLM-TTFT-only"]);
+    let mut table = Table::new(vec![
+        "rate/GPU",
+        "DistServe",
+        "Dist-TTFT-only",
+        "vLLM",
+        "vLLM-TTFT-only",
+    ]);
     for (d, v) in ds.iter().zip(&vl) {
         table.row(vec![
             format!("{:.3}", d.x),
@@ -65,5 +82,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nBoth systems track their TTFT-only curves: the tight first-token budget dominates.");
+    println!(
+        "\nBoth systems track their TTFT-only curves: the tight first-token budget dominates."
+    );
 }

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use distserve::core::{serve_trace, Application, Planner, Table};
 use distserve::cluster::Cluster;
+use distserve::core::{serve_trace, Application, Planner, Table};
 use distserve::engine::FidelityConfig;
 use distserve::models::RooflineModel;
 use distserve::placement::alg1::SearchParams;
@@ -25,9 +25,18 @@ fn main() {
 
     println!("== DistServe quickstart ==");
     println!("model    : {}", arch.name);
-    println!("cluster  : {}x{} A100-80G, 25 Gbps cross-node", cluster.num_nodes(), cluster.gpus_per_node());
+    println!(
+        "cluster  : {}x{} A100-80G, 25 Gbps cross-node",
+        cluster.num_nodes(),
+        cluster.gpus_per_node()
+    );
     println!("workload : {} @ {target_rate} rps", dataset.name());
-    println!("SLO      : TTFT {:.3}s, TPOT {:.3}s, target {:.0}%", slo.ttft, slo.tpot, slo.target * 100.0);
+    println!(
+        "SLO      : TTFT {:.3}s, TPOT {:.3}s, target {:.0}%",
+        slo.ttft,
+        slo.tpot,
+        slo.target * 100.0
+    );
     println!();
 
     // Plan (the cluster is low-affinity, so this runs Algorithm 2).
@@ -49,7 +58,9 @@ fn main() {
     }
 
     // Serve a 500-request trace at the target rate.
-    let specs = planner.materialize(&deployment).expect("cluster has capacity");
+    let specs = planner
+        .materialize(&deployment)
+        .expect("cluster has capacity");
     let trace = dataset.make_trace(target_rate, 500, 7);
     let outcome = serve_trace(
         &cost,

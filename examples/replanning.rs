@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example replanning`
 
+use distserve::cluster::Cluster;
 use distserve::core::replan::ReplanDecision;
 use distserve::core::{Application, Planner, ReplanController};
-use distserve::cluster::Cluster;
 use distserve::models::RooflineModel;
 use distserve::placement::alg1::SearchParams;
 use distserve::placement::deploy::Deployment;
@@ -90,7 +90,9 @@ fn main() {
             println!("  replans so far: {}", controller.replans());
         }
         ReplanDecision::Failed(e) => {
-            println!("  shift detected but the new pattern is unservable under the current SLO: {e}");
+            println!(
+                "  shift detected but the new pattern is unservable under the current SLO: {e}"
+            );
         }
         other => println!("  unexpected: {other:?}"),
     }

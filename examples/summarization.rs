@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example summarization`
 
-use distserve::core::{rate_sweep, Application, Planner, Table};
 use distserve::cluster::Cluster;
+use distserve::core::{rate_sweep, Application, Planner, Table};
 use distserve::models::RooflineModel;
 use distserve::placement::alg1::SearchParams;
 
@@ -38,9 +38,7 @@ fn main() {
         .expect("plannable");
     let ds_specs = planner.materialize(&distserve).expect("fits");
 
-    let vllm = planner
-        .plan_vllm(app.vllm_parallelism(), 1)
-        .expect("valid");
+    let vllm = planner.plan_vllm(app.vllm_parallelism(), 1).expect("valid");
     let vllm_specs = planner.materialize(&vllm).expect("fits");
 
     let rates = [0.0125, 0.025, 0.05, 0.1, 0.2, 0.4];
@@ -49,7 +47,15 @@ fn main() {
     )
     .expect("sweep runs");
     let vl = rate_sweep(
-        &cost, &cluster, &arch, &vllm_specs, &dataset, slo, &rates, 200, 5,
+        &cost,
+        &cluster,
+        &arch,
+        &vllm_specs,
+        &dataset,
+        slo,
+        &rates,
+        200,
+        5,
     )
     .expect("sweep runs");
 

@@ -112,8 +112,12 @@ fn cluster_by_spec(spec: &str) -> Result<Cluster, String> {
     let (n, m) = dims
         .split_once('x')
         .ok_or_else(|| format!("cluster spec '{spec}' should look like 4x8 or ib:4x8"))?;
-    let n: u32 = n.parse().map_err(|_| format!("bad node count in '{spec}'"))?;
-    let m: u32 = m.parse().map_err(|_| format!("bad GPU count in '{spec}'"))?;
+    let n: u32 = n
+        .parse()
+        .map_err(|_| format!("bad node count in '{spec}'"))?;
+    let m: u32 = m
+        .parse()
+        .map_err(|_| format!("bad GPU count in '{spec}'"))?;
     if n == 0 || m == 0 {
         return Err("cluster must have at least one node and one GPU".into());
     }
@@ -201,10 +205,25 @@ fn build_deployment(
 }
 
 fn cmd_models() -> Result<(), String> {
-    let mut table = Table::new(vec!["name", "layers", "hidden", "heads (kv)", "params", "fp16 weights"]);
+    let mut table = Table::new(vec![
+        "name",
+        "layers",
+        "hidden",
+        "heads (kv)",
+        "params",
+        "fp16 weights",
+    ]);
     for name in [
-        "opt-1.3b", "opt-2.7b", "opt-6.7b", "opt-13b", "opt-30b", "opt-66b", "opt-175b",
-        "llama2-7b", "llama2-13b", "llama2-70b",
+        "opt-1.3b",
+        "opt-2.7b",
+        "opt-6.7b",
+        "opt-13b",
+        "opt-30b",
+        "opt-66b",
+        "opt-175b",
+        "llama2-7b",
+        "llama2-13b",
+        "llama2-70b",
     ] {
         let arch = model_by_name(name)?;
         table.row(vec![
@@ -220,7 +239,9 @@ fn cmd_models() -> Result<(), String> {
     Ok(())
 }
 
-fn common_setup(args: &Args) -> Result<(ModelArch, Dataset, SloSpec, Cluster, RooflineModel), String> {
+fn common_setup(
+    args: &Args,
+) -> Result<(ModelArch, Dataset, SloSpec, Cluster, RooflineModel), String> {
     let arch = model_by_name(&args.get_or("model", "opt-13b"))?;
     let dataset = dataset_by_name(&args.get_or("dataset", "sharegpt"))?;
     let slo = SloSpec::new(args.get_f64("ttft", 0.2)?, args.get_f64("tpot", 0.1)?);

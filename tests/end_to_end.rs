@@ -120,9 +120,7 @@ fn disaggregation_dominates_colocation_latency() {
         .expect("plans");
     let ds_specs = planner.materialize(&distserve).expect("fits");
     let ds_gpus: u32 = ds_specs.iter().map(InstanceSpec::num_gpus).sum();
-    let vllm = planner
-        .plan_vllm(app.vllm_parallelism(), 1)
-        .expect("valid");
+    let vllm = planner.plan_vllm(app.vllm_parallelism(), 1).expect("valid");
     let vllm_specs = planner.materialize(&vllm).expect("fits");
 
     // A per-GPU rate where the colocated baseline is pressured but not
@@ -188,9 +186,7 @@ fn summarization_shows_large_factor() {
     let mut planner = Planner::new(&cost, &cluster, arch.clone());
     planner.params = quick_params();
 
-    let vllm = planner
-        .plan_vllm(app.vllm_parallelism(), 1)
-        .expect("valid");
+    let vllm = planner.plan_vllm(app.vllm_parallelism(), 1).expect("valid");
     let vllm_specs = planner.materialize(&vllm).expect("fits");
     let g_vl = per_gpu_goodput(&cost, &cluster, app, &vllm_specs);
 

@@ -21,14 +21,22 @@ fn spec(cluster: &Cluster, role: InstanceRole, gpu: u32) -> InstanceSpec {
     .unwrap()
 }
 
-fn run(cluster: &Cluster, cfg: SimConfig, specs: Vec<InstanceSpec>, n: usize, rate: f64) -> SimOutcome {
+fn run(
+    cluster: &Cluster,
+    cfg: SimConfig,
+    specs: Vec<InstanceSpec>,
+    n: usize,
+    rate: f64,
+) -> SimOutcome {
     let cost = cost();
     let trace = FixedLengths {
         input_len: 256,
         output_len: 32,
     }
     .make_trace(rate, n, 5);
-    ServingSim::new(cfg, &cost, cluster, specs).unwrap().run(&trace)
+    ServingSim::new(cfg, &cost, cluster, specs)
+        .unwrap()
+        .run(&trace)
 }
 
 #[test]
@@ -157,7 +165,11 @@ fn decode_pipeline_groups_interleave() {
     assert_eq!(out.instances[1].tokens_out, 200 * 31);
     // Two groups interleaving means at least ~2x the batches a single
     // group of the same size would commit.
-    assert!(out.instances[1].batches > 62, "batches {}", out.instances[1].batches);
+    assert!(
+        out.instances[1].batches > 62,
+        "batches {}",
+        out.instances[1].batches
+    );
 }
 
 #[test]
@@ -184,11 +196,6 @@ fn makespan_and_busy_accounting_consistent() {
         );
     }
     // Completions are ordered and the makespan is the last one.
-    let last = out
-        .records
-        .iter()
-        .map(|r| r.completion)
-        .max()
-        .unwrap();
+    let last = out.records.iter().map(|r| r.completion).max().unwrap();
     assert_eq!(last, out.makespan);
 }

@@ -152,8 +152,14 @@ fn chunked_prefill_trades_ttft_for_tpot() {
         chunked.ttft_summary().percentile(0.9),
         chunked.tpot_summary().percentile(0.9),
     );
-    assert!(ch_tpot < alt_tpot, "chunking should cut TPOT: {ch_tpot} !< {alt_tpot}");
-    assert!(ch_ttft > alt_ttft, "chunking should pay TTFT: {ch_ttft} !> {alt_ttft}");
+    assert!(
+        ch_tpot < alt_tpot,
+        "chunking should cut TPOT: {ch_tpot} !< {alt_tpot}"
+    );
+    assert!(
+        ch_ttft > alt_ttft,
+        "chunking should pay TTFT: {ch_ttft} !> {alt_ttft}"
+    );
 }
 
 #[test]

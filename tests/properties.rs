@@ -16,23 +16,21 @@ use distserve::simcore::{SimRng, SimTime, Summary};
 use distserve::workload::{Request, RequestId, Trace};
 
 fn arb_trace(max_requests: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (1u32..1024, 1u32..128, 0.0f64..30.0),
-        1..max_requests,
+    prop::collection::vec((1u32..1024, 1u32..128, 0.0f64..30.0), 1..max_requests).prop_map(
+        |entries| {
+            let requests = entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, (input, output, at))| Request {
+                    id: RequestId(i as u64),
+                    arrival: SimTime::from_secs(at),
+                    input_len: input,
+                    output_len: output,
+                })
+                .collect();
+            Trace::new(requests)
+        },
     )
-    .prop_map(|entries| {
-        let requests = entries
-            .into_iter()
-            .enumerate()
-            .map(|(i, (input, output, at))| Request {
-                id: RequestId(i as u64),
-                arrival: SimTime::from_secs(at),
-                input_len: input,
-                output_len: output,
-            })
-            .collect();
-        Trace::new(requests)
-    })
 }
 
 fn disagg_specs(cluster: &Cluster) -> Vec<InstanceSpec> {
@@ -209,5 +207,156 @@ proptest! {
         let xs: Vec<u64> = (0..32).map(|_| a.next_u64_raw()).collect();
         let ys: Vec<u64> = (0..32).map(|_| b.next_u64_raw()).collect();
         prop_assert_ne!(xs, ys);
+    }
+}
+
+// The batched engine tier: random architectures and batch shapes, checked
+// against the token-at-a-time reference path and the unsharded result.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tinyllm_batched_forward_matches_token_at_a_time(
+        heads in 1usize..5,
+        head_dim in 2usize..7,
+        layers in 1usize..4,
+        ffn in 4usize..48,
+        vocab in 8usize..48,
+        seed in 0u64..1000,
+        prompts in prop::collection::vec(
+            prop::collection::vec(0u32..1_000_000, 1..6), 1..4),
+    ) {
+        use distserve::tinyllm::{BatchRow, Model, Scratch, TinyConfig};
+        use distserve::tinyllm::tensor::argmax;
+
+        let cfg = TinyConfig {
+            layers,
+            hidden: heads * head_dim,
+            heads,
+            ffn,
+            vocab,
+            max_seq: 32,
+        };
+        let model = Model::random(&cfg, seed);
+        let prompts: Vec<Vec<u32>> = prompts
+            .into_iter()
+            .map(|p| p.into_iter().map(|t| t % vocab as u32).collect())
+            .collect();
+
+        // Reference: each sequence alone, token at a time, then one
+        // decode token.
+        let mut ref_prefill = Vec::new();
+        let mut ref_decode = Vec::new();
+        for prompt in &prompts {
+            let mut kv = model.make_kv(32, 4);
+            kv.register(0);
+            let mut logits = Vec::new();
+            for (pos, &t) in prompt.iter().enumerate() {
+                logits = model.forward_token(0, pos, t, &mut kv);
+            }
+            ref_prefill.push(logits.clone());
+            let next = argmax(&logits) as u32;
+            ref_decode.push(model.forward_token(0, prompt.len(), next, &mut kv));
+        }
+
+        // Batched: every prompt stacked into ONE prefill batch over a
+        // shared cache, then one fused decode batch over all sequences.
+        let mut kv = model.make_kv(256, 4);
+        let mut scratch = Scratch::new();
+        let mut rows = Vec::new();
+        let mut last_rows = Vec::new();
+        for (s, prompt) in prompts.iter().enumerate() {
+            let seq = s as u64;
+            kv.register(seq);
+            for (pos, &token) in prompt.iter().enumerate() {
+                rows.push(BatchRow { seq, pos, token });
+            }
+            last_rows.push(rows.len() - 1);
+        }
+        model.forward_batch(&rows, &mut kv, &mut scratch);
+        model.logits_batch(&last_rows, &mut scratch);
+        let mut decode_rows = Vec::new();
+        for (s, prompt) in prompts.iter().enumerate() {
+            let batched = scratch.logits_row(s);
+            for (a, b) in batched.iter().zip(&ref_prefill[s]) {
+                prop_assert!((a - b).abs() < 1e-5, "prefill seq {s}: {a} vs {b}");
+            }
+            decode_rows.push(BatchRow {
+                seq: s as u64,
+                pos: prompt.len(),
+                token: argmax(batched) as u32,
+            });
+        }
+        model.forward_batch(&decode_rows, &mut kv, &mut scratch);
+        let picks: Vec<usize> = (0..decode_rows.len()).collect();
+        model.logits_batch(&picks, &mut scratch);
+        for (s, expect) in ref_decode.iter().enumerate() {
+            for (a, b) in scratch.logits_row(s).iter().zip(expect) {
+                prop_assert!((a - b).abs() < 1e-5, "decode seq {s}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tinyllm_sharded_partials_sum_to_unsharded(
+        world_pow in 0u32..3,
+        head_groups in 1usize..4,
+        head_dim in 2usize..6,
+        layers in 1usize..3,
+        ffn_mult in 1usize..5,
+        seed in 0u64..1000,
+        prompt in prop::collection::vec(0u32..1_000_000, 1..5),
+        max_new in 1usize..5,
+    ) {
+        use distserve::tinyllm::{Model, Shard, TinyConfig};
+        use distserve::tinyllm::parallel::generate_tp;
+
+        let world = 1usize << world_pow;
+        let cfg = TinyConfig {
+            layers,
+            hidden: world * head_groups * head_dim,
+            heads: world * head_groups,
+            ffn: world * ffn_mult * 2,
+            vocab: 32,
+            max_seq: 32,
+        };
+        let model = Model::random(&cfg, seed);
+        let prompt: Vec<u32> = prompt.into_iter().map(|t| t % 32).collect();
+
+        // Partial sums over shards equal the full-shard computation.
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.37).sin()).collect();
+        let xa = model.ln1(0, &x);
+        let mut kv_full = model.make_kv(8, 8);
+        kv_full.register(0);
+        let full = model.attn_partial(0, &xa, 0, 0, &mut kv_full, Shard::full(&cfg));
+        let mut sum = vec![0.0f32; cfg.hidden];
+        for rank in 0..world {
+            let mut kv_s = model.make_kv(8, 8);
+            kv_s.register(0);
+            let part = model.attn_partial(0, &xa, 0, 0, &mut kv_s, Shard::of(&cfg, rank, world));
+            for (s, p) in sum.iter_mut().zip(&part) {
+                *s += p;
+            }
+        }
+        for (a, b) in full.iter().zip(&sum) {
+            prop_assert!((a - b).abs() < 1e-5, "attention partial: {a} vs {b}");
+        }
+        let xf = model.ln2(0, &x);
+        let full_ffn = model.ffn_partial(0, &xf, Shard::full(&cfg));
+        let mut sum_ffn = vec![0.0f32; cfg.hidden];
+        for rank in 0..world {
+            let part = model.ffn_partial(0, &xf, Shard::of(&cfg, rank, world));
+            for (s, p) in sum_ffn.iter_mut().zip(&part) {
+                *s += p;
+            }
+        }
+        for (a, b) in full_ffn.iter().zip(&sum_ffn) {
+            prop_assert!((a - b).abs() < 1e-5, "ffn partial: {a} vs {b}");
+        }
+
+        // End to end: threaded tensor parallelism over the batched tier
+        // produces the single-device token stream.
+        let reference = model.generate(&prompt, max_new);
+        prop_assert_eq!(generate_tp(&model, &prompt, max_new, world), reference);
     }
 }

@@ -28,7 +28,11 @@ fn measured_avg_ttft(par: ParallelismConfig, rate: f64, n: usize) -> f64 {
     .make_trace(rate, n, 1234);
 
     let prefill_stages = (0..par.pp)
-        .map(|s| (0..par.tp).map(|k| cluster.gpu(0, s * par.tp + k)).collect())
+        .map(|s| {
+            (0..par.tp)
+                .map(|k| cluster.gpu(0, s * par.tp + k))
+                .collect()
+        })
         .collect();
     let specs = vec![
         InstanceSpec::new(InstanceRole::Prefill, par, prefill_stages).unwrap(),

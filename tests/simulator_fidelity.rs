@@ -89,17 +89,9 @@ fn colocated_fidelity_gap_is_small() {
     for rate in [0.5, 1.0, 1.5] {
         let trace = app.dataset().make_trace(rate, 400, 55);
         let run = |fid: FidelityConfig| {
-            serve_trace(
-                &cost,
-                &cluster,
-                &arch,
-                vec![spec.clone()],
-                &trace,
-                fid,
-                55,
-            )
-            .unwrap()
-            .attainment(slo.ttft, slo.tpot)
+            serve_trace(&cost, &cluster, &arch, vec![spec.clone()], &trace, fid, 55)
+                .unwrap()
+                .attainment(slo.ttft, slo.tpot)
         };
         let gap = (run(FidelityConfig::ideal()) - run(FidelityConfig::detailed())).abs();
         assert!(gap < 0.08, "rate {rate}: gap {gap:.3}");

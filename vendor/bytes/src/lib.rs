@@ -1,0 +1,55 @@
+//! Offline stand-in for `bytes`.
+//!
+//! The workspace declares a `bytes` dependency but no crate uses it yet;
+//! this placeholder provides a minimal contiguous byte buffer so the
+//! patch target exists and future users have a starting surface.
+
+/// An immutable, cheaply cloneable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(std::sync::Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Copies `data` into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(std::sync::Arc::new(data.to_vec()))
+    }
+
+    /// Buffer length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(std::sync::Arc::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness with criterion's call shape:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. No statistics engine — each benchmark is
+//! timed over `sample_size` samples and the per-iteration mean / min are
+//! printed. Enough to compare hot paths relative to each other and to
+//! record trajectories in JSON sidecar files.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (API compatibility; sizing is ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// One benchmark's timing result.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Benchmark id.
+    pub name: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample's seconds per iteration.
+    pub min_s: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Benchmark driver (stand-in for criterion's).
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+    results: Vec<Sampled>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            target_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.target_time,
+            samples: self.sample_size,
+            mean_s: 0.0,
+            min_s: 0.0,
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        let r = Sampled {
+            name: name.to_string(),
+            mean_s: b.mean_s,
+            min_s: b.min_s,
+            iters_per_sample: b.iters_per_sample,
+        };
+        println!(
+            "bench {:<44} mean {:>12}  min {:>12}",
+            r.name,
+            fmt_time(r.mean_s),
+            fmt_time(r.min_s)
+        );
+        self.results.push(r);
+        self
+    }
+
+    /// Results collected so far (used by JSON emitters).
+    #[must_use]
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+
+    /// Criterion calls this at the end of `criterion_main!`; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Per-benchmark timing helper handed to the closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    mean_s: f64,
+    min_s: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit one sample's time slice.
+        let slice = self.budget.as_secs_f64() / self.samples as f64;
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((slice / once).clamp(1.0, 1e7)) as u64;
+
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / iters as f64;
+            total += per_iter;
+            min = min.min(per_iter);
+        }
+        self.mean_s = total / self.samples as f64;
+        self.min_s = min;
+        self.iters_per_sample = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        let mut timed_samples = 0u32;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed().as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+            timed_samples += 1;
+        }
+        self.mean_s = total / f64::from(timed_samples.max(1));
+        self.min_s = min;
+        self.iters_per_sample = 1;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_s > 0.0);
+        assert!(c.results()[0].min_s <= c.results()[0].mean_s);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        });
+        assert!(c.results()[0].mean_s > 0.0);
+    }
+}

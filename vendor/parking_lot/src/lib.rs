@@ -1,0 +1,65 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's panic-free `lock()`
+//! signature (no poisoning in the API; a poisoned std mutex panics here,
+//! matching parking_lot's behavior of not propagating poison state).
+
+/// A mutual-exclusion lock with parking_lot's `lock() -> Guard` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutex was poisoned by a panicking holder.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex not poisoned")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutex was poisoned by a panicking holder.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex not poisoned")
+    }
+
+    /// Mutable access without locking (exclusive borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutex was poisoned by a panicking holder.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().expect("mutex not poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

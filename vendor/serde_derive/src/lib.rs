@@ -1,0 +1,294 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` — those aren't available
+//! offline) for the type shapes this workspace serializes: structs with
+//! named fields, tuple structs, and enums whose variants are all unit.
+//! Generated impls target the simplified value-tree `serde` stand-in
+//! (`Serialize::to_value` / `Deserialize::from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum whose variants are all unit.
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `Serialize` (value-tree model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_serialize(&p).parse().expect("generated code parses"),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives `Deserialize` (value-tree model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_deserialize(&p).parse().expect("generated code parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("parses")
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility ahead of the struct/enum keyword.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    // Generic types are out of scope for this stand-in.
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type {name}"));
+    }
+    let body = iter.next();
+    match (kind.as_str(), body) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Parsed {
+                name,
+                shape: Shape::Named(named_fields(g.stream())?),
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Parsed {
+                name,
+                shape: Shape::Tuple(tuple_arity(g.stream())),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Parsed {
+                name,
+                shape: Shape::UnitEnum(unit_variants(g.stream())?),
+            })
+        }
+        (k, b) => Err(format!("unsupported shape: {k} with body {b:?}")),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':', got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut in_field = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    arity += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+/// Variant names of an all-unit enum body.
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes (e.g. #[default]).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(TokenTree::Group(_)) => {
+                return Err("enum variants with payloads are unsupported".to_string())
+            }
+            other => return Err(format!("expected ',', got {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        // Newtype structs serialize transparently, like real serde.
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             obj.iter().find(|(k, _)| k == {f:?}).map(|(_, v)| v)\
+                                 .ok_or_else(|| ::serde::DeError::new(\
+                                     concat!(\"missing field \", {f:?})))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object()\
+                     .ok_or_else(|| ::serde::DeError::new(\"expected object\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                             .ok_or_else(|| ::serde::DeError::new(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array()\
+                     .ok_or_else(|| ::serde::DeError::new(\"expected array\"))?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|var| format!("{var:?} => Ok({name}::{var})"))
+                .collect();
+            format!(
+                "let s = v.as_str()\
+                     .ok_or_else(|| ::serde::DeError::new(\"expected variant string\"))?;\n\
+                 match s {{ {}, other => Err(::serde::DeError::new(\
+                     format!(\"unknown variant {{other}}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
