@@ -1,0 +1,108 @@
+//! Telemetry overhead on the real engine's hot path: batch-16 fused
+//! decode with the default no-op sink versus a live `Recorder`.
+//!
+//! The instrumented scheduler emits one `DecodeStep` event per request
+//! per step plus batch counters and pool gauges, so a recording sink
+//! pays one mutex lock and a few `Vec` pushes per decode iteration —
+//! the budget is < 3% over the no-op sink (which pays only virtual
+//! calls with empty bodies). The two variants are timed *interleaved*
+//! (see `micro.rs::paired_decode_times` for why): on a shared machine,
+//! separately-timed rows sit minutes apart and interference spells can
+//! land in one window only, swinging the ratio far beyond the effect
+//! being measured.
+//!
+//! Writes `BENCH_telemetry.json` at the repository root.
+
+use std::sync::Arc;
+
+use distserve_telemetry::{Recorder, TelemetrySink};
+use tinyllm::{ContinuousBatcher, GenRequest, Model, TinyConfig};
+
+const DECODE_STEPS: usize = 64;
+const PROMPT_LEN: usize = 32;
+const BATCH: usize = 16;
+const ROUNDS: usize = 16;
+const WARMUP_ROUNDS: usize = 2;
+
+/// A batcher with `BATCH` requests already prefilled and ready to decode
+/// `DECODE_STEPS` tokens each (same workload as `micro.rs`).
+fn prefilled_batcher(model: &Model, sink: Option<Arc<dyn TelemetrySink>>) -> ContinuousBatcher {
+    let mut b = ContinuousBatcher::new(model.clone(), 8192);
+    if let Some(sink) = sink {
+        b = b.with_sink(sink, 0);
+    }
+    for i in 0..BATCH {
+        b.submit(GenRequest {
+            id: i as u64,
+            prompt: (0..PROMPT_LEN)
+                .map(|p| ((i * 17 + p * 5) % 512) as u32)
+                .collect(),
+            max_new: DECODE_STEPS + 2,
+        });
+    }
+    b.step(); // Prefill all requests (well under the token budget).
+    b
+}
+
+/// Times `DECODE_STEPS` scheduler steps, setup excluded.
+fn time_decode(model: &Model, sink: Option<Arc<dyn TelemetrySink>>) -> f64 {
+    let mut batcher = prefilled_batcher(model, sink);
+    let t = std::time::Instant::now();
+    for _ in 0..DECODE_STEPS {
+        batcher.step();
+    }
+    std::hint::black_box(batcher.steps());
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let model = Model::random(&TinyConfig::small(), 5);
+
+    let mut noop_s = 0.0;
+    let mut recording_s = 0.0;
+    let mut events = 0usize;
+    for round in 0..WARMUP_ROUNDS + ROUNDS {
+        let n = time_decode(&model, None);
+        // Fresh recorder per round: steady-state push cost, not an
+        // ever-growing buffer.
+        let rec = Arc::new(Recorder::new());
+        let r = time_decode(&model, Some(rec.clone()));
+        if round >= WARMUP_ROUNDS {
+            noop_s += n;
+            recording_s += r;
+            events = rec.snapshot().events.len();
+        }
+    }
+    noop_s /= ROUNDS as f64;
+    recording_s /= ROUNDS as f64;
+    let overhead_pct = (recording_s / noop_s - 1.0) * 100.0;
+
+    let doc = serde::Value::Object(vec![
+        (
+            "config".into(),
+            serde::Value::Str("TinyConfig::small()".into()),
+        ),
+        ("batch".into(), serde::Value::UInt(BATCH as u64)),
+        (
+            "decode_steps".into(),
+            serde::Value::UInt(DECODE_STEPS as u64),
+        ),
+        ("rounds".into(), serde::Value::UInt(ROUNDS as u64)),
+        ("noop_ms".into(), serde::Value::Float(noop_s * 1e3)),
+        (
+            "recording_ms".into(),
+            serde::Value::Float(recording_s * 1e3),
+        ),
+        ("overhead_pct".into(), serde::Value::Float(overhead_pct)),
+        ("events_per_run".into(), serde::Value::UInt(events as u64)),
+        ("budget_pct".into(), serde::Value::Float(3.0)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench results");
+    std::fs::write(path, json + "\n").expect("write BENCH_telemetry.json");
+    println!(
+        "wrote {path} (noop {:.3} ms, recording {:.3} ms, overhead {overhead_pct:+.2}%)",
+        noop_s * 1e3,
+        recording_s * 1e3
+    );
+}

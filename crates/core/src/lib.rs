@@ -22,4 +22,6 @@ pub mod serving;
 pub use apps::Application;
 pub use replan::ReplanController;
 pub use report::Table;
-pub use serving::{rate_sweep, serve_trace, slo_scale_sweep, Planner, SweepPoint};
+pub use serving::{
+    rate_sweep, serve_trace, serve_trace_with_sink, slo_scale_sweep, Planner, SweepPoint,
+};

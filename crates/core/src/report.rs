@@ -69,7 +69,40 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders the table with aligned columns.
+    /// Sorts the data rows by one column, numerically when every cell in
+    /// that column parses as a number (ignoring a trailing unit suffix
+    /// like `s`, `ms`, or `%`), lexicographically otherwise. Descending
+    /// puts the largest/last value first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn sorted_by_column(&mut self, col: usize, descending: bool) {
+        assert!(
+            col < self.headers.len(),
+            "column {col} out of range for {} headers",
+            self.headers.len()
+        );
+        let all_numeric = self.rows.iter().all(|r| numeric_value(&r[col]).is_some());
+        self.rows.sort_by(|a, b| {
+            let ord = if all_numeric {
+                let (x, y) = (numeric_value(&a[col]), numeric_value(&b[col]));
+                x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+            } else {
+                a[col].cmp(&b[col])
+            };
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    /// Renders the table with aligned columns: numeric columns
+    /// right-aligned (so magnitudes line up digit-for-digit), text
+    /// columns left-aligned. Every cell is padded to the full column
+    /// width, so all rendered lines have equal length.
     #[must_use]
     pub fn render(&self) -> String {
         let cols = self.headers.len();
@@ -79,6 +112,13 @@ impl Table {
                 widths[i] = widths[i].max(cell.len());
             }
         }
+        // A column is numeric when every *data* cell parses as a number
+        // (headers are labels and don't vote; empty columns stay text).
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty() && self.rows.iter().all(|r| numeric_value(&r[i]).is_some())
+            })
+            .collect();
         let mut out = String::new();
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
@@ -86,7 +126,11 @@ impl Table {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+                if numeric[i] {
+                    line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+                }
             }
             line.push('\n');
             line
@@ -106,6 +150,18 @@ impl Table {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("table serializes")
     }
+}
+
+/// Parses a cell as a number, tolerating the unit suffixes the benches
+/// append (`"1.23s"`, `"45ms"`, `"97%"`). Returns `None` for text.
+fn numeric_value(cell: &str) -> Option<f64> {
+    let t = cell.trim();
+    let t = t.strip_suffix('%').unwrap_or(t);
+    let t = t.trim_end_matches(|c: char| c.is_ascii_alphabetic());
+    if t.is_empty() {
+        return None;
+    }
+    t.parse::<f64>().ok().filter(|v| v.is_finite())
 }
 
 #[cfg(test)]
@@ -140,6 +196,60 @@ mod tests {
     fn width_mismatch_panics() {
         let mut t = Table::new(vec!["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn mixed_alignment_keeps_lines_equal() {
+        let mut t = Table::new(vec!["policy", "p90_ttft"]);
+        t.row(vec!["disaggregated".into(), "0.213s".into()]);
+        t.row(vec!["vllm++".into(), "1.7s".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for w in lines.windows(2) {
+            assert_eq!(w[0].len(), w[1].len(), "{text}");
+        }
+        // Text column left-aligned, numeric column right-aligned.
+        assert!(lines[2].starts_with("disaggregated"));
+        assert!(lines[3].starts_with("vllm++ "));
+        assert!(lines[3].ends_with("  1.7s"));
+    }
+
+    #[test]
+    fn sorted_by_column_numeric_and_text() {
+        let mut t = Table::new(vec!["name", "rate"]);
+        t.row(vec!["b".into(), "10.0".into()]);
+        t.row(vec!["a".into(), "9.5".into()]);
+        t.row(vec!["c".into(), "2.0".into()]);
+        // Numeric sort: 10.0 comes after 9.5, not before (no lexicographic
+        // "10" < "9" trap).
+        t.sorted_by_column(1, false);
+        let rates: Vec<&str> = t.rows.iter().map(|r| r[1].as_str()).collect();
+        assert_eq!(rates, ["2.0", "9.5", "10.0"]);
+        t.sorted_by_column(1, true);
+        let rates: Vec<&str> = t.rows.iter().map(|r| r[1].as_str()).collect();
+        assert_eq!(rates, ["10.0", "9.5", "2.0"]);
+        // Text sort falls back to lexicographic.
+        t.sorted_by_column(0, false);
+        let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn numeric_detection_tolerates_units() {
+        assert_eq!(numeric_value("1.23s"), Some(1.23));
+        assert_eq!(numeric_value("45ms"), Some(45.0));
+        assert_eq!(numeric_value("97%"), Some(97.0));
+        assert_eq!(numeric_value("-3"), Some(-3.0));
+        assert_eq!(numeric_value("disaggregated"), None);
+        assert_eq!(numeric_value(""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sort_rejects_bad_column() {
+        let mut t = Table::new(vec!["a"]);
+        t.sorted_by_column(3, false);
     }
 
     #[test]

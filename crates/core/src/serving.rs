@@ -17,6 +17,7 @@ use distserve_placement::{
     high_affinity_placement, low_affinity_placement, materialize, vllm_plus_plus, SloSpec,
     TraceSource,
 };
+use distserve_telemetry::TelemetrySink;
 
 /// Plans placements for one model on one cluster.
 pub struct Planner<'a> {
@@ -193,10 +194,40 @@ pub fn serve_trace(
     fidelity: FidelityConfig,
     seed: u64,
 ) -> Result<SimOutcome, String> {
+    serve_trace_with_sink(
+        cost,
+        cluster,
+        arch,
+        specs,
+        trace,
+        fidelity,
+        seed,
+        &distserve_telemetry::NOOP,
+    )
+}
+
+/// [`serve_trace`] with request-lifecycle telemetry routed into `sink`
+/// (e.g. a `distserve_telemetry::Recorder` feeding the Perfetto and
+/// Prometheus exporters). Timestamps are sim-clock seconds.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures (invalid deployments).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_with_sink(
+    cost: &dyn CostModel,
+    cluster: &Cluster,
+    arch: &ModelArch,
+    specs: Vec<InstanceSpec>,
+    trace: &distserve_workload::Trace,
+    fidelity: FidelityConfig,
+    seed: u64,
+    sink: &dyn TelemetrySink,
+) -> Result<SimOutcome, String> {
     let mut cfg = SimConfig::new(arch.clone()).with_seed(seed);
     cfg.fidelity = fidelity;
     let sim = ServingSim::new(cfg, cost, cluster, specs)?;
-    Ok(sim.run(trace))
+    Ok(sim.with_sink(sink).run(trace))
 }
 
 /// One point of a rate or SLO-scale sweep.
@@ -427,6 +458,39 @@ mod tests {
         // Looser SLO (larger scale) ⇒ higher attainment.
         assert!(points[0].attainment <= points[1].attainment);
         assert!(points[1].attainment <= points[2].attainment);
+    }
+
+    #[test]
+    fn serve_trace_with_sink_records_lifecycles() {
+        let cost = RooflineModel::a100();
+        let cluster = Cluster::single_node(2);
+        let arch = OptModel::Opt13B.arch();
+        let planner = Planner::new(&cost, &cluster, arch.clone());
+        let vllm = planner.plan_vllm(ParallelismConfig::SINGLE, 1).unwrap();
+        let specs = planner.materialize(&vllm).unwrap();
+        let trace = source().make_trace(2.0, 40, 3);
+        let rec = distserve_telemetry::Recorder::new();
+        let outcome = serve_trace_with_sink(
+            &cost,
+            &cluster,
+            &arch,
+            specs,
+            &trace,
+            FidelityConfig::ideal(),
+            3,
+            &rec,
+        )
+        .unwrap();
+        assert_eq!(outcome.records.len(), 40);
+        let snap = rec.snapshot();
+        assert_eq!(snap.lifecycles().len(), 40);
+        for lc in snap.lifecycles().values() {
+            lc.validate().unwrap();
+        }
+        assert!(!snap.slices.is_empty());
+        // The exporters work off a full serve: the trace JSON carries at
+        // least one slice for the instance.
+        assert!(snap.perfetto_json().contains("\"ph\":\"X\""));
     }
 
     #[test]

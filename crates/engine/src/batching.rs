@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 
+use distserve_telemetry::{metrics, TelemetrySink, TrackId};
 use distserve_workload::RequestId;
 
 /// Order in which queued prefill work is served.
@@ -132,6 +133,18 @@ impl PrefillQueue {
     /// Removes and returns the head request.
     pub fn pop_front(&mut self) -> Option<PrefillItem> {
         self.queue.pop_front()
+    }
+
+    /// Publishes the queue's depth gauges — request count and queued
+    /// tokens — for `instance` into `sink`. Call after any push or batch
+    /// formation so the exported gauges track the latest state.
+    pub fn emit_depth(&self, sink: &dyn TelemetrySink, instance: TrackId) {
+        sink.gauge_set(metrics::PREFILL_QUEUE_DEPTH, instance, self.len() as f64);
+        sink.gauge_set(
+            metrics::PREFILL_QUEUE_TOKENS,
+            instance,
+            self.queued_tokens() as f64,
+        );
     }
 
     /// Forms the next batch per the `L_m` policy. `admit` is consulted per

@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use distserve_cluster::{Cluster, KvTransferModel};
 use distserve_models::{CostModel, DecodeBatch, PrefillBatch};
 use distserve_simcore::{EventQueue, SimRng, SimTime, Summary};
+use distserve_telemetry::{metrics, Event, LifecycleEvent, Slice, TelemetrySink, TrackId, NOOP};
 use distserve_workload::{RequestId, Trace};
 
 use crate::batching::{PrefillItem, PrefillQueue};
@@ -207,6 +208,11 @@ impl SimOutcome {
     }
 }
 
+/// Instance index → telemetry track id.
+fn track_id(i: usize) -> TrackId {
+    TrackId::try_from(i).expect("instance count fits a track id")
+}
+
 /// The serving simulator. See the module documentation.
 pub struct ServingSim<'a> {
     cfg: SimConfig,
@@ -224,6 +230,7 @@ pub struct ServingSim<'a> {
     records: Vec<RequestRecord>,
     next_batch: u64,
     remaining: usize,
+    sink: &'a dyn TelemetrySink,
 }
 
 impl<'a> ServingSim<'a> {
@@ -318,7 +325,63 @@ impl<'a> ServingSim<'a> {
             records: Vec::new(),
             next_batch: 0,
             remaining: 0,
+            sink: &NOOP,
         })
+    }
+
+    /// Routes telemetry into `sink`: per-request lifecycle events
+    /// ([`LifecycleEvent`]), per-batch execution slices on one track per
+    /// instance, and queue/KV/throughput metrics. All timestamps are
+    /// sim-clock seconds. Defaults to the no-op sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: &'a dyn TelemetrySink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Emits one lifecycle event for `id` at sim time `t`.
+    fn emit(&self, id: RequestId, t: SimTime, kind: LifecycleEvent) {
+        self.sink.event(Event {
+            request: id.0,
+            time_s: t.as_secs(),
+            kind,
+        });
+    }
+
+    /// Emits one execution slice plus its batch counters on `track`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_batch(
+        &self,
+        track: usize,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+        batch: usize,
+        tokens: u64,
+        batches_metric: &'static str,
+        tokens_metric: &'static str,
+    ) {
+        let track = track_id(track);
+        self.sink.slice(Slice {
+            track,
+            name,
+            start_s: start.as_secs(),
+            end_s: end.as_secs(),
+            batch: u32::try_from(batch).unwrap_or(u32::MAX),
+            tokens: u32::try_from(tokens).unwrap_or(u32::MAX),
+        });
+        self.sink.counter_add(batches_metric, track, 1);
+        self.sink.counter_add(tokens_metric, track, tokens);
+        self.sink.observe(metrics::BATCH_SIZE, track, batch as f64);
+    }
+
+    /// Publishes instance `i`'s KV occupancy gauge.
+    fn emit_kv(&self, i: usize) {
+        self.sink.gauge_set(
+            metrics::KV_UTILIZATION,
+            track_id(i),
+            self.instances[i].kv.utilization(),
+        );
     }
 
     /// Runs the trace to completion and returns the outcome.
@@ -329,6 +392,17 @@ impl<'a> ServingSim<'a> {
     /// indicates a scheduling livelock rather than a slow workload.
     #[must_use]
     pub fn run(mut self, trace: &Trace) -> SimOutcome {
+        if self.sink.enabled() {
+            for (i, inst) in self.instances.iter().enumerate() {
+                let role = match inst.spec.role {
+                    InstanceRole::Prefill => "prefill",
+                    InstanceRole::Decode => "decode",
+                    InstanceRole::Colocated => "colocated",
+                };
+                self.sink
+                    .declare_track(track_id(i), &format!("{role}[{i}] {}", inst.spec.par));
+            }
+        }
         for (i, r) in trace.requests().iter().enumerate() {
             self.events.push(r.arrival, Ev::Arrive(i));
             self.states.insert(r.id, RequestState::new(r.clone()));
@@ -395,6 +469,7 @@ impl<'a> ServingSim<'a> {
             id: req.id,
             input_len: req.input_len,
         };
+        self.emit(req.id, now, LifecycleEvent::Arrived);
         if self.coloc_ids.is_empty() {
             // Dispatch to the prefill instance with the shortest queue
             // (by outstanding tokens — queued plus in-flight, a better
@@ -408,7 +483,11 @@ impl<'a> ServingSim<'a> {
                     inst.prefill_queue.queued_tokens() + inst.inflight_prefill_tokens
                 })
                 .expect("disaggregated deployment has prefill instances");
+            self.emit(req.id, now, LifecycleEvent::PrefillQueued);
             self.instances[target].prefill_queue.push(item);
+            self.instances[target]
+                .prefill_queue
+                .emit_depth(self.sink, track_id(target));
             self.try_prefill(target, now);
         } else {
             let target = *self
@@ -419,7 +498,11 @@ impl<'a> ServingSim<'a> {
                     inst.prefill_queue.queued_tokens() + inst.running.len() as u64
                 })
                 .expect("colocated deployment has instances");
+            self.emit(req.id, now, LifecycleEvent::PrefillQueued);
             self.instances[target].prefill_queue.push(item);
+            self.instances[target]
+                .prefill_queue
+                .emit_depth(self.sink, track_id(target));
             self.try_coloc(target, now);
         }
     }
@@ -454,7 +537,8 @@ impl<'a> ServingSim<'a> {
         let inst = &mut self.instances[i];
         let commit = inst.pipeline.commit(now, stage_time);
         let members: Vec<RequestId> = batch.iter().map(|b| b.id).collect();
-        inst.inflight_prefill_tokens += batch.iter().map(|b| u64::from(b.input_len)).sum::<u64>();
+        let batch_tokens = batch.iter().map(|b| u64::from(b.input_len)).sum::<u64>();
+        inst.inflight_prefill_tokens += batch_tokens;
         inst.prefill_inflight.insert(bid, members.clone());
         for id in &members {
             let st = self.states.get_mut(id).expect("state exists");
@@ -462,6 +546,23 @@ impl<'a> ServingSim<'a> {
             st.phase = RequestPhase::Prefilling;
             self.kv_home.insert(*id, i);
         }
+        for id in &members {
+            self.emit(*id, commit.start, LifecycleEvent::PrefillStart);
+        }
+        self.emit_batch(
+            i,
+            "prefill",
+            commit.start,
+            commit.done,
+            members.len(),
+            batch_tokens,
+            metrics::PREFILL_BATCHES,
+            metrics::PREFILL_TOKENS,
+        );
+        self.instances[i]
+            .prefill_queue
+            .emit_depth(self.sink, track_id(i));
+        self.emit_kv(i);
         self.events.push(commit.done, Ev::PrefillDone(i, bid));
         self.events.push(commit.stage0_free, Ev::PrefillFree(i));
     }
@@ -485,10 +586,11 @@ impl<'a> ServingSim<'a> {
                 (st.request.output_len, 1u64)
             };
             self.instances[i].tokens_out += tokens_out_inc;
+            self.emit(id, now, LifecycleEvent::PrefillEnd);
             if output_len <= 1 {
                 // The prefill already produced the whole answer.
                 self.release_prefill_kv(id, now);
-                self.finish_request(id, now, now, now);
+                self.finish_request(i, id, now, now, now);
             } else {
                 let st = self.states.get_mut(&id).expect("state exists");
                 st.phase = RequestPhase::Transferring;
@@ -555,6 +657,8 @@ impl<'a> ServingSim<'a> {
         let wire = self.cfg.fidelity.perturb_transfer(wire);
         let st = self.states.get_mut(&id).expect("state exists");
         st.transfer_active = wire;
+        self.emit(id, now, LifecycleEvent::KvMigrateStart);
+        self.emit_kv(d);
         self.events.push(now.after(wire), Ev::TransferDone(d, id));
     }
 
@@ -566,7 +670,16 @@ impl<'a> ServingSim<'a> {
             st.transfer_done = now;
             st.phase = RequestPhase::Decoding { generated: 1 };
         }
+        self.emit(id, now, LifecycleEvent::KvMigrateEnd);
+        self.sink
+            .counter_add(metrics::KV_MIGRATIONS, track_id(d), 1);
         self.activate_decode(d, id);
+        self.emit(id, now, LifecycleEvent::DecodeQueued);
+        self.sink.gauge_set(
+            metrics::DECODE_LOAD,
+            track_id(d),
+            self.instances[d].decode_load() as f64,
+        );
         self.try_decode(d, now);
         self.try_pull(d, now);
     }
@@ -637,6 +750,16 @@ impl<'a> ServingSim<'a> {
                 st.decode_start = commit.start;
             }
         }
+        self.emit_batch(
+            d,
+            "decode",
+            commit.start,
+            commit.done,
+            members.len(),
+            members.len() as u64,
+            metrics::DECODE_BATCHES,
+            metrics::DECODE_TOKENS,
+        );
         self.events.push(commit.done, Ev::DecodeDone(d, bid));
         self.events.push(commit.stage0_free, Ev::DecodeFree(d));
     }
@@ -650,14 +773,21 @@ impl<'a> ServingSim<'a> {
         let mut freed = false;
         for id in members {
             self.instances[d].tokens_out += 1;
-            let done = {
+            let (done, generated_now) = {
                 let st = self.states.get_mut(&id).expect("state exists");
                 let RequestPhase::Decoding { generated } = &mut st.phase else {
                     unreachable!("decode member not decoding");
                 };
                 *generated += 1;
-                *generated >= st.request.output_len
+                (*generated >= st.request.output_len, *generated)
             };
+            self.emit(
+                id,
+                now,
+                LifecycleEvent::DecodeStep {
+                    generated: generated_now,
+                },
+            );
             if done {
                 self.instances[d].kv.free(id).expect("decode KV allocated");
                 freed = true;
@@ -665,7 +795,7 @@ impl<'a> ServingSim<'a> {
                 inst.groups[g].members.retain(|m| *m != id);
                 let st = &self.states[&id];
                 let (td, ds) = (st.transfer_done, st.decode_start);
-                self.finish_request(id, td, ds, now);
+                self.finish_request(d, id, td, ds, now);
             }
         }
         // Refill groups from the overflow queue.
@@ -684,6 +814,12 @@ impl<'a> ServingSim<'a> {
             inst.overflow.pop_front();
         }
         if freed {
+            self.emit_kv(d);
+            self.sink.gauge_set(
+                metrics::DECODE_LOAD,
+                track_id(d),
+                self.instances[d].decode_load() as f64,
+            );
             self.try_pull(d, now);
         }
         self.try_decode(d, now);
@@ -739,11 +875,30 @@ impl<'a> ServingSim<'a> {
                 let commit = inst.pipeline.commit(now, stage_time);
                 inst.coloc_busy = true;
                 let members: Vec<RequestId> = batch.iter().map(|b| b.id).collect();
+                let batch_tokens = batch.iter().map(|b| u64::from(b.input_len)).sum::<u64>();
                 for id in &members {
                     let st = self.states.get_mut(id).expect("state exists");
                     st.prefill_start = commit.start;
                     st.phase = RequestPhase::Prefilling;
                 }
+                for id in &members {
+                    self.emit(*id, commit.start, LifecycleEvent::PrefillStart);
+                }
+                self.emit_batch(
+                    c,
+                    "prefill",
+                    commit.start,
+                    commit.done,
+                    members.len(),
+                    batch_tokens,
+                    metrics::PREFILL_BATCHES,
+                    metrics::PREFILL_TOKENS,
+                );
+                self.instances[c]
+                    .prefill_queue
+                    .emit_depth(self.sink, track_id(c));
+                self.emit_kv(c);
+                let inst = &mut self.instances[c];
                 inst.coloc_inflight.insert(bid, ColocStep::Prefill(members));
                 self.events.push(commit.done, Ev::ColocDone(c, bid));
                 return;
@@ -785,6 +940,17 @@ impl<'a> ServingSim<'a> {
                 st.decode_start = commit.start;
             }
         }
+        self.emit_batch(
+            c,
+            "decode",
+            commit.start,
+            commit.done,
+            members.len(),
+            members.len() as u64,
+            metrics::DECODE_BATCHES,
+            metrics::DECODE_TOKENS,
+        );
+        let inst = &mut self.instances[c];
         inst.coloc_inflight.insert(bid, ColocStep::Decode(members));
         self.events.push(commit.done, Ev::ColocDone(c, bid));
     }
@@ -818,6 +984,8 @@ impl<'a> ServingSim<'a> {
                 let st = self.states.get_mut(&head.id).expect("state exists");
                 st.prefill_start = now;
                 st.phase = RequestPhase::Prefilling;
+                self.emit(head.id, now, LifecycleEvent::PrefillStart);
+                self.emit_kv(c);
             }
             let remaining = head.input_len - prior;
             let take = remaining.min(budget);
@@ -867,6 +1035,24 @@ impl<'a> ServingSim<'a> {
                 st.decode_start = commit.start;
             }
         }
+        let chunk_tokens = chunks
+            .iter()
+            .map(|&(_, take, _)| u64::from(take))
+            .sum::<u64>();
+        self.emit_batch(
+            c,
+            "mixed",
+            commit.start,
+            commit.done,
+            chunks.len() + members.len(),
+            chunk_tokens + members.len() as u64,
+            metrics::DECODE_BATCHES,
+            metrics::DECODE_TOKENS,
+        );
+        self.instances[c]
+            .prefill_queue
+            .emit_depth(self.sink, track_id(c));
+        let inst = &mut self.instances[c];
         inst.coloc_inflight.insert(
             bid,
             ColocStep::Mixed {
@@ -916,32 +1102,43 @@ impl<'a> ServingSim<'a> {
             st.transfer_done = now;
             st.request.output_len
         };
+        self.emit(id, now, LifecycleEvent::PrefillEnd);
         if output_len <= 1 {
             self.instances[c].kv.free(id).expect("coloc KV allocated");
-            self.finish_request(id, now, now, now);
+            self.emit_kv(c);
+            self.finish_request(c, id, now, now, now);
         } else {
             let st = self.states.get_mut(&id).expect("state exists");
             st.phase = RequestPhase::Decoding { generated: 1 };
+            self.emit(id, now, LifecycleEvent::DecodeQueued);
             self.instances[c].running.push(id);
         }
     }
 
     fn coloc_decode_token(&mut self, c: usize, id: RequestId, now: SimTime) {
         self.instances[c].tokens_out += 1;
-        let done = {
+        let (done, generated_now) = {
             let st = self.states.get_mut(&id).expect("state exists");
             let RequestPhase::Decoding { generated } = &mut st.phase else {
                 unreachable!("running request not decoding");
             };
             *generated += 1;
-            *generated >= st.request.output_len
+            (*generated >= st.request.output_len, *generated)
         };
+        self.emit(
+            id,
+            now,
+            LifecycleEvent::DecodeStep {
+                generated: generated_now,
+            },
+        );
         if done {
             self.instances[c].kv.free(id).expect("coloc KV allocated");
+            self.emit_kv(c);
             self.instances[c].running.retain(|m| *m != id);
             let st = &self.states[&id];
             let (td, ds) = (st.transfer_done, st.decode_start);
-            self.finish_request(id, td, ds, now);
+            self.finish_request(c, id, td, ds, now);
         }
     }
 
@@ -951,6 +1148,7 @@ impl<'a> ServingSim<'a> {
 
     fn finish_request(
         &mut self,
+        track: usize,
         id: RequestId,
         transfer_done: SimTime,
         decode_start: SimTime,
@@ -961,6 +1159,9 @@ impl<'a> ServingSim<'a> {
         st.decode_start = decode_start;
         st.completion = now;
         st.phase = RequestPhase::Done;
+        self.emit(id, now, LifecycleEvent::Finished);
+        self.sink
+            .counter_add(metrics::REQUESTS_FINISHED, track_id(track), 1);
         self.records.push(st.into_record());
         self.remaining -= 1;
     }
@@ -1187,6 +1388,99 @@ mod tests {
         assert_eq!(out.instances[0].tokens_out, 30);
         assert_eq!(out.instances[1].tokens_out, 30 * 63);
         assert_eq!(out.total_gpus(), 2);
+    }
+
+    #[test]
+    fn telemetry_recorder_captures_valid_lifecycles() {
+        use distserve_telemetry::Recorder;
+        let cl = cluster();
+        let trace = fixed_trace(30, 2.0, 10);
+        let cost = RooflineModel::a100();
+        let rec = Recorder::new();
+        let out = ServingSim::new(
+            SimConfig::new(OptModel::Opt13B.arch()),
+            &cost,
+            &cl,
+            disagg_deployment(&cl),
+        )
+        .unwrap()
+        .with_sink(&rec)
+        .run(&trace);
+        assert_eq!(out.records.len(), 30);
+        let snap = rec.snapshot();
+        let lcs = snap.lifecycles();
+        assert_eq!(lcs.len(), 30);
+        for lc in lcs.values() {
+            lc.validate().unwrap();
+        }
+        // Both instance tracks got slices of their own kind, and the
+        // tracks carry role names.
+        assert!(snap
+            .slices
+            .iter()
+            .any(|s| s.track == 0 && s.name == "prefill"));
+        assert!(snap
+            .slices
+            .iter()
+            .any(|s| s.track == 1 && s.name == "decode"));
+        assert!(snap.tracks[&0].starts_with("prefill[0]"));
+        assert!(snap.tracks[&1].starts_with("decode[1]"));
+        // Every request finished, counted on the instance that retired it.
+        let finished: u64 = (0..2)
+            .map(|i| snap.metrics.counter(metrics::REQUESTS_FINISHED, i))
+            .sum();
+        assert_eq!(finished, 30);
+        // 512-token prompts, 30 requests.
+        assert_eq!(snap.metrics.counter(metrics::PREFILL_TOKENS, 0), 30 * 512);
+        assert_eq!(snap.metrics.counter(metrics::KV_MIGRATIONS, 1), 30);
+        // Decode instance produced the non-first tokens.
+        assert_eq!(snap.metrics.counter(metrics::DECODE_TOKENS, 1), 30 * 63);
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_perturb_outcome() {
+        use distserve_telemetry::Recorder;
+        let cl = cluster();
+        let trace = fixed_trace(40, 2.0, 11);
+        let plain = run(disagg_deployment(&cl), &trace);
+        let cost = RooflineModel::a100();
+        let rec = Recorder::new();
+        let recorded = ServingSim::new(
+            SimConfig::new(OptModel::Opt13B.arch()),
+            &cost,
+            &cl,
+            disagg_deployment(&cl),
+        )
+        .unwrap()
+        .with_sink(&rec)
+        .run(&trace);
+        assert_eq!(plain.records, recorded.records);
+    }
+
+    #[test]
+    fn telemetry_colocated_lifecycles_skip_migration() {
+        use distserve_telemetry::{LifecycleEvent, Recorder};
+        let cl = cluster();
+        let trace = fixed_trace(20, 1.0, 12);
+        let cost = RooflineModel::a100();
+        let rec = Recorder::new();
+        let out = ServingSim::new(
+            SimConfig::new(OptModel::Opt13B.arch()),
+            &cost,
+            &cl,
+            coloc_deployment(&cl),
+        )
+        .unwrap()
+        .with_sink(&rec)
+        .run(&trace);
+        assert_eq!(out.records.len(), 20);
+        let snap = rec.snapshot();
+        for lc in snap.lifecycles().values() {
+            lc.validate().unwrap();
+            assert!(lc.first(LifecycleEvent::KvMigrateStart).is_none());
+            assert!(lc.first(LifecycleEvent::PrefillEnd).is_some());
+        }
+        assert_eq!(snap.metrics.counter(metrics::KV_MIGRATIONS, 0), 0);
     }
 
     #[test]

@@ -17,7 +17,17 @@ use distserve_models::{
     CostModel, DType, DecodeBatch, GpuSpec, ModelArch, ParallelismConfig, PrefillBatch,
 };
 use distserve_simcore::{EventQueue, SimTime, Summary};
+use distserve_telemetry::{metrics, Event, LifecycleEvent, Slice, TelemetrySink, NOOP};
 use distserve_workload::{RequestId, Trace};
+
+/// Emits one request lifecycle event into `sink` at sim time `t`.
+fn emit(sink: &dyn TelemetrySink, id: RequestId, t: SimTime, kind: LifecycleEvent) {
+    sink.event(Event {
+        request: id.0,
+        time_s: t.as_secs(),
+        kind,
+    });
+}
 
 /// Shared knobs for the phase simulators.
 #[derive(Debug, Clone)]
@@ -81,7 +91,23 @@ pub fn prefill_ttfts(
     par: ParallelismConfig,
     trace: &Trace,
 ) -> Summary {
+    prefill_ttfts_with_sink(cost, cfg, par, trace, &NOOP)
+}
+
+/// [`prefill_ttfts`] with telemetry routed into `sink`: lifecycle events
+/// per request and one `"prefill"` slice per batch on track 0.
+#[must_use]
+pub fn prefill_ttfts_with_sink(
+    cost: &dyn CostModel,
+    cfg: &PhaseSimConfig,
+    par: ParallelismConfig,
+    trace: &Trace,
+    sink: &dyn TelemetrySink,
+) -> Summary {
     let mut out = Summary::new();
+    if sink.enabled() {
+        sink.declare_track(0, &format!("phase-sim prefill {par}"));
+    }
     if trace.is_empty() {
         return out;
     }
@@ -107,17 +133,21 @@ pub fn prefill_ttfts(
         match ev {
             Ev::Arrive(i) => {
                 let r = &trace.requests()[i];
+                emit(sink, r.id, now, LifecycleEvent::Arrived);
+                emit(sink, r.id, now, LifecycleEvent::PrefillQueued);
                 queue.push(PrefillItem {
                     id: r.id,
                     input_len: r.input_len,
                 });
+                queue.emit_depth(sink, 0);
             }
             Ev::Free | Ev::Done(_) => {}
         }
         if let Ev::Done(members) = ev {
             for (id, arrival) in members {
                 done += 1;
-                let _ = id;
+                emit(sink, id, now, LifecycleEvent::PrefillEnd);
+                emit(sink, id, now, LifecycleEvent::Finished);
                 out.record(now.since(arrival));
             }
         }
@@ -127,6 +157,7 @@ pub fn prefill_ttfts(
                 break;
             };
             let lens: Vec<u32> = batch.iter().map(|b| b.input_len).collect();
+            let batch_tokens: u64 = lens.iter().map(|&l| u64::from(l)).sum();
             let stage_time = cost
                 .prefill_stage_time(&cfg.arch, par, &PrefillBatch::new(lens))
                 .total();
@@ -135,6 +166,20 @@ pub fn prefill_ttfts(
                 .iter()
                 .map(|b| (b.id, arrivals[b.id.0 as usize]))
                 .collect();
+            for (id, _) in &members {
+                emit(sink, *id, commit.start, LifecycleEvent::PrefillStart);
+            }
+            sink.slice(Slice {
+                track: 0,
+                name: "prefill",
+                start_s: commit.start.as_secs(),
+                end_s: commit.done.as_secs(),
+                batch: u32::try_from(members.len()).unwrap_or(u32::MAX),
+                tokens: u32::try_from(batch_tokens).unwrap_or(u32::MAX),
+            });
+            sink.counter_add(metrics::PREFILL_BATCHES, 0, 1);
+            sink.counter_add(metrics::PREFILL_TOKENS, 0, batch_tokens);
+            sink.observe(metrics::BATCH_SIZE, 0, members.len() as f64);
             events.push(commit.done, Ev::Done(members));
             events.push(commit.stage0_free, Ev::Free);
         }
@@ -173,9 +218,25 @@ pub fn decode_tpots(
     par: ParallelismConfig,
     trace: &Trace,
 ) -> Summary {
+    decode_tpots_with_sink(cost, cfg, par, trace, &NOOP)
+}
+
+/// [`decode_tpots`] with telemetry routed into `sink`: lifecycle events
+/// per decoded request and one `"decode"` slice per iteration on track 0.
+#[must_use]
+pub fn decode_tpots_with_sink(
+    cost: &dyn CostModel,
+    cfg: &PhaseSimConfig,
+    par: ParallelismConfig,
+    trace: &Trace,
+    sink: &dyn TelemetrySink,
+) -> Summary {
     let mut out = Summary::new();
     if trace.is_empty() {
         return out;
+    }
+    if sink.enabled() {
+        sink.declare_track(0, &format!("phase-sim decode {par}"));
     }
     #[derive(Debug)]
     enum Ev {
@@ -253,11 +314,12 @@ pub fn decode_tpots(
         };
         match ev {
             Ev::Arrive(i) => {
+                emit(sink, RequestId(i as u64), now, LifecycleEvent::Arrived);
                 // FCFS admission: join only behind earlier waiters.
                 if waiting.is_empty()
                     && admit(&mut kv, &mut groups, &slots, i, cfg.max_decode_batch)
                 {
-                    // Admitted directly.
+                    emit(sink, RequestId(i as u64), now, LifecycleEvent::DecodeQueued);
                 } else {
                     waiting.push_back(i);
                 }
@@ -267,17 +329,35 @@ pub fn decode_tpots(
                 busy[g] = false;
                 for &i in &members {
                     slots[i].generated += 1;
+                    emit(
+                        sink,
+                        RequestId(i as u64),
+                        now,
+                        LifecycleEvent::DecodeStep {
+                            generated: slots[i].generated,
+                        },
+                    );
                     if slots[i].generated >= slots[i].output_len {
                         kv.free(RequestId(i as u64)).expect("allocated");
                         groups[g].retain(|m| *m != i);
                         done += 1;
+                        emit(sink, RequestId(i as u64), now, LifecycleEvent::Finished);
+                        sink.counter_add(metrics::REQUESTS_FINISHED, 0, 1);
                         let span = now.since(slots[i].arrival);
                         out.record(span / f64::from(slots[i].output_len - 1));
                     }
                 }
+                sink.counter_add(metrics::DECODE_TOKENS, 0, members.len() as u64);
+                sink.gauge_set(metrics::KV_UTILIZATION, 0, kv.utilization());
                 // Drain waiters into freed capacity, FCFS.
                 while let Some(&head) = waiting.front() {
                     if admit(&mut kv, &mut groups, &slots, head, cfg.max_decode_batch) {
+                        emit(
+                            sink,
+                            RequestId(head as u64),
+                            now,
+                            LifecycleEvent::DecodeQueued,
+                        );
                         waiting.pop_front();
                     } else {
                         break;
@@ -308,6 +388,16 @@ pub fn decode_tpots(
                 .decode_stage_time(&cfg.arch, par, &DecodeBatch::new(contexts))
                 .total();
             let commit = pipeline.commit(now, stage_time);
+            sink.slice(Slice {
+                track: 0,
+                name: "decode",
+                start_s: commit.start.as_secs(),
+                end_s: commit.done.as_secs(),
+                batch: u32::try_from(members.len()).unwrap_or(u32::MAX),
+                tokens: u32::try_from(members.len()).unwrap_or(u32::MAX),
+            });
+            sink.counter_add(metrics::DECODE_BATCHES, 0, 1);
+            sink.observe(metrics::BATCH_SIZE, 0, members.len() as f64);
             events.push(commit.done, Ev::Done(g, members));
             events.push(commit.stage0_free, Ev::Free);
         }
@@ -398,6 +488,45 @@ mod tests {
         let trace = single.make_trace(5.0, 50, 6);
         let a = decode_attainment(&cost, &cfg, ParallelismConfig::SINGLE, &trace, 1e-9);
         assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn phase_sims_emit_valid_telemetry() {
+        let cost = RooflineModel::a100();
+        let cfg = cfg13b();
+        let par = ParallelismConfig::SINGLE;
+        let trace = fixed().make_trace(4.0, 40, 7);
+
+        let rec = distserve_telemetry::Recorder::new();
+        let plain = prefill_ttfts(&cost, &cfg, par, &trace);
+        let recorded = prefill_ttfts_with_sink(&cost, &cfg, par, &trace, &rec);
+        assert_eq!(plain.samples(), recorded.samples());
+        let snap = rec.snapshot();
+        assert_eq!(snap.lifecycles().len(), 40);
+        for lc in snap.lifecycles().values() {
+            lc.validate().unwrap();
+        }
+        assert!(snap.slices.iter().all(|s| s.name == "prefill"));
+        assert_eq!(
+            snap.metrics
+                .counter(distserve_telemetry::metrics::PREFILL_TOKENS, 0),
+            40 * 512
+        );
+
+        let rec = distserve_telemetry::Recorder::new();
+        let plain = decode_tpots(&cost, &cfg, par, &trace);
+        let recorded = decode_tpots_with_sink(&cost, &cfg, par, &trace, &rec);
+        assert_eq!(plain.samples(), recorded.samples());
+        let snap = rec.snapshot();
+        for lc in snap.lifecycles().values() {
+            lc.validate().unwrap();
+        }
+        assert!(snap.slices.iter().all(|s| s.name == "decode"));
+        assert_eq!(
+            snap.metrics
+                .counter(distserve_telemetry::metrics::REQUESTS_FINISHED, 0),
+            40
+        );
     }
 
     #[test]

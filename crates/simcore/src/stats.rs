@@ -137,7 +137,15 @@ impl Summary {
     }
 
     /// Exact `p`-quantile (`0.0 ..= 1.0`) using linear interpolation between
-    /// closest ranks, or 0 when empty.
+    /// closest ranks.
+    ///
+    /// Returns `NaN` when the summary is empty: an empty summary has *no*
+    /// quantiles, and the old behaviour of returning 0 silently read as
+    /// "zero latency" — the best possible value — when a scenario produced
+    /// no samples at all. `NaN` propagates through arithmetic and fails
+    /// any SLO comparison, so an empty summary can never masquerade as a
+    /// perfect one. Check [`Summary::is_empty`] first where emptiness is
+    /// expected.
     ///
     /// # Panics
     ///
@@ -146,7 +154,7 @@ impl Summary {
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile {p} outside [0, 1]");
         if self.samples.is_empty() {
-            return 0.0;
+            return f64::NAN;
         }
         let mut sorted;
         let data: &[f64] = if self.sorted {
@@ -408,10 +416,31 @@ mod tests {
     fn empty_summary_is_zeroes() {
         let s = Summary::new();
         assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.percentile(0.9), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_summary_percentile_is_nan() {
+        let s = Summary::new();
+        // Every quantile of an empty summary is NaN, never a fake zero
+        // that would read as "zero latency" in an SLO check.
+        assert!(s.percentile(0.0).is_nan());
+        assert!(s.percentile(0.5).is_nan());
+        assert!(s.percentile(1.0).is_nan());
+        // NaN fails any SLO comparison in the safe direction.
+        assert!(!(s.percentile(0.9) <= 0.2));
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_that_sample() {
+        let mut s = Summary::new();
+        s.record(7.25);
+        assert_eq!(s.percentile(0.0), 7.25);
+        assert_eq!(s.percentile(0.5), 7.25);
+        assert_eq!(s.percentile(0.9), 7.25);
+        assert_eq!(s.percentile(1.0), 7.25);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Typed lifecycle events, execution slices, and clocks.
+//!
+//! Every value crossing the [`crate::TelemetrySink`] boundary is `Copy`
+//! and carries only `&'static str` names, so the hot path of an
+//! instrumented engine performs no allocation when the sink is a no-op —
+//! and only amortized `Vec` pushes when it records.
+//!
+//! Timestamps are plain `f64` seconds from an arbitrary per-run origin:
+//! the simulators pass `SimTime::as_secs()`, the real engine passes
+//! [`WallClock::now_s`]. A single recording must not mix clock domains
+//! (use separate recorders, or separate tracks, per domain).
+
+use std::time::Instant;
+
+use crate::sink::TelemetrySink;
+
+/// Identifies a request across all telemetry events (the simulator's
+/// `RequestId.0`, tinyllm's `SeqId`).
+pub type RequestKey = u64;
+
+/// Identifies one timeline track — one per simulated GPU instance (the
+/// instance's index) or per real engine worker.
+pub type TrackId = u32;
+
+/// A typed point in a request's lifecycle.
+///
+/// The full DistServe lifecycle (§6.3's five stages plus terminal
+/// states) in causal order:
+///
+/// `Arrived → PrefillQueued → PrefillStart → PrefillEnd →
+///  KvMigrateStart → KvMigrateEnd → DecodeQueued → DecodeStep* →
+///  Finished`
+///
+/// Colocated engines skip the `KvMigrate*` pair; single-token requests
+/// skip everything after `PrefillEnd`; `Rejected` replaces `Finished`
+/// when admission refuses a request outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// Request reached the controller / front-end.
+    Arrived,
+    /// Request entered a prefill queue.
+    PrefillQueued,
+    /// The batch containing the request launched its prefill.
+    PrefillStart,
+    /// Prefill finished; the first output token exists (TTFT boundary).
+    PrefillEnd,
+    /// KV-cache migration to a decoding instance began.
+    KvMigrateStart,
+    /// KV cache fully resident on the decoding instance.
+    KvMigrateEnd,
+    /// Request joined a decoding batch group (or its overflow queue).
+    DecodeQueued,
+    /// One decoding iteration advanced the request.
+    DecodeStep {
+        /// Output tokens generated so far, the first token included.
+        generated: u32,
+    },
+    /// All tokens emitted.
+    Finished,
+    /// Admission refused the request; no further events follow.
+    Rejected,
+}
+
+impl LifecycleEvent {
+    /// Stable name used by the exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecycleEvent::Arrived => "Arrived",
+            LifecycleEvent::PrefillQueued => "PrefillQueued",
+            LifecycleEvent::PrefillStart => "PrefillStart",
+            LifecycleEvent::PrefillEnd => "PrefillEnd",
+            LifecycleEvent::KvMigrateStart => "KvMigrateStart",
+            LifecycleEvent::KvMigrateEnd => "KvMigrateEnd",
+            LifecycleEvent::DecodeQueued => "DecodeQueued",
+            LifecycleEvent::DecodeStep { .. } => "DecodeStep",
+            LifecycleEvent::Finished => "Finished",
+            LifecycleEvent::Rejected => "Rejected",
+        }
+    }
+
+    /// Whether no further events may follow this one.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, LifecycleEvent::Finished | LifecycleEvent::Rejected)
+    }
+}
+
+/// One lifecycle event of one request at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Which request.
+    pub request: RequestKey,
+    /// When, in seconds from the run origin.
+    pub time_s: f64,
+    /// What happened.
+    pub kind: LifecycleEvent,
+}
+
+/// One span of batch execution on one track — a Perfetto slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slice {
+    /// Which instance timeline the slice belongs to.
+    pub track: TrackId,
+    /// Kind of work (`"prefill"`, `"decode"`, `"mixed"`, ...).
+    pub name: &'static str,
+    /// Start, seconds from the run origin.
+    pub start_s: f64,
+    /// End, seconds from the run origin (`>= start_s`).
+    pub end_s: f64,
+    /// Requests in the batch.
+    pub batch: u32,
+    /// Tokens processed by the batch.
+    pub tokens: u32,
+}
+
+/// Wall-clock seconds from a fixed origin, for real-engine telemetry.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_telemetry::WallClock;
+///
+/// let clock = WallClock::new();
+/// let a = clock.now_s();
+/// let b = clock.now_s();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the origin.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+/// A scoped wall-clock timer: emits a [`Slice`] from construction to
+/// drop. The `span!`-style API for the real engine, where the end time
+/// is only known when the work returns.
+///
+/// Simulated engines emit [`Slice`]s directly instead — a drop-time
+/// stamp is meaningless under a simulated clock.
+pub struct SpanGuard<'a> {
+    sink: &'a dyn TelemetrySink,
+    clock: &'a WallClock,
+    track: TrackId,
+    name: &'static str,
+    start_s: f64,
+    batch: u32,
+    tokens: u32,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts a span now on `clock`.
+    #[must_use]
+    pub fn enter(
+        sink: &'a dyn TelemetrySink,
+        clock: &'a WallClock,
+        track: TrackId,
+        name: &'static str,
+        batch: u32,
+        tokens: u32,
+    ) -> Self {
+        SpanGuard {
+            sink,
+            clock,
+            track,
+            name,
+            start_s: clock.now_s(),
+            batch,
+            tokens,
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end_s = self.clock.now_s();
+        self.sink.slice(Slice {
+            track: self.track,
+            name: self.name,
+            start_s: self.start_s,
+            end_s,
+            batch: self.batch,
+            tokens: self.tokens,
+        });
+    }
+}
+
+/// Canonical metric names shared by every instrumented layer, so the
+/// Prometheus dump stays consistent across the sim and real engines.
+pub mod metrics {
+    /// Requests waiting in an instance's prefill queue (gauge).
+    pub const PREFILL_QUEUE_DEPTH: &str = "prefill_queue_depth";
+    /// Prompt tokens waiting in an instance's prefill queue (gauge).
+    pub const PREFILL_QUEUE_TOKENS: &str = "prefill_queue_tokens";
+    /// Prefill batches launched (counter).
+    pub const PREFILL_BATCHES: &str = "prefill_batches";
+    /// Prompt tokens prefilled (counter).
+    pub const PREFILL_TOKENS: &str = "prefill_tokens";
+    /// Decode iterations launched (counter).
+    pub const DECODE_BATCHES: &str = "decode_batches";
+    /// Output tokens produced (counter).
+    pub const DECODE_TOKENS: &str = "decode_tokens";
+    /// Requests resident on a decoding instance (gauge).
+    pub const DECODE_LOAD: &str = "decode_load";
+    /// Requests per launched batch (histogram).
+    pub const BATCH_SIZE: &str = "batch_size";
+    /// KV-pool block occupancy fraction (gauge).
+    pub const KV_UTILIZATION: &str = "kv_utilization";
+    /// KV migrations completed (counter).
+    pub const KV_MIGRATIONS: &str = "kv_migrations";
+    /// Requests finished (counter).
+    pub const REQUESTS_FINISHED: &str = "requests_finished";
+    /// Requests rejected at admission (counter).
+    pub const REQUESTS_REJECTED: &str = "requests_rejected";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn names_and_terminality() {
+        assert_eq!(
+            LifecycleEvent::DecodeStep { generated: 3 }.name(),
+            "DecodeStep"
+        );
+        assert!(LifecycleEvent::Finished.is_terminal());
+        assert!(LifecycleEvent::Rejected.is_terminal());
+        assert!(!LifecycleEvent::Arrived.is_terminal());
+    }
+
+    #[test]
+    fn span_guard_emits_on_drop() {
+        let rec = Recorder::new();
+        let clock = WallClock::new();
+        {
+            let _g = SpanGuard::enter(&rec, &clock, 7, "decode", 4, 4);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.slices.len(), 1);
+        let s = snap.slices[0];
+        assert_eq!((s.track, s.name, s.batch), (7, "decode", 4));
+        assert!(s.end_s >= s.start_s);
+    }
+
+    #[test]
+    fn wall_clock_monotone() {
+        let c = WallClock::new();
+        let a = c.now_s();
+        let b = c.now_s();
+        assert!(b >= a && a >= 0.0);
+    }
+}

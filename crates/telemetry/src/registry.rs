@@ -1,0 +1,280 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! Metrics are keyed by `(&'static str name, instance)` so recording
+//! allocates nothing per sample. Histograms use fixed log-spaced buckets
+//! ([`LogHistogram`]) — the right shape for latencies and batch sizes
+//! spanning orders of magnitude. Where *exact* quantiles are wanted over
+//! a bounded run, keep using `distserve_simcore::Summary`; the registry
+//! is for cheap, unbounded streams and Prometheus export.
+
+use std::collections::BTreeMap;
+
+use crate::event::TrackId;
+
+/// A histogram with log-spaced bucket boundaries `lo · growth^i`.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_telemetry::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1e-3, 2.0, 10);
+/// h.record(0.004); // lands in the [4e-3, 8e-3) bucket
+/// h.record(1e9);   // beyond the last bound: overflow bucket
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    lo: f64,
+    growth: f64,
+    /// `counts[i]` covers `[lo·growth^(i-1), lo·growth^i)`; `counts[0]`
+    /// covers `(-inf, lo)`. One extra slot at the end is the overflow.
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram whose finite bucket bounds are
+    /// `lo, lo·growth, …, lo·growth^(buckets-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo > 0`, `growth > 1`, and `buckets > 0`.
+    #[must_use]
+    pub fn new(lo: f64, growth: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0, "lowest bound must be positive, got {lo}");
+        assert!(growth > 1.0, "growth must exceed 1, got {growth}");
+        assert!(buckets > 0, "need at least one bucket");
+        LogHistogram {
+            lo,
+            growth,
+            counts: vec![0; buckets + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Default shape for latency-like values: 1 µs to ~1000 s in
+    /// half-decade (√10) steps.
+    #[must_use]
+    pub fn latency_seconds() -> Self {
+        LogHistogram::new(1e-6, 10f64.sqrt(), 18)
+    }
+
+    /// Default shape for size-like values (batch sizes, queue depths):
+    /// 1 to 1024 in powers of two.
+    #[must_use]
+    pub fn size() -> Self {
+        LogHistogram::new(1.0, 2.0, 11)
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.sum += value;
+        let n = self.counts.len();
+        if value < self.lo {
+            self.counts[0] += 1;
+            return;
+        }
+        // Bucket i covers [lo·growth^(i-1), lo·growth^i).
+        let idx = ((value / self.lo).ln() / self.growth.ln()).floor() as usize + 1;
+        self.counts[idx.min(n - 1)] += 1;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Iterates `(upper_bound, cumulative_count)` in ascending bound
+    /// order, finishing with `(+inf, total)` — exactly the shape of
+    /// Prometheus `_bucket{le=...}` series.
+    pub fn cumulative(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut acc = 0u64;
+        let n = self.counts.len();
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            acc += c;
+            let bound = if i + 1 == n {
+                f64::INFINITY
+            } else {
+                self.lo * self.growth.powi(i as i32)
+            };
+            (bound, acc)
+        })
+    }
+
+    /// Merges another histogram with identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.lo == other.lo
+                && self.growth == other.growth
+                && self.counts.len() == other.counts.len(),
+            "histogram shapes differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// Counters, gauges, and histograms keyed by `(name, instance)`.
+///
+/// `BTreeMap` keeps export order deterministic (and greppable) without a
+/// sort pass.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(&'static str, TrackId), u64>,
+    gauges: BTreeMap<(&'static str, TrackId), f64>,
+    histograms: BTreeMap<(&'static str, TrackId), LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds to a counter, creating it at zero on first touch.
+    pub fn counter_add(&mut self, name: &'static str, instance: TrackId, delta: u64) {
+        *self.counters.entry((name, instance)).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &'static str, instance: TrackId, value: f64) {
+        self.gauges.insert((name, instance), value);
+    }
+
+    /// Records into a histogram, creating it with a shape inferred from
+    /// the name on first touch: names ending in `_seconds` get
+    /// [`LogHistogram::latency_seconds`], everything else
+    /// [`LogHistogram::size`].
+    pub fn observe(&mut self, name: &'static str, instance: TrackId, value: f64) {
+        self.histograms
+            .entry((name, instance))
+            .or_insert_with(|| {
+                if name.ends_with("_seconds") {
+                    LogHistogram::latency_seconds()
+                } else {
+                    LogHistogram::size()
+                }
+            })
+            .record(value);
+    }
+
+    /// Reads a counter (zero if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &'static str, instance: TrackId) -> u64 {
+        self.counters.get(&(name, instance)).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str, instance: TrackId) -> Option<f64> {
+        self.gauges.get(&(name, instance)).copied()
+    }
+
+    /// Reads a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str, instance: TrackId) -> Option<&LogHistogram> {
+        self.histograms.get(&(name, instance))
+    }
+
+    /// Iterates all counters in deterministic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, TrackId, u64)> + '_ {
+        self.counters.iter().map(|(&(n, i), &v)| (n, i, v))
+    }
+
+    /// Iterates all gauges in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, TrackId, f64)> + '_ {
+        self.gauges.iter().map(|(&(n, i), &v)| (n, i, v))
+    }
+
+    /// Iterates all histograms in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, TrackId, &LogHistogram)> + '_ {
+        self.histograms.iter().map(|(&(n, i), h)| (n, i, h))
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_buckets_cover_and_accumulate() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // bounds 1, 2, 4, 8
+        for v in [0.5, 1.0, 1.9, 2.0, 7.9, 8.0, 100.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.total(), 7);
+        let cum: Vec<(f64, u64)> = h.cumulative().collect();
+        // (-inf,1): 0.5 → cum 1; [1,2): 1.0,1.9 → cum 3; [2,4): 2.0 → 4;
+        // [4,8): 7.9 → 5; overflow: 8.0, 100 → 7.
+        assert_eq!(cum[0], (1.0, 1));
+        assert_eq!(cum[1], (2.0, 3));
+        assert_eq!(cum[2], (4.0, 4));
+        assert_eq!(cum[3], (8.0, 5));
+        assert_eq!(cum[4].1, 7);
+        assert!(cum[4].0.is_infinite());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LogHistogram::size();
+        let mut b = LogHistogram::size();
+        a.record(4.0);
+        b.record(16.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert!((a.sum() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = LogHistogram::size();
+        let b = LogHistogram::latency_seconds();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("tokens", 0, 5);
+        r.counter_add("tokens", 0, 3);
+        r.counter_add("tokens", 1, 1);
+        r.gauge_set("depth", 0, 2.0);
+        r.gauge_set("depth", 0, 7.0);
+        r.observe("step_seconds", 0, 0.02);
+        assert_eq!(r.counter("tokens", 0), 8);
+        assert_eq!(r.counter("tokens", 1), 1);
+        assert_eq!(r.counter("missing", 0), 0);
+        assert_eq!(r.gauge("depth", 0), Some(7.0));
+        assert_eq!(r.histogram("step_seconds", 0).unwrap().total(), 1);
+        assert!(!r.is_empty());
+        // Deterministic iteration order: by name then instance.
+        let names: Vec<_> = r.counters().collect();
+        assert_eq!(names, vec![("tokens", 0, 8), ("tokens", 1, 1)]);
+    }
+}

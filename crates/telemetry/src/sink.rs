@@ -1,0 +1,82 @@
+//! The [`TelemetrySink`] trait object every engine layer emits into.
+//!
+//! Engines hold a `&dyn TelemetrySink` (or an `Arc` of one) and call it
+//! unconditionally; the default [`NoopSink`] makes every call a
+//! dynamically-dispatched empty body, so uninstrumented runs — the
+//! planner's thousands of placement probes, the benches — pay one
+//! virtual call per emission and nothing else. Layers that must build a
+//! payload before emitting (a track name, a per-member loop) should
+//! check [`TelemetrySink::enabled`] first.
+
+use crate::event::{Event, Slice, TrackId};
+
+/// Receives telemetry from instrumented engines.
+///
+/// All methods have no-op defaults so sinks implement only what they
+/// consume. Implementations must be `Send + Sync`: the real engine emits
+/// from worker threads and the placement search runs simulations in
+/// parallel.
+pub trait TelemetrySink: Send + Sync {
+    /// Whether emissions are recorded at all. Callers may skip building
+    /// expensive payloads when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a request lifecycle event.
+    fn event(&self, _ev: Event) {}
+
+    /// Records an execution slice on an instance track.
+    fn slice(&self, _s: Slice) {}
+
+    /// Names a track (cold path — called once per instance at startup).
+    fn declare_track(&self, _id: TrackId, _name: &str) {}
+
+    /// Adds to a monotone counter labelled by instance.
+    fn counter_add(&self, _name: &'static str, _instance: TrackId, _delta: u64) {}
+
+    /// Sets a gauge labelled by instance.
+    fn gauge_set(&self, _name: &'static str, _instance: TrackId, _value: f64) {}
+
+    /// Records a sample into a log-bucketed histogram labelled by
+    /// instance.
+    fn observe(&self, _name: &'static str, _instance: TrackId, _value: f64) {}
+}
+
+/// The default sink: drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+/// A `&'static` no-op sink, the default for every instrumented engine.
+pub static NOOP: NoopSink = NoopSink;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LifecycleEvent;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let sink: &dyn TelemetrySink = &NOOP;
+        assert!(!sink.enabled());
+        sink.event(Event {
+            request: 1,
+            time_s: 0.0,
+            kind: LifecycleEvent::Arrived,
+        });
+        sink.slice(Slice {
+            track: 0,
+            name: "prefill",
+            start_s: 0.0,
+            end_s: 1.0,
+            batch: 1,
+            tokens: 128,
+        });
+        sink.declare_track(0, "x");
+        sink.counter_add("c", 0, 1);
+        sink.gauge_set("g", 0, 1.0);
+        sink.observe("h", 0, 1.0);
+    }
+}

@@ -16,6 +16,11 @@
 //! the token-at-a-time reference path (asserted by the tests below).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+use distserve_telemetry::{
+    metrics, Event, LifecycleEvent, NoopSink, SpanGuard, TelemetrySink, TrackId, WallClock,
+};
 
 use crate::engine::{BatchRow, Model, Scratch};
 use crate::kv::{PagedKv, SeqId};
@@ -91,6 +96,13 @@ pub struct ContinuousBatcher {
     steps: u64,
     /// Reusable activation buffers for the batched forward passes.
     scratch: Scratch,
+    /// Telemetry destination (no-op unless [`Self::with_sink`] is used).
+    sink: Arc<dyn TelemetrySink>,
+    /// Wall-clock origin for telemetry timestamps: this engine runs real
+    /// forward passes, so slices carry measured durations.
+    clock: WallClock,
+    /// Timeline track the batcher's slices and metrics are labelled with.
+    track: TrackId,
 }
 
 impl ContinuousBatcher {
@@ -110,6 +122,9 @@ impl ContinuousBatcher {
             reserved_blocks: 0,
             steps: 0,
             scratch: Scratch::new(),
+            sink: Arc::new(NoopSink),
+            clock: WallClock::new(),
+            track: 0,
         }
     }
 
@@ -120,9 +135,55 @@ impl ContinuousBatcher {
         self
     }
 
+    /// Routes telemetry into `sink`, labelling this batcher's slices and
+    /// metrics with `track`. Timestamps are wall-clock seconds from the
+    /// batcher's construction.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>, track: TrackId) -> Self {
+        if sink.enabled() {
+            sink.declare_track(track, &format!("tinyllm[{track}]"));
+        }
+        self.sink = sink;
+        self.track = track;
+        self
+    }
+
+    fn emit(&self, id: SeqId, t: f64, kind: LifecycleEvent) {
+        self.sink.event(Event {
+            request: id,
+            time_s: t,
+            kind,
+        });
+    }
+
+    fn emit_pool_gauges(&self) {
+        let used = self.kv.total_blocks() - self.kv.free_blocks();
+        self.sink.gauge_set(
+            metrics::KV_UTILIZATION,
+            self.track,
+            used as f64 / self.kv.total_blocks().max(1) as f64,
+        );
+        self.sink
+            .gauge_set(metrics::DECODE_LOAD, self.track, self.running.len() as f64);
+        self.sink.gauge_set(
+            metrics::PREFILL_QUEUE_DEPTH,
+            self.track,
+            self.waiting.len() as f64,
+        );
+        self.sink.gauge_set(
+            metrics::PREFILL_QUEUE_TOKENS,
+            self.track,
+            self.waiting.iter().map(|r| r.prompt.len()).sum::<usize>() as f64,
+        );
+    }
+
     /// Submits a request.
     pub fn submit(&mut self, req: GenRequest) {
+        let t = self.clock.now_s();
+        self.emit(req.id, t, LifecycleEvent::Arrived);
+        self.emit(req.id, t, LifecycleEvent::PrefillQueued);
         self.waiting.push_back(req);
+        self.emit_pool_gauges();
     }
 
     /// Requests waiting for admission.
@@ -185,11 +246,32 @@ impl ContinuousBatcher {
             }
             let tokens = rows.len();
             let n = admitted.len();
-            self.model
-                .forward_batch(&rows, &mut self.kv, &mut self.scratch);
-            self.model.logits_batch(&last_rows, &mut self.scratch);
+            let t_start = self.clock.now_s();
+            for req in &admitted {
+                self.emit(req.id, t_start, LifecycleEvent::PrefillStart);
+            }
+            {
+                let _span = SpanGuard::enter(
+                    self.sink.as_ref(),
+                    &self.clock,
+                    self.track,
+                    "prefill",
+                    u32::try_from(n).unwrap_or(u32::MAX),
+                    u32::try_from(tokens).unwrap_or(u32::MAX),
+                );
+                self.model
+                    .forward_batch(&rows, &mut self.kv, &mut self.scratch);
+                self.model.logits_batch(&last_rows, &mut self.scratch);
+            }
+            let t_end = self.clock.now_s();
+            self.sink
+                .counter_add(metrics::PREFILL_BATCHES, self.track, 1);
+            self.sink
+                .counter_add(metrics::PREFILL_TOKENS, self.track, tokens as u64);
+            self.sink.observe(metrics::BATCH_SIZE, self.track, n as f64);
             for (i, req) in admitted.into_iter().enumerate() {
                 let first = argmax(self.scratch.logits_row(i)) as u32;
+                self.emit(req.id, t_end, LifecycleEvent::PrefillEnd);
                 let mut running = Running {
                     id: req.id,
                     pos: req.prompt.len(),
@@ -200,9 +282,11 @@ impl ContinuousBatcher {
                 if running.generated.len() >= running.max_new {
                     self.retire(&mut running);
                 } else {
+                    self.emit(req.id, t_end, LifecycleEvent::DecodeQueued);
                     self.running.push(running);
                 }
             }
+            self.emit_pool_gauges();
             return StepKind::Prefill {
                 requests: n,
                 tokens,
@@ -222,10 +306,21 @@ impl ContinuousBatcher {
                 token: *r.generated.last().expect("has first token"),
             })
             .collect();
-        self.model
-            .forward_batch(&rows, &mut self.kv, &mut self.scratch);
-        let picks: Vec<usize> = (0..rows.len()).collect();
-        self.model.logits_batch(&picks, &mut self.scratch);
+        {
+            let _span = SpanGuard::enter(
+                self.sink.as_ref(),
+                &self.clock,
+                self.track,
+                "decode",
+                u32::try_from(rows.len()).unwrap_or(u32::MAX),
+                u32::try_from(rows.len()).unwrap_or(u32::MAX),
+            );
+            self.model
+                .forward_batch(&rows, &mut self.kv, &mut self.scratch);
+            let picks: Vec<usize> = (0..rows.len()).collect();
+            self.model.logits_batch(&picks, &mut self.scratch);
+        }
+        let t_end = self.clock.now_s();
         let mut still_running = Vec::with_capacity(self.running.len());
         let mut advanced = 0;
         for (i, mut r) in std::mem::take(&mut self.running).into_iter().enumerate() {
@@ -233,6 +328,13 @@ impl ContinuousBatcher {
             let next = argmax(self.scratch.logits_row(i)) as u32;
             r.generated.push(next);
             advanced += 1;
+            self.emit(
+                r.id,
+                t_end,
+                LifecycleEvent::DecodeStep {
+                    generated: u32::try_from(r.generated.len()).unwrap_or(u32::MAX),
+                },
+            );
             if r.generated.len() >= r.max_new {
                 self.retire(&mut r);
             } else {
@@ -240,6 +342,13 @@ impl ContinuousBatcher {
             }
         }
         self.running = still_running;
+        self.sink
+            .counter_add(metrics::DECODE_BATCHES, self.track, 1);
+        self.sink
+            .counter_add(metrics::DECODE_TOKENS, self.track, advanced as u64);
+        self.sink
+            .observe(metrics::BATCH_SIZE, self.track, advanced as f64);
+        self.emit_pool_gauges();
         StepKind::Decode { requests: advanced }
     }
 
@@ -253,6 +362,9 @@ impl ContinuousBatcher {
         // never fed back).
         self.reserved_blocks -= Self::lifetime_blocks(r.pos + 1);
         self.kv.release(r.id).expect("running request has KV");
+        self.emit(r.id, self.clock.now_s(), LifecycleEvent::Finished);
+        self.sink
+            .counter_add(metrics::REQUESTS_FINISHED, self.track, 1);
         self.finished.push(FinishedGen {
             id: r.id,
             tokens: std::mem::take(&mut r.generated),
@@ -379,6 +491,62 @@ mod tests {
         let m = model();
         let mut batcher = ContinuousBatcher::new(m, 1024);
         assert_eq!(batcher.step(), StepKind::Idle);
+    }
+
+    #[test]
+    fn telemetry_recorder_captures_real_engine_lifecycles() {
+        use distserve_telemetry::Recorder;
+
+        let m = model();
+        let plain: Vec<Vec<u32>> = (0..3u64)
+            .map(|i| m.generate(&[1 + i as u32, 2, 3], 4))
+            .collect();
+        let rec = Arc::new(Recorder::new());
+        let sink: Arc<dyn TelemetrySink> = rec.clone();
+        let mut batcher = ContinuousBatcher::new(m, 4096).with_sink(sink, 3);
+        for i in 0..3u64 {
+            batcher.submit(req(i, vec![1 + i as u32, 2, 3], 4));
+        }
+        batcher.submit(req(9, vec![5, 6], 1)); // Retires at prefill.
+        let mut done = batcher.run_to_completion();
+        done.sort_by_key(|f| f.id);
+        // Instrumentation must not change what is generated.
+        for i in 0..3usize {
+            assert_eq!(done[i].tokens, plain[i]);
+        }
+
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.track_names().get(&3).map(String::as_str),
+            Some("tinyllm[3]")
+        );
+        let lifecycles = snap.lifecycles();
+        assert_eq!(lifecycles.len(), 4);
+        for (id, lc) in &lifecycles {
+            lc.validate()
+                .unwrap_or_else(|e| panic!("request {id}: {e}"));
+        }
+        // The single-token request never decodes.
+        assert!(lifecycles[&9]
+            .events
+            .iter()
+            .all(|(_, k)| !matches!(k, LifecycleEvent::DecodeStep { .. })));
+        // Slices: at least one prefill and one decode span, all on track 3
+        // with real (non-negative) durations.
+        assert!(snap.slices.iter().any(|s| s.name == "prefill"));
+        assert!(snap.slices.iter().any(|s| s.name == "decode"));
+        for s in &snap.slices {
+            assert_eq!(s.track, 3);
+            assert!(s.end_s >= s.start_s);
+        }
+        // Counters reconcile with the workload: 3 × 3 + 2 = 11 prompt
+        // tokens, 4 requests finished, 3 × 3 = 9 decode advances.
+        assert_eq!(snap.metrics.counter(metrics::PREFILL_TOKENS, 3), 11);
+        assert_eq!(snap.metrics.counter(metrics::REQUESTS_FINISHED, 3), 4);
+        assert_eq!(snap.metrics.counter(metrics::DECODE_TOKENS, 3), 9);
+        // Terminal gauges: nothing queued, nothing running, pool drained.
+        assert_eq!(snap.metrics.gauge(metrics::DECODE_LOAD, 3), Some(0.0));
+        assert_eq!(snap.metrics.gauge(metrics::KV_UTILIZATION, 3), Some(0.0));
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub use distserve_models as models;
 pub use distserve_placement as placement;
 /// Discrete-event simulation kernel and statistics.
 pub use distserve_simcore as simcore;
+/// Request-lifecycle tracing, metrics, and Perfetto/Prometheus export.
+pub use distserve_telemetry as telemetry;
 /// Synthetic datasets, arrival processes, and workload profiling.
 pub use distserve_workload as workload;
 /// A real CPU transformer inference engine with paged KV cache.

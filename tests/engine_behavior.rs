@@ -1,12 +1,19 @@
 //! Targeted behavioral tests of the serving engines: dispatch balance,
-//! admission under tiny KV pools, decode-batch overflow, and pull-based
-//! transfer backpressure.
+//! admission under tiny KV pools, decode-batch overflow, pull-based
+//! transfer backpressure, and telemetry lifecycle invariants.
+
+use proptest::prelude::*;
 
 use distserve::cluster::Cluster;
-use distserve::engine::{InstanceRole, InstanceSpec, ServingSim, SimConfig, SimOutcome};
+use distserve::engine::{
+    ColocatedPolicy, InstanceRole, InstanceSpec, ServingSim, SimConfig, SimOutcome,
+};
 use distserve::models::{OptModel, ParallelismConfig, RooflineModel};
 use distserve::placement::TraceSource;
+use distserve::simcore::SimTime;
+use distserve::telemetry::{metrics, Recorder, Recording};
 use distserve::workload::datasets::FixedLengths;
+use distserve::workload::{Request, RequestId, Trace};
 
 fn cost() -> RooflineModel {
     RooflineModel::a100_conservative()
@@ -198,4 +205,93 @@ fn makespan_and_busy_accounting_consistent() {
     // Completions are ordered and the makespan is the last one.
     let last = out.records.iter().map(|r| r.completion).max().unwrap();
     assert_eq!(last, out.makespan);
+}
+
+// --- Telemetry lifecycle properties ---------------------------------
+
+fn arb_trace(max_requests: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((1u32..1024, 1u32..96, 0.0f64..20.0), 1..max_requests).prop_map(
+        |entries| {
+            let requests = entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, (input, output, at))| Request {
+                    id: RequestId(i as u64),
+                    arrival: SimTime::from_secs(at),
+                    input_len: input,
+                    output_len: output,
+                })
+                .collect();
+            Trace::new(requests)
+        },
+    )
+}
+
+fn record_run(cluster: &Cluster, specs: Vec<InstanceSpec>, trace: &Trace) -> Recording {
+    let cost = cost();
+    let rec = Recorder::new();
+    let _ = ServingSim::new(
+        SimConfig::new(OptModel::Opt13B.arch()),
+        &cost,
+        cluster,
+        specs,
+    )
+    .unwrap()
+    .with_sink(&rec)
+    .run(trace);
+    rec.snapshot()
+}
+
+/// Shared invariant: one well-formed lifecycle per request — `Arrived`
+/// first (at the request's arrival time), timestamps monotone, paired
+/// start/end events matched, and a terminal event last — and the
+/// finished-requests counter reconciles with the trace.
+fn assert_lifecycles_complete(snap: &Recording, trace: &Trace, instances: u32) {
+    let lifecycles = snap.lifecycles();
+    assert_eq!(lifecycles.len(), trace.len());
+    for req in trace.requests() {
+        let lc = &lifecycles[&req.id.0];
+        lc.validate()
+            .unwrap_or_else(|e| panic!("request {}: {e}", req.id.0));
+        let (t0, first) = lc.events[0];
+        assert_eq!(first.name(), "Arrived");
+        assert!((t0 - req.arrival.as_secs()).abs() < 1e-12);
+    }
+    let finished: u64 = (0..instances)
+        .map(|i| snap.metrics.counter(metrics::REQUESTS_FINISHED, i))
+        .sum();
+    assert_eq!(finished as usize, trace.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn telemetry_lifecycles_monotone_and_complete(
+        trace in arb_trace(48),
+        chunk_sel in 0u32..512,
+    ) {
+        // Below 64 means "no chunking" (vLLM-style alternation), so both
+        // colocated schedulers get proptest coverage.
+        let chunk = (chunk_sel >= 64).then_some(chunk_sel);
+        // Disaggregated pair: lifecycles include the KvMigrate stage.
+        let cluster = Cluster::single_node(2);
+        let specs = vec![
+            spec(&cluster, InstanceRole::Prefill, 0),
+            spec(&cluster, InstanceRole::Decode, 1),
+        ];
+        let snap = record_run(&cluster, specs, &trace);
+        assert_lifecycles_complete(&snap, &trace, 2);
+
+        // Colocated instance, vLLM-style or SARATHI-chunked per `chunk`:
+        // same invariants, no migration stage.
+        let coloc_cluster = Cluster::single_node(1);
+        let coloc = spec(&coloc_cluster, InstanceRole::Colocated, 0).with_policy(ColocatedPolicy {
+            chunked_prefill: chunk,
+            ..ColocatedPolicy::default()
+        });
+        let snap = record_run(&coloc_cluster, vec![coloc], &trace);
+        assert_lifecycles_complete(&snap, &trace, 1);
+        assert!(snap.events.iter().all(|e| !e.kind.name().starts_with("KvMigrate")));
+    }
 }
