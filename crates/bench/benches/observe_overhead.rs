@@ -1,0 +1,117 @@
+//! Observatory overhead on the real engine's hot path: batch-16 fused
+//! decode with the no-op sink versus the full observability stack — a
+//! `TeeSink` fanning out to a `Recorder` *and* an `ObserverSink`
+//! maintaining windowed histograms online.
+//!
+//! The window's hot path is O(1) and allocation-free (ring-bucket
+//! lookup + histogram increments under one mutex), so the whole stack
+//! must stay within the same < 3% budget the bare recorder meets. The
+//! two variants are timed *interleaved* (see
+//! `micro.rs::paired_decode_times` for why); unlike the telemetry
+//! bench, the budget here is asserted — this is the observability PR's
+//! acceptance gate.
+//!
+//! Writes `BENCH_observe.json` at the repository root.
+
+use std::sync::Arc;
+
+use distserve_observe::ObserverSink;
+use distserve_telemetry::{Recorder, TeeSink, TelemetrySink};
+use tinyllm::{ContinuousBatcher, GenRequest, Model, TinyConfig};
+
+const DECODE_STEPS: usize = 64;
+const PROMPT_LEN: usize = 32;
+const BATCH: usize = 16;
+const ROUNDS: usize = 16;
+const WARMUP_ROUNDS: usize = 2;
+const BUDGET_PCT: f64 = 3.0;
+
+/// A batcher with `BATCH` requests already prefilled and ready to decode
+/// `DECODE_STEPS` tokens each (same workload as `telemetry_overhead.rs`).
+fn prefilled_batcher(model: &Model, sink: Option<Arc<dyn TelemetrySink>>) -> ContinuousBatcher {
+    let mut b = ContinuousBatcher::new(model.clone(), 8192);
+    if let Some(sink) = sink {
+        b = b.with_sink(sink, 0);
+    }
+    for i in 0..BATCH {
+        b.submit(GenRequest {
+            id: i as u64,
+            prompt: (0..PROMPT_LEN)
+                .map(|p| ((i * 17 + p * 5) % 512) as u32)
+                .collect(),
+            max_new: DECODE_STEPS + 2,
+        });
+    }
+    b.step(); // Prefill all requests (well under the token budget).
+    b
+}
+
+/// Times `DECODE_STEPS` scheduler steps, setup excluded.
+fn time_decode(model: &Model, sink: Option<Arc<dyn TelemetrySink>>) -> f64 {
+    let mut batcher = prefilled_batcher(model, sink);
+    let t = std::time::Instant::now();
+    for _ in 0..DECODE_STEPS {
+        batcher.step();
+    }
+    std::hint::black_box(batcher.steps());
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let model = Model::random(&TinyConfig::small(), 5);
+
+    let mut noop_s = 0.0;
+    let mut tee_s = 0.0;
+    let mut finished = 0u64;
+    for round in 0..WARMUP_ROUNDS + ROUNDS {
+        let n = time_decode(&model, None);
+        // Fresh sinks per round: steady-state cost, not an ever-growing
+        // recorder buffer (the window is fixed-size by construction).
+        let rec = Arc::new(Recorder::new());
+        let obs = Arc::new(ObserverSink::new(5.0, 1.0, 0.5, 64));
+        let tee: Arc<dyn TelemetrySink> = Arc::new(TeeSink::new(vec![
+            rec as Arc<dyn TelemetrySink>,
+            obs.clone() as Arc<dyn TelemetrySink>,
+        ]));
+        let r = time_decode(&model, Some(tee));
+        if round >= WARMUP_ROUNDS {
+            noop_s += n;
+            tee_s += r;
+            finished = obs.stats().finished;
+        }
+    }
+    noop_s /= ROUNDS as f64;
+    tee_s /= ROUNDS as f64;
+    let overhead_pct = (tee_s / noop_s - 1.0) * 100.0;
+
+    let doc = serde::Value::Object(vec![
+        (
+            "config".into(),
+            serde::Value::Str("TinyConfig::small()".into()),
+        ),
+        ("batch".into(), serde::Value::UInt(BATCH as u64)),
+        (
+            "decode_steps".into(),
+            serde::Value::UInt(DECODE_STEPS as u64),
+        ),
+        ("rounds".into(), serde::Value::UInt(ROUNDS as u64)),
+        ("noop_ms".into(), serde::Value::Float(noop_s * 1e3)),
+        ("tee_ms".into(), serde::Value::Float(tee_s * 1e3)),
+        ("overhead_pct".into(), serde::Value::Float(overhead_pct)),
+        ("finished_per_run".into(), serde::Value::UInt(finished)),
+        ("budget_pct".into(), serde::Value::Float(BUDGET_PCT)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_observe.json");
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench results");
+    std::fs::write(path, json + "\n").expect("write BENCH_observe.json");
+    println!(
+        "wrote {path} (noop {:.3} ms, recorder+window {:.3} ms, overhead {overhead_pct:+.2}%)",
+        noop_s * 1e3,
+        tee_s * 1e3
+    );
+    assert!(
+        overhead_pct < BUDGET_PCT,
+        "observability overhead {overhead_pct:.2}% blew the {BUDGET_PCT}% budget"
+    );
+    println!("within the {BUDGET_PCT}% budget");
+}

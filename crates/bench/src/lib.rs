@@ -361,7 +361,7 @@ mod tests {
             &cost,
             &cluster,
             &arch,
-            &[spec.clone()],
+            std::slice::from_ref(&spec),
             &app.dataset(),
             app.slo(),
             20.0,

@@ -20,7 +20,7 @@ pub mod report;
 pub mod serving;
 
 pub use apps::Application;
-pub use replan::ReplanController;
+pub use replan::{ReplanController, SloObservation};
 pub use report::Table;
 pub use serving::{
     rate_sweep, serve_trace, serve_trace_with_sink, slo_scale_sweep, Planner, SweepPoint,

@@ -24,11 +24,34 @@ pub enum ReplanDecision {
     Failed(String),
 }
 
+/// A windowed SLO-attainment observation from the telemetry side (e.g.
+/// `distserve-observe`'s `WindowStats`), fed to
+/// [`ReplanController::observe_attainment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloObservation {
+    /// Seconds the window spans.
+    pub window_secs: f64,
+    /// Requests observed in the window (finished + rejected).
+    pub requests: u64,
+    /// Fraction meeting both SLOs.
+    pub attainment: f64,
+    /// Fraction meeting the TTFT SLO.
+    pub ttft_attainment: f64,
+    /// Fraction meeting the TPOT SLO.
+    pub tpot_attainment: f64,
+}
+
+/// Minimum windowed requests before an attainment observation is
+/// trusted — a near-empty window says nothing about the deployment.
+const MIN_OBSERVED_REQUESTS: u64 = 20;
+
 /// Watches the workload and replans on significant shifts.
 pub struct ReplanController {
     profiler: WorkloadProfiler,
     slo: SloSpec,
     replans: u32,
+    attainment_floor: Option<f64>,
+    eroded: Option<SloObservation>,
 }
 
 impl ReplanController {
@@ -40,12 +63,42 @@ impl ReplanController {
             profiler: WorkloadProfiler::new(window_secs, shift_threshold),
             slo,
             replans: 0,
+            attainment_floor: None,
+            eroded: None,
         }
+    }
+
+    /// Enables the telemetry-driven path: windowed attainment below
+    /// `floor` triggers a replan even when the arrival pattern alone
+    /// has not shifted enough (the paper's §4.3 detection extended with
+    /// the observed signal interference actually produces).
+    #[must_use]
+    pub fn with_attainment_floor(mut self, floor: f64) -> Self {
+        self.attainment_floor = Some(floor);
+        self
     }
 
     /// Records an arrived request.
     pub fn observe(&mut self, request: &Request) {
         self.profiler.observe(request);
+    }
+
+    /// Feeds a windowed SLO-attainment observation. Below-floor
+    /// attainment (with enough requests in the window to be meaningful)
+    /// arms the next [`ReplanController::poll`] to replan.
+    pub fn observe_attainment(&mut self, obs: SloObservation) {
+        let Some(floor) = self.attainment_floor else {
+            return;
+        };
+        if obs.requests >= MIN_OBSERVED_REQUESTS && obs.attainment < floor {
+            self.eroded = Some(obs);
+        }
+    }
+
+    /// The observation that armed replanning, if any.
+    #[must_use]
+    pub fn slo_eroded(&self) -> Option<SloObservation> {
+        self.eroded
     }
 
     /// Marks the current window as the pattern the active plan serves.
@@ -59,10 +112,11 @@ impl ReplanController {
         self.replans
     }
 
-    /// Checks for a shift; when detected, refits the workload from the
-    /// window and reruns the placement search.
+    /// Checks for a workload shift *or* observed SLO erosion; when
+    /// either is present, refits the workload from the window and reruns
+    /// the placement search.
     pub fn poll(&mut self, planner: &Planner<'_>) -> ReplanDecision {
-        if !self.profiler.shift_detected() {
+        if !self.profiler.shift_detected() && self.eroded.is_none() {
             return ReplanDecision::Keep;
         }
         let snapshot = match self.profiler.snapshot() {
@@ -76,8 +130,10 @@ impl ReplanController {
         match planner.plan_distserve(&empirical, self.slo, snapshot.rate) {
             Ok(d) => {
                 self.replans += 1;
-                // The new plan serves the new pattern: rebaseline.
+                // The new plan serves the new pattern: rebaseline and
+                // clear the erosion trigger.
                 self.profiler.set_baseline();
+                self.eroded = None;
                 ReplanDecision::Replanned(d)
             }
             Err(e) => ReplanDecision::Failed(e),
@@ -158,6 +214,59 @@ mod tests {
         }
         assert_eq!(ctl.replans(), 1);
         // After rebaselining, the same pattern no longer triggers.
+        assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
+    }
+
+    #[test]
+    fn observed_slo_erosion_triggers_replan_without_pattern_shift() {
+        let cost = RooflineModel::a100();
+        let cluster = Cluster::paper_testbed();
+        let planner = quick_planner(&cost, &cluster);
+        let mut ctl =
+            ReplanController::new(120.0, 10.0, SloSpec::new(0.25, 0.1)).with_attainment_floor(0.9);
+        // Stable pattern; the absurd shift threshold guarantees the
+        // profiler alone never fires.
+        for i in 0..100 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        ctl.baseline();
+        for i in 100..200 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        // A thin window is ignored...
+        ctl.observe_attainment(SloObservation {
+            window_secs: 60.0,
+            requests: 3,
+            attainment: 0.1,
+            ttft_attainment: 0.1,
+            tpot_attainment: 1.0,
+        });
+        assert!(ctl.slo_eroded().is_none());
+        assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
+        // ...a healthy window is too...
+        ctl.observe_attainment(SloObservation {
+            window_secs: 60.0,
+            requests: 100,
+            attainment: 0.97,
+            ttft_attainment: 0.97,
+            tpot_attainment: 1.0,
+        });
+        assert!(ctl.slo_eroded().is_none());
+        // ...but a populated, eroded window arms the replan.
+        ctl.observe_attainment(SloObservation {
+            window_secs: 60.0,
+            requests: 100,
+            attainment: 0.62,
+            ttft_attainment: 0.62,
+            tpot_attainment: 1.0,
+        });
+        assert!(ctl.slo_eroded().is_some());
+        match ctl.poll(&planner) {
+            ReplanDecision::Replanned(d) => assert!(planner.materialize(&d).is_ok()),
+            other => panic!("expected replan, got {other:?}"),
+        }
+        // A successful replan clears the trigger.
+        assert!(ctl.slo_eroded().is_none());
         assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
     }
 }

@@ -128,6 +128,9 @@ pub struct InstanceStats {
 pub struct SimOutcome {
     /// Completed-request records, in completion order.
     pub records: Vec<RequestRecord>,
+    /// Requests rejected by admission control, in rejection order. Each
+    /// counts as an SLO miss in the attainment figures below.
+    pub rejected: Vec<RequestId>,
     /// Time the last request completed.
     pub makespan: SimTime,
     /// Per-instance statistics.
@@ -135,10 +138,16 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
+    /// Requests offered to the system: completed plus rejected.
+    fn offered(&self) -> usize {
+        self.records.len() + self.rejected.len()
+    }
+
     /// Fraction of requests meeting both the TTFT and TPOT SLOs.
+    /// Rejected requests count in the denominator as misses.
     #[must_use]
     pub fn attainment(&self, ttft_slo: f64, tpot_slo: f64) -> f64 {
-        if self.records.is_empty() {
+        if self.offered() == 0 {
             return 0.0;
         }
         let ok = self
@@ -146,27 +155,27 @@ impl SimOutcome {
             .iter()
             .filter(|r| r.ttft() <= ttft_slo && r.tpot() <= tpot_slo)
             .count();
-        ok as f64 / self.records.len() as f64
+        ok as f64 / self.offered() as f64
     }
 
     /// Fraction meeting only the TTFT SLO (the paper's dotted lines).
     #[must_use]
     pub fn ttft_attainment(&self, ttft_slo: f64) -> f64 {
-        if self.records.is_empty() {
+        if self.offered() == 0 {
             return 0.0;
         }
         let ok = self.records.iter().filter(|r| r.ttft() <= ttft_slo).count();
-        ok as f64 / self.records.len() as f64
+        ok as f64 / self.offered() as f64
     }
 
     /// Fraction meeting only the TPOT SLO (the paper's dashed lines).
     #[must_use]
     pub fn tpot_attainment(&self, tpot_slo: f64) -> f64 {
-        if self.records.is_empty() {
+        if self.offered() == 0 {
             return 0.0;
         }
         let ok = self.records.iter().filter(|r| r.tpot() <= tpot_slo).count();
-        ok as f64 / self.records.len() as f64
+        ok as f64 / self.offered() as f64
     }
 
     /// Summary of TTFT samples, seconds.
@@ -228,6 +237,7 @@ pub struct ServingSim<'a> {
     events: EventQueue<Ev>,
     rng: SimRng,
     records: Vec<RequestRecord>,
+    rejected: Vec<RequestId>,
     next_batch: u64,
     remaining: usize,
     sink: &'a dyn TelemetrySink,
@@ -323,6 +333,7 @@ impl<'a> ServingSim<'a> {
             events: EventQueue::new(),
             rng,
             records: Vec::new(),
+            rejected: Vec::new(),
             next_batch: 0,
             remaining: 0,
             sink: &NOOP,
@@ -448,6 +459,7 @@ impl<'a> ServingSim<'a> {
             .collect();
         SimOutcome {
             records: self.records,
+            rejected: self.rejected,
             makespan,
             instances,
         }
@@ -483,6 +495,9 @@ impl<'a> ServingSim<'a> {
                     inst.prefill_queue.queued_tokens() + inst.inflight_prefill_tokens
                 })
                 .expect("disaggregated deployment has prefill instances");
+            if self.reject_if_over_cap(req.id, target, now) {
+                return;
+            }
             self.emit(req.id, now, LifecycleEvent::PrefillQueued);
             self.instances[target].prefill_queue.push(item);
             self.instances[target]
@@ -498,6 +513,9 @@ impl<'a> ServingSim<'a> {
                     inst.prefill_queue.queued_tokens() + inst.running.len() as u64
                 })
                 .expect("colocated deployment has instances");
+            if self.reject_if_over_cap(req.id, target, now) {
+                return;
+            }
             self.emit(req.id, now, LifecycleEvent::PrefillQueued);
             self.instances[target].prefill_queue.push(item);
             self.instances[target]
@@ -505,6 +523,26 @@ impl<'a> ServingSim<'a> {
                 .emit_depth(self.sink, track_id(target));
             self.try_coloc(target, now);
         }
+    }
+
+    /// Admission control: when the dispatch target's prefill queue is at
+    /// the configured cap, the arrival is rejected — terminal `Rejected`
+    /// lifecycle event, rejection counter, and an entry in
+    /// [`SimOutcome::rejected`] so attainment counts it as a miss.
+    fn reject_if_over_cap(&mut self, id: RequestId, target: usize, now: SimTime) -> bool {
+        let Some(cap) = self.cfg.admission_cap else {
+            return false;
+        };
+        if self.instances[target].prefill_queue.len() < cap {
+            return false;
+        }
+        self.emit(id, now, LifecycleEvent::Rejected);
+        self.sink
+            .counter_add(metrics::REQUESTS_REJECTED, track_id(target), 1);
+        self.states.remove(&id);
+        self.rejected.push(id);
+        self.remaining -= 1;
+        true
     }
 
     // ------------------------------------------------------------------

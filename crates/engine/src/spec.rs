@@ -142,6 +142,11 @@ pub struct SimConfig {
     /// Queue discipline for prefill work (FCFS per §4.3, or SJF to
     /// mitigate the convoy effect the paper discusses).
     pub prefill_discipline: crate::batching::QueueDiscipline,
+    /// Admission control: maximum requests queued at the dispatch target
+    /// before an arrival is rejected outright (`None` = admit all).
+    /// Rejected requests still surface in telemetry and count against
+    /// SLO attainment.
+    pub admission_cap: Option<usize>,
     /// RNG seed for jitter and tie-breaking randomness.
     pub seed: u64,
 }
@@ -159,8 +164,17 @@ impl SimConfig {
             max_decode_batch: 256,
             l_m: 512,
             prefill_discipline: crate::batching::QueueDiscipline::Fcfs,
+            admission_cap: None,
             seed: 0,
         }
+    }
+
+    /// Caps the per-instance queue depth beyond which arrivals are
+    /// rejected.
+    #[must_use]
+    pub fn with_admission_cap(mut self, cap: usize) -> Self {
+        self.admission_cap = Some(cap);
+        self
     }
 
     /// Switches the prefill queues to shortest-job-first.

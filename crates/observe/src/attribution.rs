@@ -1,0 +1,364 @@
+//! Per-request latency attribution with an exactness invariant.
+//!
+//! The paper's diagnosis (§2.3, §6.3) is that TTFT and TPOT are each a
+//! *sum* of components — queueing, batch formation, execution, KV
+//! migration, interference stalls — and that goodput is lost wherever
+//! one component silently dominates. This module decomposes a recorded
+//! [`Lifecycle`] into those components such that they **sum exactly**
+//! to the measured end-to-end figure: each component is a difference of
+//! consecutive anchor timestamps, so the total telescopes to
+//! `completion − arrival` with no residual beyond floating-point
+//! addition order.
+
+use distserve_telemetry::{Lifecycle, LifecycleEvent};
+
+/// Decomposition of time-to-first-token, seconds.
+///
+/// Components telescope: `batch_formation + queueing + exec + migration
+/// == total == first_token − arrival`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TtftAttribution {
+    /// Arrival until the request entered a prefill queue.
+    pub batch_formation: f64,
+    /// Queued until its prefill batch launched.
+    pub queueing: f64,
+    /// Prefill execution until the first token existed (minus any
+    /// overlapping migration time).
+    pub exec: f64,
+    /// KV migration overlapping the pre-first-token span. Zero under
+    /// this repo's pull-after-prefill migration, kept for engines that
+    /// migrate layer-by-layer during prefill.
+    pub migration: f64,
+    /// `first_token − arrival`, the measured TTFT.
+    pub total: f64,
+}
+
+/// Decomposition of the decode phase (first token → completion),
+/// seconds.
+///
+/// Components telescope: `migration_wait + migration + queueing +
+/// step_exec + stall == total == completion − first_token`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeAttribution {
+    /// First token until KV migration began (waiting to be pulled).
+    pub migration_wait: f64,
+    /// KV migration transfer time.
+    pub migration: f64,
+    /// Migration end until the first decode step completed — decode
+    /// queueing plus the first iteration's execution.
+    pub queueing: f64,
+    /// Pure iteration time for the remaining steps, estimated as
+    /// `(steps − 1) ×` the smallest observed inter-step gap.
+    pub step_exec: f64,
+    /// Everything else between steps — batching waits, interference
+    /// slowdown (the paper's Figure 1 signal) — plus the tail between
+    /// the last step and `Finished`.
+    pub stall: f64,
+    /// Decode steps observed.
+    pub steps: u32,
+    /// `completion − first_token`.
+    pub total: f64,
+}
+
+impl DecodeAttribution {
+    /// Mean time per output token, `None` when no decode steps ran.
+    #[must_use]
+    pub fn tpot(&self) -> Option<f64> {
+        (self.steps > 0).then(|| self.total / f64::from(self.steps))
+    }
+}
+
+/// How a request's lifecycle terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Finished,
+    /// Refused by admission control.
+    Rejected,
+}
+
+/// Full attribution for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestAttribution {
+    /// How the lifecycle terminated.
+    pub outcome: Outcome,
+    /// TTFT decomposition; `None` for rejected requests.
+    pub ttft: Option<TtftAttribution>,
+    /// Decode-phase decomposition; `None` for rejected requests.
+    pub decode: Option<DecodeAttribution>,
+    /// Terminal event time minus arrival. For finished requests this
+    /// equals `ttft.total + decode.total` exactly.
+    pub end_to_end: f64,
+}
+
+/// Overlap of `[a0, a1)` with `[b0, b1)`, clamped at zero.
+fn overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
+}
+
+/// Decomposes a validated lifecycle into latency components.
+///
+/// Anchors that a lifecycle legitimately skips (colocated engines emit
+/// no `KvMigrate*`, single-token requests no `DecodeStep`) fall back to
+/// the previous anchor, so their components are exactly zero and the
+/// telescoping sum is preserved.
+///
+/// # Errors
+///
+/// Returns the [`Lifecycle::validate`] error for malformed input.
+pub fn attribute(lc: &Lifecycle) -> Result<RequestAttribution, String> {
+    lc.validate()?;
+    let arrival = lc.start().expect("validated lifecycle is non-empty");
+    let end = lc.end().expect("validated lifecycle is non-empty");
+    let (_, terminal) = *lc.events.last().expect("non-empty");
+    if terminal == LifecycleEvent::Rejected {
+        return Ok(RequestAttribution {
+            outcome: Outcome::Rejected,
+            ttft: None,
+            decode: None,
+            end_to_end: end - arrival,
+        });
+    }
+
+    use LifecycleEvent as E;
+    // TTFT anchor chain; missing anchors collapse onto the previous one.
+    let a1 = lc.first(E::PrefillQueued).unwrap_or(arrival);
+    let a2 = lc.first(E::PrefillStart).unwrap_or(a1);
+    let first_token = lc.first(E::PrefillEnd).unwrap_or(end);
+    let mig_start = lc.first(E::KvMigrateStart);
+    let mig_end = lc.first(E::KvMigrateEnd);
+    let pre_token_migration = match (mig_start, mig_end) {
+        (Some(s), Some(e)) => overlap(s, e, arrival, first_token),
+        _ => 0.0,
+    };
+    let ttft = TtftAttribution {
+        batch_formation: a1 - arrival,
+        queueing: a2 - a1,
+        exec: (first_token - a2) - pre_token_migration,
+        migration: pre_token_migration,
+        total: first_token - arrival,
+    };
+
+    // Decode anchor chain, from the first token to completion.
+    let b0 = first_token;
+    let b1 = mig_start.unwrap_or(b0).max(b0);
+    let b2 = mig_end.unwrap_or(b1).max(b1);
+    let steps: Vec<f64> = lc
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, E::DecodeStep { .. }))
+        .map(|&(t, _)| t)
+        .collect();
+    let b3 = steps.first().copied().unwrap_or(b2);
+    let b4 = steps.last().copied().unwrap_or(b3);
+    let min_gap = steps
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min);
+    let step_exec = if steps.len() > 1 {
+        min_gap * (steps.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let inter_step = b4 - b3;
+    let decode = DecodeAttribution {
+        migration_wait: b1 - b0,
+        migration: b2 - b1,
+        queueing: b3 - b2,
+        step_exec,
+        stall: (inter_step - step_exec) + (end - b4),
+        steps: u32::try_from(steps.len()).unwrap_or(u32::MAX),
+        total: end - b0,
+    };
+
+    Ok(RequestAttribution {
+        outcome: Outcome::Finished,
+        ttft: Some(ttft),
+        decode: Some(decode),
+        end_to_end: end - arrival,
+    })
+}
+
+/// Component names in [`ComponentTotals::entries`] order.
+pub const COMPONENT_NAMES: [&str; 9] = [
+    "batch formation",
+    "prefill queueing",
+    "prefill execution",
+    "migration (pre-token)",
+    "migration wait",
+    "kv migration",
+    "decode queueing",
+    "decode execution",
+    "inter-step stall",
+];
+
+/// Aggregate component sums across many requests, for bottleneck
+/// ranking.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentTotals {
+    sums: [f64; 9],
+    /// Finished requests accumulated.
+    pub requests: u64,
+}
+
+impl ComponentTotals {
+    /// Accumulates one request's attribution (rejected requests carry no
+    /// components and only bump nothing).
+    pub fn add(&mut self, attr: &RequestAttribution) {
+        let Some(t) = attr.ttft else { return };
+        let d = attr.decode.unwrap_or_default();
+        self.sums[0] += t.batch_formation;
+        self.sums[1] += t.queueing;
+        self.sums[2] += t.exec;
+        self.sums[3] += t.migration;
+        self.sums[4] += d.migration_wait;
+        self.sums[5] += d.migration;
+        self.sums[6] += d.queueing;
+        self.sums[7] += d.step_exec;
+        self.sums[8] += d.stall;
+        self.requests += 1;
+    }
+
+    /// `(name, summed seconds)` pairs in [`COMPONENT_NAMES`] order.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, f64); 9] {
+        let mut out = [("", 0.0); 9];
+        for (i, (name, slot)) in COMPONENT_NAMES.iter().zip(out.iter_mut()).enumerate() {
+            *slot = (name, self.sums[i]);
+        }
+        out
+    }
+
+    /// The component with the largest summed time.
+    #[must_use]
+    pub fn dominant(&self) -> (&'static str, f64) {
+        self.entries()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite sums"))
+            .expect("nine components")
+    }
+
+    /// Total attributed seconds across all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.sums.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LifecycleEvent as E;
+
+    fn lc(events: &[(f64, E)]) -> Lifecycle {
+        Lifecycle {
+            events: events.to_vec(),
+        }
+    }
+
+    #[test]
+    fn disaggregated_lifecycle_attributes_exactly() {
+        let l = lc(&[
+            (0.0, E::Arrived),
+            (0.01, E::PrefillQueued),
+            (0.10, E::PrefillStart),
+            (0.30, E::PrefillEnd),
+            (0.32, E::KvMigrateStart),
+            (0.40, E::KvMigrateEnd),
+            (0.40, E::DecodeQueued),
+            (0.50, E::DecodeStep { generated: 2 }),
+            (0.55, E::DecodeStep { generated: 3 }),
+            (0.62, E::DecodeStep { generated: 4 }),
+            (0.62, E::Finished),
+        ]);
+        let a = attribute(&l).unwrap();
+        assert_eq!(a.outcome, Outcome::Finished);
+        let t = a.ttft.unwrap();
+        assert!((t.batch_formation - 0.01).abs() < 1e-12);
+        assert!((t.queueing - 0.09).abs() < 1e-12);
+        assert!((t.exec - 0.20).abs() < 1e-12);
+        assert_eq!(t.migration, 0.0);
+        assert!((t.total - 0.30).abs() < 1e-12);
+        let d = a.decode.unwrap();
+        assert_eq!(d.steps, 3);
+        assert!((d.migration_wait - 0.02).abs() < 1e-12);
+        assert!((d.migration - 0.08).abs() < 1e-12);
+        // min gap 0.05 × 2 steps; stall gets the slow 0.07 − 0.05 gap.
+        assert!((d.step_exec - 0.10).abs() < 1e-12);
+        assert!((d.stall - 0.02).abs() < 1e-12);
+        // Exactness invariant.
+        let sum = t.batch_formation + t.queueing + t.exec + t.migration;
+        assert!((sum - t.total).abs() < 1e-12);
+        let dsum = d.migration_wait + d.migration + d.queueing + d.step_exec + d.stall;
+        assert!((dsum - d.total).abs() < 1e-12);
+        assert!((t.total + d.total - a.end_to_end).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocated_and_single_token_lifecycles_attribute_exactly() {
+        // No migration events, one decode step.
+        let l = lc(&[
+            (1.0, E::Arrived),
+            (1.0, E::PrefillQueued),
+            (1.2, E::PrefillStart),
+            (1.5, E::PrefillEnd),
+            (1.6, E::DecodeStep { generated: 2 }),
+            (1.6, E::Finished),
+        ]);
+        let a = attribute(&l).unwrap();
+        let d = a.decode.unwrap();
+        assert_eq!(d.migration_wait, 0.0);
+        assert_eq!(d.steps, 1);
+        assert!((a.ttft.unwrap().total + d.total - a.end_to_end).abs() < 1e-12);
+
+        // Single-token: finishes at the TTFT boundary, decode total zero.
+        let l = lc(&[
+            (0.0, E::Arrived),
+            (0.0, E::PrefillQueued),
+            (0.1, E::PrefillStart),
+            (0.4, E::PrefillEnd),
+            (0.4, E::Finished),
+        ]);
+        let a = attribute(&l).unwrap();
+        let d = a.decode.unwrap();
+        assert_eq!(d.steps, 0);
+        assert_eq!(d.tpot(), None);
+        assert_eq!(d.total, 0.0);
+        assert!((a.ttft.unwrap().total - a.end_to_end).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_lifecycle_has_no_components() {
+        let l = lc(&[(2.0, E::Arrived), (2.0, E::Rejected)]);
+        let a = attribute(&l).unwrap();
+        assert_eq!(a.outcome, Outcome::Rejected);
+        assert!(a.ttft.is_none() && a.decode.is_none());
+        assert_eq!(a.end_to_end, 0.0);
+    }
+
+    #[test]
+    fn malformed_lifecycle_is_an_error() {
+        let l = lc(&[(0.0, E::PrefillStart)]);
+        assert!(attribute(&l).is_err());
+    }
+
+    #[test]
+    fn totals_rank_dominant_component() {
+        let l = lc(&[
+            (0.0, E::Arrived),
+            (0.0, E::PrefillQueued),
+            (5.0, E::PrefillStart),
+            (5.5, E::PrefillEnd),
+            (5.6, E::DecodeStep { generated: 2 }),
+            (5.6, E::Finished),
+        ]);
+        let mut totals = ComponentTotals::default();
+        totals.add(&attribute(&l).unwrap());
+        totals.add(&attribute(&l).unwrap());
+        let (name, secs) = totals.dominant();
+        assert_eq!(name, "prefill queueing");
+        assert!((secs - 10.0).abs() < 1e-12);
+        assert_eq!(totals.requests, 2);
+        assert!((totals.total() - 2.0 * 5.6).abs() < 1e-12);
+    }
+}

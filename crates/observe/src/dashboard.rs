@@ -1,0 +1,282 @@
+//! Self-contained HTML dashboard: stat tiles, per-instance table,
+//! attainment sparkline, latency histograms with SLO markers, and a
+//! stacked attribution bar — all inline SVG and CSS, zero JavaScript
+//! and zero external fetches so it renders in an offline CI artifact
+//! viewer exactly as it does locally.
+
+use std::fmt::Write as _;
+
+use distserve_telemetry::LogHistogram;
+
+use crate::bottleneck::BottleneckReport;
+
+const COLORS: [&str; 9] = [
+    "#8da0cb", "#e78ac3", "#66c2a5", "#fc8d62", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3",
+    "#d53e4f",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Polyline sparkline of per-bucket attainment (0–100%).
+fn attainment_sparkline(report: &BottleneckReport) -> String {
+    let (w, h, pad) = (640.0, 80.0, 4.0);
+    let series = &report.series;
+    if series.is_empty() {
+        return String::from("<p class=\"empty\">no windowed data</p>");
+    }
+    let n = series.len().max(2) as f64;
+    let mut points = String::new();
+    for (i, b) in series.iter().enumerate() {
+        let x = pad + (w - 2.0 * pad) * i as f64 / (n - 1.0);
+        let y = pad + (h - 2.0 * pad) * (1.0 - b.attainment);
+        let _ = write!(points, "{x:.1},{y:.1} ");
+    }
+    format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         role=\"img\" aria-label=\"attainment over time\">\
+         <rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"#f7f7f9\"/>\
+         <polyline points=\"{points}\" fill=\"none\" stroke=\"#4c72b0\" stroke-width=\"2\"/>\
+         </svg>"
+    )
+}
+
+/// Vertical-bar histogram with an SLO marker line.
+fn histogram_svg(hist: &LogHistogram, slo: f64, label: &str) -> String {
+    let (w, h, pad) = (300.0, 90.0, 4.0);
+    let bars: Vec<(f64, u64)> = {
+        let mut prev = 0u64;
+        hist.cumulative()
+            .map(|(bound, cum)| {
+                let c = cum - prev;
+                prev = cum;
+                (bound, c)
+            })
+            .collect()
+    };
+    let peak = bars.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    if peak == 0 {
+        return format!("<p class=\"empty\">no {} samples</p>", esc(label));
+    }
+    let bw = (w - 2.0 * pad) / bars.len() as f64;
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         role=\"img\" aria-label=\"{} histogram\">\
+         <rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"#f7f7f9\"/>",
+        esc(label)
+    );
+    let mut slo_x: Option<f64> = None;
+    for (i, &(bound, c)) in bars.iter().enumerate() {
+        let x = pad + bw * i as f64;
+        if slo_x.is_none() && bound >= slo {
+            slo_x = Some(x + bw);
+        }
+        if c == 0 {
+            continue;
+        }
+        let bh = (h - 2.0 * pad) * c as f64 / peak as f64;
+        let _ = write!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{bh:.1}\" \
+             fill=\"#4c72b0\"><title>le {bound:.2e}: {c}</title></rect>",
+            x,
+            h - pad - bh,
+            (bw - 1.0).max(1.0),
+        );
+    }
+    if let Some(x) = slo_x {
+        let _ = write!(
+            svg,
+            "<line x1=\"{x:.1}\" y1=\"0\" x2=\"{x:.1}\" y2=\"{h:.0}\" \
+             stroke=\"#d53e4f\" stroke-width=\"2\" stroke-dasharray=\"4 2\"/>"
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Horizontal stacked bar of attribution component shares.
+fn attribution_bar(report: &BottleneckReport) -> String {
+    let entries = report.totals.entries();
+    let total: f64 = entries.iter().map(|&(_, v)| v).sum();
+    if total <= 0.0 {
+        return String::from("<p class=\"empty\">no attributed time</p>");
+    }
+    let (w, h) = (640.0, 28.0);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         role=\"img\" aria-label=\"latency attribution\">"
+    );
+    let mut x = 0.0;
+    let mut legend = String::from("<ul class=\"legend\">");
+    for (i, &(name, v)) in entries.iter().enumerate() {
+        let share = v / total;
+        let bw = w * share;
+        if bw > 0.1 {
+            let _ = write!(
+                svg,
+                "<rect x=\"{x:.1}\" y=\"0\" width=\"{bw:.1}\" height=\"{h:.0}\" \
+                 fill=\"{}\"><title>{}: {v:.2} s ({:.1}%)</title></rect>",
+                COLORS[i],
+                esc(name),
+                share * 100.0
+            );
+            x += bw;
+        }
+        if share > 0.001 {
+            let _ = write!(
+                legend,
+                "<li><span class=\"swatch\" style=\"background:{}\"></span>{}: {:.1}%</li>",
+                COLORS[i],
+                esc(name),
+                share * 100.0
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    legend.push_str("</ul>");
+    svg + &legend
+}
+
+fn tile(label: &str, value: &str) -> String {
+    format!(
+        "<div class=\"tile\"><div class=\"value\">{}</div>\
+         <div class=\"label\">{}</div></div>",
+        esc(value),
+        esc(label)
+    )
+}
+
+fn fmt_opt_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".into(), |s| format!("{:.1} ms", s * 1e3))
+}
+
+/// Renders the full dashboard as one self-contained HTML page.
+#[must_use]
+pub fn render_dashboard(report: &BottleneckReport, title: &str) -> String {
+    let w = &report.window;
+    let mut instances = String::from(
+        "<table><tr><th>instance</th><th>role</th><th>util %</th><th>busy s</th>\
+         <th>batches</th><th>tokens</th><th>binding SLO</th><th>dominant component</th></tr>",
+    );
+    for i in &report.instances {
+        let _ = write!(
+            instances,
+            "<tr><td>{}</td><td>{}</td><td>{:.1}</td><td>{:.2}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&i.name),
+            i.role,
+            i.utilization * 100.0,
+            i.busy_secs,
+            i.batches,
+            i.tokens,
+            i.binding,
+            i.dominant,
+        );
+    }
+    instances.push_str("</table>");
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{title}</title><style>\
+         body{{font:14px/1.5 system-ui,sans-serif;margin:2rem;color:#222}}\
+         h1{{font-size:1.4rem}} h2{{font-size:1.1rem;margin-top:1.5rem}}\
+         .tiles{{display:flex;gap:1rem;flex-wrap:wrap}}\
+         .tile{{background:#f7f7f9;border-radius:8px;padding:.8rem 1.2rem;min-width:8rem}}\
+         .tile .value{{font-size:1.3rem;font-weight:600}}\
+         .tile .label{{color:#666;font-size:.85rem}}\
+         .verdict{{background:#fff6e5;border-left:4px solid #fc8d62;padding:.6rem 1rem}}\
+         table{{border-collapse:collapse;margin-top:.5rem}}\
+         td,th{{border:1px solid #ddd;padding:.3rem .7rem;text-align:left}}\
+         th{{background:#f0f0f3}}\
+         .legend{{list-style:none;padding:0;display:flex;flex-wrap:wrap;gap:.3rem 1.2rem}}\
+         .swatch{{display:inline-block;width:.8em;height:.8em;margin-right:.35em;\
+         border-radius:2px}}\
+         .empty{{color:#888;font-style:italic}}\
+         .row{{display:flex;gap:2rem;flex-wrap:wrap}}\
+         </style></head><body>\n\
+         <h1>{title}</h1>\n\
+         <p class=\"verdict\">{verdict}</p>\n\
+         <div class=\"tiles\">{tiles}</div>\n\
+         <h2>SLO attainment over time</h2>\n{spark}\n\
+         <div class=\"row\"><div><h2>TTFT (SLO {ttft_slo:.0} ms)</h2>{ttft_hist}</div>\
+         <div><h2>TPOT (SLO {tpot_slo:.0} ms)</h2>{tpot_hist}</div></div>\n\
+         <h2>Latency attribution</h2>\n{attr}\n\
+         <h2>Instances</h2>\n{instances}\n\
+         </body></html>\n",
+        title = esc(title),
+        verdict = esc(&report.verdict),
+        tiles = [
+            tile("goodput", &format!("{:.2} req/s", w.goodput_rps)),
+            tile("attainment", &format!("{:.1}%", w.attainment * 100.0)),
+            tile(
+                "TTFT attainment",
+                &format!("{:.1}%", w.ttft_attainment * 100.0)
+            ),
+            tile(
+                "TPOT attainment",
+                &format!("{:.1}%", w.tpot_attainment * 100.0)
+            ),
+            tile("TTFT p99", &fmt_opt_ms(w.ttft_p99)),
+            tile("TPOT p99", &fmt_opt_ms(w.tpot_p99)),
+            tile("finished", &w.finished.to_string()),
+            tile("rejected", &w.rejected.to_string()),
+        ]
+        .concat(),
+        spark = attainment_sparkline(report),
+        ttft_slo = w.ttft_slo * 1e3,
+        tpot_slo = w.tpot_slo * 1e3,
+        ttft_hist = histogram_svg(&w.ttft_hist, w.ttft_slo, "TTFT"),
+        tpot_hist = histogram_svg(&w.tpot_hist, w.tpot_slo, "TPOT"),
+        attr = attribution_bar(report),
+        instances = instances,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distserve_telemetry::{Event, LifecycleEvent as E, Recorder, Slice, TelemetrySink};
+
+    #[test]
+    fn dashboard_is_self_contained_html() {
+        let rec = Recorder::new();
+        rec.declare_track(0, "colocated[0] <tp1>");
+        for (t, kind) in [
+            (0.0, E::Arrived),
+            (0.0, E::PrefillQueued),
+            (0.1, E::PrefillStart),
+            (0.3, E::PrefillEnd),
+            (0.4, E::DecodeStep { generated: 2 }),
+            (0.4, E::Finished),
+        ] {
+            rec.event(Event {
+                request: 1,
+                time_s: t,
+                kind,
+            });
+        }
+        rec.slice(Slice {
+            track: 0,
+            name: "prefill",
+            start_s: 0.1,
+            end_s: 0.3,
+            batch: 1,
+            tokens: 64,
+        });
+        let report = crate::bottleneck::diagnose(&rec.snapshot(), 0.2, 0.1, 1.0, 8).unwrap();
+        let html = render_dashboard(&report, "test run");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<svg"));
+        // Track name is escaped.
+        assert!(html.contains("colocated[0] &lt;tp1&gt;"));
+        assert!(!html.contains("<tp1>"));
+        // No external references: offline CI must render it unchanged.
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert!(!html.contains("<script"));
+    }
+}

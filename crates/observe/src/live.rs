@@ -1,0 +1,260 @@
+//! The live aggregating sink: a [`TelemetrySink`] that folds lifecycle
+//! events into a [`SloWindow`] and per-instance utilization counters as
+//! they are emitted, instead of buffering a full recording.
+//!
+//! This is the online half of the observatory: engines tee their
+//! telemetry into a `Recorder` (for post-run export) *and* an
+//! [`ObserverSink`] (for windowed attainment the replanner can act on)
+//! via [`TeeSink`](distserve_telemetry::TeeSink).
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+use distserve_telemetry::{Event, LifecycleEvent, RequestKey, Slice, TelemetrySink, TrackId};
+
+use crate::window::{BucketStats, SloWindow, WindowStats};
+
+/// In-flight request state: enough to compute TTFT/TPOT at completion.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    arrival: f64,
+    first_token: Option<f64>,
+    steps: u32,
+}
+
+/// Per-track busy accounting folded from slices.
+#[derive(Debug, Clone, Copy, Default)]
+struct TrackUse {
+    busy_secs: f64,
+    batches: u64,
+    tokens: u64,
+    first_start: f64,
+    last_end: f64,
+}
+
+/// Per-instance utilization snapshot.
+#[derive(Debug, Clone)]
+pub struct InstanceUse {
+    /// Telemetry track id.
+    pub track: TrackId,
+    /// Declared track name (e.g. `prefill[0] tp1·pp1`).
+    pub name: String,
+    /// Summed slice durations.
+    pub busy_secs: f64,
+    /// Busy fraction of the global observed span.
+    pub utilization: f64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Tokens processed.
+    pub tokens: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    window: SloWindow,
+    pending: HashMap<RequestKey, Pending>,
+    tracks: BTreeMap<TrackId, TrackUse>,
+    names: BTreeMap<TrackId, String>,
+}
+
+/// A [`TelemetrySink`] that maintains windowed SLO attainment and
+/// per-instance utilization online.
+#[derive(Debug)]
+pub struct ObserverSink {
+    inner: Mutex<Inner>,
+}
+
+impl ObserverSink {
+    /// Creates an observer judging against the given SLOs over a
+    /// sliding window of `buckets × bucket_secs` seconds.
+    #[must_use]
+    pub fn new(ttft_slo: f64, tpot_slo: f64, bucket_secs: f64, buckets: usize) -> Self {
+        ObserverSink {
+            inner: Mutex::new(Inner {
+                window: SloWindow::new(ttft_slo, tpot_slo, bucket_secs, buckets),
+                pending: HashMap::new(),
+                tracks: BTreeMap::new(),
+                names: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Current windowed statistics.
+    #[must_use]
+    pub fn stats(&self) -> WindowStats {
+        self.inner.lock().window.stats()
+    }
+
+    /// Per-bucket attainment series, ascending epoch.
+    #[must_use]
+    pub fn series(&self) -> Vec<BucketStats> {
+        self.inner.lock().window.series()
+    }
+
+    /// Per-instance utilization over the observed span.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<InstanceUse> {
+        let inner = self.inner.lock();
+        let span_start = inner
+            .tracks
+            .values()
+            .map(|t| t.first_start)
+            .fold(f64::INFINITY, f64::min);
+        let span_end = inner
+            .tracks
+            .values()
+            .map(|t| t.last_end)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (span_end - span_start).max(f64::EPSILON);
+        inner
+            .tracks
+            .iter()
+            .map(|(&track, u)| InstanceUse {
+                track,
+                name: inner
+                    .names
+                    .get(&track)
+                    .cloned()
+                    .unwrap_or_else(|| format!("track {track}")),
+                busy_secs: u.busy_secs,
+                utilization: (u.busy_secs / span).min(1.0),
+                batches: u.batches,
+                tokens: u.tokens,
+            })
+            .collect()
+    }
+
+    /// Requests seen but not yet terminal (diagnostic).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+}
+
+impl TelemetrySink for ObserverSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, ev: Event) {
+        let mut inner = self.inner.lock();
+        match ev.kind {
+            LifecycleEvent::Arrived => {
+                inner.pending.insert(
+                    ev.request,
+                    Pending {
+                        arrival: ev.time_s,
+                        first_token: None,
+                        steps: 0,
+                    },
+                );
+            }
+            LifecycleEvent::PrefillEnd => {
+                if let Some(p) = inner.pending.get_mut(&ev.request) {
+                    p.first_token.get_or_insert(ev.time_s);
+                }
+            }
+            LifecycleEvent::DecodeStep { .. } => {
+                if let Some(p) = inner.pending.get_mut(&ev.request) {
+                    p.steps += 1;
+                }
+            }
+            LifecycleEvent::Finished => {
+                if let Some(p) = inner.pending.remove(&ev.request) {
+                    let first_token = p.first_token.unwrap_or(ev.time_s);
+                    let ttft = first_token - p.arrival;
+                    let tpot =
+                        (p.steps > 0).then(|| (ev.time_s - first_token) / f64::from(p.steps));
+                    inner.window.record_finished(ev.time_s, ttft, tpot);
+                }
+            }
+            LifecycleEvent::Rejected => {
+                inner.pending.remove(&ev.request);
+                inner.window.record_rejected(ev.time_s);
+            }
+            _ => {}
+        }
+    }
+
+    fn slice(&self, s: Slice) {
+        let mut inner = self.inner.lock();
+        let u = inner.tracks.entry(s.track).or_insert(TrackUse {
+            first_start: s.start_s,
+            last_end: s.end_s,
+            ..TrackUse::default()
+        });
+        u.busy_secs += s.end_s - s.start_s;
+        u.batches += 1;
+        u.tokens += u64::from(s.tokens);
+        u.first_start = u.first_start.min(s.start_s);
+        u.last_end = u.last_end.max(s.end_s);
+    }
+
+    fn declare_track(&self, id: TrackId, name: &str) {
+        self.inner.lock().names.insert(id, name.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(request: RequestKey, time_s: f64, kind: LifecycleEvent) -> Event {
+        Event {
+            request,
+            time_s,
+            kind,
+        }
+    }
+
+    #[test]
+    fn observer_folds_lifecycles_into_window() {
+        use LifecycleEvent as E;
+        let obs = ObserverSink::new(0.25, 0.1, 1.0, 16);
+        obs.event(ev(1, 0.0, E::Arrived));
+        obs.event(ev(1, 0.2, E::PrefillEnd));
+        obs.event(ev(1, 0.3, E::DecodeStep { generated: 2 }));
+        obs.event(ev(1, 0.4, E::DecodeStep { generated: 3 }));
+        obs.event(ev(1, 0.4, E::Finished));
+        obs.event(ev(2, 0.1, E::Arrived));
+        obs.event(ev(2, 0.1, E::Rejected));
+        assert_eq!(obs.in_flight(), 0);
+        let s = obs.stats();
+        assert_eq!(s.finished, 1);
+        assert_eq!(s.rejected, 1);
+        // TTFT 0.2 ≤ 0.25, TPOT 0.1 ≤ 0.1; the rejection halves it.
+        assert!((s.attainment - 0.5).abs() < 1e-12);
+        assert!((s.ttft_p50.unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_tracks_utilization() {
+        let obs = ObserverSink::new(0.25, 0.1, 1.0, 16);
+        obs.declare_track(0, "prefill[0]");
+        obs.slice(Slice {
+            track: 0,
+            name: "prefill",
+            start_s: 0.0,
+            end_s: 0.5,
+            batch: 1,
+            tokens: 128,
+        });
+        obs.slice(Slice {
+            track: 1,
+            name: "decode",
+            start_s: 0.5,
+            end_s: 1.0,
+            batch: 2,
+            tokens: 2,
+        });
+        let u = obs.utilization();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].name, "prefill[0]");
+        assert!((u[0].busy_secs - 0.5).abs() < 1e-12);
+        // Each track busy half the 1 s global span.
+        assert!((u[0].utilization - 0.5).abs() < 1e-12);
+        assert_eq!(u[1].name, "track 1");
+        assert_eq!(u[1].tokens, 2);
+    }
+}

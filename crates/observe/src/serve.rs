@@ -1,0 +1,196 @@
+//! A dependency-free HTTP endpoint over `std::net::TcpListener`:
+//! `/` serves the HTML dashboard, `/metrics` the Prometheus text
+//! exposition (both from caller-supplied provider closures, so they
+//! reflect live state), `/quit` shuts the server down remotely — the
+//! hook CI uses to stop the example after validating from outside the
+//! process.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Produces a response body on demand.
+pub type Provider = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The live metrics/dashboard server. Binds to a loopback ephemeral
+/// port; poll-based shutdown via [`MetricsServer::stop`] or a `/quit`
+/// request.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream, index: &Provider, metrics: &Provider, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Read until the blank line ending the request head: the client's
+    // request line may arrive split across several segments.
+    let mut buf = [0u8; 2048];
+    let mut n = 0usize;
+    while n < buf.len() {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) | Err(_) => break,
+            Ok(m) => {
+                n += m;
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    match path {
+        "/" | "/index.html" => respond(&mut stream, "200 OK", "text/html; charset=utf-8", &index()),
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &metrics(),
+        ),
+        "/quit" => {
+            respond(&mut stream, "200 OK", "text/plain", "bye\n");
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` (0 = ephemeral) and serves on a
+    /// background thread until stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(port: u16, index: Provider, metrics: Provider) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        handle(stream, &index, &metrics, &flag);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the server has been told to shut down (e.g. via `/quit`).
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Signals shutdown and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 GET, returning the response body. Used by the
+/// example's self-validation and the tests; CI validates again from a
+/// separate python process.
+///
+/// # Errors
+///
+/// Propagates connect/read failures.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    // One write_all, not write!(stream, ...): the formatter would issue
+    // a syscall per fragment and the server could answer a partial
+    // request line, breaking the pipe mid-send.
+    let request = format!("GET {path} HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response.split_once("\r\n\r\n").map_or("", |(_, body)| body);
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn providers() -> (Provider, Provider) {
+        (
+            Arc::new(|| String::from("<!DOCTYPE html><html><svg></svg></html>")),
+            Arc::new(|| String::from("distserve_requests_finished_total{instance=\"0\"} 3\n")),
+        )
+    }
+
+    #[test]
+    fn serves_dashboard_and_metrics_then_quits() {
+        let (index, metrics) = providers();
+        let srv = MetricsServer::start(0, index, metrics).unwrap();
+        let addr = srv.addr();
+        let html = http_get(addr, "/").unwrap();
+        assert!(html.contains("<svg"));
+        let text = http_get(addr, "/metrics").unwrap();
+        assert!(text.contains("distserve_requests_finished_total"));
+        let missing = http_get(addr, "/nope").unwrap();
+        assert!(missing.contains("not found"));
+        let bye = http_get(addr, "/quit").unwrap();
+        assert!(bye.contains("bye"));
+        assert!(srv.is_shutdown());
+        srv.stop();
+    }
+
+    #[test]
+    fn stop_unblocks_the_accept_loop() {
+        let (index, metrics) = providers();
+        let srv = MetricsServer::start(0, index, metrics).unwrap();
+        srv.stop(); // must not hang
+    }
+}

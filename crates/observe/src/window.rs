@@ -1,0 +1,357 @@
+//! Online sliding-window SLO aggregation.
+//!
+//! A ring of time buckets, each holding counters plus mergeable
+//! [`LogHistogram`]s. Recording an observation indexes the ring by
+//! `floor(t / bucket_secs) % n` and lazily recycles a stale bucket in
+//! place ([`LogHistogram::reset`] keeps the allocation), so the hot
+//! path is O(1) and allocation-free — the property the <3% telemetry
+//! overhead budget depends on. Reading statistics merges the live
+//! buckets (cold path, allocates freely).
+
+use distserve_telemetry::LogHistogram;
+
+/// One time bucket of the ring.
+#[derive(Debug, Clone)]
+struct Bucket {
+    epoch: u64,
+    touched: bool,
+    finished: u64,
+    rejected: u64,
+    ttft_ok: u64,
+    tpot_ok: u64,
+    both_ok: u64,
+    ttft: LogHistogram,
+    tpot: LogHistogram,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            epoch: 0,
+            touched: false,
+            finished: 0,
+            rejected: 0,
+            ttft_ok: 0,
+            tpot_ok: 0,
+            both_ok: 0,
+            ttft: LogHistogram::latency_seconds(),
+            tpot: LogHistogram::latency_seconds(),
+        }
+    }
+
+    /// Recycles the bucket for a new epoch without allocating.
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.touched = true;
+        self.finished = 0;
+        self.rejected = 0;
+        self.ttft_ok = 0;
+        self.tpot_ok = 0;
+        self.both_ok = 0;
+        self.ttft.reset();
+        self.tpot.reset();
+    }
+}
+
+/// Windowed statistics over the live buckets.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    /// The TTFT SLO judged against, seconds.
+    pub ttft_slo: f64,
+    /// The TPOT SLO judged against, seconds.
+    pub tpot_slo: f64,
+    /// Seconds the full window spans (`buckets × bucket_secs`).
+    pub window_secs: f64,
+    /// Requests observed: finished plus rejected.
+    pub requests: u64,
+    /// Requests that ran to completion.
+    pub finished: u64,
+    /// Requests refused by admission control — counted as SLO misses.
+    pub rejected: u64,
+    /// Fraction of observed requests meeting both SLOs.
+    pub attainment: f64,
+    /// Fraction meeting the TTFT SLO.
+    pub ttft_attainment: f64,
+    /// Fraction meeting the TPOT SLO.
+    pub tpot_attainment: f64,
+    /// SLO-meeting completions per second of window actually covered.
+    pub goodput_rps: f64,
+    /// Windowed TTFT quantiles, seconds.
+    pub ttft_p50: Option<f64>,
+    /// 99th percentile TTFT.
+    pub ttft_p99: Option<f64>,
+    /// Windowed TPOT quantiles, seconds (multi-token requests only).
+    pub tpot_p50: Option<f64>,
+    /// 99th percentile TPOT.
+    pub tpot_p99: Option<f64>,
+    /// Merged TTFT histogram over the window.
+    pub ttft_hist: LogHistogram,
+    /// Merged TPOT histogram over the window.
+    pub tpot_hist: LogHistogram,
+}
+
+impl WindowStats {
+    /// The subset the replanning controller consumes: windowed
+    /// attainment as the observed-erosion signal for §4.3 replanning
+    /// (feed to `ReplanController::observe_attainment`).
+    #[must_use]
+    pub fn to_observation(&self) -> distserve_core::SloObservation {
+        distserve_core::SloObservation {
+            window_secs: self.window_secs,
+            requests: self.requests,
+            attainment: self.attainment,
+            ttft_attainment: self.ttft_attainment,
+            tpot_attainment: self.tpot_attainment,
+        }
+    }
+}
+
+/// Per-bucket statistics, for sparklines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketStats {
+    /// Bucket epoch (`floor(t / bucket_secs)`).
+    pub epoch: u64,
+    /// Bucket start time, seconds.
+    pub start_s: f64,
+    /// Completions in the bucket.
+    pub finished: u64,
+    /// Rejections in the bucket.
+    pub rejected: u64,
+    /// Fraction meeting both SLOs (rejections are misses).
+    pub attainment: f64,
+}
+
+/// The sliding-window aggregator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SloWindow {
+    ttft_slo: f64,
+    tpot_slo: f64,
+    bucket_secs: f64,
+    buckets: Vec<Bucket>,
+    latest_epoch: u64,
+}
+
+impl SloWindow {
+    /// Creates a window of `buckets × bucket_secs` seconds judging
+    /// against the given SLOs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bucket_secs > 0` and `buckets > 0`.
+    #[must_use]
+    pub fn new(ttft_slo: f64, tpot_slo: f64, bucket_secs: f64, buckets: usize) -> Self {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        SloWindow {
+            ttft_slo,
+            tpot_slo,
+            bucket_secs,
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            latest_epoch: 0,
+        }
+    }
+
+    fn bucket_mut(&mut self, t: f64) -> &mut Bucket {
+        let epoch = (t.max(0.0) / self.bucket_secs) as u64;
+        self.latest_epoch = self.latest_epoch.max(epoch);
+        let n = self.buckets.len() as u64;
+        let b = &mut self.buckets[(epoch % n) as usize];
+        if !b.touched || b.epoch != epoch {
+            b.reset(epoch);
+        }
+        b
+    }
+
+    /// Records a completion at time `t`. A `tpot` of `None` (single- or
+    /// zero-token decode) counts as trivially meeting the TPOT SLO,
+    /// matching the planner's convention.
+    pub fn record_finished(&mut self, t: f64, ttft: f64, tpot: Option<f64>) {
+        let (ttft_slo, tpot_slo) = (self.ttft_slo, self.tpot_slo);
+        let b = self.bucket_mut(t);
+        b.finished += 1;
+        b.ttft.record(ttft);
+        if let Some(tp) = tpot {
+            b.tpot.record(tp);
+        }
+        let ttft_ok = ttft <= ttft_slo;
+        let tpot_ok = tpot.is_none_or(|tp| tp <= tpot_slo);
+        b.ttft_ok += u64::from(ttft_ok);
+        b.tpot_ok += u64::from(tpot_ok);
+        b.both_ok += u64::from(ttft_ok && tpot_ok);
+    }
+
+    /// Records an admission rejection at time `t` — an SLO miss on both
+    /// axes (a silently-dropped rejection would inflate attainment).
+    pub fn record_rejected(&mut self, t: f64) {
+        self.bucket_mut(t).rejected += 1;
+    }
+
+    /// Whether a bucket still belongs to the window ending at
+    /// `latest_epoch`.
+    fn live(&self, b: &Bucket) -> bool {
+        b.touched
+            && b.epoch <= self.latest_epoch
+            && b.epoch + self.buckets.len() as u64 > self.latest_epoch
+    }
+
+    /// Merged statistics over the live window (cold path).
+    #[must_use]
+    pub fn stats(&self) -> WindowStats {
+        let mut finished = 0u64;
+        let mut rejected = 0u64;
+        let mut ttft_ok = 0u64;
+        let mut tpot_ok = 0u64;
+        let mut both_ok = 0u64;
+        let mut ttft = LogHistogram::latency_seconds();
+        let mut tpot = LogHistogram::latency_seconds();
+        let mut epochs = 0u64;
+        for b in self.buckets.iter().filter(|b| self.live(b)) {
+            finished += b.finished;
+            rejected += b.rejected;
+            ttft_ok += b.ttft_ok;
+            tpot_ok += b.tpot_ok;
+            both_ok += b.both_ok;
+            ttft.merge(&b.ttft);
+            tpot.merge(&b.tpot);
+            epochs += 1;
+        }
+        let requests = finished + rejected;
+        let frac = |ok: u64| {
+            if requests == 0 {
+                0.0
+            } else {
+                ok as f64 / requests as f64
+            }
+        };
+        let covered = epochs.max(1) as f64 * self.bucket_secs;
+        WindowStats {
+            ttft_slo: self.ttft_slo,
+            tpot_slo: self.tpot_slo,
+            window_secs: self.buckets.len() as f64 * self.bucket_secs,
+            requests,
+            finished,
+            rejected,
+            attainment: frac(both_ok),
+            ttft_attainment: frac(ttft_ok),
+            tpot_attainment: frac(tpot_ok),
+            goodput_rps: both_ok as f64 / covered,
+            ttft_p50: ttft.quantile(0.5),
+            ttft_p99: ttft.quantile(0.99),
+            tpot_p50: tpot.quantile(0.5),
+            tpot_p99: tpot.quantile(0.99),
+            ttft_hist: ttft,
+            tpot_hist: tpot,
+        }
+    }
+
+    /// Per-bucket series in ascending epoch order (for sparklines).
+    #[must_use]
+    pub fn series(&self) -> Vec<BucketStats> {
+        let mut out: Vec<BucketStats> = self
+            .buckets
+            .iter()
+            .filter(|b| self.live(b))
+            .map(|b| {
+                let req = b.finished + b.rejected;
+                BucketStats {
+                    epoch: b.epoch,
+                    start_s: b.epoch as f64 * self.bucket_secs,
+                    finished: b.finished,
+                    rejected: b.rejected,
+                    attainment: if req == 0 {
+                        0.0
+                    } else {
+                        b.both_ok as f64 / req as f64
+                    },
+                }
+            })
+            .collect();
+        out.sort_by_key(|b| b.epoch);
+        out
+    }
+
+    /// The configured TTFT SLO, seconds.
+    #[must_use]
+    pub fn ttft_slo(&self) -> f64 {
+        self.ttft_slo
+    }
+
+    /// The configured TPOT SLO, seconds.
+    #[must_use]
+    pub fn tpot_slo(&self) -> f64 {
+        self.tpot_slo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_attainment_counts_rejections_as_misses() {
+        let mut w = SloWindow::new(0.2, 0.05, 1.0, 8);
+        for i in 0..8 {
+            w.record_finished(0.1 * f64::from(i), 0.1, Some(0.02));
+        }
+        let s = w.stats();
+        assert_eq!(s.finished, 8);
+        assert!((s.attainment - 1.0).abs() < 1e-12);
+        // Two rejections dilute attainment to 8/10.
+        w.record_rejected(0.5);
+        w.record_rejected(0.6);
+        let s = w.stats();
+        assert_eq!(s.requests, 10);
+        assert!((s.attainment - 0.8).abs() < 1e-12);
+        assert!((s.ttft_attainment - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_buckets_age_out() {
+        let mut w = SloWindow::new(0.2, 0.05, 1.0, 4);
+        w.record_finished(0.5, 1.0, None); // misses TTFT SLO
+        assert!(w.stats().attainment < 0.5);
+        // 100 s later the old bucket left the window; only the new
+        // observation counts.
+        w.record_finished(100.0, 0.1, None);
+        let s = w.stats();
+        assert_eq!(s.requests, 1);
+        assert!((s.attainment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_ring_reuses_slots_across_epochs() {
+        let mut w = SloWindow::new(0.2, 0.05, 1.0, 2);
+        // Epochs 0, 2 map to slot 0; epoch 2 must evict epoch 0.
+        w.record_finished(0.5, 0.1, None);
+        w.record_finished(2.5, 0.1, None);
+        w.record_finished(1.5, 0.1, None); // epoch 1, slot 1, still live
+        let s = w.stats();
+        assert_eq!(s.finished, 2); // epochs 1 and 2
+        let series = w.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].epoch, 1);
+        assert_eq!(series[1].epoch, 2);
+    }
+
+    #[test]
+    fn none_tpot_is_trivially_met() {
+        let mut w = SloWindow::new(0.2, 0.05, 1.0, 4);
+        w.record_finished(0.1, 0.1, None);
+        let s = w.stats();
+        assert!((s.tpot_attainment - 1.0).abs() < 1e-12);
+        assert_eq!(s.tpot_p50, None);
+        assert!(s.ttft_p50.is_some());
+    }
+
+    #[test]
+    fn quantiles_reflect_window_contents() {
+        let mut w = SloWindow::new(1.0, 1.0, 10.0, 4);
+        for _ in 0..50 {
+            w.record_finished(1.0, 0.1, Some(0.01));
+        }
+        let s = w.stats();
+        assert!((s.ttft_p50.unwrap() - 0.1).abs() < 1e-9);
+        assert!((s.tpot_p99.unwrap() - 0.01).abs() < 1e-9);
+        assert!(s.goodput_rps > 0.0);
+    }
+}

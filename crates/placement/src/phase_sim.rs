@@ -180,6 +180,9 @@ pub fn prefill_ttfts_with_sink(
             sink.counter_add(metrics::PREFILL_BATCHES, 0, 1);
             sink.counter_add(metrics::PREFILL_TOKENS, 0, batch_tokens);
             sink.observe(metrics::BATCH_SIZE, 0, members.len() as f64);
+            // Re-publish depth after the batch drained the queue so the
+            // exported gauge can fall back to zero, not just rise.
+            queue.emit_depth(sink, 0);
             events.push(commit.done, Ev::Done(members));
             events.push(commit.stage0_free, Ev::Free);
         }

@@ -333,6 +333,33 @@ mod tests {
     }
 
     #[test]
+    fn rejected_requests_appear_in_csv_with_attribution() {
+        // A rejected request must not vanish from the per-request export:
+        // its row carries the rejection timestamp so downstream attainment
+        // accounting can count it as an SLO miss.
+        let rec = Recorder::new();
+        for (t, kind) in [(0.5, E::Arrived), (0.5, E::Rejected)] {
+            rec.event(Event {
+                request: 9,
+                time_s: t,
+                kind,
+            });
+        }
+        let snap = rec.snapshot();
+        let lc = &snap.lifecycles()[&9];
+        lc.validate().unwrap();
+        let csv = snap.lifecycle_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let cells: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(cells[0], "9");
+        assert_eq!(cells[1], "0.500000000"); // arrived
+        assert_eq!(cells[9], ""); // never finished
+        assert_eq!(cells[10], "0.500000000"); // rejected
+        assert_eq!(cells[11], "0"); // no decode steps
+    }
+
+    #[test]
     fn empty_recording_exports_cleanly() {
         let r = Recording::default();
         let v: serde_json::Value = serde_json::from_str(&r.perfetto_json()).unwrap();

@@ -52,4 +52,4 @@ pub use event::{metrics, Event, LifecycleEvent, RequestKey, Slice, SpanGuard, Tr
 pub use export::{prometheus_text, LIFECYCLE_TRACK};
 pub use recorder::{Lifecycle, Recorder, Recording};
 pub use registry::{LogHistogram, MetricsRegistry};
-pub use sink::{NoopSink, TelemetrySink, NOOP};
+pub use sink::{NoopSink, TeeSink, TelemetrySink, NOOP};

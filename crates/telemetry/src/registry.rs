@@ -31,6 +31,12 @@ pub struct LogHistogram {
     /// covers `(-inf, lo)`. One extra slot at the end is the overflow.
     counts: Vec<u64>,
     sum: f64,
+    /// Smallest recorded sample (`+inf` when empty) — tightens the open
+    /// underflow bucket so [`LogHistogram::quantile`] stays within the
+    /// recorded range.
+    min: f64,
+    /// Largest recorded sample (`-inf` when empty).
+    max: f64,
 }
 
 impl LogHistogram {
@@ -50,6 +56,8 @@ impl LogHistogram {
             growth,
             counts: vec![0; buckets + 1],
             sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
         }
     }
 
@@ -73,6 +81,8 @@ impl LogHistogram {
             return;
         }
         self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
         let n = self.counts.len();
         if value < self.lo {
             self.counts[0] += 1;
@@ -93,6 +103,72 @@ impl LogHistogram {
     #[must_use]
     pub fn sum(&self) -> f64 {
         self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.total() > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.total() > 0).then_some(self.max)
+    }
+
+    /// Clears all samples in place, keeping the bucket shape and its
+    /// allocation — the sliding-window aggregator recycles buckets this
+    /// way so the hot path never allocates.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation within the containing bucket.
+    ///
+    /// The open underflow/overflow buckets are tightened to the recorded
+    /// `min`/`max`, and the result is clamped to `[min, max]`, so the
+    /// estimate always lies within the recorded value range, is monotone
+    /// in `q`, and is exact when all samples share one value. Returns
+    /// `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * total as f64;
+        let n = self.counts.len();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo_b = if i == 0 {
+                self.min
+            } else {
+                self.lo * self.growth.powi(i as i32 - 1)
+            };
+            let hi_b = if i + 1 == n {
+                self.max
+            } else {
+                self.lo * self.growth.powi(i as i32)
+            };
+            let before = cum;
+            cum += c;
+            if (cum as f64) < rank {
+                continue;
+            }
+            let frac = ((rank - before as f64) / c as f64).clamp(0.0, 1.0);
+            return Some((lo_b + frac * (hi_b - lo_b)).clamp(self.min, self.max));
+        }
+        // Floating-point fall-through (rank microscopically above total).
+        Some(self.max)
     }
 
     /// Iterates `(upper_bound, cumulative_count)` in ascending bound
@@ -128,6 +204,8 @@ impl LogHistogram {
             *a += b;
         }
         self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -248,6 +326,105 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(), 2);
         assert!((a.sum() - 20.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(4.0));
+        assert_eq!(a.max(), Some(16.0));
+    }
+
+    #[test]
+    fn quantile_empty_and_reset() {
+        let mut h = LogHistogram::latency_seconds();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        h.record(0.25);
+        assert!(h.quantile(0.5).is_some());
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn quantile_exact_on_single_valued_data() {
+        let mut h = LogHistogram::latency_seconds();
+        for _ in 0..100 {
+            h.record(0.042);
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert!((h.quantile(q).unwrap() - 0.042).abs() < 1e-12, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_handles_under_and_overflow_buckets() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // finite range [1, 8)
+        h.record(0.01); // underflow
+        h.record(500.0); // overflow
+        let p0 = h.quantile(0.0).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((0.01..=500.0).contains(&p0));
+        assert!((0.01..=500.0).contains(&p100));
+        assert!(p0 <= p100);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Monotone in q; always within the recorded value range.
+        #[test]
+        fn quantile_monotone_and_in_range(
+            samples in proptest::prop::collection::vec(1e-6f64..1e3, 1..200),
+            qs in proptest::prop::collection::vec(0.0f64..=1.0, 2..8),
+        ) {
+            let mut h = LogHistogram::latency_seconds();
+            for &s in &samples {
+                h.record(s);
+            }
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut qs = qs;
+            qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = f64::NEG_INFINITY;
+            for &q in &qs {
+                let v = h.quantile(q).unwrap();
+                proptest::prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12,
+                    "q={q} v={v} outside [{lo}, {hi}]");
+                proptest::prop_assert!(v >= prev, "quantile not monotone at q={q}");
+                prev = v;
+            }
+        }
+
+        /// Merging two histograms then taking a quantile agrees with the
+        /// quantile of all samples recorded into one histogram — merge
+        /// must be lossless at bucket granularity.
+        #[test]
+        fn merge_then_quantile_consistent(
+            a in proptest::prop::collection::vec(1e-6f64..1e3, 1..100),
+            b in proptest::prop::collection::vec(1e-6f64..1e3, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut ha = LogHistogram::latency_seconds();
+            let mut hb = LogHistogram::latency_seconds();
+            let mut hall = LogHistogram::latency_seconds();
+            for &s in &a {
+                ha.record(s);
+                hall.record(s);
+            }
+            for &s in &b {
+                hb.record(s);
+                hall.record(s);
+            }
+            ha.merge(&hb);
+            // Bucket counts and extrema merge losslessly (sums may differ
+            // in the last ulp from addition order).
+            proptest::prop_assert_eq!(ha.total(), hall.total());
+            proptest::prop_assert_eq!(ha.min(), hall.min());
+            proptest::prop_assert_eq!(ha.max(), hall.max());
+            let merged = ha.quantile(q).unwrap();
+            let direct = hall.quantile(q).unwrap();
+            proptest::prop_assert!((merged - direct).abs() < 1e-12,
+                "merged {merged} != direct {direct}");
+        }
     }
 
     #[test]

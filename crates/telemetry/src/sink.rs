@@ -8,6 +8,8 @@
 //! payload before emitting (a track name, a per-member loop) should
 //! check [`TelemetrySink::enabled`] first.
 
+use std::sync::Arc;
+
 use crate::event::{Event, Slice, TrackId};
 
 /// Receives telemetry from instrumented engines.
@@ -51,6 +53,78 @@ impl TelemetrySink for NoopSink {}
 
 /// A `&'static` no-op sink, the default for every instrumented engine.
 pub static NOOP: NoopSink = NoopSink;
+
+/// Fans every emission out to several sinks — e.g. a [`Recorder`] for
+/// post-run export *and* a live aggregator, fed from one engine run.
+///
+/// [`Recorder`]: crate::Recorder
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use distserve_telemetry::{Recorder, TeeSink, TelemetrySink};
+///
+/// let a = Arc::new(Recorder::new());
+/// let b = Arc::new(Recorder::new());
+/// let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+/// tee.counter_add("tokens", 0, 3);
+/// assert_eq!(a.snapshot().metrics.counter("tokens", 0), 3);
+/// assert_eq!(b.snapshot().metrics.counter("tokens", 0), 3);
+/// ```
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TelemetrySink>>,
+}
+
+impl TeeSink {
+    /// Creates a tee over the given sinks.
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn TelemetrySink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl TelemetrySink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn event(&self, ev: Event) {
+        for s in &self.sinks {
+            s.event(ev);
+        }
+    }
+
+    fn slice(&self, sl: Slice) {
+        for s in &self.sinks {
+            s.slice(sl);
+        }
+    }
+
+    fn declare_track(&self, id: TrackId, name: &str) {
+        for s in &self.sinks {
+            s.declare_track(id, name);
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, instance: TrackId, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(name, instance, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, instance: TrackId, value: f64) {
+        for s in &self.sinks {
+            s.gauge_set(name, instance, value);
+        }
+    }
+
+    fn observe(&self, name: &'static str, instance: TrackId, value: f64) {
+        for s in &self.sinks {
+            s.observe(name, instance, value);
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

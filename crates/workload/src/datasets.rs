@@ -264,7 +264,7 @@ mod tests {
             let mut rng = SimRng::seed(55);
             for _ in 0..20_000 {
                 let (i, o) = sampler.sample(&mut rng);
-                assert!(i >= 4 && i <= 2048, "{}: input {i}", d.name());
+                assert!((4..=2048).contains(&i), "{}: input {i}", d.name());
                 assert!(o >= 1, "{}: output {o}", d.name());
                 assert!(i + o <= 2048 + 1024, "{}: total {i}+{o}", d.name());
             }

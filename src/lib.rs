@@ -25,6 +25,9 @@ pub use distserve_engine as engine;
 /// LLM architectures, parallelism, and the analytical latency model.
 pub use distserve_models as models;
 /// Placement search: Algorithms 1 and 2, goodput optimization.
+/// Latency attribution, online SLO windows, bottleneck reports, and the
+/// live dashboard.
+pub use distserve_observe as observe;
 pub use distserve_placement as placement;
 /// Discrete-event simulation kernel and statistics.
 pub use distserve_simcore as simcore;

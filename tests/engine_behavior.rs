@@ -207,6 +207,141 @@ fn makespan_and_busy_accounting_consistent() {
     assert_eq!(last, out.makespan);
 }
 
+// --- Queue-depth gauge hygiene (observability) ----------------------
+
+/// The exported queue-depth gauges must be re-published on dequeue, not
+/// only on enqueue: after a run fully drains, the last written value
+/// has to be zero or a scrape would report phantom backlog forever.
+#[test]
+fn queue_depth_gauges_fall_to_zero_after_drain() {
+    let cluster = Cluster::single_node(2);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Decode, 1),
+    ];
+    let trace = FixedLengths {
+        input_len: 256,
+        output_len: 8,
+    }
+    .make_trace(20.0, 60, 5);
+    let cost = cost();
+    let rec = Recorder::new();
+    let out = ServingSim::new(
+        SimConfig::new(OptModel::Opt13B.arch()),
+        &cost,
+        &cluster,
+        specs,
+    )
+    .unwrap()
+    .with_sink(&rec)
+    .run(&trace);
+    assert_eq!(out.records.len(), 60);
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.metrics.gauge(metrics::PREFILL_QUEUE_DEPTH, 0),
+        Some(0.0),
+        "depth gauge must end at zero after the queue drains"
+    );
+    assert_eq!(
+        snap.metrics.gauge(metrics::PREFILL_QUEUE_TOKENS, 0),
+        Some(0.0),
+        "token gauge must end at zero after the queue drains"
+    );
+}
+
+/// Same invariant for the planner's prefill phase-sim, which batches on
+/// a different code path.
+#[test]
+fn phase_sim_queue_depth_gauge_falls_to_zero() {
+    use distserve::placement::phase_sim::{prefill_ttfts_with_sink, PhaseSimConfig};
+
+    let cluster = Cluster::single_node(1);
+    let cfg = PhaseSimConfig::new(OptModel::Opt13B.arch(), cluster.gpu_spec().clone());
+    let trace = FixedLengths {
+        input_len: 256,
+        output_len: 8,
+    }
+    .make_trace(20.0, 60, 5);
+    let rec = Recorder::new();
+    let s = prefill_ttfts_with_sink(&cost(), &cfg, ParallelismConfig::SINGLE, &trace, &rec);
+    assert_eq!(s.count(), 60);
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.metrics.gauge(metrics::PREFILL_QUEUE_DEPTH, 0),
+        Some(0.0),
+        "phase-sim depth gauge must end at zero"
+    );
+    assert_eq!(
+        snap.metrics.gauge(metrics::PREFILL_QUEUE_TOKENS, 0),
+        Some(0.0),
+        "phase-sim token gauge must end at zero"
+    );
+}
+
+// --- Admission control ----------------------------------------------
+
+/// With a queue cap, overload sheds load as `Rejected` lifecycles that
+/// are visible in telemetry and count against attainment.
+#[test]
+fn admission_cap_rejects_with_full_attribution() {
+    let cluster = Cluster::single_node(2);
+    let specs = vec![
+        spec(&cluster, InstanceRole::Prefill, 0),
+        spec(&cluster, InstanceRole::Decode, 1),
+    ];
+    // A burst far beyond one prefill instance's service rate with a
+    // 4-deep queue must reject some arrivals.
+    let trace = FixedLengths {
+        input_len: 512,
+        output_len: 8,
+    }
+    .make_trace(80.0, 120, 5);
+    let cost = cost();
+    let rec = Recorder::new();
+    let out = ServingSim::new(
+        SimConfig::new(OptModel::Opt13B.arch()).with_admission_cap(4),
+        &cost,
+        &cluster,
+        specs,
+    )
+    .unwrap()
+    .with_sink(&rec)
+    .run(&trace);
+    assert!(!out.rejected.is_empty(), "expected rejections under burst");
+    assert_eq!(
+        out.records.len() + out.rejected.len(),
+        120,
+        "every request must be accounted for"
+    );
+    // Attainment denominators include the rejections: with generous
+    // SLOs, attainment equals the completed fraction exactly.
+    let completed_frac = out.records.len() as f64 / 120.0;
+    assert!((out.attainment(1e9, 1e9) - completed_frac).abs() < 1e-12);
+    assert!((out.ttft_attainment(1e9) - completed_frac).abs() < 1e-12);
+
+    let snap = rec.snapshot();
+    let lifecycles = snap.lifecycles();
+    assert_eq!(lifecycles.len(), 120);
+    for id in &out.rejected {
+        let lc = &lifecycles[&id.0];
+        lc.validate()
+            .unwrap_or_else(|e| panic!("rejected request {}: {e}", id.0));
+        assert_eq!(lc.events.len(), 2, "rejection is Arrived → Rejected");
+    }
+    let rejected_total: u64 = (0..2u32)
+        .map(|i| snap.metrics.counter(metrics::REQUESTS_REJECTED, i))
+        .sum();
+    assert_eq!(rejected_total as usize, out.rejected.len());
+    // The CSV surfaces the rejection column for those rows.
+    let csv = snap.lifecycle_csv();
+    let rejected_rows = csv
+        .lines()
+        .skip(1)
+        .filter(|l| !l.split(',').nth(10).unwrap_or("").is_empty())
+        .count();
+    assert_eq!(rejected_rows, out.rejected.len());
+}
+
 // --- Telemetry lifecycle properties ---------------------------------
 
 fn arb_trace(max_requests: usize) -> impl Strategy<Value = Trace> {
