@@ -67,12 +67,15 @@ pub struct GpuAllocator {
 }
 
 impl GpuAllocator {
-    /// Creates an allocator with every GPU of `cluster` free.
+    /// Creates an allocator with every *healthy* GPU of `cluster` free —
+    /// failed GPUs ([`Cluster::fail_gpu`], [`Cluster::remove_node`]) are
+    /// never handed out, so materializing onto a shrunk cluster routes
+    /// around dead hardware automatically.
     #[must_use]
     pub fn new(cluster: &Cluster) -> Self {
         GpuAllocator {
-            free: cluster.all_gpus().collect(),
-            total: cluster.total_gpus(),
+            free: cluster.healthy_gpus().collect(),
+            total: cluster.available_gpus(),
         }
     }
 
@@ -233,6 +236,19 @@ mod tests {
         // 3 stages of 4 GPUs = 12 > 8 available: must fail atomically.
         assert!(alloc.allocate_instance(4, 3).is_err());
         assert_eq!(alloc.free_count(), 8);
+    }
+
+    #[test]
+    fn failed_gpus_are_never_allocated() {
+        let mut cluster = Cluster::single_node(4);
+        cluster.fail_gpu(cluster.gpu(0, 1)).unwrap();
+        cluster.fail_gpu(cluster.gpu(0, 3)).unwrap();
+        let mut alloc = GpuAllocator::new(&cluster);
+        assert_eq!(alloc.free_count(), 2);
+        assert_eq!(alloc.total(), 2);
+        let got = alloc.allocate_on_one_node(2).unwrap();
+        assert!(got.iter().all(|g| !cluster.is_failed(*g)));
+        assert!(alloc.allocate_on_one_node(1).is_err());
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod topology;
 pub mod transfer;
 
 pub use alloc::GpuAllocator;
-pub use memory::MemoryLedger;
+pub use memory::{LedgerBank, MemoryLedger};
 pub use topology::{Cluster, GpuId, NodeId};
 pub use transfer::KvTransferModel;

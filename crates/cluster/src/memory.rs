@@ -7,7 +7,11 @@
 //! request, which is how the decoding batch size becomes memory-bound
 //! (§3.2).
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
+
+use crate::topology::{Cluster, GpuId};
 
 /// Errors from the memory ledger.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +32,9 @@ pub enum MemoryError {
     },
     /// Freed more KV bytes than were allocated — an accounting bug.
     KvUnderflow,
+    /// The operation touched a GPU whose ledger is gone (failed
+    /// hardware) or was never created.
+    GpuUnavailable,
 }
 
 impl std::fmt::Display for MemoryError {
@@ -40,6 +47,7 @@ impl std::fmt::Display for MemoryError {
                 write!(f, "KV allocation of {requested} B exceeds free {free} B")
             }
             MemoryError::KvUnderflow => write!(f, "freed more KV bytes than allocated"),
+            MemoryError::GpuUnavailable => write!(f, "GPU has no ledger (failed or unknown)"),
         }
     }
 }
@@ -158,6 +166,143 @@ impl MemoryLedger {
     }
 }
 
+/// A bank of per-GPU ledgers with *transactional* group operations.
+///
+/// Tensor-parallel instances allocate KV across every GPU in the group;
+/// a partial allocation left behind by a mid-group failure would leak
+/// phantom bytes forever. [`LedgerBank::alloc_kv_group`] therefore
+/// either lands on every GPU or on none — when GPU *k* of the group
+/// cannot satisfy the request (pool exhausted, or the GPU failed out
+/// from under the caller), the bytes already placed on GPUs `0..k` are
+/// rolled back before the error returns.
+///
+/// # Examples
+///
+/// ```
+/// use distserve_cluster::{Cluster, LedgerBank};
+///
+/// let cluster = Cluster::single_node(2);
+/// let mut bank = LedgerBank::new(&cluster, 26 << 30, 0.10).unwrap();
+/// let group: Vec<_> = cluster.all_gpus().collect();
+/// bank.alloc_kv_group(&group, 1 << 30).unwrap();
+/// assert_eq!(bank.total_kv_in_use(), 2 << 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LedgerBank {
+    ledgers: BTreeMap<GpuId, MemoryLedger>,
+}
+
+impl LedgerBank {
+    /// Creates one ledger per *healthy* GPU of `cluster`, each hosting a
+    /// `weights_per_gpu`-byte shard with `margin_frac` reserved.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::WeightsDontFit`] when the shard cannot fit.
+    pub fn new(
+        cluster: &Cluster,
+        weights_per_gpu: u64,
+        margin_frac: f64,
+    ) -> Result<Self, MemoryError> {
+        let capacity = cluster.gpu_spec().mem_capacity;
+        let mut ledgers = BTreeMap::new();
+        for gpu in cluster.healthy_gpus() {
+            ledgers.insert(
+                gpu,
+                MemoryLedger::new(capacity, weights_per_gpu, margin_frac)?,
+            );
+        }
+        Ok(LedgerBank { ledgers })
+    }
+
+    /// The ledger for one GPU, when it is still alive.
+    #[must_use]
+    pub fn ledger(&self, gpu: GpuId) -> Option<&MemoryLedger> {
+        self.ledgers.get(&gpu)
+    }
+
+    /// Number of live ledgers.
+    #[must_use]
+    pub fn live_gpus(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// KV bytes in use across all live GPUs.
+    #[must_use]
+    pub fn total_kv_in_use(&self) -> u64 {
+        self.ledgers.values().map(MemoryLedger::kv_in_use).sum()
+    }
+
+    /// Allocates `bytes_per_gpu` on every GPU of `group`, atomically:
+    /// on any failure the bytes already allocated are rolled back and
+    /// no ledger changes.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::KvPoolExhausted`] when a member pool is full,
+    /// [`MemoryError::GpuUnavailable`] when a member has no ledger.
+    pub fn alloc_kv_group(
+        &mut self,
+        group: &[GpuId],
+        bytes_per_gpu: u64,
+    ) -> Result<(), MemoryError> {
+        for (done, &gpu) in group.iter().enumerate() {
+            let result = match self.ledgers.get_mut(&gpu) {
+                Some(ledger) => ledger.alloc_kv(bytes_per_gpu),
+                None => Err(MemoryError::GpuUnavailable),
+            };
+            if let Err(e) = result {
+                // Roll back what landed before the failure.
+                for &prev in &group[..done] {
+                    let ledger = self
+                        .ledgers
+                        .get_mut(&prev)
+                        .expect("rollback target allocated a moment ago");
+                    ledger
+                        .free_kv(bytes_per_gpu)
+                        .expect("rollback frees what was allocated");
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Frees `bytes_per_gpu` on every GPU of `group`. Members whose
+    /// ledger is gone (GPU failed after the allocation) are skipped —
+    /// their bytes died with the hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::KvUnderflow`] when a live member would underflow;
+    /// earlier members of the group are still freed in that case, as in
+    /// a real async release path.
+    pub fn free_kv_group(
+        &mut self,
+        group: &[GpuId],
+        bytes_per_gpu: u64,
+    ) -> Result<(), MemoryError> {
+        let mut first_err = None;
+        for &gpu in group {
+            if let Some(ledger) = self.ledgers.get_mut(&gpu) {
+                if let Err(e) = ledger.free_kv(bytes_per_gpu) {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Drops a failed GPU's ledger, returning it so the caller can
+    /// account the KV bytes lost with the hardware.
+    pub fn fail_gpu(&mut self, gpu: GpuId) -> Option<MemoryLedger> {
+        self.ledgers.remove(&gpu)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +363,68 @@ mod tests {
         assert!(!ledger.kv_fits(free + 1));
         ledger.alloc_kv(free / 2).unwrap();
         assert!(!ledger.kv_fits(free));
+    }
+
+    #[test]
+    fn group_alloc_rolls_back_after_mid_allocation_failure() {
+        let cluster = Cluster::single_node(4);
+        let mut bank = LedgerBank::new(&cluster, 26 * GIB, 0.10).unwrap();
+        let group: Vec<GpuId> = cluster.all_gpus().collect();
+        let per_gpu_free = bank.ledger(group[0]).unwrap().kv_free();
+
+        // Nearly fill GPU 2 so it is the one that fails mid-group.
+        bank.alloc_kv_group(&group[2..3], per_gpu_free - GIB)
+            .unwrap();
+        let before: Vec<u64> = group
+            .iter()
+            .map(|g| bank.ledger(*g).unwrap().kv_in_use())
+            .collect();
+
+        // GPUs 0 and 1 accept 2 GiB; GPU 2 cannot. The whole group
+        // allocation must fail *and leave every ledger exactly as it
+        // was* — no phantom bytes on 0 and 1.
+        let err = bank.alloc_kv_group(&group, 2 * GIB).unwrap_err();
+        assert!(matches!(err, MemoryError::KvPoolExhausted { .. }));
+        let after: Vec<u64> = group
+            .iter()
+            .map(|g| bank.ledger(*g).unwrap().kv_in_use())
+            .collect();
+        assert_eq!(before, after, "mid-allocation failure must roll back");
+
+        // A fitting retry on the healthy prefix still works.
+        bank.alloc_kv_group(&group[..2], 2 * GIB).unwrap();
+        assert_eq!(bank.total_kv_in_use(), before.iter().sum::<u64>() + 4 * GIB);
+    }
+
+    #[test]
+    fn group_alloc_rolls_back_when_gpu_fails_under_it() {
+        let cluster = Cluster::single_node(3);
+        let mut bank = LedgerBank::new(&cluster, 26 * GIB, 0.10).unwrap();
+        let group: Vec<GpuId> = cluster.all_gpus().collect();
+
+        // The middle GPU dies; its ledger (and any KV on it) is gone.
+        bank.alloc_kv_group(&group[1..2], GIB).unwrap();
+        let lost = bank.fail_gpu(group[1]).expect("ledger existed");
+        assert_eq!(lost.kv_in_use(), GIB);
+        assert_eq!(bank.live_gpus(), 2);
+
+        // A group allocation spanning the dead GPU fails atomically.
+        let err = bank.alloc_kv_group(&group, GIB).unwrap_err();
+        assert_eq!(err, MemoryError::GpuUnavailable);
+        assert_eq!(bank.total_kv_in_use(), 0);
+
+        // Freeing a group that spans the dead GPU skips it quietly.
+        bank.alloc_kv_group(&[group[0], group[2]], GIB).unwrap();
+        bank.free_kv_group(&group, GIB).unwrap();
+        assert_eq!(bank.total_kv_in_use(), 0);
+    }
+
+    #[test]
+    fn bank_skips_failed_gpus_at_construction() {
+        let mut cluster = Cluster::single_node(4);
+        cluster.fail_gpu(cluster.gpu(0, 2)).unwrap();
+        let bank = LedgerBank::new(&cluster, 26 * GIB, 0.10).unwrap();
+        assert_eq!(bank.live_gpus(), 3);
+        assert!(bank.ledger(cluster.gpu(0, 2)).is_none());
     }
 }

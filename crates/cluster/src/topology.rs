@@ -46,6 +46,10 @@ pub struct Cluster {
     gpu: GpuSpec,
     intra_node: LinkSpec,
     cross_node: LinkSpec,
+    /// GPUs marked failed ([`Cluster::fail_gpu`] / [`Cluster::remove_node`]),
+    /// kept sorted. Physical topology is immutable; failure is an overlay,
+    /// so shrink-then-replan flows keep stable `GpuId`s.
+    failed: Vec<GpuId>,
 }
 
 impl Cluster {
@@ -72,6 +76,7 @@ impl Cluster {
             gpu,
             intra_node,
             cross_node,
+            failed: Vec::new(),
         }
     }
 
@@ -126,10 +131,93 @@ impl Cluster {
         self.gpus_per_node
     }
 
-    /// Total GPUs in the cluster.
+    /// Total *physical* GPUs in the cluster, failed ones included.
     #[must_use]
     pub fn total_gpus(&self) -> u32 {
         self.num_nodes * self.gpus_per_node
+    }
+
+    /// GPUs still healthy — the capacity a placement may actually use.
+    #[must_use]
+    pub fn available_gpus(&self) -> u32 {
+        self.total_gpus() - self.failed.len() as u32
+    }
+
+    /// Marks one GPU failed. Idempotence is an error: double-failing the
+    /// same GPU usually means the caller lost track of cluster state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the GPU is outside the cluster or already
+    /// failed.
+    pub fn fail_gpu(&mut self, gpu: GpuId) -> Result<(), String> {
+        if gpu.node.0 >= self.num_nodes || gpu.index >= self.gpus_per_node {
+            return Err(format!("{gpu} is outside the cluster"));
+        }
+        match self.failed.binary_search(&gpu) {
+            Ok(_) => Err(format!("{gpu} already failed")),
+            Err(pos) => {
+                self.failed.insert(pos, gpu);
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks every GPU on `node` failed (host loss, planned
+    /// decommission). GPUs already failed stay failed. Returns the number
+    /// of GPUs newly removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the node is outside the cluster.
+    pub fn remove_node(&mut self, node: u32) -> Result<u32, String> {
+        if node >= self.num_nodes {
+            return Err(format!("node {node} is outside the cluster"));
+        }
+        let mut newly = 0;
+        for index in 0..self.gpus_per_node {
+            let gpu = GpuId {
+                node: NodeId(node),
+                index,
+            };
+            if let Err(pos) = self.failed.binary_search(&gpu) {
+                self.failed.insert(pos, gpu);
+                newly += 1;
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Returns a repaired GPU to service.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the GPU was not failed.
+    pub fn restore_gpu(&mut self, gpu: GpuId) -> Result<(), String> {
+        match self.failed.binary_search(&gpu) {
+            Ok(pos) => {
+                self.failed.remove(pos);
+                Ok(())
+            }
+            Err(_) => Err(format!("{gpu} is not failed")),
+        }
+    }
+
+    /// Whether a GPU is currently marked failed.
+    #[must_use]
+    pub fn is_failed(&self, gpu: GpuId) -> bool {
+        self.failed.binary_search(&gpu).is_ok()
+    }
+
+    /// The failed GPUs, ascending.
+    #[must_use]
+    pub fn failed_gpus(&self) -> &[GpuId] {
+        &self.failed
+    }
+
+    /// Iterates over every *healthy* GPU, node-major.
+    pub fn healthy_gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        self.all_gpus().filter(move |g| !self.is_failed(*g))
     }
 
     /// The (homogeneous) GPU description.
@@ -253,5 +341,53 @@ mod tests {
     fn display_format() {
         let c = Cluster::paper_testbed();
         assert_eq!(c.gpu(2, 5).to_string(), "n2g5");
+    }
+
+    #[test]
+    fn fail_and_restore_gpu() {
+        let mut c = Cluster::paper_testbed();
+        let g = c.gpu(1, 3);
+        assert!(!c.is_failed(g));
+        c.fail_gpu(g).unwrap();
+        assert!(c.is_failed(g));
+        assert_eq!(c.available_gpus(), 31);
+        assert_eq!(c.total_gpus(), 32); // physical count unchanged
+        assert!(c.fail_gpu(g).is_err()); // double-fail rejected
+        assert!(c
+            .fail_gpu(GpuId {
+                node: NodeId(9),
+                index: 0
+            })
+            .is_err());
+        assert_eq!(c.healthy_gpus().count(), 31);
+        assert!(c.healthy_gpus().all(|x| x != g));
+        c.restore_gpu(g).unwrap();
+        assert!(c.restore_gpu(g).is_err());
+        assert_eq!(c.available_gpus(), 32);
+    }
+
+    #[test]
+    fn remove_node_fails_all_its_gpus_once() {
+        let mut c = Cluster::paper_testbed();
+        c.fail_gpu(c.gpu(2, 0)).unwrap();
+        // Node 2 has one GPU already failed: only 7 are newly removed.
+        assert_eq!(c.remove_node(2).unwrap(), 7);
+        assert_eq!(c.available_gpus(), 24);
+        assert!((0..8).all(|i| c.is_failed(c.gpu(2, i))));
+        assert!(c.remove_node(4).is_err());
+        // Removing the same node again removes nothing further.
+        assert_eq!(c.remove_node(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn failed_gpus_sorted_ascending() {
+        let mut c = Cluster::paper_testbed();
+        c.fail_gpu(c.gpu(3, 1)).unwrap();
+        c.fail_gpu(c.gpu(0, 5)).unwrap();
+        c.fail_gpu(c.gpu(1, 2)).unwrap();
+        let failed = c.failed_gpus().to_vec();
+        let mut sorted = failed.clone();
+        sorted.sort();
+        assert_eq!(failed, sorted);
     }
 }

@@ -10,18 +10,23 @@
 //! * [`apps`] — the Table 1 application presets (models, SLOs, datasets).
 //! * [`serving`] — [`serving::Planner`] and the rate / SLO-scale
 //!   sweeps behind Figures 8, 9, and 11.
-//! * [`replan`] — the periodic replanning controller.
+//! * [`replan`] — the periodic replanning controller, with failure-driven
+//!   capacity triggers.
+//! * [`recovery`] — planned-maintenance schedules and availability-report
+//!   assembly for chaos runs.
 //! * [`report`] — plain-text tables and JSON records for the experiment
 //!   harnesses.
 
 pub mod apps;
+pub mod recovery;
 pub mod replan;
 pub mod report;
 pub mod serving;
 
 pub use apps::Application;
-pub use replan::{ReplanController, SloObservation};
+pub use replan::{CapacityObservation, ReplanController, SloObservation};
 pub use report::Table;
 pub use serving::{
-    rate_sweep, serve_trace, serve_trace_with_sink, slo_scale_sweep, Planner, SweepPoint,
+    rate_sweep, serve_trace, serve_trace_with_faults, serve_trace_with_sink, slo_scale_sweep,
+    Planner, SweepPoint,
 };

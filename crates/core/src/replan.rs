@@ -6,6 +6,7 @@
 //! [`ReplanController`] owns the profiler and the current deployment;
 //! callers feed it observed requests and poll for replacement plans.
 
+use distserve_cluster::Cluster;
 use distserve_placement::deploy::Deployment;
 use distserve_placement::SloSpec;
 use distserve_workload::profiler::WorkloadProfiler;
@@ -41,6 +42,40 @@ pub struct SloObservation {
     pub tpot_attainment: f64,
 }
 
+/// A capacity snapshot fed to [`ReplanController::observe_capacity`]
+/// after a failure: GPUs the ledger still considers usable versus the
+/// hardware footprint the active plan was searched over. Any deficit —
+/// or any instance the engine marked down — arms replanning regardless
+/// of whether the arrival pattern shifted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityObservation {
+    /// GPUs the cluster was provisioned with.
+    pub total_gpus: u32,
+    /// GPUs still healthy (total minus failed).
+    pub available_gpus: u32,
+    /// Serving instances currently down or recovering.
+    pub down_instances: u32,
+}
+
+impl CapacityObservation {
+    /// Snapshots a cluster's ledger plus the engine's count of down
+    /// instances.
+    #[must_use]
+    pub fn from_cluster(cluster: &Cluster, down_instances: u32) -> Self {
+        CapacityObservation {
+            total_gpus: cluster.total_gpus(),
+            available_gpus: cluster.available_gpus(),
+            down_instances,
+        }
+    }
+
+    /// Whether the observation represents lost capacity.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.available_gpus < self.total_gpus || self.down_instances > 0
+    }
+}
+
 /// Minimum windowed requests before an attainment observation is
 /// trusted — a near-empty window says nothing about the deployment.
 const MIN_OBSERVED_REQUESTS: u64 = 20;
@@ -52,6 +87,7 @@ pub struct ReplanController {
     replans: u32,
     attainment_floor: Option<f64>,
     eroded: Option<SloObservation>,
+    capacity_lost: Option<CapacityObservation>,
 }
 
 impl ReplanController {
@@ -65,6 +101,7 @@ impl ReplanController {
             replans: 0,
             attainment_floor: None,
             eroded: None,
+            capacity_lost: None,
         }
     }
 
@@ -101,6 +138,23 @@ impl ReplanController {
         self.eroded
     }
 
+    /// Feeds a post-failure capacity snapshot. A degraded observation
+    /// (missing GPUs or down instances) arms the next
+    /// [`ReplanController::poll`] to rerun placement over what remains —
+    /// the failure-induced analogue of the paper's §4.3 pattern-shift
+    /// trigger.
+    pub fn observe_capacity(&mut self, obs: CapacityObservation) {
+        if obs.degraded() {
+            self.capacity_lost = Some(obs);
+        }
+    }
+
+    /// The capacity loss that armed replanning, if any.
+    #[must_use]
+    pub fn capacity_lost(&self) -> Option<CapacityObservation> {
+        self.capacity_lost
+    }
+
     /// Marks the current window as the pattern the active plan serves.
     pub fn baseline(&mut self) {
         self.profiler.set_baseline();
@@ -112,11 +166,15 @@ impl ReplanController {
         self.replans
     }
 
-    /// Checks for a workload shift *or* observed SLO erosion; when
-    /// either is present, refits the workload from the window and reruns
-    /// the placement search.
+    /// Checks for a workload shift, observed SLO erosion, *or* a
+    /// capacity loss; when any is present, refits the workload from the
+    /// window and reruns the placement search. For capacity-triggered
+    /// replans the caller must hand a planner built over the *shrunk*
+    /// cluster — the controller only decides *when* to replan, the
+    /// planner decides over *what*.
     pub fn poll(&mut self, planner: &Planner<'_>) -> ReplanDecision {
-        if !self.profiler.shift_detected() && self.eroded.is_none() {
+        if !self.profiler.shift_detected() && self.eroded.is_none() && self.capacity_lost.is_none()
+        {
             return ReplanDecision::Keep;
         }
         let snapshot = match self.profiler.snapshot() {
@@ -131,9 +189,10 @@ impl ReplanController {
             Ok(d) => {
                 self.replans += 1;
                 // The new plan serves the new pattern: rebaseline and
-                // clear the erosion trigger.
+                // clear every trigger.
                 self.profiler.set_baseline();
                 self.eroded = None;
+                self.capacity_lost = None;
                 ReplanDecision::Replanned(d)
             }
             Err(e) => ReplanDecision::Failed(e),
@@ -267,6 +326,46 @@ mod tests {
         }
         // A successful replan clears the trigger.
         assert!(ctl.slo_eroded().is_none());
+        assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
+    }
+
+    #[test]
+    fn capacity_loss_triggers_replan_over_shrunk_cluster() {
+        let cost = RooflineModel::a100();
+        let mut cluster = Cluster::paper_testbed();
+        let mut ctl = ReplanController::new(120.0, 10.0, SloSpec::new(0.25, 0.1));
+        for i in 0..100 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        ctl.baseline();
+        for i in 100..200 {
+            ctl.observe(&req(i, f64::from(i as u32) * 0.5, 300, 80));
+        }
+        // A healthy snapshot does not arm anything.
+        ctl.observe_capacity(CapacityObservation::from_cluster(&cluster, 0));
+        assert!(ctl.capacity_lost().is_none());
+        {
+            let planner = quick_planner(&cost, &cluster);
+            assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
+        }
+        // A node dies: the ledger shrinks and the engine reports a
+        // down instance.
+        cluster.remove_node(3).unwrap();
+        let obs = CapacityObservation::from_cluster(&cluster, 1);
+        assert!(obs.degraded());
+        ctl.observe_capacity(obs);
+        assert_eq!(ctl.capacity_lost(), Some(obs));
+        let planner = quick_planner(&cost, &cluster);
+        match ctl.poll(&planner) {
+            ReplanDecision::Replanned(d) => {
+                // The recovery plan must fit the surviving hardware.
+                assert!(d.total_gpus() <= cluster.available_gpus());
+                assert!(planner.materialize(&d).is_ok());
+            }
+            other => panic!("expected replan, got {other:?}"),
+        }
+        // A successful replan clears the capacity trigger.
+        assert!(ctl.capacity_lost().is_none());
         assert!(matches!(ctl.poll(&planner), ReplanDecision::Keep));
     }
 }

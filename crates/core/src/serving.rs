@@ -8,6 +8,7 @@
 
 use distserve_cluster::Cluster;
 use distserve_engine::{FidelityConfig, InstanceSpec, ServingSim, SimConfig, SimOutcome};
+use distserve_faults::{FaultSchedule, RetryPolicy};
 use distserve_models::{CostModel, DType, ModelArch, ParallelismConfig};
 use distserve_placement::alg1::SearchParams;
 use distserve_placement::deploy::Deployment;
@@ -228,6 +229,34 @@ pub fn serve_trace_with_sink(
     cfg.fidelity = fidelity;
     let sim = ServingSim::new(cfg, cost, cluster, specs)?;
     Ok(sim.with_sink(sink).run(trace))
+}
+
+/// [`serve_trace_with_sink`] under an injected [`FaultSchedule`]: the
+/// engine executes the schedule during the run, recovering per
+/// `policy`, and every lifecycle (including `Failed` terminals and
+/// `Retried` re-dispatches) flows into `sink`. An empty schedule
+/// reproduces [`serve_trace_with_sink`] bit for bit.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures (invalid deployments).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_with_faults(
+    cost: &dyn CostModel,
+    cluster: &Cluster,
+    arch: &ModelArch,
+    specs: Vec<InstanceSpec>,
+    trace: &distserve_workload::Trace,
+    fidelity: FidelityConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    sink: &dyn TelemetrySink,
+) -> Result<SimOutcome, String> {
+    let mut cfg = SimConfig::new(arch.clone()).with_seed(seed);
+    cfg.fidelity = fidelity;
+    let sim = ServingSim::new(cfg, cost, cluster, specs)?;
+    Ok(sim.with_faults(schedule, policy).with_sink(sink).run(trace))
 }
 
 /// One point of a rate or SLO-scale sweep.

@@ -135,6 +135,13 @@ impl PrefillQueue {
         self.queue.pop_front()
     }
 
+    /// Removes and returns every queued item in queue order. Used by
+    /// fault recovery: when the owning instance dies, its queue must be
+    /// re-dispatched to survivors wholesale.
+    pub fn drain_all(&mut self) -> Vec<PrefillItem> {
+        self.queue.drain(..).collect()
+    }
+
     /// Publishes the queue's depth gauges — request count and queued
     /// tokens — for `instance` into `sink`. Call after any push or batch
     /// formation so the exported gauges track the latest state.

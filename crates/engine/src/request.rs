@@ -150,6 +150,14 @@ pub struct RequestState {
     pub completion: SimTime,
     /// Pure wire time of the KV transfer.
     pub transfer_active: f64,
+    /// Retries charged against the request's budget (fault recovery).
+    pub retries: u32,
+    /// Tokens already delivered before a decode-side failure forced a
+    /// re-prefill. Zero for fresh requests. Delivered tokens are never
+    /// re-emitted: decoding resumes at `resume_generated + 1`.
+    pub resume_generated: u32,
+    /// KV-transfer attempts for the current migration (backoff ladder).
+    pub transfer_attempt: u32,
 }
 
 impl RequestState {
@@ -166,7 +174,18 @@ impl RequestState {
             decode_start: t,
             completion: t,
             transfer_active: 0.0,
+            retries: 0,
+            resume_generated: 0,
+            transfer_attempt: 0,
         }
+    }
+
+    /// Prompt tokens the next prefill pass must process: the original
+    /// input plus any already-delivered output being recomputed after a
+    /// decode-side KV loss.
+    #[must_use]
+    pub fn prefill_len(&self) -> u32 {
+        self.request.input_len + self.resume_generated
     }
 
     /// Freezes the state into an immutable record.

@@ -16,6 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use distserve_cluster::{Cluster, KvTransferModel};
+use distserve_faults::{Fault, FaultKind, FaultSchedule, InstanceHealth, RetryPolicy};
 use distserve_models::{CostModel, DecodeBatch, PrefillBatch};
 use distserve_simcore::{EventQueue, SimRng, SimTime, Summary};
 use distserve_telemetry::{metrics, Event, LifecycleEvent, Slice, TelemetrySink, TrackId, NOOP};
@@ -36,14 +37,29 @@ enum Ev {
     PrefillFree(usize),
     /// A prefill batch exited the pipeline.
     PrefillDone(usize, u64),
-    /// A KV pull into a decoding instance completed.
-    TransferDone(usize, RequestId),
+    /// A KV pull into a decoding instance completed. Carries the pull
+    /// generation: completions of transfers that failed or were
+    /// invalidated by a crash arrive stale and are ignored.
+    TransferDone(usize, RequestId, u64),
     /// A decoding pipeline's stage 0 freed; try launching iterations.
     DecodeFree(usize),
     /// A decoding iteration exited the pipeline.
     DecodeDone(usize, u64),
     /// A colocated step finished.
     ColocDone(usize, u64),
+    /// A scheduled fault (index into the fault list) fires.
+    Fault(usize),
+    /// A downed instance finished its outage and begins warming up.
+    InstanceRecovering(usize, u64),
+    /// A recovering instance is warm and takes traffic again. The
+    /// generation guards against stale recoveries after a re-crash.
+    InstanceUp(usize, u64),
+    /// A transient straggler episode ends.
+    StragglerEnd(usize),
+    /// Cross-instance link degradation ends.
+    LinkRestore,
+    /// Retry a failed KV pull after backoff.
+    RetryPull(usize, RequestId, u64),
 }
 
 /// One decoding micro-batch group (pipeline-parallel interleaving).
@@ -75,8 +91,23 @@ struct Instance {
     groups: Vec<DecodeGroup>,
     overflow: VecDeque<RequestId>,
     pull_queue: VecDeque<RequestId>,
-    pulling: bool,
+    /// The request being pulled plus its pull generation; `None` when the
+    /// pull channel is free.
+    pulling: Option<(RequestId, u64)>,
+    pull_gen: u64,
     next_group: usize,
+    // Failure state machine (`Up → Degraded → Down → Recovering`).
+    health: InstanceHealth,
+    /// Bumped on every transition to Down; stale recovery events carry an
+    /// older generation and are dropped.
+    up_gen: u64,
+    /// Whether an `InstanceUp` event is in flight for this instance, so
+    /// the dispatcher knows whether parking work is worthwhile.
+    recover_scheduled: bool,
+    down_since: Option<SimTime>,
+    downtime_secs: f64,
+    /// Maintenance window length once a drain completes.
+    drain_secs: f64,
     /// Prompt tokens launched into the prefill pipeline but not finished
     /// (part of the dispatch load metric: a queue-only metric would see
     /// an empty queue on a busy instance).
@@ -121,6 +152,9 @@ pub struct InstanceStats {
     pub kv_peak_utilization: f64,
     /// Output tokens produced on this instance.
     pub tokens_out: u64,
+    /// Seconds spent Down or Recovering (unavailability windows; windows
+    /// still open at the end of the run are closed at the makespan).
+    pub downtime_secs: f64,
 }
 
 /// Result of one serving simulation.
@@ -131,6 +165,10 @@ pub struct SimOutcome {
     /// Requests rejected by admission control, in rejection order. Each
     /// counts as an SLO miss in the attainment figures below.
     pub rejected: Vec<RequestId>,
+    /// Requests that exhausted their retry budget (or had no surviving
+    /// instance to run on) after injected faults, in failure order. Like
+    /// rejections, each counts as an SLO miss. Empty without faults.
+    pub failed: Vec<RequestId>,
     /// Time the last request completed.
     pub makespan: SimTime,
     /// Per-instance statistics.
@@ -138,9 +176,9 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
-    /// Requests offered to the system: completed plus rejected.
+    /// Requests offered to the system: completed, rejected, and failed.
     fn offered(&self) -> usize {
-        self.records.len() + self.rejected.len()
+        self.records.len() + self.rejected.len() + self.failed.len()
     }
 
     /// Fraction of requests meeting both the TTFT and TPOT SLOs.
@@ -238,9 +276,20 @@ pub struct ServingSim<'a> {
     rng: SimRng,
     records: Vec<RequestRecord>,
     rejected: Vec<RequestId>,
+    failed: Vec<RequestId>,
     next_batch: u64,
     remaining: usize,
     sink: &'a dyn TelemetrySink,
+    // Fault injection (empty and inert unless `with_faults` is called).
+    faults: Vec<Fault>,
+    retry_policy: RetryPolicy,
+    /// Requests with nowhere to go right now but a recovery scheduled:
+    /// re-dispatched when an instance comes back up.
+    parked_prefill: VecDeque<RequestId>,
+    parked_pull: VecDeque<RequestId>,
+    /// Multiplier on KV-transfer wire time (≥ 1; link degradation).
+    link_slowdown: f64,
+    faults_injected: u64,
 }
 
 impl<'a> ServingSim<'a> {
@@ -294,8 +343,15 @@ impl<'a> ServingSim<'a> {
                 groups,
                 overflow: VecDeque::new(),
                 pull_queue: VecDeque::new(),
-                pulling: false,
+                pulling: None,
+                pull_gen: 0,
                 next_group: 0,
+                health: InstanceHealth::Up,
+                up_gen: 0,
+                recover_scheduled: false,
+                down_since: None,
+                downtime_secs: 0.0,
+                drain_secs: 0.0,
                 inflight_prefill_tokens: 0,
                 running: Vec::new(),
                 coloc_busy: false,
@@ -334,10 +390,27 @@ impl<'a> ServingSim<'a> {
             rng,
             records: Vec::new(),
             rejected: Vec::new(),
+            failed: Vec::new(),
             next_batch: 0,
             remaining: 0,
             sink: &NOOP,
+            faults: Vec::new(),
+            retry_policy: RetryPolicy::default(),
+            parked_prefill: VecDeque::new(),
+            parked_pull: VecDeque::new(),
+            link_slowdown: 1.0,
+            faults_injected: 0,
         })
+    }
+
+    /// Injects `schedule`'s faults during the run, recovering per
+    /// `policy`. Without this call the simulator is fault-free and
+    /// behaves identically to previous versions.
+    #[must_use]
+    pub fn with_faults(mut self, schedule: &FaultSchedule, policy: RetryPolicy) -> Self {
+        self.faults = schedule.faults().to_vec();
+        self.retry_policy = policy;
+        self
     }
 
     /// Routes telemetry into `sink`: per-request lifecycle events
@@ -418,6 +491,17 @@ impl<'a> ServingSim<'a> {
             self.events.push(r.arrival, Ev::Arrive(i));
             self.states.insert(r.id, RequestState::new(r.clone()));
         }
+        let chaos = !self.faults.is_empty();
+        if chaos {
+            for (idx, f) in self.faults.iter().enumerate() {
+                self.events.push(SimTime::from_secs(f.at), Ev::Fault(idx));
+            }
+            if self.sink.enabled() {
+                for i in 0..self.instances.len() {
+                    self.sink.gauge_set(metrics::INSTANCE_UP, track_id(i), 1.0);
+                }
+            }
+        }
         self.remaining = trace.len();
         let mut processed: u64 = 0;
         while self.remaining > 0 {
@@ -433,10 +517,19 @@ impl<'a> ServingSim<'a> {
                 Ev::Arrive(idx) => self.on_arrive(trace, idx, now),
                 Ev::PrefillFree(i) => self.try_prefill(i, now),
                 Ev::PrefillDone(i, b) => self.on_prefill_done(i, b, now),
-                Ev::TransferDone(i, r) => self.on_transfer_done(i, r, now),
+                Ev::TransferDone(i, r, gen) => self.on_transfer_done(i, r, gen, now),
                 Ev::DecodeFree(i) => self.try_decode(i, now),
                 Ev::DecodeDone(i, b) => self.on_decode_done(i, b, now),
                 Ev::ColocDone(i, b) => self.on_coloc_done(i, b, now),
+                Ev::Fault(idx) => self.on_fault(idx, now),
+                Ev::InstanceRecovering(i, gen) => self.on_instance_recovering(i, gen),
+                Ev::InstanceUp(i, gen) => self.on_instance_up(i, gen, now),
+                Ev::StragglerEnd(i) => self.on_straggler_end(i),
+                Ev::LinkRestore => self.link_slowdown = 1.0,
+                Ev::RetryPull(d, r, gen) => self.on_retry_pull(d, r, gen, now),
+            }
+            if chaos {
+                self.check_drains(now);
             }
         }
         let makespan = self
@@ -455,11 +548,14 @@ impl<'a> ServingSim<'a> {
                 batches: inst.pipeline.committed(),
                 kv_peak_utilization: inst.kv_peak,
                 tokens_out: inst.tokens_out,
+                downtime_secs: inst.downtime_secs
+                    + inst.down_since.map_or(0.0, |t| makespan.since(t).max(0.0)),
             })
             .collect();
         SimOutcome {
             records: self.records,
             rejected: self.rejected,
+            failed: self.failed,
             makespan,
             instances,
         }
@@ -486,15 +582,20 @@ impl<'a> ServingSim<'a> {
             // Dispatch to the prefill instance with the shortest queue
             // (by outstanding tokens — queued plus in-flight, a better
             // execution-time proxy than request count, per §4.3's token
-            // heuristic).
-            let target = *self
+            // heuristic). Down/draining instances take no new work.
+            let target = self
                 .prefill_ids
                 .iter()
-                .min_by_key(|&&i| {
+                .copied()
+                .filter(|&i| self.instances[i].health.accepts_new_work())
+                .min_by_key(|&i| {
                     let inst = &self.instances[i];
                     inst.prefill_queue.queued_tokens() + inst.inflight_prefill_tokens
-                })
-                .expect("disaggregated deployment has prefill instances");
+                });
+            let Some(target) = target else {
+                self.park_or_fail_prefill(req.id, now);
+                return;
+            };
             if self.reject_if_over_cap(req.id, target, now) {
                 return;
             }
@@ -505,14 +606,19 @@ impl<'a> ServingSim<'a> {
                 .emit_depth(self.sink, track_id(target));
             self.try_prefill(target, now);
         } else {
-            let target = *self
+            let target = self
                 .coloc_ids
                 .iter()
-                .min_by_key(|&&i| {
+                .copied()
+                .filter(|&i| self.instances[i].health.accepts_new_work())
+                .min_by_key(|&i| {
                     let inst = &self.instances[i];
                     inst.prefill_queue.queued_tokens() + inst.running.len() as u64
-                })
-                .expect("colocated deployment has instances");
+                });
+            let Some(target) = target else {
+                self.park_or_fail_prefill(req.id, now);
+                return;
+            };
             if self.reject_if_over_cap(req.id, target, now) {
                 return;
             }
@@ -551,7 +657,7 @@ impl<'a> ServingSim<'a> {
 
     fn try_prefill(&mut self, i: usize, now: SimTime) {
         let inst = &mut self.instances[i];
-        if !inst.pipeline.stage0_free_at(now) {
+        if !inst.health.serves() || !inst.pipeline.stage0_free_at(now) {
             return;
         }
         // Split borrows: the admission callback allocates from the KV
@@ -570,7 +676,8 @@ impl<'a> ServingSim<'a> {
             .cost
             .prefill_stage_time(&self.cfg.arch, inst.spec.par, &pbatch)
             .total();
-        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng);
+        let slowdown = inst.health.slowdown();
+        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng) * slowdown;
         let bid = self.fresh_batch_id();
         let inst = &mut self.instances[i];
         let commit = inst.pipeline.commit(now, stage_time);
@@ -580,7 +687,9 @@ impl<'a> ServingSim<'a> {
         inst.prefill_inflight.insert(bid, members.clone());
         for id in &members {
             let st = self.states.get_mut(id).expect("state exists");
-            st.prefill_start = commit.start;
+            if st.resume_generated == 0 {
+                st.prefill_start = commit.start;
+            }
             st.phase = RequestPhase::Prefilling;
             self.kv_home.insert(*id, i);
         }
@@ -606,44 +715,69 @@ impl<'a> ServingSim<'a> {
     }
 
     fn on_prefill_done(&mut self, i: usize, bid: u64, now: SimTime) {
-        let members = self.instances[i]
-            .prefill_inflight
-            .remove(&bid)
-            .expect("in-flight prefill batch recorded");
+        // A crash may have already drained the registry: stale completion.
+        let Some(members) = self.instances[i].prefill_inflight.remove(&bid) else {
+            return;
+        };
         let done_tokens: u64 = members
             .iter()
-            .map(|id| u64::from(self.states[id].request.input_len))
+            .map(|id| u64::from(self.states[id].prefill_len()))
             .sum();
         self.instances[i].inflight_prefill_tokens = self.instances[i]
             .inflight_prefill_tokens
             .saturating_sub(done_tokens);
         for id in members {
-            let (output_len, tokens_out_inc) = {
+            let (output_len, resumed) = {
                 let st = self.states.get_mut(&id).expect("state exists");
-                st.first_token = now;
-                (st.request.output_len, 1u64)
+                let resumed = st.resume_generated > 0;
+                if !resumed {
+                    // A recomputation does not re-deliver the first token.
+                    st.first_token = now;
+                }
+                (st.request.output_len, resumed)
             };
-            self.instances[i].tokens_out += tokens_out_inc;
+            if !resumed {
+                self.instances[i].tokens_out += 1;
+            }
             self.emit(id, now, LifecycleEvent::PrefillEnd);
-            if output_len <= 1 {
+            if output_len <= 1 && !resumed {
                 // The prefill already produced the whole answer.
                 self.release_prefill_kv(id, now);
                 self.finish_request(i, id, now, now, now);
             } else {
                 let st = self.states.get_mut(&id).expect("state exists");
                 st.phase = RequestPhase::Transferring;
-                // Least-loaded decoding instance (§4.3).
-                let target = *self
-                    .decode_ids
-                    .iter()
-                    .min_by_key(|&&d| self.instances[d].decode_load())
-                    .expect("disaggregated deployment has decode instances");
-                self.instances[target].pull_queue.push_back(id);
-                self.try_pull(target, now);
+                self.route_to_decode(id, now);
             }
         }
         // Completing a batch may have freed stage slots.
         self.try_prefill(i, now);
+    }
+
+    /// Routes a transfer-ready request to the least-loaded decoding
+    /// instance (§4.3). With every decoding instance down, the request
+    /// parks if a recovery is scheduled and fails otherwise.
+    fn route_to_decode(&mut self, id: RequestId, now: SimTime) {
+        let target = self
+            .decode_ids
+            .iter()
+            .copied()
+            .filter(|&d| self.instances[d].health.accepts_new_work())
+            .min_by_key(|&d| self.instances[d].decode_load());
+        let Some(target) = target else {
+            if self
+                .decode_ids
+                .iter()
+                .any(|&d| self.instances[d].recover_scheduled)
+            {
+                self.parked_pull.push_back(id);
+            } else {
+                self.fail_request(id, now);
+            }
+            return;
+        };
+        self.instances[target].pull_queue.push_back(id);
+        self.try_pull(target, now);
     }
 
     fn release_prefill_kv(&mut self, id: RequestId, now: SimTime) {
@@ -662,7 +796,7 @@ impl<'a> ServingSim<'a> {
     // ------------------------------------------------------------------
 
     fn try_pull(&mut self, d: usize, now: SimTime) {
-        if self.instances[d].pulling {
+        if !self.instances[d].health.serves() || self.instances[d].pulling.is_some() {
             return;
         }
         let Some(&id) = self.instances[d].pull_queue.front() else {
@@ -682,7 +816,16 @@ impl<'a> ServingSim<'a> {
         }
         self.instances[d].note_kv();
         self.instances[d].pull_queue.pop_front();
-        self.instances[d].pulling = true;
+        self.instances[d].pull_gen += 1;
+        let gen = self.instances[d].pull_gen;
+        self.instances[d].pulling = Some((id, gen));
+        self.issue_pull(d, id, gen, now);
+    }
+
+    /// Launches (or relaunches after backoff) the wire transfer for the
+    /// request currently occupying `d`'s pull channel.
+    fn issue_pull(&mut self, d: usize, id: RequestId, gen: u64, now: SimTime) {
+        let prefill_len = self.states[&id].prefill_len();
         let home = self.kv_home[&id];
         let wire = self.transfer.request_transfer_time(
             self.cluster,
@@ -690,23 +833,33 @@ impl<'a> ServingSim<'a> {
             self.instances[home].spec.par,
             &self.instances[d].spec.stages,
             self.instances[d].spec.par,
-            input_len + 1,
+            prefill_len + 1,
         );
-        let wire = self.cfg.fidelity.perturb_transfer(wire);
+        let wire = self.cfg.fidelity.perturb_transfer(wire) * self.link_slowdown;
         let st = self.states.get_mut(&id).expect("state exists");
         st.transfer_active = wire;
         self.emit(id, now, LifecycleEvent::KvMigrateStart);
         self.emit_kv(d);
-        self.events.push(now.after(wire), Ev::TransferDone(d, id));
+        self.events
+            .push(now.after(wire), Ev::TransferDone(d, id, gen));
     }
 
-    fn on_transfer_done(&mut self, d: usize, id: RequestId, now: SimTime) {
-        self.instances[d].pulling = false;
+    fn on_transfer_done(&mut self, d: usize, id: RequestId, gen: u64, now: SimTime) {
+        // Stale completion: the pull failed or the puller crashed since.
+        if self.instances[d].pulling != Some((id, gen)) {
+            return;
+        }
+        self.instances[d].pulling = None;
         self.release_prefill_kv(id, now);
         {
             let st = self.states.get_mut(&id).expect("state exists");
+            let resume = st.resume_generated;
             st.transfer_done = now;
-            st.phase = RequestPhase::Decoding { generated: 1 };
+            st.phase = RequestPhase::Decoding {
+                generated: resume.max(1),
+            };
+            st.resume_generated = 0;
+            st.transfer_attempt = 0;
         }
         self.emit(id, now, LifecycleEvent::KvMigrateEnd);
         self.sink
@@ -742,7 +895,7 @@ impl<'a> ServingSim<'a> {
 
     fn try_decode(&mut self, d: usize, now: SimTime) {
         let inst = &mut self.instances[d];
-        if !inst.pipeline.stage0_free_at(now) {
+        if !inst.health.serves() || !inst.pipeline.stage0_free_at(now) {
             return;
         }
         // Round-robin over micro-batch groups so every group iterates
@@ -775,7 +928,8 @@ impl<'a> ServingSim<'a> {
             .cost
             .decode_stage_time(&self.cfg.arch, self.instances[d].spec.par, &batch)
             .total();
-        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng);
+        let slowdown = self.instances[d].health.slowdown();
+        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng) * slowdown;
         let bid = self.fresh_batch_id();
         let inst = &mut self.instances[d];
         let commit = inst.pipeline.commit(now, stage_time);
@@ -803,10 +957,10 @@ impl<'a> ServingSim<'a> {
     }
 
     fn on_decode_done(&mut self, d: usize, bid: u64, now: SimTime) {
-        let (g, members) = self.instances[d]
-            .decode_inflight
-            .remove(&bid)
-            .expect("in-flight decode batch recorded");
+        // A crash may have already drained the registry: stale completion.
+        let Some((g, members)) = self.instances[d].decode_inflight.remove(&bid) else {
+            return;
+        };
         self.instances[d].groups[g].busy = false;
         let mut freed = false;
         for id in members {
@@ -868,7 +1022,7 @@ impl<'a> ServingSim<'a> {
     // ------------------------------------------------------------------
 
     fn try_coloc(&mut self, c: usize, now: SimTime) {
-        if self.instances[c].coloc_busy {
+        if !self.instances[c].health.serves() || self.instances[c].coloc_busy {
             return;
         }
         if let Some(chunk) = self.instances[c].spec.policy.chunked_prefill {
@@ -906,7 +1060,8 @@ impl<'a> ServingSim<'a> {
                     .cost
                     .prefill_stage_time(&self.cfg.arch, inst.spec.par, &pbatch)
                     .total();
-                let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng);
+                let slowdown = inst.health.slowdown();
+                let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng) * slowdown;
                 let bid = self.next_batch;
                 self.next_batch += 1;
                 let inst = &mut self.instances[c];
@@ -965,7 +1120,8 @@ impl<'a> ServingSim<'a> {
             .cost
             .decode_stage_time(&self.cfg.arch, self.instances[c].spec.par, &batch)
             .total();
-        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng);
+        let slowdown = self.instances[c].health.slowdown();
+        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng) * slowdown;
         let bid = self.fresh_batch_id();
         let inst = &mut self.instances[c];
         let commit = inst.pipeline.commit(now, stage_time);
@@ -1060,7 +1216,8 @@ impl<'a> ServingSim<'a> {
             .cost
             .mixed_stage_time(&self.cfg.arch, self.instances[c].spec.par, &pbatch, &dbatch)
             .total();
-        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng);
+        let slowdown = self.instances[c].health.slowdown();
+        let stage_time = self.cfg.fidelity.perturb_step(raw, &mut self.rng) * slowdown;
         let bid = self.fresh_batch_id();
         let inst = &mut self.instances[c];
         let commit = inst.pipeline.commit(now, stage_time);
@@ -1102,10 +1259,10 @@ impl<'a> ServingSim<'a> {
     }
 
     fn on_coloc_done(&mut self, c: usize, bid: u64, now: SimTime) {
-        let step = self.instances[c]
-            .coloc_inflight
-            .remove(&bid)
-            .expect("in-flight colocated step recorded");
+        // A crash may have already drained the registry: stale completion.
+        let Some(step) = self.instances[c].coloc_inflight.remove(&bid) else {
+            return;
+        };
         self.instances[c].coloc_busy = false;
         match step {
             ColocStep::Prefill(members) => {
@@ -1133,21 +1290,30 @@ impl<'a> ServingSim<'a> {
     }
 
     fn coloc_first_token(&mut self, c: usize, id: RequestId, now: SimTime) {
-        self.instances[c].tokens_out += 1;
-        let output_len = {
+        let (output_len, resume) = {
             let st = self.states.get_mut(&id).expect("state exists");
-            st.first_token = now;
+            let resume = st.resume_generated;
+            if resume == 0 {
+                // A recomputation does not re-deliver the first token.
+                st.first_token = now;
+            }
             st.transfer_done = now;
-            st.request.output_len
+            (st.request.output_len, resume)
         };
+        if resume == 0 {
+            self.instances[c].tokens_out += 1;
+        }
         self.emit(id, now, LifecycleEvent::PrefillEnd);
-        if output_len <= 1 {
+        if output_len <= 1 && resume == 0 {
             self.instances[c].kv.free(id).expect("coloc KV allocated");
             self.emit_kv(c);
             self.finish_request(c, id, now, now, now);
         } else {
             let st = self.states.get_mut(&id).expect("state exists");
-            st.phase = RequestPhase::Decoding { generated: 1 };
+            st.phase = RequestPhase::Decoding {
+                generated: resume.max(1),
+            };
+            st.resume_generated = 0;
             self.emit(id, now, LifecycleEvent::DecodeQueued);
             self.instances[c].running.push(id);
         }
@@ -1202,6 +1368,590 @@ impl<'a> ServingSim<'a> {
             .counter_add(metrics::REQUESTS_FINISHED, track_id(track), 1);
         self.records.push(st.into_record());
         self.remaining -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery.
+    // ------------------------------------------------------------------
+
+    /// Terminal failure: the request leaves the system unfinished. Frees
+    /// any prefill-side KV it still holds (callers free decode-side KV
+    /// before calling).
+    fn fail_request(&mut self, id: RequestId, now: SimTime) {
+        if let Some(home) = self.kv_home.remove(&id) {
+            let _ = self.instances[home].kv.free(id);
+        }
+        if self.states.remove(&id).is_some() {
+            self.emit(id, now, LifecycleEvent::Failed);
+            self.sink
+                .counter_add(metrics::REQUESTS_FAILED, track_id(0), 1);
+            self.failed.push(id);
+            self.remaining -= 1;
+        }
+    }
+
+    /// Charges one retry against `id`'s budget, emitting the lifecycle
+    /// event. Returns `false` (after failing the request) when the budget
+    /// is exhausted.
+    fn charge_retry(&mut self, id: RequestId, now: SimTime) -> bool {
+        if !self.retry_policy.allows(self.states[&id].retries) {
+            self.fail_request(id, now);
+            return false;
+        }
+        let st = self.states.get_mut(&id).expect("state exists");
+        st.retries += 1;
+        let attempt = st.retries;
+        self.emit(id, now, LifecycleEvent::Retried { attempt });
+        self.sink
+            .counter_add(metrics::REQUEST_RETRIES, track_id(0), 1);
+        true
+    }
+
+    /// Sends a request back through prefill dispatch after its work was
+    /// lost. `charge` distinguishes lost execution (charged against the
+    /// retry budget) from merely queued work being moved (free).
+    fn redispatch_prefill(&mut self, id: RequestId, now: SimTime, charge: bool) {
+        if !self.states.contains_key(&id) {
+            return;
+        }
+        if charge && !self.charge_retry(id, now) {
+            return;
+        }
+        self.states.get_mut(&id).expect("state exists").phase = RequestPhase::WaitingPrefill;
+        self.dispatch_prefill(id, now);
+    }
+
+    /// Queues `id` on the best surviving prefill-capable instance.
+    /// Re-dispatches bypass the admission cap: the system already
+    /// accepted the request once.
+    fn dispatch_prefill(&mut self, id: RequestId, now: SimTime) {
+        let input_len = self.states[&id].prefill_len();
+        let item = PrefillItem { id, input_len };
+        if self.coloc_ids.is_empty() {
+            let target = self
+                .prefill_ids
+                .iter()
+                .copied()
+                .filter(|&i| self.instances[i].health.accepts_new_work())
+                .min_by_key(|&i| {
+                    let inst = &self.instances[i];
+                    inst.prefill_queue.queued_tokens() + inst.inflight_prefill_tokens
+                });
+            let Some(target) = target else {
+                self.park_or_fail_prefill(id, now);
+                return;
+            };
+            self.emit(id, now, LifecycleEvent::PrefillQueued);
+            self.instances[target].prefill_queue.push(item);
+            self.instances[target]
+                .prefill_queue
+                .emit_depth(self.sink, track_id(target));
+            self.try_prefill(target, now);
+        } else {
+            let target = self
+                .coloc_ids
+                .iter()
+                .copied()
+                .filter(|&i| self.instances[i].health.accepts_new_work())
+                .min_by_key(|&i| {
+                    let inst = &self.instances[i];
+                    inst.prefill_queue.queued_tokens() + inst.running.len() as u64
+                });
+            let Some(target) = target else {
+                self.park_or_fail_prefill(id, now);
+                return;
+            };
+            self.emit(id, now, LifecycleEvent::PrefillQueued);
+            self.instances[target].prefill_queue.push(item);
+            self.instances[target]
+                .prefill_queue
+                .emit_depth(self.sink, track_id(target));
+            self.try_coloc(target, now);
+        }
+    }
+
+    /// No prefill-capable instance can take new work: park if one is on
+    /// its way back, otherwise fail.
+    fn park_or_fail_prefill(&mut self, id: RequestId, now: SimTime) {
+        let pool = if self.coloc_ids.is_empty() {
+            &self.prefill_ids
+        } else {
+            &self.coloc_ids
+        };
+        let recovery_pending = pool.iter().any(|&i| self.instances[i].recover_scheduled);
+        if recovery_pending {
+            self.parked_prefill.push_back(id);
+        } else {
+            self.fail_request(id, now);
+        }
+    }
+
+    fn on_fault(&mut self, idx: usize, now: SimTime) {
+        let fault = self.faults[idx];
+        self.faults_injected += 1;
+        let track = fault
+            .kind
+            .instance()
+            .filter(|&i| i < self.instances.len())
+            .unwrap_or(0);
+        self.sink
+            .counter_add(metrics::FAULTS_INJECTED, track_id(track), 1);
+        match fault.kind {
+            FaultKind::InstanceCrash {
+                instance,
+                downtime_secs,
+            } => {
+                if instance < self.instances.len() {
+                    self.crash_instance(instance, now, Some(downtime_secs));
+                }
+            }
+            FaultKind::GpuLoss { instance } => {
+                if instance < self.instances.len() {
+                    self.crash_instance(instance, now, None);
+                }
+            }
+            FaultKind::LinkDegradation {
+                factor,
+                duration_secs,
+            } => {
+                self.link_slowdown = factor.max(1.0);
+                self.events
+                    .push(now.after(duration_secs.max(0.0)), Ev::LinkRestore);
+            }
+            FaultKind::Straggler {
+                instance,
+                factor,
+                duration_secs,
+            } => {
+                if instance >= self.instances.len() {
+                    return;
+                }
+                let inst = &mut self.instances[instance];
+                if inst.health.accepts_new_work() {
+                    inst.health = InstanceHealth::Degraded {
+                        slowdown: factor.max(1.0),
+                    };
+                    self.events.push(
+                        now.after(duration_secs.max(0.0)),
+                        Ev::StragglerEnd(instance),
+                    );
+                }
+            }
+            FaultKind::KvTransferFailure { instance } => {
+                if instance < self.instances.len() {
+                    self.fail_active_pull(instance, now);
+                }
+            }
+            FaultKind::Drain {
+                instance,
+                maintenance_secs,
+            } => {
+                if instance >= self.instances.len() {
+                    return;
+                }
+                let inst = &mut self.instances[instance];
+                if inst.health.accepts_new_work() {
+                    inst.health = InstanceHealth::Draining;
+                    inst.drain_secs = maintenance_secs.max(1e-3);
+                    inst.recover_scheduled = true;
+                }
+            }
+        }
+    }
+
+    /// Takes instance `i` down at `now`. `downtime` schedules a restart;
+    /// `None` models permanent loss (GPU failure) that only replanning
+    /// onto the shrunk cluster can repair.
+    fn crash_instance(&mut self, i: usize, now: SimTime, downtime: Option<f64>) {
+        if self.instances[i].health.is_down() {
+            return;
+        }
+        let role = self.instances[i].spec.role;
+        {
+            let inst = &mut self.instances[i];
+            inst.health = InstanceHealth::Down;
+            inst.down_since = Some(now);
+            inst.up_gen += 1;
+            inst.recover_scheduled = downtime.is_some();
+        }
+        self.sink.gauge_set(metrics::INSTANCE_UP, track_id(i), 0.0);
+        if let Some(d) = downtime {
+            let d = d.max(1e-3);
+            let gen = self.instances[i].up_gen;
+            self.events
+                .push(now.after(d), Ev::InstanceRecovering(i, gen));
+            // Warm-up (weight reload) takes another 10% of the outage.
+            self.events.push(now.after(d * 1.1), Ev::InstanceUp(i, gen));
+        }
+        match role {
+            InstanceRole::Prefill => self.crash_prefill(i, now),
+            InstanceRole::Decode => self.crash_decode(i, now),
+            InstanceRole::Colocated => self.crash_coloc(i, now),
+        }
+    }
+
+    /// Prefill crash: queued work moves for free; in-flight batches and
+    /// transfers buffered on this instance lose their KV and are
+    /// recomputed (charged against the retry budget).
+    fn crash_prefill(&mut self, i: usize, now: SimTime) {
+        let queued = self.instances[i].prefill_queue.drain_all();
+        let mut inflight: Vec<(u64, Vec<RequestId>)> =
+            self.instances[i].prefill_inflight.drain().collect();
+        inflight.sort_by_key(|&(bid, _)| bid);
+        self.instances[i].inflight_prefill_tokens = 0;
+        self.instances[i]
+            .prefill_queue
+            .emit_depth(self.sink, track_id(i));
+        // Transfers sourced from this instance lose their buffered KV.
+        let mut lost_transfers: Vec<RequestId> = Vec::new();
+        let decode_ids = self.decode_ids.clone();
+        for d in decode_ids {
+            let queue = std::mem::take(&mut self.instances[d].pull_queue);
+            for id in queue {
+                if self.kv_home.get(&id) == Some(&i) {
+                    lost_transfers.push(id);
+                } else {
+                    self.instances[d].pull_queue.push_back(id);
+                }
+            }
+            if let Some((id, _gen)) = self.instances[d].pulling {
+                if self.kv_home.get(&id) == Some(&i) {
+                    let _ = self.instances[d].kv.free(id);
+                    self.instances[d].pulling = None;
+                    lost_transfers.push(id);
+                    self.emit_kv(d);
+                    self.try_pull(d, now);
+                }
+            }
+        }
+        for (_bid, members) in inflight {
+            for id in members {
+                let _ = self.instances[i].kv.free(id);
+                self.kv_home.remove(&id);
+                self.redispatch_prefill(id, now, true);
+            }
+        }
+        for it in queued {
+            self.redispatch_prefill(it.id, now, false);
+        }
+        for id in lost_transfers {
+            let _ = self.instances[i].kv.free(id);
+            self.kv_home.remove(&id);
+            self.redispatch_prefill(id, now, true);
+        }
+        self.emit_kv(i);
+    }
+
+    /// Decode crash: requests mid-transfer retry (remigrate or recompute,
+    /// whichever is cheaper); active decoders lose their KV and re-prefill
+    /// on a survivor, resuming token emission where they stopped.
+    fn crash_decode(&mut self, d: usize, now: SimTime) {
+        let mut transferring: Vec<RequestId> = Vec::new();
+        if let Some((id, _gen)) = self.instances[d].pulling.take() {
+            let _ = self.instances[d].kv.free(id);
+            transferring.push(id);
+        }
+        transferring.extend(std::mem::take(&mut self.instances[d].pull_queue));
+        let mut decoding: Vec<RequestId> = Vec::new();
+        {
+            let inst = &mut self.instances[d];
+            for g in &mut inst.groups {
+                decoding.append(&mut g.members);
+                g.busy = false;
+            }
+            decoding.extend(inst.overflow.drain(..));
+            inst.decode_inflight.clear();
+        }
+        for &id in &decoding {
+            let _ = self.instances[d].kv.free(id);
+            if let Some(st) = self.states.get_mut(&id) {
+                if let RequestPhase::Decoding { generated } = st.phase {
+                    st.resume_generated = generated;
+                }
+            }
+        }
+        self.sink.gauge_set(metrics::DECODE_LOAD, track_id(d), 0.0);
+        self.emit_kv(d);
+        for id in decoding {
+            self.redispatch_prefill(id, now, true);
+        }
+        for id in transferring {
+            self.recover_transferring(id, now);
+        }
+    }
+
+    /// A request whose pull target died still holds buffered KV on its
+    /// prefill instance. Choose the cheaper recovery: remigrate the
+    /// buffer to a surviving decoder, or recompute the prefill (§3.3's
+    /// bandwidth arithmetic decides which).
+    fn recover_transferring(&mut self, id: RequestId, now: SimTime) {
+        if !self.states.contains_key(&id) {
+            return;
+        }
+        if !self.charge_retry(id, now) {
+            return;
+        }
+        let target = self
+            .decode_ids
+            .iter()
+            .copied()
+            .filter(|&d| self.instances[d].health.accepts_new_work())
+            .min_by_key(|&d| self.instances[d].decode_load());
+        let Some(target) = target else {
+            if self
+                .decode_ids
+                .iter()
+                .any(|&d| self.instances[d].recover_scheduled)
+            {
+                self.parked_pull.push_back(id);
+            } else {
+                self.fail_request(id, now);
+            }
+            return;
+        };
+        let prefill_len = self.states[&id].prefill_len();
+        let home = self.kv_home[&id];
+        let remigrate = self.transfer.request_transfer_time(
+            self.cluster,
+            &self.instances[home].spec.stages,
+            self.instances[home].spec.par,
+            &self.instances[target].spec.stages,
+            self.instances[target].spec.par,
+            prefill_len + 1,
+        ) * self.link_slowdown;
+        let recompute = self
+            .prefill_ids
+            .iter()
+            .copied()
+            .filter(|&p| self.instances[p].health.accepts_new_work())
+            .map(|p| {
+                let inst = &self.instances[p];
+                let stage = self
+                    .cost
+                    .prefill_stage_time(
+                        &self.cfg.arch,
+                        inst.spec.par,
+                        &PrefillBatch::new(vec![prefill_len]),
+                    )
+                    .total();
+                stage * f64::from(inst.spec.par.pp)
+                    + self.transfer.request_transfer_time(
+                        self.cluster,
+                        &inst.spec.stages,
+                        inst.spec.par,
+                        &self.instances[target].spec.stages,
+                        self.instances[target].spec.par,
+                        prefill_len + 1,
+                    ) * self.link_slowdown
+            })
+            .fold(f64::INFINITY, f64::min);
+        if remigrate <= recompute {
+            self.instances[target].pull_queue.push_back(id);
+            self.try_pull(target, now);
+        } else {
+            // Recomputing next to a live prefill instance beats dragging
+            // the buffer across a degraded or congested path.
+            if let Some(h) = self.kv_home.remove(&id) {
+                let _ = self.instances[h].kv.free(id);
+                self.emit_kv(h);
+            }
+            self.states.get_mut(&id).expect("state exists").phase = RequestPhase::WaitingPrefill;
+            self.dispatch_prefill(id, now);
+        }
+    }
+
+    /// Colocated crash: everything on the engine — queued, chunk-partial,
+    /// prefilling, decoding — loses its KV. Execution already spent is
+    /// charged; merely queued work moves for free.
+    fn crash_coloc(&mut self, c: usize, now: SimTime) {
+        let queued = self.instances[c].prefill_queue.drain_all();
+        let mut charged: Vec<RequestId> = self.instances[c].running.drain(..).collect();
+        let mut steps: Vec<(u64, ColocStep)> = self.instances[c].coloc_inflight.drain().collect();
+        steps.sort_by_key(|&(bid, _)| bid);
+        for (_bid, step) in steps {
+            match step {
+                ColocStep::Prefill(m) | ColocStep::Decode(m) => charged.extend(m),
+                ColocStep::Mixed { chunks, decodes } => {
+                    charged.extend(chunks.into_iter().map(|(id, _, _)| id));
+                    charged.extend(decodes);
+                }
+            }
+        }
+        charged.sort_unstable();
+        charged.dedup();
+        self.instances[c].coloc_busy = false;
+        self.instances[c].chunk_progress.clear();
+        // A chunk-partial head sits in the queue *and* in the in-flight
+        // step; it is charged, not double-dispatched.
+        let queued: Vec<PrefillItem> = queued
+            .into_iter()
+            .filter(|it| !charged.contains(&it.id))
+            .collect();
+        for &id in &charged {
+            let _ = self.instances[c].kv.free(id);
+            if let Some(st) = self.states.get_mut(&id) {
+                if let RequestPhase::Decoding { generated } = st.phase {
+                    st.resume_generated = generated;
+                }
+            }
+        }
+        for it in &queued {
+            // Chunk-partial heads hold an allocation despite being queued.
+            let _ = self.instances[c].kv.free(it.id);
+        }
+        self.instances[c]
+            .prefill_queue
+            .emit_depth(self.sink, track_id(c));
+        self.emit_kv(c);
+        for id in charged {
+            self.redispatch_prefill(id, now, true);
+        }
+        for it in queued {
+            self.redispatch_prefill(it.id, now, false);
+        }
+    }
+
+    /// The transfer in flight into decode instance `d` fails; retry after
+    /// capped exponential backoff, keeping the pull channel reserved so
+    /// the queue order is preserved.
+    fn fail_active_pull(&mut self, d: usize, now: SimTime) {
+        let Some((id, _gen)) = self.instances[d].pulling else {
+            return;
+        };
+        self.sink
+            .counter_add(metrics::KV_TRANSFER_RETRIES, track_id(d), 1);
+        {
+            let st = self.states.get_mut(&id).expect("state exists");
+            st.transfer_attempt += 1;
+        }
+        if !self.retry_policy.allows(self.states[&id].retries) {
+            let _ = self.instances[d].kv.free(id);
+            self.instances[d].pulling = None;
+            self.emit_kv(d);
+            self.fail_request(id, now);
+            self.try_pull(d, now);
+            return;
+        }
+        let st = self.states.get_mut(&id).expect("state exists");
+        st.retries += 1;
+        let attempt = st.retries;
+        let backoff = self.retry_policy.backoff_secs(st.transfer_attempt);
+        self.emit(id, now, LifecycleEvent::Retried { attempt });
+        self.sink
+            .counter_add(metrics::REQUEST_RETRIES, track_id(0), 1);
+        self.instances[d].pull_gen += 1;
+        let gen = self.instances[d].pull_gen;
+        self.instances[d].pulling = Some((id, gen));
+        self.events
+            .push(now.after(backoff), Ev::RetryPull(d, id, gen));
+    }
+
+    fn on_retry_pull(&mut self, d: usize, id: RequestId, gen: u64, now: SimTime) {
+        if self.instances[d].pulling != Some((id, gen)) {
+            return;
+        }
+        if !self.states.contains_key(&id) {
+            self.instances[d].pulling = None;
+            self.try_pull(d, now);
+            return;
+        }
+        self.issue_pull(d, id, gen, now);
+    }
+
+    /// Completes planned maintenance: a draining instance that has gone
+    /// idle is taken down for its maintenance window.
+    fn check_drains(&mut self, now: SimTime) {
+        for i in 0..self.instances.len() {
+            if self.instances[i].health != InstanceHealth::Draining || !self.instance_idle(i) {
+                continue;
+            }
+            let inst = &mut self.instances[i];
+            inst.health = InstanceHealth::Down;
+            inst.down_since = Some(now);
+            inst.up_gen += 1;
+            let gen = inst.up_gen;
+            let window = inst.drain_secs.max(1e-3);
+            self.sink.gauge_set(metrics::INSTANCE_UP, track_id(i), 0.0);
+            self.events
+                .push(now.after(window * 0.9), Ev::InstanceRecovering(i, gen));
+            self.events.push(now.after(window), Ev::InstanceUp(i, gen));
+        }
+    }
+
+    fn instance_idle(&self, i: usize) -> bool {
+        let inst = &self.instances[i];
+        match inst.spec.role {
+            InstanceRole::Prefill => {
+                inst.prefill_queue.is_empty()
+                    && inst.prefill_inflight.is_empty()
+                    && inst.kv.utilization() == 0.0
+            }
+            InstanceRole::Decode => {
+                inst.groups.iter().all(|g| g.members.is_empty())
+                    && inst.overflow.is_empty()
+                    && inst.pull_queue.is_empty()
+                    && inst.pulling.is_none()
+                    && inst.decode_inflight.is_empty()
+            }
+            InstanceRole::Colocated => {
+                inst.prefill_queue.is_empty()
+                    && inst.running.is_empty()
+                    && inst.coloc_inflight.is_empty()
+            }
+        }
+    }
+
+    fn on_instance_recovering(&mut self, i: usize, gen: u64) {
+        let inst = &mut self.instances[i];
+        if inst.up_gen == gen && inst.health == InstanceHealth::Down {
+            inst.health = InstanceHealth::Recovering;
+        }
+    }
+
+    fn on_instance_up(&mut self, i: usize, gen: u64, now: SimTime) {
+        if self.instances[i].up_gen != gen {
+            return;
+        }
+        {
+            let inst = &mut self.instances[i];
+            inst.health = InstanceHealth::Up;
+            if let Some(since) = inst.down_since.take() {
+                inst.downtime_secs += now.since(since).max(0.0);
+            }
+            inst.recover_scheduled = false;
+        }
+        self.sink.gauge_set(metrics::INSTANCE_UP, track_id(i), 1.0);
+        match self.instances[i].spec.role {
+            InstanceRole::Prefill | InstanceRole::Colocated => {
+                let parked: Vec<RequestId> = self.parked_prefill.drain(..).collect();
+                for id in parked {
+                    if self.states.contains_key(&id) {
+                        self.dispatch_prefill(id, now);
+                    }
+                }
+            }
+            InstanceRole::Decode => {
+                let parked: Vec<RequestId> = self.parked_pull.drain(..).collect();
+                for id in parked {
+                    if self.states.contains_key(&id) {
+                        self.route_to_decode(id, now);
+                    }
+                }
+                self.try_pull(i, now);
+                self.try_decode(i, now);
+            }
+        }
+        match self.instances[i].spec.role {
+            InstanceRole::Prefill => self.try_prefill(i, now),
+            InstanceRole::Colocated => self.try_coloc(i, now),
+            InstanceRole::Decode => {}
+        }
+    }
+
+    fn on_straggler_end(&mut self, i: usize) {
+        if matches!(self.instances[i].health, InstanceHealth::Degraded { .. }) {
+            self.instances[i].health = InstanceHealth::Up;
+        }
     }
 }
 
@@ -1519,6 +2269,280 @@ mod tests {
             assert!(lc.first(LifecycleEvent::PrefillEnd).is_some());
         }
         assert_eq!(snap.metrics.counter(metrics::KV_MIGRATIONS, 0), 0);
+    }
+
+    fn run_chaos(
+        specs: Vec<InstanceSpec>,
+        trace: &Trace,
+        schedule: &distserve_faults::FaultSchedule,
+    ) -> SimOutcome {
+        let cost = RooflineModel::a100();
+        let cl = cluster();
+        let cfg = SimConfig::new(OptModel::Opt13B.arch());
+        ServingSim::new(cfg, &cost, &cl, specs)
+            .unwrap()
+            .with_faults(schedule, RetryPolicy::default())
+            .run(trace)
+    }
+
+    fn wide_disagg(c: &Cluster) -> Vec<InstanceSpec> {
+        vec![
+            InstanceSpec::new(
+                InstanceRole::Prefill,
+                ParallelismConfig::SINGLE,
+                vec![vec![c.gpu(0, 0)]],
+            )
+            .unwrap(),
+            InstanceSpec::new(
+                InstanceRole::Decode,
+                ParallelismConfig::SINGLE,
+                vec![vec![c.gpu(0, 1)]],
+            )
+            .unwrap(),
+            InstanceSpec::new(
+                InstanceRole::Decode,
+                ParallelismConfig::SINGLE,
+                vec![vec![c.gpu(0, 2)]],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn empty_schedule_matches_fault_free_run() {
+        let cl = cluster();
+        let trace = fixed_trace(60, 2.0, 21);
+        let plain = run(disagg_deployment(&cl), &trace);
+        let chaos = run_chaos(
+            disagg_deployment(&cl),
+            &trace,
+            &distserve_faults::FaultSchedule::new(),
+        );
+        assert_eq!(plain.records, chaos.records);
+        assert!(chaos.failed.is_empty());
+    }
+
+    #[test]
+    fn decode_crash_resumes_without_losing_requests() {
+        use distserve_telemetry::Recorder;
+        let cl = cluster();
+        let trace = fixed_trace(40, 3.0, 22);
+        let schedule = distserve_faults::FaultSchedule::new().with(
+            4.0,
+            FaultKind::InstanceCrash {
+                instance: 1,
+                downtime_secs: 3.0,
+            },
+        );
+        let cost = RooflineModel::a100();
+        let cfg = SimConfig::new(OptModel::Opt13B.arch());
+        let rec = Recorder::new();
+        let out = ServingSim::new(cfg, &cost, &cl, disagg_deployment(&cl))
+            .unwrap()
+            .with_faults(&schedule, RetryPolicy::default())
+            .with_sink(&rec)
+            .run(&trace);
+        // Nothing silently dropped: every request ends terminally.
+        assert_eq!(
+            out.records.len() + out.rejected.len() + out.failed.len(),
+            40
+        );
+        // The sole decode instance recovered, so nothing had to fail.
+        assert!(out.failed.is_empty(), "failed: {:?}", out.failed);
+        assert!(out.instances[1].downtime_secs > 2.9);
+        // Delivered tokens were never re-emitted: every lifecycle still
+        // validates (DecodeStep counts strictly increase across retries).
+        let snap = rec.snapshot();
+        for lc in snap.lifecycles().values() {
+            lc.validate().unwrap();
+        }
+        // The crash displaced at least one in-flight request.
+        assert!(
+            snap.metrics.counter(metrics::REQUEST_RETRIES, 0) > 0,
+            "crash at t=4 under 3 req/s load must displace someone"
+        );
+        assert_eq!(snap.metrics.counter(metrics::FAULTS_INJECTED, 1), 1);
+    }
+
+    #[test]
+    fn prefill_crash_requeues_to_survivor() {
+        use distserve_telemetry::Recorder;
+        let cl = cluster();
+        // Two prefill instances, one decoder: the surviving prefill
+        // absorbs the dead one's queue.
+        let specs = vec![
+            InstanceSpec::new(
+                InstanceRole::Prefill,
+                ParallelismConfig::SINGLE,
+                vec![vec![cl.gpu(0, 0)]],
+            )
+            .unwrap(),
+            InstanceSpec::new(
+                InstanceRole::Prefill,
+                ParallelismConfig::SINGLE,
+                vec![vec![cl.gpu(0, 1)]],
+            )
+            .unwrap(),
+            InstanceSpec::new(
+                InstanceRole::Decode,
+                ParallelismConfig::SINGLE,
+                vec![vec![cl.gpu(0, 2)]],
+            )
+            .unwrap(),
+        ];
+        let trace = fixed_trace(40, 4.0, 23);
+        let schedule =
+            distserve_faults::FaultSchedule::new().with(3.0, FaultKind::GpuLoss { instance: 0 });
+        let cost = RooflineModel::a100();
+        let cfg = SimConfig::new(OptModel::Opt13B.arch());
+        let rec = Recorder::new();
+        let out = ServingSim::new(cfg, &cost, &cl, specs)
+            .unwrap()
+            .with_faults(&schedule, RetryPolicy::default())
+            .with_sink(&rec)
+            .run(&trace);
+        assert_eq!(
+            out.records.len() + out.rejected.len() + out.failed.len(),
+            40
+        );
+        // The survivor could always take the work: no terminal failures.
+        assert!(out.failed.is_empty(), "failed: {:?}", out.failed);
+        // Instance 0 never came back (permanent GPU loss).
+        assert!(out.instances[0].downtime_secs > 0.0);
+        for lc in rec.snapshot().lifecycles().values() {
+            lc.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_loss_without_survivor_fails_cleanly() {
+        let cl = cluster();
+        let trace = fixed_trace(30, 2.0, 24);
+        let schedule =
+            distserve_faults::FaultSchedule::new().with(3.0, FaultKind::GpuLoss { instance: 1 });
+        let out = run_chaos(disagg_deployment(&cl), &trace, &schedule);
+        // No decoder survives and none is coming back: multi-token
+        // requests must fail terminally, not hang the simulation.
+        assert_eq!(
+            out.records.len() + out.rejected.len() + out.failed.len(),
+            30
+        );
+        assert!(!out.failed.is_empty());
+        // Requests retired before the fault still completed.
+        assert!(!out.records.is_empty());
+    }
+
+    #[test]
+    fn drain_preserves_all_requests() {
+        let cl = cluster();
+        let trace = fixed_trace(40, 2.0, 25);
+        let schedule = distserve_faults::FaultSchedule::new().with(
+            3.0,
+            FaultKind::Drain {
+                instance: 1,
+                maintenance_secs: 2.0,
+            },
+        );
+        let out = run_chaos(wide_disagg(&cl), &trace, &schedule);
+        // Drain-before-kill: in-flight work completes, nothing is lost.
+        assert_eq!(out.records.len(), 40);
+        assert!(out.failed.is_empty());
+        assert!(out.instances[1].downtime_secs >= 2.0 * 0.99);
+    }
+
+    #[test]
+    fn straggler_and_link_faults_only_slow_things_down() {
+        let cl = cluster();
+        let trace = fixed_trace(40, 2.0, 26);
+        let plain = run(disagg_deployment(&cl), &trace);
+        let schedule = distserve_faults::FaultSchedule::new()
+            .with(
+                1.0,
+                FaultKind::Straggler {
+                    instance: 1,
+                    factor: 3.0,
+                    duration_secs: 8.0,
+                },
+            )
+            .with(
+                1.0,
+                FaultKind::LinkDegradation {
+                    factor: 4.0,
+                    duration_secs: 8.0,
+                },
+            );
+        let out = run_chaos(disagg_deployment(&cl), &trace, &schedule);
+        assert_eq!(out.records.len(), 40);
+        assert!(out.failed.is_empty());
+        assert!(
+            out.tpot_summary().mean() > plain.tpot_summary().mean(),
+            "a 3x decode straggler must raise mean TPOT"
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic_given_seed() {
+        let cl = cluster();
+        let trace = fixed_trace(60, 3.0, 27);
+        let schedule = distserve_faults::FaultSchedule::storm(
+            13,
+            &distserve_faults::StormConfig {
+                horizon_secs: 15.0,
+                count: 8,
+                instances: 3,
+                mean_downtime_secs: 2.0,
+            },
+        );
+        let a = run_chaos(wide_disagg(&cl), &trace, &schedule);
+        let b = run_chaos(wide_disagg(&cl), &trace, &schedule);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.records.len() + a.rejected.len() + a.failed.len(), 60);
+    }
+
+    #[test]
+    fn coloc_crash_recovers() {
+        use distserve_telemetry::Recorder;
+        let cl = cluster();
+        let specs = vec![
+            InstanceSpec::new(
+                InstanceRole::Colocated,
+                ParallelismConfig::SINGLE,
+                vec![vec![cl.gpu(0, 0)]],
+            )
+            .unwrap(),
+            InstanceSpec::new(
+                InstanceRole::Colocated,
+                ParallelismConfig::SINGLE,
+                vec![vec![cl.gpu(0, 1)]],
+            )
+            .unwrap(),
+        ];
+        let trace = fixed_trace(40, 3.0, 28);
+        let schedule = distserve_faults::FaultSchedule::new().with(
+            3.0,
+            FaultKind::InstanceCrash {
+                instance: 0,
+                downtime_secs: 2.0,
+            },
+        );
+        let cost = RooflineModel::a100();
+        let cfg = SimConfig::new(OptModel::Opt13B.arch());
+        let rec = Recorder::new();
+        let out = ServingSim::new(cfg, &cost, &cl, specs)
+            .unwrap()
+            .with_faults(&schedule, RetryPolicy::default())
+            .with_sink(&rec)
+            .run(&trace);
+        assert_eq!(
+            out.records.len() + out.rejected.len() + out.failed.len(),
+            40
+        );
+        assert!(out.failed.is_empty(), "failed: {:?}", out.failed);
+        for lc in rec.snapshot().lifecycles().values() {
+            lc.validate().unwrap();
+        }
     }
 
     #[test]

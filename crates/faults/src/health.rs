@@ -1,0 +1,104 @@
+//! The per-instance health state machine.
+//!
+//! ```text
+//!            crash/GPU loss            downtime elapses
+//!   Up ───────────────────────▶ Down ─────────────────▶ Recovering
+//!    ▲  ╲ straggler                ▲                         │
+//!    │   ╲                        kill                    warmup
+//!    │    ▼                        │                         │
+//!    │  Degraded ──────────────────┘                         │
+//!    └───────────────────────────────────────────────────────┘
+//!
+//!   Up ──drain──▶ Draining ──idle──▶ Down (planned maintenance)
+//! ```
+//!
+//! `Degraded` instances still serve (slower); `Draining` instances finish
+//! what they hold but accept nothing new; `Down` and `Recovering`
+//! instances serve nothing — `Recovering` models weight reload / cache
+//! warmup between restart and first useful batch.
+
+/// Health of one serving instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InstanceHealth {
+    /// Serving normally.
+    Up,
+    /// Serving, but every batch takes `slowdown`× as long.
+    Degraded {
+        /// Batch-time multiplier (`>= 1`).
+        slowdown: f64,
+    },
+    /// Planned maintenance: no new work; in-flight work completes.
+    Draining,
+    /// Not serving; in-flight work was lost.
+    Down,
+    /// Restarted but still warming up (weights loading); not yet serving.
+    Recovering,
+}
+
+impl InstanceHealth {
+    /// Whether the dispatcher may route *new* requests here.
+    #[must_use]
+    pub fn accepts_new_work(&self) -> bool {
+        matches!(self, InstanceHealth::Up | InstanceHealth::Degraded { .. })
+    }
+
+    /// Whether the instance can make progress on work it already holds.
+    #[must_use]
+    pub fn serves(&self) -> bool {
+        matches!(
+            self,
+            InstanceHealth::Up | InstanceHealth::Degraded { .. } | InstanceHealth::Draining
+        )
+    }
+
+    /// Whether the instance is unavailable (down or still warming up).
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        matches!(self, InstanceHealth::Down | InstanceHealth::Recovering)
+    }
+
+    /// The batch-time multiplier this state imposes.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        match *self {
+            InstanceHealth::Degraded { slowdown } => slowdown.max(1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Short stable name for gauges and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstanceHealth::Up => "up",
+            InstanceHealth::Degraded { .. } => "degraded",
+            InstanceHealth::Draining => "draining",
+            InstanceHealth::Down => "down",
+            InstanceHealth::Recovering => "recovering",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(InstanceHealth::Up.accepts_new_work());
+        assert!(InstanceHealth::Degraded { slowdown: 2.0 }.accepts_new_work());
+        assert!(!InstanceHealth::Draining.accepts_new_work());
+        assert!(InstanceHealth::Draining.serves());
+        assert!(!InstanceHealth::Down.serves());
+        assert!(InstanceHealth::Down.is_down());
+        assert!(InstanceHealth::Recovering.is_down());
+        assert!(!InstanceHealth::Recovering.serves());
+    }
+
+    #[test]
+    fn slowdown_floors_at_one() {
+        assert_eq!(InstanceHealth::Degraded { slowdown: 0.5 }.slowdown(), 1.0);
+        assert_eq!(InstanceHealth::Degraded { slowdown: 3.0 }.slowdown(), 3.0);
+        assert_eq!(InstanceHealth::Up.slowdown(), 1.0);
+    }
+}

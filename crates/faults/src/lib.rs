@@ -1,0 +1,29 @@
+//! Deterministic fault injection and recovery.
+//!
+//! The paper's placement and replanning machinery (§4.1, §4.3) assumes a
+//! healthy cluster; at production scale instances crash, links degrade,
+//! and stragglers appear, and goodput must be defined *through* those
+//! events. This crate supplies the vocabulary the rest of the stack
+//! threads through:
+//!
+//! * [`schedule`] — typed fault kinds and a seedable [`FaultSchedule`]
+//!   (stream-split RNG from `simcore::rng`) that the engine turns into
+//!   DES events, keeping faulted runs bit-reproducible.
+//! * [`health`] — the per-instance [`InstanceHealth`] state machine
+//!   (`Up → Degraded → Down → Recovering → Up`, plus `Draining` for
+//!   planned maintenance).
+//! * [`policy`] — per-request retry budgets with capped exponential
+//!   backoff for failed KV migrations and re-dispatch.
+//! * [`report`] — the availability report: unavailability windows,
+//!   per-fault goodput dip, and recovery time (MTTR), serialized as
+//!   JSON for CI and rendered as text for humans.
+
+pub mod health;
+pub mod policy;
+pub mod report;
+pub mod schedule;
+
+pub use health::InstanceHealth;
+pub use policy::RetryPolicy;
+pub use report::{AvailabilityReport, GoodputSample, UnavailabilityWindow};
+pub use schedule::{Fault, FaultKind, FaultSchedule, StormConfig};

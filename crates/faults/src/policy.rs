@@ -1,0 +1,90 @@
+//! Retry budgets and capped exponential backoff.
+//!
+//! Failed KV migrations and crash-displaced requests are retried, but not
+//! forever: each request carries a budget, and each attempt backs off
+//! exponentially up to a cap so a flapping link cannot melt the
+//! dispatcher. All delays are pure functions of the attempt number —
+//! no randomized jitter — to preserve bit-identical replay.
+
+/// Retry budget and backoff shape, shared by all requests in a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per request before it is failed terminally.
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_backoff_secs: f64,
+    /// Multiplier applied per subsequent attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on any single delay.
+    pub max_backoff_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_secs: 0.05,
+            backoff_factor: 2.0,
+            max_backoff_secs: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (fail fast).
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based): capped
+    /// exponential, `base × factor^(attempt-1)`, clamped to the cap.
+    #[must_use]
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(62);
+        let raw = self.base_backoff_secs * self.backoff_factor.powi(exp as i32);
+        raw.min(self.max_backoff_secs).max(0.0)
+    }
+
+    /// Whether a request that has already retried `retries` times may
+    /// retry again.
+    #[must_use]
+    pub fn allows(&self, retries: u32) -> bool {
+        retries < self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff_secs: 0.1,
+            backoff_factor: 2.0,
+            max_backoff_secs: 0.5,
+        };
+        assert!((p.backoff_secs(1) - 0.1).abs() < 1e-12);
+        assert!((p.backoff_secs(2) - 0.2).abs() < 1e-12);
+        assert!((p.backoff_secs(3) - 0.4).abs() < 1e-12);
+        assert!((p.backoff_secs(4) - 0.5).abs() < 1e-12); // capped
+        assert!((p.backoff_secs(40) - 0.5).abs() < 1e-12); // no overflow
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows(0));
+        assert!(p.allows(1));
+        assert!(!p.allows(2));
+        assert!(!RetryPolicy::none().allows(0));
+    }
+}

@@ -1,0 +1,332 @@
+//! Availability reporting: what the chaos actually cost.
+//!
+//! The report folds three inputs — a windowed goodput series (from the
+//! observe crate's buckets, passed as plain samples so this crate stays
+//! at the bottom of the dependency graph), the injected fault times, and
+//! the per-instance unavailability windows the engine recorded — into
+//! the numbers an operator asks for after an incident: baseline goodput,
+//! depth of the dip, time to recover, and MTTR. Serialized as JSON for
+//! CI and rendered as text for humans.
+
+/// One goodput observation (typically one observe bucket).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputSample {
+    /// Bucket start, sim-clock seconds.
+    pub start_s: f64,
+    /// Goodput (requests finishing inside both SLOs per second) in the
+    /// bucket.
+    pub goodput_rps: f64,
+}
+
+/// One contiguous span an instance spent unavailable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnavailabilityWindow {
+    /// Which instance.
+    pub instance: usize,
+    /// When it went down.
+    pub start_s: f64,
+    /// When it came back up; `None` when it never did.
+    pub end_s: Option<f64>,
+}
+
+impl UnavailabilityWindow {
+    /// Outage length, when the window closed.
+    #[must_use]
+    pub fn duration_secs(&self) -> Option<f64> {
+        self.end_s.map(|e| (e - self.start_s).max(0.0))
+    }
+}
+
+/// The availability report for one chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityReport {
+    /// Mean goodput before the first fault.
+    pub baseline_goodput_rps: f64,
+    /// Minimum windowed goodput at or after the first fault.
+    pub dip_goodput_rps: f64,
+    /// Mean goodput over the final quarter of the series.
+    pub recovered_goodput_rps: f64,
+    /// `recovered / baseline` (1.0 = full recovery). 0 when there was no
+    /// pre-fault baseline.
+    pub recovery_frac: f64,
+    /// Seconds from the first fault until windowed goodput first returned
+    /// to ≥ 90% of baseline; `None` if it never did.
+    pub recovery_secs: Option<f64>,
+    /// Mean time to repair over closed unavailability windows.
+    pub mttr_secs: Option<f64>,
+    /// Per-instance outage spans.
+    pub unavailability: Vec<UnavailabilityWindow>,
+    /// Faults injected during the run.
+    pub faults_injected: u64,
+    /// Total request retries (re-dispatch + KV-transfer retries).
+    pub retries: u64,
+    /// Requests that terminally failed (retry budget exhausted).
+    pub failed_requests: u64,
+    /// Requests that finished.
+    pub finished: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+}
+
+/// Replaces non-finite values so the report always serializes to valid
+/// JSON.
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+impl AvailabilityReport {
+    /// Builds a report from a goodput series and the first fault time.
+    /// Counters start at zero; fill them from the run's metrics.
+    #[must_use]
+    pub fn from_series(
+        samples: &[GoodputSample],
+        first_fault_s: f64,
+        unavailability: Vec<UnavailabilityWindow>,
+    ) -> Self {
+        let pre: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.start_s < first_fault_s)
+            .map(|s| s.goodput_rps)
+            .collect();
+        let post: Vec<&GoodputSample> = samples
+            .iter()
+            .filter(|s| s.start_s >= first_fault_s)
+            .collect();
+        let baseline = if pre.is_empty() {
+            0.0
+        } else {
+            pre.iter().sum::<f64>() / pre.len() as f64
+        };
+        let dip = post
+            .iter()
+            .map(|s| s.goodput_rps)
+            .fold(f64::INFINITY, f64::min);
+        let dip = if dip.is_finite() { dip } else { baseline };
+        let tail_len = (samples.len() / 4).max(1);
+        let tail = &samples[samples.len().saturating_sub(tail_len)..];
+        let recovered = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().map(|s| s.goodput_rps).sum::<f64>() / tail.len() as f64
+        };
+        let recovery_frac = if baseline > 0.0 {
+            recovered / baseline
+        } else {
+            0.0
+        };
+        // First post-dip bucket back at ≥ 90% of baseline. Scan past the
+        // dip so a fault landing mid-bucket (whose bucket still looks
+        // healthy) does not count as an instant recovery.
+        let mut recovery_secs = None;
+        if baseline > 0.0 {
+            let mut seen_dip = false;
+            for s in &post {
+                if !seen_dip && s.goodput_rps < 0.9 * baseline {
+                    seen_dip = true;
+                }
+                if seen_dip && s.goodput_rps >= 0.9 * baseline {
+                    recovery_secs = Some(s.start_s - first_fault_s);
+                    break;
+                }
+            }
+            // Goodput never visibly dipped: recovery was immediate.
+            if !seen_dip && !post.is_empty() {
+                recovery_secs = Some(0.0);
+            }
+        }
+        let repairs: Vec<f64> = unavailability
+            .iter()
+            .filter_map(UnavailabilityWindow::duration_secs)
+            .collect();
+        let mttr = if repairs.is_empty() {
+            None
+        } else {
+            Some(repairs.iter().sum::<f64>() / repairs.len() as f64)
+        };
+        AvailabilityReport {
+            baseline_goodput_rps: finite(baseline),
+            dip_goodput_rps: finite(dip),
+            recovered_goodput_rps: finite(recovered),
+            recovery_frac: finite(recovery_frac),
+            recovery_secs,
+            mttr_secs: mttr,
+            unavailability,
+            faults_injected: 0,
+            retries: 0,
+            failed_requests: 0,
+            finished: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Serializes the report as JSON (hand-rolled: the vendored serde
+    /// stand-in cannot derive for `Option`-bearing nested structs, and
+    /// the format here is a CI contract, not a wire protocol).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{}", finite(x)),
+            None => "null".to_string(),
+        };
+        let windows: Vec<String> = self
+            .unavailability
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"instance\":{},\"start_s\":{},\"end_s\":{}}}",
+                    w.instance,
+                    finite(w.start_s),
+                    opt(w.end_s)
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"baseline_goodput_rps\":{},\"dip_goodput_rps\":{},",
+                "\"recovered_goodput_rps\":{},\"recovery_frac\":{},",
+                "\"recovery_secs\":{},\"mttr_secs\":{},",
+                "\"faults_injected\":{},\"retries\":{},\"failed_requests\":{},",
+                "\"finished\":{},\"rejected\":{},\"unavailability\":[{}]}}"
+            ),
+            finite(self.baseline_goodput_rps),
+            finite(self.dip_goodput_rps),
+            finite(self.recovered_goodput_rps),
+            finite(self.recovery_frac),
+            opt(self.recovery_secs),
+            opt(self.mttr_secs),
+            self.faults_injected,
+            self.retries,
+            self.failed_requests,
+            self.finished,
+            self.rejected,
+            windows.join(",")
+        )
+    }
+
+    /// Renders the report as indented text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("availability report\n");
+        out.push_str(&format!(
+            "  goodput: baseline {:.2} rps, dip {:.2} rps, recovered {:.2} rps ({:.0}% of baseline)\n",
+            self.baseline_goodput_rps,
+            self.dip_goodput_rps,
+            self.recovered_goodput_rps,
+            self.recovery_frac * 100.0
+        ));
+        match self.recovery_secs {
+            Some(s) => out.push_str(&format!("  goodput recovery: {s:.1} s after first fault\n")),
+            None => out.push_str("  goodput recovery: not reached\n"),
+        }
+        match self.mttr_secs {
+            Some(s) => out.push_str(&format!("  MTTR: {s:.1} s\n")),
+            None => out.push_str("  MTTR: n/a (no repaired outage)\n"),
+        }
+        out.push_str(&format!(
+            "  requests: {} finished, {} rejected, {} failed, {} retries\n",
+            self.finished, self.rejected, self.failed_requests, self.retries
+        ));
+        out.push_str(&format!("  faults injected: {}\n", self.faults_injected));
+        for w in &self.unavailability {
+            match w.end_s {
+                Some(e) => out.push_str(&format!(
+                    "  instance {} down {:.1}s – {:.1}s ({:.1} s)\n",
+                    w.instance,
+                    w.start_s,
+                    e,
+                    e - w.start_s
+                )),
+                None => out.push_str(&format!(
+                    "  instance {} down from {:.1}s (never recovered)\n",
+                    w.instance, w.start_s
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> Vec<GoodputSample> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &g)| GoodputSample {
+                start_s: i as f64,
+                goodput_rps: g,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dip_and_recovery_detected() {
+        // Baseline 4, dip to 1 at t=4, recovered by t=6.
+        let s = series(&[4.0, 4.0, 4.0, 4.0, 1.0, 2.0, 4.0, 4.0]);
+        let r = AvailabilityReport::from_series(&s, 4.0, vec![]);
+        assert!((r.baseline_goodput_rps - 4.0).abs() < 1e-12);
+        assert!((r.dip_goodput_rps - 1.0).abs() < 1e-12);
+        assert_eq!(r.recovery_secs, Some(2.0));
+        assert!(r.recovery_frac > 0.9);
+    }
+
+    #[test]
+    fn never_recovering_goodput_reports_none() {
+        let s = series(&[4.0, 4.0, 1.0, 1.0, 1.0, 1.0]);
+        let r = AvailabilityReport::from_series(&s, 2.0, vec![]);
+        assert_eq!(r.recovery_secs, None);
+        assert!(r.recovery_frac < 0.5);
+    }
+
+    #[test]
+    fn mttr_averages_closed_windows_only() {
+        let windows = vec![
+            UnavailabilityWindow {
+                instance: 0,
+                start_s: 1.0,
+                end_s: Some(5.0),
+            },
+            UnavailabilityWindow {
+                instance: 1,
+                start_s: 2.0,
+                end_s: Some(4.0),
+            },
+            UnavailabilityWindow {
+                instance: 2,
+                start_s: 3.0,
+                end_s: None,
+            },
+        ];
+        let r = AvailabilityReport::from_series(&series(&[1.0]), 0.5, windows);
+        assert_eq!(r.mttr_secs, Some(3.0));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut r = AvailabilityReport::from_series(
+            &series(&[4.0, 1.0, 4.0]),
+            0.5,
+            vec![UnavailabilityWindow {
+                instance: 1,
+                start_s: 0.5,
+                end_s: None,
+            }],
+        );
+        r.faults_injected = 3;
+        r.retries = 7;
+        let json = r.to_json();
+        // The vendored serde_json parses it back — the same check CI runs
+        // with a real parser.
+        let v: serde_json::Value = serde_json::from_str(&json).expect("report JSON parses");
+        drop(v);
+        assert!(json.contains("\"end_s\":null"));
+        assert!(json.contains("\"retries\":7"));
+        assert!(!r.render().is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Typed faults and deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is a time-sorted script of [`Fault`]s. Scripts can
+//! be written by hand (scripted chaos, planned maintenance) or generated
+//! from a seed with [`FaultSchedule::storm`], which draws every choice
+//! from stream-split [`SimRng`] children so the same seed always yields
+//! the same storm regardless of how other components consume randomness.
+
+use distserve_simcore::SimRng;
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The whole instance dies and restarts after `downtime_secs`
+    /// (process crash, host reboot). In-flight work is lost.
+    InstanceCrash {
+        /// Index of the victim instance (position in the spec list).
+        instance: usize,
+        /// Seconds until the instance begins recovering.
+        downtime_secs: f64,
+    },
+    /// A GPU backing the instance is lost for good (XID error, ECC
+    /// fault). The instance never comes back; only replanning onto the
+    /// shrunk cluster restores capacity.
+    GpuLoss {
+        /// Index of the victim instance.
+        instance: usize,
+    },
+    /// The interconnect degrades: KV transfers slow by `factor` until
+    /// `duration_secs` elapse.
+    LinkDegradation {
+        /// Multiplier applied to transfer times (`>= 1`).
+        factor: f64,
+        /// How long the degradation lasts.
+        duration_secs: f64,
+    },
+    /// The instance keeps serving but every batch runs `factor` times
+    /// slower for `duration_secs` (thermal throttling, noisy neighbor).
+    Straggler {
+        /// Index of the victim instance.
+        instance: usize,
+        /// Multiplier applied to batch times (`>= 1`).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration_secs: f64,
+    },
+    /// The KV migration currently in flight *into* this decode instance
+    /// fails and must be retried (dropped connection, buffer corruption).
+    KvTransferFailure {
+        /// Index of the pulling decode instance.
+        instance: usize,
+    },
+    /// Planned maintenance: stop dispatching new work to the instance,
+    /// let everything in flight complete, then take it down for
+    /// `maintenance_secs` before recovery (drain-before-kill).
+    Drain {
+        /// Index of the instance under maintenance.
+        instance: usize,
+        /// Length of the maintenance window once drained.
+        maintenance_secs: f64,
+    },
+}
+
+impl FaultKind {
+    /// The instance the fault targets, when it targets one.
+    #[must_use]
+    pub fn instance(&self) -> Option<usize> {
+        match *self {
+            FaultKind::InstanceCrash { instance, .. }
+            | FaultKind::GpuLoss { instance }
+            | FaultKind::Straggler { instance, .. }
+            | FaultKind::KvTransferFailure { instance }
+            | FaultKind::Drain { instance, .. } => Some(instance),
+            FaultKind::LinkDegradation { .. } => None,
+        }
+    }
+
+    /// Short stable name for reports and metrics.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::InstanceCrash { .. } => "instance_crash",
+            FaultKind::GpuLoss { .. } => "gpu_loss",
+            FaultKind::LinkDegradation { .. } => "link_degradation",
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::KvTransferFailure { .. } => "kv_transfer_failure",
+            FaultKind::Drain { .. } => "drain",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Injection time, sim-clock seconds.
+    pub at: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Knobs for [`FaultSchedule::storm`].
+#[derive(Debug, Clone, Copy)]
+pub struct StormConfig {
+    /// Storm window: faults land uniformly in `[0, horizon_secs)`.
+    pub horizon_secs: f64,
+    /// Number of faults to draw.
+    pub count: usize,
+    /// Number of instances faults may target.
+    pub instances: usize,
+    /// Mean crash downtime (uniform in `[0.5×, 1.5×]`).
+    pub mean_downtime_secs: f64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            horizon_secs: 60.0,
+            count: 6,
+            instances: 2,
+            mean_downtime_secs: 5.0,
+        }
+    }
+}
+
+/// A time-sorted script of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (a healthy run).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds one fault, keeping the script time-sorted (stable for equal
+    /// times, so scripted order breaks ties deterministically).
+    pub fn push(&mut self, at: f64, kind: FaultKind) -> &mut Self {
+        let idx = self
+            .faults
+            .partition_point(|f| f.at <= at || (f.at.is_nan() && at.is_nan()));
+        self.faults.insert(idx, Fault { at, kind });
+        self
+    }
+
+    /// Builder-style [`FaultSchedule::push`].
+    #[must_use]
+    pub fn with(mut self, at: f64, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Generates a seeded storm: `cfg.count` faults with kinds, victims,
+    /// times, and magnitudes all drawn from independent stream-split
+    /// children of `seed`, so the storm is a pure function of
+    /// `(seed, cfg)`.
+    #[must_use]
+    pub fn storm(seed: u64, cfg: &StormConfig) -> Self {
+        let root = SimRng::seed(seed).split("fault-storm");
+        let mut times = root.split("times");
+        let mut kinds = root.split("kinds");
+        let mut victims = root.split("victims");
+        let mut magnitudes = root.split("magnitudes");
+        let mut schedule = FaultSchedule::new();
+        if cfg.instances == 0 || cfg.count == 0 {
+            return schedule;
+        }
+        for _ in 0..cfg.count {
+            let at = times.uniform() * cfg.horizon_secs;
+            let instance = victims.below(cfg.instances as u64) as usize;
+            let kind = match kinds.below(5) {
+                0 => FaultKind::InstanceCrash {
+                    instance,
+                    downtime_secs: cfg.mean_downtime_secs * (0.5 + magnitudes.uniform()),
+                },
+                1 => FaultKind::Straggler {
+                    instance,
+                    factor: 1.5 + 2.0 * magnitudes.uniform(),
+                    duration_secs: cfg.mean_downtime_secs * (0.5 + magnitudes.uniform()),
+                },
+                2 => FaultKind::LinkDegradation {
+                    factor: 2.0 + 6.0 * magnitudes.uniform(),
+                    duration_secs: cfg.mean_downtime_secs * (0.5 + magnitudes.uniform()),
+                },
+                3 => FaultKind::KvTransferFailure { instance },
+                _ => FaultKind::Drain {
+                    instance,
+                    maintenance_secs: cfg.mean_downtime_secs * (0.5 + magnitudes.uniform()),
+                },
+            };
+            schedule.push(at, kind);
+        }
+        schedule
+    }
+
+    /// The faults, ascending by injection time.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order() {
+        let mut s = FaultSchedule::new();
+        s.push(5.0, FaultKind::GpuLoss { instance: 0 });
+        s.push(1.0, FaultKind::KvTransferFailure { instance: 1 });
+        s.push(
+            3.0,
+            FaultKind::LinkDegradation {
+                factor: 2.0,
+                duration_secs: 1.0,
+            },
+        );
+        let times: Vec<f64> = s.faults().iter().map(|f| f.at).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_times_keep_push_order() {
+        let mut s = FaultSchedule::new();
+        s.push(2.0, FaultKind::GpuLoss { instance: 0 });
+        s.push(2.0, FaultKind::GpuLoss { instance: 1 });
+        let victims: Vec<_> = s.faults().iter().map(|f| f.kind.instance()).collect();
+        assert_eq!(victims, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn storm_is_deterministic_per_seed() {
+        let cfg = StormConfig::default();
+        let a = FaultSchedule::storm(7, &cfg);
+        let b = FaultSchedule::storm(7, &cfg);
+        assert_eq!(a.faults(), b.faults());
+        let c = FaultSchedule::storm(8, &cfg);
+        assert_ne!(a.faults(), c.faults());
+        assert_eq!(a.len(), cfg.count);
+        for f in a.faults() {
+            assert!(f.at >= 0.0 && f.at < cfg.horizon_secs);
+            if let Some(i) = f.kind.instance() {
+                assert!(i < cfg.instances);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_storm_configs_yield_empty_schedules() {
+        let cfg = StormConfig {
+            instances: 0,
+            ..StormConfig::default()
+        };
+        assert!(FaultSchedule::storm(1, &cfg).is_empty());
+    }
+}

@@ -75,6 +75,8 @@ pub enum Outcome {
     Finished,
     /// Refused by admission control.
     Rejected,
+    /// Lost to faults after exhausting its retry budget.
+    Failed,
 }
 
 /// Full attribution for one request.
@@ -111,9 +113,15 @@ pub fn attribute(lc: &Lifecycle) -> Result<RequestAttribution, String> {
     let arrival = lc.start().expect("validated lifecycle is non-empty");
     let end = lc.end().expect("validated lifecycle is non-empty");
     let (_, terminal) = *lc.events.last().expect("non-empty");
-    if terminal == LifecycleEvent::Rejected {
+    if terminal == LifecycleEvent::Rejected || terminal == LifecycleEvent::Failed {
+        // Neither terminal delivered the full answer; partial timings
+        // would corrupt the telescoping sums, so no components.
         return Ok(RequestAttribution {
-            outcome: Outcome::Rejected,
+            outcome: if terminal == LifecycleEvent::Rejected {
+                Outcome::Rejected
+            } else {
+                Outcome::Failed
+            },
             ttft: None,
             decode: None,
             end_to_end: end - arrival,
@@ -334,6 +342,21 @@ mod tests {
         assert_eq!(a.outcome, Outcome::Rejected);
         assert!(a.ttft.is_none() && a.decode.is_none());
         assert_eq!(a.end_to_end, 0.0);
+    }
+
+    #[test]
+    fn failed_lifecycle_has_no_components() {
+        let l = lc(&[
+            (2.0, E::Arrived),
+            (2.0, E::PrefillQueued),
+            (2.1, E::PrefillStart),
+            (2.5, E::Retried { attempt: 1 }),
+            (2.6, E::Failed),
+        ]);
+        let a = attribute(&l).unwrap();
+        assert_eq!(a.outcome, Outcome::Failed);
+        assert!(a.ttft.is_none() && a.decode.is_none());
+        assert!((a.end_to_end - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -127,6 +127,7 @@ pub fn diagnose(
         let end = lc.end().expect("validated lifecycle is non-empty");
         match attr.outcome {
             Outcome::Rejected => window.record_rejected(end),
+            Outcome::Failed => window.record_failed(end),
             Outcome::Finished => {
                 let ttft = attr.ttft.map_or(0.0, |t| t.total);
                 let tpot = attr.decode.and_then(|d| d.tpot());
@@ -266,11 +267,12 @@ impl BottleneckReport {
         let w = &self.window;
         let _ = writeln!(
             out,
-            "window {:.0} s: {} finished, {} rejected, goodput {:.2} req/s, \
+            "window {:.0} s: {} finished, {} rejected, {} failed, goodput {:.2} req/s, \
              TTFT p99 {}, TPOT p99 {}",
             w.window_secs,
             w.finished,
             w.rejected,
+            w.failed,
             w.goodput_rps,
             w.ttft_p99
                 .map_or_else(|| "n/a".into(), |v| format!("{:.3} s", v)),

@@ -224,6 +224,7 @@ pub fn render_dashboard(report: &BottleneckReport, title: &str) -> String {
             tile("TPOT p99", &fmt_opt_ms(w.tpot_p99)),
             tile("finished", &w.finished.to_string()),
             tile("rejected", &w.rejected.to_string()),
+            tile("failed", &w.failed.to_string()),
         ]
         .concat(),
         spark = attainment_sparkline(report),

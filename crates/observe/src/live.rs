@@ -173,6 +173,10 @@ impl TelemetrySink for ObserverSink {
                 inner.pending.remove(&ev.request);
                 inner.window.record_rejected(ev.time_s);
             }
+            LifecycleEvent::Failed => {
+                inner.pending.remove(&ev.request);
+                inner.window.record_failed(ev.time_s);
+            }
             _ => {}
         }
     }
@@ -226,6 +230,25 @@ mod tests {
         // TTFT 0.2 ≤ 0.25, TPOT 0.1 ≤ 0.1; the rejection halves it.
         assert!((s.attainment - 0.5).abs() < 1e-12);
         assert!((s.ttft_p50.unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_counts_failures() {
+        use LifecycleEvent as E;
+        let obs = ObserverSink::new(0.25, 0.1, 1.0, 16);
+        obs.event(ev(1, 0.0, E::Arrived));
+        obs.event(ev(1, 0.2, E::PrefillEnd));
+        obs.event(ev(1, 0.3, E::Retried { attempt: 1 }));
+        obs.event(ev(1, 0.4, E::Failed));
+        obs.event(ev(2, 0.0, E::Arrived));
+        obs.event(ev(2, 0.2, E::PrefillEnd));
+        obs.event(ev(2, 0.3, E::Finished));
+        assert_eq!(obs.in_flight(), 0);
+        let s = obs.stats();
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.finished, 1);
+        assert_eq!(s.requests, 2);
+        assert!((s.attainment - 0.5).abs() < 1e-12);
     }
 
     #[test]

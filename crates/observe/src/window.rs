@@ -17,6 +17,7 @@ struct Bucket {
     touched: bool,
     finished: u64,
     rejected: u64,
+    failed: u64,
     ttft_ok: u64,
     tpot_ok: u64,
     both_ok: u64,
@@ -31,6 +32,7 @@ impl Bucket {
             touched: false,
             finished: 0,
             rejected: 0,
+            failed: 0,
             ttft_ok: 0,
             tpot_ok: 0,
             both_ok: 0,
@@ -45,6 +47,7 @@ impl Bucket {
         self.touched = true;
         self.finished = 0;
         self.rejected = 0;
+        self.failed = 0;
         self.ttft_ok = 0;
         self.tpot_ok = 0;
         self.both_ok = 0;
@@ -62,12 +65,15 @@ pub struct WindowStats {
     pub tpot_slo: f64,
     /// Seconds the full window spans (`buckets × bucket_secs`).
     pub window_secs: f64,
-    /// Requests observed: finished plus rejected.
+    /// Requests observed: finished plus rejected plus failed.
     pub requests: u64,
     /// Requests that ran to completion.
     pub finished: u64,
     /// Requests refused by admission control — counted as SLO misses.
     pub rejected: u64,
+    /// Requests lost to faults after exhausting their retry budget —
+    /// counted as SLO misses, like rejections.
+    pub failed: u64,
     /// Fraction of observed requests meeting both SLOs.
     pub attainment: f64,
     /// Fraction meeting the TTFT SLO.
@@ -117,8 +123,12 @@ pub struct BucketStats {
     pub finished: u64,
     /// Rejections in the bucket.
     pub rejected: u64,
-    /// Fraction meeting both SLOs (rejections are misses).
+    /// Terminal failures in the bucket.
+    pub failed: u64,
+    /// Fraction meeting both SLOs (rejections and failures are misses).
     pub attainment: f64,
+    /// SLO-meeting completions per second within this bucket.
+    pub goodput_rps: f64,
 }
 
 /// The sliding-window aggregator. See the module docs.
@@ -186,6 +196,12 @@ impl SloWindow {
         self.bucket_mut(t).rejected += 1;
     }
 
+    /// Records a terminal failure at time `t` (retry budget exhausted
+    /// after faults) — an SLO miss on both axes, like a rejection.
+    pub fn record_failed(&mut self, t: f64) {
+        self.bucket_mut(t).failed += 1;
+    }
+
     /// Whether a bucket still belongs to the window ending at
     /// `latest_epoch`.
     fn live(&self, b: &Bucket) -> bool {
@@ -199,6 +215,7 @@ impl SloWindow {
     pub fn stats(&self) -> WindowStats {
         let mut finished = 0u64;
         let mut rejected = 0u64;
+        let mut failed = 0u64;
         let mut ttft_ok = 0u64;
         let mut tpot_ok = 0u64;
         let mut both_ok = 0u64;
@@ -208,6 +225,7 @@ impl SloWindow {
         for b in self.buckets.iter().filter(|b| self.live(b)) {
             finished += b.finished;
             rejected += b.rejected;
+            failed += b.failed;
             ttft_ok += b.ttft_ok;
             tpot_ok += b.tpot_ok;
             both_ok += b.both_ok;
@@ -215,7 +233,7 @@ impl SloWindow {
             tpot.merge(&b.tpot);
             epochs += 1;
         }
-        let requests = finished + rejected;
+        let requests = finished + rejected + failed;
         let frac = |ok: u64| {
             if requests == 0 {
                 0.0
@@ -231,6 +249,7 @@ impl SloWindow {
             requests,
             finished,
             rejected,
+            failed,
             attainment: frac(both_ok),
             ttft_attainment: frac(ttft_ok),
             tpot_attainment: frac(tpot_ok),
@@ -252,17 +271,19 @@ impl SloWindow {
             .iter()
             .filter(|b| self.live(b))
             .map(|b| {
-                let req = b.finished + b.rejected;
+                let req = b.finished + b.rejected + b.failed;
                 BucketStats {
                     epoch: b.epoch,
                     start_s: b.epoch as f64 * self.bucket_secs,
                     finished: b.finished,
                     rejected: b.rejected,
+                    failed: b.failed,
                     attainment: if req == 0 {
                         0.0
                     } else {
                         b.both_ok as f64 / req as f64
                     },
+                    goodput_rps: b.both_ok as f64 / self.bucket_secs,
                 }
             })
             .collect();
@@ -303,6 +324,23 @@ mod tests {
         assert_eq!(s.requests, 10);
         assert!((s.attainment - 0.8).abs() < 1e-12);
         assert!((s.ttft_attainment - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_count_as_misses() {
+        let mut w = SloWindow::new(0.2, 0.05, 1.0, 8);
+        for i in 0..6 {
+            w.record_finished(0.1 * f64::from(i), 0.1, Some(0.02));
+        }
+        w.record_failed(0.7);
+        w.record_failed(0.8);
+        let s = w.stats();
+        assert_eq!(s.requests, 8);
+        assert_eq!(s.failed, 2);
+        assert!((s.attainment - 0.75).abs() < 1e-12);
+        let series = w.series();
+        assert_eq!(series.iter().map(|b| b.failed).sum::<u64>(), 2);
+        assert!(series[0].goodput_rps > 0.0);
     }
 
     #[test]

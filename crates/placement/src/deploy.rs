@@ -25,6 +25,18 @@ pub enum Deployment {
     Coloc(ColocPlacement),
 }
 
+impl Deployment {
+    /// GPUs the placement occupies once materialized.
+    #[must_use]
+    pub fn total_gpus(&self) -> u32 {
+        match self {
+            Deployment::High(p) => p.total_gpus(),
+            Deployment::Low(p) => p.total_gpus(),
+            Deployment::Coloc(p) => p.total_gpus(),
+        }
+    }
+}
+
 /// Materializes `deployment` onto `cluster`, returning instance specs.
 ///
 /// # Errors

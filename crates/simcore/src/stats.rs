@@ -430,7 +430,10 @@ mod tests {
         assert!(s.percentile(0.5).is_nan());
         assert!(s.percentile(1.0).is_nan());
         // NaN fails any SLO comparison in the safe direction.
-        assert!(s.percentile(0.9).partial_cmp(&0.2).is_none_or(|o| o.is_gt()));
+        assert!(s
+            .percentile(0.9)
+            .partial_cmp(&0.2)
+            .is_none_or(|o| o.is_gt()));
     }
 
     #[test]

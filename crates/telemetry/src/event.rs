@@ -34,6 +34,12 @@ pub type TrackId = u32;
 /// Colocated engines skip the `KvMigrate*` pair; single-token requests
 /// skip everything after `PrefillEnd`; `Rejected` replaces `Finished`
 /// when admission refuses a request outright.
+///
+/// Under fault injection a request may additionally loop: `Retried`
+/// abandons the attempt in progress (any open `PrefillStart` /
+/// `KvMigrateStart` pair stays unmatched) and the lifecycle re-enters at
+/// `PrefillQueued` or `KvMigrateStart`; `Failed` terminates a request
+/// whose retry budget is exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LifecycleEvent {
     /// Request reached the controller / front-end.
@@ -59,6 +65,14 @@ pub enum LifecycleEvent {
     Finished,
     /// Admission refused the request; no further events follow.
     Rejected,
+    /// A fault displaced the request; attempt `attempt` begins. The
+    /// in-progress attempt's open paired events are abandoned.
+    Retried {
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// The request's retry budget is exhausted; no further events follow.
+    Failed,
 }
 
 impl LifecycleEvent {
@@ -76,13 +90,18 @@ impl LifecycleEvent {
             LifecycleEvent::DecodeStep { .. } => "DecodeStep",
             LifecycleEvent::Finished => "Finished",
             LifecycleEvent::Rejected => "Rejected",
+            LifecycleEvent::Retried { .. } => "Retried",
+            LifecycleEvent::Failed => "Failed",
         }
     }
 
     /// Whether no further events may follow this one.
     #[must_use]
     pub fn is_terminal(self) -> bool {
-        matches!(self, LifecycleEvent::Finished | LifecycleEvent::Rejected)
+        matches!(
+            self,
+            LifecycleEvent::Finished | LifecycleEvent::Rejected | LifecycleEvent::Failed
+        )
     }
 }
 
@@ -233,6 +252,16 @@ pub mod metrics {
     pub const REQUESTS_FINISHED: &str = "requests_finished";
     /// Requests rejected at admission (counter).
     pub const REQUESTS_REJECTED: &str = "requests_rejected";
+    /// Requests terminally failed after exhausting retries (counter).
+    pub const REQUESTS_FAILED: &str = "requests_failed";
+    /// Request retry attempts — re-dispatch or KV re-transfer (counter).
+    pub const REQUEST_RETRIES: &str = "request_retries";
+    /// KV-transfer retries specifically (counter).
+    pub const KV_TRANSFER_RETRIES: &str = "kv_transfer_retries";
+    /// Faults injected into the run (counter).
+    pub const FAULTS_INJECTED: &str = "faults_injected";
+    /// Instance availability: 1 when serving, 0 when down (gauge).
+    pub const INSTANCE_UP: &str = "instance_up";
 }
 
 #[cfg(test)]

@@ -123,13 +123,14 @@ impl Recording {
 
     /// Renders the per-request lifecycle CSV: one row per request, one
     /// column per boundary (empty when the request skipped a stage),
-    /// plus the decode-step count.
+    /// plus the decode-step count, the failure timestamp (empty unless
+    /// the request terminally failed), and the retry count.
     #[must_use]
     pub fn lifecycle_csv(&self) -> String {
         let mut out = String::from(
             "request,arrived,prefill_queued,prefill_start,prefill_end,\
              kv_migrate_start,kv_migrate_end,decode_queued,first_decode_step,\
-             finished,rejected,decode_steps\n",
+             finished,rejected,decode_steps,failed,retries\n",
         );
         for (req, lc) in self.lifecycles() {
             let cell = |kind: LifecycleEvent| -> String {
@@ -140,9 +141,10 @@ impl Recording {
                 .iter()
                 .filter(|(_, e)| matches!(e, LifecycleEvent::DecodeStep { .. }))
                 .count();
+            let retries = lc.retries();
             let _ = writeln!(
                 out,
-                "{req},{},{},{},{},{},{},{},{},{},{},{steps}",
+                "{req},{},{},{},{},{},{},{},{},{},{},{steps},{},{retries}",
                 cell(LifecycleEvent::Arrived),
                 cell(LifecycleEvent::PrefillQueued),
                 cell(LifecycleEvent::PrefillStart),
@@ -153,6 +155,7 @@ impl Recording {
                 cell(LifecycleEvent::DecodeStep { generated: 0 }),
                 cell(LifecycleEvent::Finished),
                 cell(LifecycleEvent::Rejected),
+                cell(LifecycleEvent::Failed),
             );
         }
         out
@@ -357,6 +360,37 @@ mod tests {
         assert_eq!(cells[9], ""); // never finished
         assert_eq!(cells[10], "0.500000000"); // rejected
         assert_eq!(cells[11], "0"); // no decode steps
+    }
+
+    #[test]
+    fn failed_and_retried_requests_appear_in_csv() {
+        let rec = Recorder::new();
+        for (t, kind) in [
+            (0.0, E::Arrived),
+            (0.0, E::PrefillQueued),
+            (0.1, E::PrefillStart),
+            (0.2, E::Retried { attempt: 1 }),
+            (0.3, E::PrefillStart),
+            (0.4, E::Retried { attempt: 2 }),
+            (0.5, E::Failed),
+        ] {
+            rec.event(Event {
+                request: 11,
+                time_s: t,
+                kind,
+            });
+        }
+        let snap = rec.snapshot();
+        snap.lifecycles()[&11].validate().unwrap();
+        let csv = snap.lifecycle_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        let header: Vec<&str> = lines[0].split(',').collect();
+        assert_eq!(header[12], "failed");
+        assert_eq!(header[13], "retries");
+        let cells: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(cells[9], ""); // never finished
+        assert_eq!(cells[12], "0.500000000"); // failed timestamp
+        assert_eq!(cells[13], "2"); // two retries
     }
 
     #[test]

@@ -159,15 +159,31 @@ impl Lifecycle {
             .map(|&(t, _)| t)
     }
 
+    /// Retry attempts recorded, i.e. the number of `Retried` events.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, LifecycleEvent::Retried { .. }))
+            .count() as u32
+    }
+
     /// Checks the lifecycle is *monotone* and *complete*:
     ///
     /// * timestamps never decrease in emission order;
     /// * the first event is `Arrived`, the last is terminal
-    ///   (`Finished`/`Rejected`), and nothing follows a terminal event;
-    /// * paired events are complete and ordered — no `PrefillEnd`
-    ///   without an earlier `PrefillStart`, no `KvMigrateEnd` without an
-    ///   earlier `KvMigrateStart`;
-    /// * `DecodeStep.generated` strictly increases.
+    ///   (`Finished`/`Rejected`/`Failed`), and nothing follows a
+    ///   terminal event;
+    /// * paired events are complete and ordered *within an attempt* —
+    ///   no `PrefillEnd` without an open `PrefillStart`, no
+    ///   `KvMigrateEnd` without an open `KvMigrateStart`. A `Retried`
+    ///   event abandons the attempt in progress (its open pairs are
+    ///   forgiven), and a lifecycle ending in `Failed` may leave pairs
+    ///   open — the fault interrupted them. Only `Finished` demands
+    ///   fully closed pairs;
+    /// * `Retried.attempt` numbers strictly increase from 1;
+    /// * `DecodeStep.generated` strictly increases — retries *resume*
+    ///   token counts (delivered tokens are never re-delivered).
     ///
     /// # Errors
     ///
@@ -187,9 +203,10 @@ impl Lifecycle {
             return Err(format!("last event {} not terminal", last.name()));
         }
         let mut prev_t = f64::NEG_INFINITY;
-        let mut prefill_started = false;
-        let mut migrate_started = false;
+        let mut prefill_open = false;
+        let mut migrate_open = false;
         let mut last_generated: Option<u32> = None;
+        let mut last_attempt: u32 = 0;
         for (i, &(t, ev)) in self.events.iter().enumerate() {
             if t < prev_t {
                 return Err(format!(
@@ -202,13 +219,30 @@ impl Lifecycle {
                 return Err(format!("{} followed by further events", ev.name()));
             }
             match ev {
-                LifecycleEvent::PrefillStart => prefill_started = true,
-                LifecycleEvent::PrefillEnd if !prefill_started => {
-                    return Err("PrefillEnd without PrefillStart".into());
+                LifecycleEvent::PrefillStart => prefill_open = true,
+                LifecycleEvent::PrefillEnd => {
+                    if !prefill_open {
+                        return Err("PrefillEnd without PrefillStart".into());
+                    }
+                    prefill_open = false;
                 }
-                LifecycleEvent::KvMigrateStart => migrate_started = true,
-                LifecycleEvent::KvMigrateEnd if !migrate_started => {
-                    return Err("KvMigrateEnd without KvMigrateStart".into());
+                LifecycleEvent::KvMigrateStart => migrate_open = true,
+                LifecycleEvent::KvMigrateEnd => {
+                    if !migrate_open {
+                        return Err("KvMigrateEnd without KvMigrateStart".into());
+                    }
+                    migrate_open = false;
+                }
+                LifecycleEvent::Retried { attempt } => {
+                    if attempt <= last_attempt {
+                        return Err(format!(
+                            "Retried attempt {attempt} after attempt {last_attempt}"
+                        ));
+                    }
+                    last_attempt = attempt;
+                    // The interrupted attempt's open pairs are abandoned.
+                    prefill_open = false;
+                    migrate_open = false;
                 }
                 LifecycleEvent::DecodeStep { generated } => {
                     if let Some(prev) = last_generated {
@@ -221,11 +255,15 @@ impl Lifecycle {
                 _ => {}
             }
         }
-        if prefill_started && self.first(LifecycleEvent::PrefillEnd).is_none() {
-            return Err("PrefillStart without PrefillEnd".into());
-        }
-        if migrate_started && self.first(LifecycleEvent::KvMigrateEnd).is_none() {
-            return Err("KvMigrateStart without KvMigrateEnd".into());
+        // Only a cleanly finished request must close its pairs; Failed
+        // lifecycles were interrupted mid-pair by construction.
+        if last == LifecycleEvent::Finished {
+            if prefill_open {
+                return Err("PrefillStart without PrefillEnd".into());
+            }
+            if migrate_open {
+                return Err("KvMigrateStart without KvMigrateEnd".into());
+            }
         }
         Ok(())
     }
@@ -334,6 +372,64 @@ mod tests {
             events: vec![(0.0, E::Arrived), (0.0, E::Rejected)],
         };
         l.validate().unwrap();
+    }
+
+    #[test]
+    fn retry_loop_validates() {
+        // Prefill crashed mid-batch: the first PrefillStart never ends,
+        // Retried abandons it, the second attempt completes.
+        let l = Lifecycle {
+            events: vec![
+                (0.0, E::Arrived),
+                (0.0, E::PrefillQueued),
+                (0.1, E::PrefillStart),
+                (0.2, E::Retried { attempt: 1 }),
+                (0.2, E::PrefillQueued),
+                (0.3, E::PrefillStart),
+                (0.4, E::PrefillEnd),
+                (0.4, E::KvMigrateStart),
+                (0.5, E::Retried { attempt: 2 }),
+                (0.6, E::KvMigrateStart),
+                (0.7, E::KvMigrateEnd),
+                (0.7, E::DecodeQueued),
+                (0.8, E::DecodeStep { generated: 2 }),
+                (0.8, E::Finished),
+            ],
+        };
+        l.validate().unwrap();
+        assert_eq!(l.retries(), 2);
+    }
+
+    #[test]
+    fn failed_terminal_forgives_open_pairs() {
+        let l = Lifecycle {
+            events: vec![
+                (0.0, E::Arrived),
+                (0.0, E::PrefillQueued),
+                (0.1, E::PrefillStart),
+                (0.2, E::Retried { attempt: 1 }),
+                (0.3, E::PrefillStart),
+                (0.4, E::Failed),
+            ],
+        };
+        l.validate().unwrap();
+        // ...but a *Finished* lifecycle must still close its pairs.
+        let mut bad = l.clone();
+        bad.events.last_mut().unwrap().1 = E::Finished;
+        assert!(bad.validate().unwrap_err().contains("without PrefillEnd"));
+    }
+
+    #[test]
+    fn retry_attempts_must_increase() {
+        let l = Lifecycle {
+            events: vec![
+                (0.0, E::Arrived),
+                (0.1, E::Retried { attempt: 2 }),
+                (0.2, E::Retried { attempt: 2 }),
+                (0.3, E::Failed),
+            ],
+        };
+        assert!(l.validate().unwrap_err().contains("after attempt"));
     }
 
     #[test]

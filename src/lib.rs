@@ -22,6 +22,8 @@ pub use distserve_cluster as cluster;
 pub use distserve_core as core;
 /// Simulated execution engines (disaggregated and colocated).
 pub use distserve_engine as engine;
+/// Fault injection, instance health, retry policies, availability reports.
+pub use distserve_faults as faults;
 /// LLM architectures, parallelism, and the analytical latency model.
 pub use distserve_models as models;
 /// Placement search: Algorithms 1 and 2, goodput optimization.

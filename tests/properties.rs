@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 use distserve::cluster::Cluster;
 use distserve::engine::{InstanceRole, InstanceSpec, KvBlockManager, ServingSim, SimConfig};
+use distserve::faults::{FaultKind, FaultSchedule, RetryPolicy};
 use distserve::models::{
     CostModel, DecodeBatch, OptModel, ParallelismConfig, PrefillBatch, RooflineModel,
 };
@@ -50,6 +51,56 @@ fn disagg_specs(cluster: &Cluster) -> Vec<InstanceSpec> {
     ]
 }
 
+/// A wider disaggregated deployment (1 prefill + 2 decode) so fault
+/// recovery has survivors to fail over to.
+fn wide_disagg_specs(cluster: &Cluster) -> Vec<InstanceSpec> {
+    let mut specs = disagg_specs(cluster);
+    specs.push(
+        InstanceSpec::new(
+            InstanceRole::Decode,
+            ParallelismConfig::SINGLE,
+            vec![vec![cluster.gpu(0, 2)]],
+        )
+        .unwrap(),
+    );
+    specs
+}
+
+/// An arbitrary fault schedule over a 3-instance deployment: each entry
+/// is (time, kind selector, instance).
+fn arb_faults() -> impl Strategy<Value = Vec<(f64, u8, usize)>> {
+    prop::collection::vec((0.0f64..40.0, 0u8..6, 0usize..3), 0..4)
+}
+
+fn build_schedule(faults: &[(f64, u8, usize)]) -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    for &(at, kind, instance) in faults {
+        let kind = match kind {
+            0 => FaultKind::InstanceCrash {
+                instance,
+                downtime_secs: 3.0,
+            },
+            1 => FaultKind::GpuLoss { instance },
+            2 => FaultKind::LinkDegradation {
+                factor: 2.0,
+                duration_secs: 5.0,
+            },
+            3 => FaultKind::Straggler {
+                instance,
+                factor: 1.8,
+                duration_secs: 4.0,
+            },
+            4 => FaultKind::KvTransferFailure { instance },
+            _ => FaultKind::Drain {
+                instance,
+                maintenance_secs: 2.0,
+            },
+        };
+        schedule.push(at, kind);
+    }
+    schedule
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -80,6 +131,39 @@ proptest! {
         let produced: u64 = out.instances.iter().map(|i| i.tokens_out).sum();
         let expected: u64 = trace.requests().iter().map(|r| u64::from(r.output_len)).sum();
         prop_assert_eq!(produced, expected);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_conserve_requests(
+        trace in arb_trace(40),
+        faults in arb_faults(),
+    ) {
+        let cluster = Cluster::single_node(3);
+        let cost = RooflineModel::a100();
+        let schedule = build_schedule(&faults);
+        let run = || {
+            let sim = ServingSim::new(
+                SimConfig::new(OptModel::Opt13B.arch()).with_seed(5),
+                &cost,
+                &cluster,
+                wide_disagg_specs(&cluster),
+            ).unwrap();
+            sim.with_faults(&schedule, RetryPolicy::default()).run(&trace)
+        };
+        let a = run();
+        let b = run();
+        // Identical seed + identical fault schedule ⇒ bit-identical
+        // outcomes, faults or not.
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(&a.rejected, &b.rejected);
+        prop_assert_eq!(&a.failed, &b.failed);
+        prop_assert_eq!(a.makespan, b.makespan);
+        // And no request is lost to the chaos: every offered request
+        // reaches exactly one terminal state.
+        prop_assert_eq!(
+            a.records.len() + a.rejected.len() + a.failed.len(),
+            trace.len()
+        );
     }
 
     #[test]
