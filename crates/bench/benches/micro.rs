@@ -17,7 +17,7 @@ use distserve_models::{
 use distserve_simcore::{EventQueue, SimRng, SimTime};
 use distserve_workload::{Dataset, RequestId, TraceBuilder};
 use tinyllm::tensor::{Matrix, PackedMatrix};
-use tinyllm::{ContinuousBatcher, GenRequest, TinyConfig};
+use tinyllm::{ComputeConfig, ContinuousBatcher, GenRequest, Precision, TinyConfig};
 
 mod seed_path;
 use seed_path::{seed_argmax, SeedModel};
@@ -371,12 +371,74 @@ fn paired_decode_times(model: &tinyllm::Model, seed_model: &SeedModel) -> (f64, 
     (fused_s / ROUNDS as f64, seed_s / ROUNDS as f64)
 }
 
+/// One decode measurement of the thread × batch scaling sweep.
+struct ScalePoint {
+    threads: usize,
+    batch: usize,
+    tok_s: f64,
+}
+
+/// Decode throughput sweep across worker-pool widths `{1, 2, 4, cores}`
+/// (deduplicated — on small hosts some of these oversubscribe, and the
+/// numbers are recorded honestly) and decode batch sizes `{1, 4, 16}`
+/// on `TinyConfig::small()`, plus an int8 batch-16 point at full width.
+/// Times whole scheduler decode steps — the end-to-end hot loop — with
+/// direct wall-clock rounds, like [`paired_decode_times`].
+fn scaling_sweep() -> (usize, Vec<ScalePoint>, f64) {
+    const ROUNDS: usize = 4;
+    let time_decode = |model: &tinyllm::Model, batch: usize| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..ROUNDS {
+            let mut batcher = prefilled_batcher(model, batch);
+            let start = std::time::Instant::now();
+            for _ in 0..DECODE_STEPS {
+                batcher.step();
+            }
+            std::hint::black_box(batcher.steps());
+            total += start.elapsed().as_secs_f64();
+        }
+        (ROUNDS * DECODE_STEPS * batch) as f64 / total
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut threads = vec![1, 2, 4, host_cores];
+    threads.sort_unstable();
+    threads.dedup();
+    let mut points = Vec::new();
+    for &t in &threads {
+        let model = tinyllm::Model::random_with(
+            &TinyConfig::small(),
+            5,
+            ComputeConfig {
+                precision: Precision::F32,
+                threads: t,
+            },
+        );
+        for batch in [1usize, 4, 16] {
+            points.push(ScalePoint {
+                threads: t,
+                batch,
+                tok_s: time_decode(&model, batch),
+            });
+        }
+    }
+    let int8_model = tinyllm::Model::random_with(
+        &TinyConfig::small(),
+        5,
+        ComputeConfig {
+            precision: Precision::Int8,
+            threads: host_cores,
+        },
+    );
+    let int8_tok_s = time_decode(&int8_model, 16);
+    (host_cores, points, int8_tok_s)
+}
+
 /// Writes the tinyllm benchmark numbers (plus derived tokens/sec and the
 /// fused-vs-reference speedup) to `BENCH_tinyllm.json` at the repo root.
 /// `paired` is the interference-matched `(fused_s, seed_s)` decode pair
 /// from [`paired_decode_times`]; the headline seed speedup derives from
 /// it rather than from the separately-timed rows.
-fn write_tinyllm_json(c: &Criterion, paired: (f64, f64)) {
+fn write_tinyllm_json(c: &Criterion, paired: (f64, f64), scaling: (usize, Vec<ScalePoint>, f64)) {
     use serde::Value;
 
     let find =
@@ -447,11 +509,44 @@ fn write_tinyllm_json(c: &Criterion, paired: (f64, f64)) {
         })
         .collect();
 
+    // Thread × batch sweep: efficiency is tok/s relative to the perfect
+    // scaling of the same batch at one thread (tok_s / (threads · base)).
+    let (host_cores, points, int8_tok_s) = scaling;
+    let base_tok_s = |batch: usize| -> f64 {
+        points
+            .iter()
+            .find(|p| p.threads == 1 && p.batch == batch)
+            .map_or(0.0, |p| p.tok_s)
+    };
+    let point_values: Vec<Value> = points
+        .iter()
+        .map(|p| {
+            let base = base_tok_s(p.batch);
+            let efficiency = if base > 0.0 {
+                p.tok_s / (p.threads as f64 * base)
+            } else {
+                0.0
+            };
+            Value::Object(vec![
+                ("threads".into(), Value::UInt(p.threads as u64)),
+                ("batch".into(), Value::UInt(p.batch as u64)),
+                ("tok_s".into(), Value::Float(p.tok_s)),
+                ("efficiency".into(), Value::Float(efficiency)),
+            ])
+        })
+        .collect();
+    let scaling_obj = Value::Object(vec![
+        ("host_cores".into(), Value::UInt(host_cores as u64)),
+        ("points".into(), Value::Array(point_values)),
+        ("int8_batch16_tok_s".into(), Value::Float(int8_tok_s)),
+    ]);
+
     let doc = Value::Object(vec![
         ("config".into(), Value::Str("TinyConfig::small()".into())),
         ("decode_steps".into(), Value::UInt(DECODE_STEPS as u64)),
         ("decode".into(), Value::Object(decode)),
         ("prefill".into(), Value::Object(prefill)),
+        ("scaling".into(), scaling_obj),
         ("benches".into(), Value::Array(benches)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tinyllm.json");
@@ -473,5 +568,6 @@ fn main() {
     let model = tinyllm::Model::random(&TinyConfig::small(), 5);
     let seed_model = SeedModel::random(&TinyConfig::small(), 5);
     let paired = paired_decode_times(&model, &seed_model);
-    write_tinyllm_json(&c, paired);
+    let scaling = scaling_sweep();
+    write_tinyllm_json(&c, paired, scaling);
 }

@@ -262,6 +262,8 @@ pub mod metrics {
     pub const FAULTS_INJECTED: &str = "faults_injected";
     /// Instance availability: 1 when serving, 0 when down (gauge).
     pub const INSTANCE_UP: &str = "instance_up";
+    /// Compute threads (worker-pool lanes) an engine runs with (gauge).
+    pub const COMPUTE_THREADS: &str = "compute_threads";
 }
 
 #[cfg(test)]

@@ -16,10 +16,14 @@
 //! per-element order as the reference, so both tiers produce identical
 //! tokens (the scheduler tests assert exact equality).
 
+use std::sync::Arc;
+
 use crate::kv::{KvLayerView, PagedKv, SeqId};
-use crate::model::{TinyConfig, Weights};
+use crate::model::{ComputeConfig, Precision, TinyConfig, Weights};
+use crate::pool::WorkerPool;
 use crate::tensor::{
-    layer_norm, layer_norm_into, relu, relu_slice, softmax, softmax_cols, Matrix, PackedMatrix,
+    exp_fast, layer_norm, layer_norm_into, relu, relu_slice, Kernel, Matrix, PackedMatrix,
+    QuantMatrix,
 };
 
 /// A tensor-parallel shard: which heads and FFN columns this worker owns.
@@ -83,37 +87,45 @@ pub struct BatchRow {
 }
 
 /// Per-layer weights re-packed for the blocked kernels (built once at
-/// model construction).
+/// model construction). Each projection is a [`Kernel`] — f32 packed or
+/// int8 quantized, chosen by the model's [`Precision`].
 #[derive(Debug, Clone)]
 struct PackedLayer {
-    wqkv: PackedMatrix,
-    wo: PackedMatrix,
-    w1: PackedMatrix,
-    w2: PackedMatrix,
+    wqkv: Kernel,
+    wo: Kernel,
+    w1: Kernel,
+    w2: Kernel,
 }
 
 /// All packed weights: the per-layer projections plus the transposed
 /// embedding (`hidden × vocab`) so tied-embedding logits are one GEMM.
+/// The logits projection stays f32 at every precision: it feeds argmax
+/// directly, where quantization noise would flip tokens rather than
+/// merely perturb activations.
 #[derive(Debug, Clone)]
 struct PackedWeights {
     layers: Vec<PackedLayer>,
-    embed_t: PackedMatrix,
+    embed_t: Kernel,
 }
 
 impl PackedWeights {
-    fn build(w: &Weights) -> Self {
+    fn build(w: &Weights, precision: Precision) -> Self {
+        let kernel = |m: &Matrix| match precision {
+            Precision::F32 => Kernel::F32(PackedMatrix::pack(m)),
+            Precision::Int8 => Kernel::Int8(QuantMatrix::quantize(m)),
+        };
         PackedWeights {
             layers: w
                 .layers
                 .iter()
                 .map(|lw| PackedLayer {
-                    wqkv: PackedMatrix::pack(&lw.wqkv),
-                    wo: PackedMatrix::pack(&lw.wo),
-                    w1: PackedMatrix::pack(&lw.w1),
-                    w2: PackedMatrix::pack(&lw.w2),
+                    wqkv: kernel(&lw.wqkv),
+                    wo: kernel(&lw.wo),
+                    w1: kernel(&lw.w1),
+                    w2: kernel(&lw.w2),
                 })
                 .collect(),
-            embed_t: PackedMatrix::pack_transposed(&w.embed),
+            embed_t: Kernel::F32(PackedMatrix::pack_transposed(&w.embed)),
         }
     }
 }
@@ -135,14 +147,10 @@ pub struct Scratch {
     pub(crate) partial: Vec<f32>,
     /// `(m × shard FFN width)` FFN mid activation.
     mid: Vec<f32>,
-    /// Attention scores of one row, position-major
-    /// (`context × shard heads`).
-    scores: Vec<f32>,
-    /// Per-block accumulator of the attention score pass
-    /// (`block_size` floats).
-    acc: Vec<f32>,
-    /// Column-softmax temporaries (`2 × shard heads`).
-    sm_tmp: Vec<f32>,
+    /// Per-row fused-attention temporaries (one block of scores plus
+    /// per-head running max/normalizer — `O(block_size × heads)`, not
+    /// `O(context × heads)`).
+    attn_scr: AttnScratch,
     /// Selected rows gathered for the logits projection.
     sel: Vec<f32>,
     /// `(picks × vocab)` logits of the selected rows.
@@ -171,14 +179,110 @@ impl Scratch {
     }
 }
 
-/// Attention score pass monomorphized for panels of `BS` positions: for
-/// each head, `BS` accumulators held in registers sweep the head's dims
-/// in ascending order (the reference dot's order), each step one FMA
-/// across the whole block. Scores land position-major
-/// (`scores[p * heads + hd]`), scaled. Panel columns past `ctx` are
-/// computed on garbage and discarded.
+/// Per-row temporaries of the fused attention kernel: one *block* of
+/// scores (head-major, `block_size` per head) plus per-head running max
+/// and normalizer. Memory is `O(block_size × heads)` regardless of
+/// context length — the full `O(context × heads)` position-major score
+/// matrix of the pre-fused path is never materialized.
+#[derive(Debug, Default)]
+pub(crate) struct AttnScratch {
+    /// Head-major block scores, `heads × block_size`; overwritten in
+    /// place with `exp(score − m_new)` during the online update.
+    sb: Vec<f32>,
+    /// Running per-head maximum.
+    m: Vec<f32>,
+    /// Running per-head normalizer (sum of exponentials, rescaled).
+    l: Vec<f32>,
+}
+
+/// Staged inputs for farming fused-attention rows out to pool workers:
+/// everything a worker needs to rebuild a [`KvLayerView`] and run rows
+/// independently, owned (or `Arc`-shared) so jobs are `'static`.
+#[derive(Debug, Default)]
+pub(crate) struct AttnStage {
+    /// Each row's query slice for the shard, `m × (heads · d)`.
+    pub(crate) q: Vec<f32>,
+    /// Per row: `(ctx, block range into blocks)`.
+    pub(crate) rows: Vec<(usize, usize, usize)>,
+    /// Flattened per-row block tables.
+    pub(crate) blocks: Vec<usize>,
+    /// Head dimension.
+    pub(crate) d: usize,
+    /// Shard head count.
+    pub(crate) heads: usize,
+    /// Shard dim offset into hidden.
+    pub(crate) lo: usize,
+    /// Model hidden size.
+    pub(crate) hidden: usize,
+    /// Cache positions per block.
+    pub(crate) block_size: usize,
+    /// Floats per block across all layers.
+    pub(crate) block_floats: usize,
+    /// Float offset of this layer within a block.
+    pub(crate) layer_base: usize,
+    /// `1 / sqrt(d)`.
+    pub(crate) scale: f32,
+}
+
+/// Runs fused attention for staged rows `row_lo..row_hi`, writing each
+/// row's `(heads · d)` context vector densely into `out`. Called on pool
+/// workers (strip destination) and on the dispatching thread (prefix of
+/// the real destination) — identical math either way.
+pub(crate) fn attn_rows_strip(
+    stage: &AttnStage,
+    storage: &[f32],
+    row_lo: usize,
+    row_hi: usize,
+    scr: &mut AttnScratch,
+    out: &mut [f32],
+) {
+    let width = stage.heads * stage.d;
+    for r in row_lo..row_hi {
+        let (ctx, blk_lo, blk_hi) = stage.rows[r];
+        let view = KvLayerView::from_parts(
+            storage,
+            &stage.blocks[blk_lo..blk_hi],
+            ctx,
+            stage.block_size,
+            stage.hidden,
+            stage.block_floats,
+            stage.layer_base,
+        );
+        let q_s = &stage.q[r * width..(r + 1) * width];
+        let out_row = &mut out[(r - row_lo) * width..(r - row_lo + 1) * width];
+        fused_attn_row(
+            &view,
+            ctx,
+            q_s,
+            stage.lo,
+            stage.d,
+            stage.heads,
+            stage.scale,
+            stage.hidden,
+            scr,
+            out_row,
+        );
+    }
+}
+
+/// One row of flash-style fused attention: a single pass over the KV
+/// blocks computes scores, the online softmax (running max `m`, running
+/// normalizer `l`, rescale factor `exp(m_old − m_new)`), and the value
+/// accumulation — no materialized `context × heads` score matrix.
+///
+/// Block-online association is the *defining* numeric order for
+/// attention in this crate: the token-at-a-time reference
+/// ([`Model::attn_partial`]) applies the same recurrence per chunk of
+/// `block_size` positions, so both tiers stay bit-identical. The rescale
+/// multiply is exact when the max is unchanged (`exp_fast(0) == 1.0`),
+/// and harmless at the start (`exp_fast(−inf)` is a subnormal scale on
+/// zero-valued accumulators).
+///
+/// Dispatches to a width-monomorphized kernel for the standard shapes
+/// (`d == 8`, block size 16); the generic path handles everything else
+/// with identical operations in identical order.
 #[allow(clippy::too_many_arguments)]
-fn score_panels<const BS: usize>(
+fn fused_attn_row(
     view: &KvLayerView<'_>,
     ctx: usize,
     q_s: &[f32],
@@ -186,83 +290,233 @@ fn score_panels<const BS: usize>(
     d: usize,
     heads: usize,
     scale: f32,
-    scores: &mut [f32],
+    h: usize,
+    scr: &mut AttnScratch,
+    out_row: &mut [f32],
 ) {
-    let mut base_p = 0;
-    for panel in view.key_panels(ctx) {
-        let take = (ctx - base_p).min(BS);
+    let bs = view.block_size();
+    scr.sb.resize(bs * heads, 0.0);
+    if bs == 16 && d == 8 {
+        match heads * d {
+            64 => {
+                return fused_attn_row_w::<64, 8>(
+                    view,
+                    ctx,
+                    q_s,
+                    lo,
+                    h,
+                    scale,
+                    &mut scr.sb,
+                    out_row,
+                )
+            }
+            32 => {
+                return fused_attn_row_w::<32, 8>(
+                    view,
+                    ctx,
+                    q_s,
+                    lo,
+                    h,
+                    scale,
+                    &mut scr.sb,
+                    out_row,
+                )
+            }
+            16 => {
+                return fused_attn_row_w::<16, 8>(
+                    view,
+                    ctx,
+                    q_s,
+                    lo,
+                    h,
+                    scale,
+                    &mut scr.sb,
+                    out_row,
+                )
+            }
+            8 => {
+                return fused_attn_row_w::<8, 8>(view, ctx, q_s, lo, h, scale, &mut scr.sb, out_row)
+            }
+            _ => {}
+        }
+    }
+    scr.m.resize(heads, 0.0);
+    scr.m.fill(f32::NEG_INFINITY);
+    scr.l.resize(heads, 0.0);
+    scr.l.fill(0.0);
+    out_row.fill(0.0);
+    for (panel, (region, take)) in view.key_panels(ctx).zip(view.slot_regions(ctx)) {
         for hd in 0..heads {
-            let mut acc = [0.0f32; BS];
+            // Block scores for this head: `bs` accumulators sweep the
+            // dims in ascending order (the reference dot's order), one
+            // FMA across the whole block per dim. Panel columns past
+            // `take` hold garbage and are never read below.
+            let row = &mut scr.sb[hd * bs..(hd + 1) * bs];
+            row.fill(0.0);
             for (l, &q) in q_s[hd * d..(hd + 1) * d].iter().enumerate() {
-                let row: &[f32; BS] = panel[(lo + hd * d + l) * BS..][..BS]
-                    .try_into()
-                    .expect("BS-wide panel row");
-                for (a, &kv) in acc.iter_mut().zip(row) {
+                let dim_row = &panel[(lo + hd * d + l) * bs..][..bs];
+                for (a, &kv) in row.iter_mut().zip(dim_row) {
                     *a += q * kv;
                 }
             }
-            for (s, &a) in acc[..take].iter().enumerate() {
-                scores[(base_p + s) * heads + hd] = a * scale;
+            for v in row.iter_mut() {
+                *v *= scale;
+            }
+            // Online softmax update for the block.
+            let mut bm = f32::NEG_INFINITY;
+            for &v in &row[..take] {
+                bm = bm.max(v);
+            }
+            let m_new = scr.m[hd].max(bm);
+            let c = exp_fast(scr.m[hd] - m_new);
+            let mut l = scr.l[hd] * c;
+            for a in out_row[hd * d..(hd + 1) * d].iter_mut() {
+                *a *= c;
+            }
+            for v in row[..take].iter_mut() {
+                let e = exp_fast(*v - m_new);
+                *v = e;
+                l += e;
+            }
+            scr.m[hd] = m_new;
+            scr.l[hd] = l;
+        }
+        // Unnormalized value accumulation: positions ascending, each
+        // head's broadcast weight times its `d`-float V chunk.
+        for s in 0..take {
+            let v_s = &region[s * 2 * h + h..s * 2 * h + 2 * h];
+            for hd in 0..heads {
+                let w = scr.sb[hd * bs + s];
+                for (a, &vv) in out_row[hd * d..(hd + 1) * d]
+                    .iter_mut()
+                    .zip(&v_s[lo + hd * d..lo + (hd + 1) * d])
+                {
+                    *a += w * vv;
+                }
             }
         }
-        base_p += take;
+    }
+    for hd in 0..heads {
+        let l = scr.l[hd];
+        for a in out_row[hd * d..(hd + 1) * d].iter_mut() {
+            *a /= l;
+        }
     }
 }
 
-/// Attention weighted-V pass monomorphized for a `W`-float shard width of
-/// `D`-dim heads: the output row rides in registers across the whole
-/// position loop, and positions are indexed with plain arithmetic inside
-/// each block's contiguous slot region (no per-position iterator state).
-/// The inner body is a straight line of `W` const-indexed FMAs. Positions
-/// accumulate in ascending order, exactly the reference path's
-/// association.
-fn weighted_v<const W: usize, const D: usize>(
+/// [`fused_attn_row`] monomorphized for a `W`-float shard of `D`-dim
+/// heads over block-size-16 panels: the value accumulator (and running
+/// max/normalizer) live in registers across the whole context sweep,
+/// and the inner loops are straight lines of const-indexed FMAs. Same
+/// operations in the same order as the generic path — bit-identical.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn fused_attn_row_w<const W: usize, const D: usize>(
     view: &KvLayerView<'_>,
     ctx: usize,
-    h: usize,
+    q_s: &[f32],
     lo: usize,
-    scores: &[f32],
+    h: usize,
+    scale: f32,
+    sb: &mut [f32],
     out_row: &mut [f32],
 ) {
+    const BS: usize = 16;
     let heads = W / D;
     let mut acc = [0.0f32; W];
-    let mut base_p = 0;
-    for (region, n) in view.slot_regions(ctx) {
-        for s in 0..n {
+    // Per-head running state; only the first `heads` entries are live
+    // (`[f32; W / D]` is not expressible on stable const generics).
+    let mut mr = [f32::NEG_INFINITY; W];
+    let mut lr = [0.0f32; W];
+    for (panel, (region, take)) in view.key_panels(ctx).zip(view.slot_regions(ctx)) {
+        for hd in 0..heads {
+            let mut sa = [0.0f32; BS];
+            for (l, &q) in q_s[hd * D..(hd + 1) * D].iter().enumerate() {
+                let dim_row: &[f32; BS] = panel[(lo + hd * D + l) * BS..][..BS]
+                    .try_into()
+                    .expect("BS-wide panel row");
+                for (a, &kv) in sa.iter_mut().zip(dim_row) {
+                    *a += q * kv;
+                }
+            }
+            let row = &mut sb[hd * BS..(hd + 1) * BS];
+            for (dst, &a) in row.iter_mut().zip(&sa) {
+                *dst = a * scale;
+            }
+            let mut bm = f32::NEG_INFINITY;
+            for &v in &row[..take] {
+                bm = bm.max(v);
+            }
+            let m_new = mr[hd].max(bm);
+            let c = exp_fast(mr[hd] - m_new);
+            let mut l = lr[hd] * c;
+            for a in acc[hd * D..(hd + 1) * D].iter_mut() {
+                *a *= c;
+            }
+            for v in row[..take].iter_mut() {
+                let e = exp_fast(*v - m_new);
+                *v = e;
+                l += e;
+            }
+            mr[hd] = m_new;
+            lr[hd] = l;
+        }
+        for s in 0..take {
             let v_s: &[f32; W] = region[s * 2 * h + h + lo..][..W]
                 .try_into()
                 .expect("W-wide V slice");
-            let w_row = &scores[(base_p + s) * heads..][..heads];
             for hd in 0..heads {
-                let w = w_row[hd];
+                let w = sb[hd * BS + s];
                 for l in 0..D {
                     acc[hd * D + l] += w * v_s[hd * D + l];
                 }
             }
         }
-        base_p += n;
     }
-    out_row.copy_from_slice(&acc);
+    for hd in 0..heads {
+        let l = lr[hd];
+        for i in 0..D {
+            out_row[hd * D + i] = acc[hd * D + i] / l;
+        }
+    }
 }
 
 /// A transformer model with weights, ready for inference.
+///
+/// Cloning is cheap: the raw weights live behind an `Arc` and the clone
+/// shares the original's persistent [`WorkerPool`], so tensor-parallel
+/// ranks and schedulers can hold their own handles without duplicating
+/// parameters or threads.
 #[derive(Debug, Clone)]
 pub struct Model {
     cfg: TinyConfig,
-    weights: Weights,
+    weights: Arc<Weights>,
     packed: PackedWeights,
+    pool: Arc<WorkerPool>,
+    precision: Precision,
 }
 
 impl Model {
-    /// Builds a model with deterministic random weights.
+    /// Builds a model with deterministic random weights and the default
+    /// compute configuration (f32, auto thread count).
     #[must_use]
     pub fn random(cfg: &TinyConfig, seed: u64) -> Self {
-        let weights = Weights::random(cfg, seed);
-        let packed = PackedWeights::build(&weights);
+        Model::random_with(cfg, seed, ComputeConfig::default())
+    }
+
+    /// Builds a model with deterministic random weights and an explicit
+    /// [`ComputeConfig`]: weight precision (quantization happens here, at
+    /// load) and worker-pool width (the pool is spawned once, per model,
+    /// not per call).
+    #[must_use]
+    pub fn random_with(cfg: &TinyConfig, seed: u64, compute: ComputeConfig) -> Self {
+        let weights = Arc::new(Weights::random(cfg, seed));
+        let packed = PackedWeights::build(&weights, compute.precision);
         Model {
             cfg: cfg.clone(),
             weights,
             packed,
+            pool: Arc::new(WorkerPool::new(compute.resolved_threads())),
+            precision: compute.precision,
         }
     }
 
@@ -270,6 +524,23 @@ impl Model {
     #[must_use]
     pub fn config(&self) -> &TinyConfig {
         &self.cfg
+    }
+
+    /// Compute threads (worker-pool lanes, including the caller's).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.lanes()
+    }
+
+    /// Weight precision of the packed kernels.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The model's persistent worker pool.
+    pub(crate) fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Token plus learned position embedding.
@@ -351,24 +622,57 @@ impl Model {
         kv.append_range(seq, layer, pos, lo, &k[lo..hi], &v[lo..hi])
             .expect("KV append within capacity");
 
-        // Per-head causal attention over the cache.
+        // Per-head causal attention over the cache, evaluated with the
+        // *block-online* softmax recurrence: positions are visited in
+        // chunks of the cache's block size, each chunk updating a running
+        // max `m`, normalizer `l` (rescaled by `exp(m_old − m_new)`), and
+        // unnormalized value accumulator, with one divide at the end.
+        // This is the defining numeric association for attention in this
+        // crate — the fused batch kernel applies the identical recurrence
+        // per KV block, so both tiers stay bit-identical. (A plain
+        // two-pass softmax would associate the sums differently and break
+        // the exact-equality tests.)
         let scale = 1.0 / (d as f32).sqrt();
+        let bs = kv.block_size();
         let mut attn_out = vec![0.0; h];
+        let mut scores = Vec::with_capacity(bs);
         for head in shard.head_lo..shard.head_hi {
             let hl = head * d;
             let q_h = &q[hl..hl + d];
-            let mut scores = Vec::with_capacity(pos + 1);
-            for p in 0..=pos {
-                let k_p = &kv.key(seq, layer, p)[hl..hl + d];
-                let dot: f32 = q_h.iter().zip(k_p).map(|(a, b)| a * b).sum();
-                scores.push(dot * scale);
-            }
-            softmax(&mut scores);
-            for (p, w) in scores.iter().enumerate() {
-                let v_p = &kv.value(seq, layer, p)[hl..hl + d];
-                for (o, &vv) in attn_out[hl..hl + d].iter_mut().zip(v_p) {
-                    *o += w * vv;
+            let mut m_run = f32::NEG_INFINITY;
+            let mut l_run = 0.0f32;
+            let mut chunk = 0;
+            while chunk <= pos {
+                let take = (pos + 1 - chunk).min(bs);
+                scores.clear();
+                for p in chunk..chunk + take {
+                    let k_p = &kv.key(seq, layer, p)[hl..hl + d];
+                    let dot: f32 = q_h.iter().zip(k_p).map(|(a, b)| a * b).sum();
+                    scores.push(dot * scale);
                 }
+                let mut bm = f32::NEG_INFINITY;
+                for &s in &scores {
+                    bm = bm.max(s);
+                }
+                let m_new = m_run.max(bm);
+                let c = exp_fast(m_run - m_new);
+                l_run *= c;
+                for o in attn_out[hl..hl + d].iter_mut() {
+                    *o *= c;
+                }
+                for (off, &s) in scores.iter().enumerate() {
+                    let e = exp_fast(s - m_new);
+                    l_run += e;
+                    let v_p = &kv.value(seq, layer, chunk + off)[hl..hl + d];
+                    for (o, &vv) in attn_out[hl..hl + d].iter_mut().zip(v_p) {
+                        *o += e * vv;
+                    }
+                }
+                m_run = m_new;
+                chunk += take;
+            }
+            for o in attn_out[hl..hl + d].iter_mut() {
+                *o /= l_run;
             }
         }
 
@@ -497,10 +801,19 @@ impl Model {
         let hi = shard.head_hi * d;
         let width = hi - lo;
 
-        // One GEMM for every row's Q, K and V.
+        // One GEMM for every row's Q, K and V, strip-split across the
+        // pool when the batch is worth it.
         scratch.qkv.resize(m * 3 * h, 0.0);
-        pw.wqkv
-            .matmul_into(&scratch.normed[..m * h], m, &mut scratch.qkv[..m * 3 * h]);
+        self.pool.gemm(
+            &pw.wqkv,
+            &scratch.normed[..m * h],
+            m,
+            h,
+            0,
+            0,
+            3 * h,
+            &mut scratch.qkv[..m * 3 * h],
+        );
 
         // Append each row's K/V (shard dims only) before any row attends:
         // within one batch a prefill row must see its predecessors' keys.
@@ -512,99 +825,84 @@ impl Model {
                 .expect("KV append within capacity");
         }
 
-        // Causal attention per row, reading the cache through a
-        // per-sequence layer view (block table resolved once per row).
-        // Scores are stored position-major (`scores[p * heads + hd]`) so
-        // softmax and the weighted-V pass vectorize across the
-        // independent heads; the score pass reads the cache's dim-major
-        // transposed key panels and vectorizes across a block of
-        // positions at a time. Per head every reduction still runs in
-        // the reference path's order (dims ascending for each dot,
-        // positions ascending for softmax sums and V accumulation), so
-        // outputs stay bit-identical.
+        // Fused causal attention per row — scores, online softmax, and
+        // value accumulation in one pass over the KV blocks (see
+        // [`fused_attn_row`]); no position-major score matrix is ever
+        // materialized. When the batch carries enough total context, rows
+        // are farmed across the pool: attention rows are embarrassingly
+        // parallel, so the split is trivially bit-identical to the serial
+        // loop.
         let scale = 1.0 / (d as f32).sqrt();
         let heads = shard.head_hi - shard.head_lo;
         scratch.attn.resize(m * width, 0.0);
-        scratch.attn.fill(0.0);
-        for (i, row) in rows.iter().enumerate() {
-            let view = kv.layer_view(row.seq, layer);
-            let ctx = row.pos + 1;
-            let bs = view.block_size();
-            let q_s = &scratch.qkv[i * 3 * h + lo..i * 3 * h + hi];
-            scratch.scores.resize(ctx * heads, 0.0);
-            // Score pass: per head, dims accumulate in ascending order
-            // (the reference dot's order) while each FMA spans the
-            // block's whole position range. The standard block size gets
-            // the monomorphized kernel whose accumulators stay in
-            // registers across the dim loop.
-            if bs == 16 {
-                score_panels::<16>(&view, ctx, q_s, lo, d, heads, scale, &mut scratch.scores);
-            } else {
-                scratch.acc.resize(bs, 0.0);
-                let mut base_p = 0;
-                for panel in view.key_panels(ctx) {
-                    let take = (ctx - base_p).min(bs);
-                    for hd in 0..heads {
-                        let acc = &mut scratch.acc[..bs];
-                        acc.fill(0.0);
-                        for (l, &q) in q_s[hd * d..(hd + 1) * d].iter().enumerate() {
-                            let dim_row = &panel[(lo + hd * d + l) * bs..][..bs];
-                            for (a, &kv) in acc.iter_mut().zip(dim_row) {
-                                *a += q * kv;
-                            }
-                        }
-                        for (s, &a) in acc[..take].iter().enumerate() {
-                            scratch.scores[(base_p + s) * heads + hd] = a * scale;
-                        }
+        let total_ctx: usize = rows.iter().map(|r| r.pos + 1).sum();
+        let lanes = self.pool.attn_lanes(m, total_ctx * width * 2);
+        if lanes > 1 {
+            let (hidden, bs, block_floats, layer_base) = kv.geometry(layer);
+            let storage = kv.storage_arc();
+            let qkv = &scratch.qkv;
+            self.pool.attn_rows(
+                lanes,
+                &storage,
+                |stage| {
+                    stage.q.clear();
+                    stage.rows.clear();
+                    stage.blocks.clear();
+                    for (i, row) in rows.iter().enumerate() {
+                        stage
+                            .q
+                            .extend_from_slice(&qkv[i * 3 * h + lo..i * 3 * h + hi]);
+                        let ctx = row.pos + 1;
+                        let (blocks, _) = kv.table_parts(row.seq);
+                        let blk_lo = stage.blocks.len();
+                        stage.blocks.extend_from_slice(&blocks[..ctx.div_ceil(bs)]);
+                        stage.rows.push((ctx, blk_lo, stage.blocks.len()));
                     }
-                    base_p += take;
-                }
-            }
-            softmax_cols(
-                &mut scratch.scores[..ctx * heads],
-                ctx,
-                heads,
-                &mut scratch.sm_tmp,
+                    stage.d = d;
+                    stage.heads = heads;
+                    stage.lo = lo;
+                    stage.hidden = hidden;
+                    stage.block_size = bs;
+                    stage.block_floats = block_floats;
+                    stage.layer_base = layer_base;
+                    stage.scale = scale;
+                },
+                m,
+                width,
+                &mut scratch.attn[..m * width],
             );
-            // Weighted-V pass: per position, each head's broadcast weight
-            // times its `d`-float V chunk, weights read contiguously from
-            // the position-major scores. Each output element accumulates
-            // over positions in ascending order. Common shard shapes get
-            // the monomorphized kernel that carries the whole output row
-            // in registers across the position loop.
-            let out_row = &mut scratch.attn[i * width..(i + 1) * width];
-            let scores = &scratch.scores;
-            match (d, width) {
-                (8, 64) => weighted_v::<64, 8>(&view, ctx, h, lo, scores, out_row),
-                (8, 32) => weighted_v::<32, 8>(&view, ctx, h, lo, scores, out_row),
-                (8, 16) => weighted_v::<16, 8>(&view, ctx, h, lo, scores, out_row),
-                (8, 8) => weighted_v::<8, 8>(&view, ctx, h, lo, scores, out_row),
-                _ => {
-                    for (p, v_p) in view.values(ctx).enumerate() {
-                        let w_row = &scores[p * heads..(p + 1) * heads];
-                        let v_s = &v_p[lo..hi];
-                        for ((out_c, v_c), &w) in out_row
-                            .chunks_exact_mut(d)
-                            .zip(v_s.chunks_exact(d))
-                            .zip(w_row)
-                        {
-                            for (o, &vv) in out_c.iter_mut().zip(v_c) {
-                                *o += w * vv;
-                            }
-                        }
-                    }
-                }
+        } else {
+            for (i, row) in rows.iter().enumerate() {
+                let view = kv.layer_view(row.seq, layer);
+                let ctx = row.pos + 1;
+                let q_s = &scratch.qkv[i * 3 * h + lo..i * 3 * h + hi];
+                let out_row = &mut scratch.attn[i * width..(i + 1) * width];
+                fused_attn_row(
+                    &view,
+                    ctx,
+                    q_s,
+                    lo,
+                    d,
+                    heads,
+                    scale,
+                    h,
+                    &mut scratch.attn_scr,
+                    out_row,
+                );
             }
         }
 
         // Output projection: only the shard's rows of W_O, fed by the
         // tight shard-width context (no zero padding).
         scratch.partial.resize(m * h, 0.0);
-        pw.wo.matmul_rows_into(
+        self.pool.gemm(
+            &pw.wo,
             &scratch.attn[..m * width],
             m,
+            width,
             lo,
-            hi,
+            0,
+            h,
             &mut scratch.partial[..m * h],
         );
     }
@@ -617,20 +915,26 @@ impl Model {
         let pw = &self.packed.layers[layer];
         let fw = shard.ffn_hi - shard.ffn_lo;
         scratch.mid.resize(m * fw, 0.0);
-        pw.w1.matmul_cols_into(
+        self.pool.gemm(
+            &pw.w1,
             &scratch.normed[..m * h],
             m,
+            h,
+            0,
             shard.ffn_lo,
-            shard.ffn_hi,
+            fw,
             &mut scratch.mid[..m * fw],
         );
         relu_slice(&mut scratch.mid[..m * fw]);
         scratch.partial.resize(m * h, 0.0);
-        pw.w2.matmul_rows_into(
+        self.pool.gemm(
+            &pw.w2,
             &scratch.mid[..m * fw],
             m,
+            fw,
             shard.ffn_lo,
-            shard.ffn_hi,
+            0,
+            h,
             &mut scratch.partial[..m * h],
         );
     }
@@ -700,9 +1004,14 @@ impl Model {
         let vocab = self.cfg.vocab;
         scratch.logits.resize(r * vocab, 0.0);
         scratch.logits_width = vocab;
-        self.packed.embed_t.matmul_into(
+        self.pool.gemm(
+            &self.packed.embed_t,
             &scratch.normed[..r * h],
             r,
+            h,
+            0,
+            0,
+            vocab,
             &mut scratch.logits[..r * vocab],
         );
     }
@@ -1013,6 +1322,184 @@ mod tests {
         for (a, b) in full_ffn.iter().zip(&sum_ffn) {
             assert!((a - b).abs() < 1e-5, "ffn: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn fused_attention_matches_materialized_scores() {
+        // The fused one-pass kernel against an oracle that materializes
+        // the full score matrix first. Sweeping the materialized scores
+        // with the same block-online recurrence must match *bitwise*;
+        // a classic two-pass softmax must agree to float tolerance.
+        let m = model();
+        let cfg = m.config().clone();
+        let d = cfg.head_dim();
+        let h = cfg.hidden;
+        let heads = cfg.heads;
+        // Block size 4 with context 7: the tail block is partial, so the
+        // `take < block_size` paths are exercised.
+        let mut kv = m.make_kv(32, 4);
+        kv.register(0);
+        let prompt = [7u32, 3, 11, 4, 9, 1, 6];
+        let rows: Vec<BatchRow> = prompt
+            .iter()
+            .enumerate()
+            .map(|(pos, &token)| BatchRow { seq: 0, pos, token })
+            .collect();
+        let mut scratch = Scratch::new();
+        m.forward_batch(&rows, &mut kv, &mut scratch);
+
+        let ctx = prompt.len();
+        let bs = kv.block_size();
+        let scale = 1.0 / (d as f32).sqrt();
+        let q: Vec<f32> = (0..h)
+            .map(|i| ((i * 13 + 5) % 17) as f32 * 0.1 - 0.8)
+            .collect();
+        let mut fused = vec![0.0f32; h];
+        {
+            let view = kv.layer_view(0, 0);
+            let mut scr = AttnScratch::default();
+            fused_attn_row(&view, ctx, &q, 0, d, heads, scale, h, &mut scr, &mut fused);
+        }
+
+        let mut exact = vec![0.0f32; h];
+        let mut two_pass = vec![0.0f32; h];
+        for head in 0..heads {
+            let hl = head * d;
+            // Materialize every score for this head.
+            let scores: Vec<f32> = (0..ctx)
+                .map(|p| {
+                    let k_p = &kv.key(0, 0, p)[hl..hl + d];
+                    let dot: f32 = q[hl..hl + d].iter().zip(k_p).map(|(a, b)| a * b).sum();
+                    dot * scale
+                })
+                .collect();
+            // (a) Block-online sweep over the materialized matrix — the
+            // crate's defining association; bit-equal to fused.
+            let mut m_run = f32::NEG_INFINITY;
+            let mut l_run = 0.0f32;
+            for (ci, chunk) in scores.chunks(bs).enumerate() {
+                let mut bm = f32::NEG_INFINITY;
+                for &s in chunk {
+                    bm = bm.max(s);
+                }
+                let m_new = m_run.max(bm);
+                let c = exp_fast(m_run - m_new);
+                l_run *= c;
+                for o in exact[hl..hl + d].iter_mut() {
+                    *o *= c;
+                }
+                for (off, &s) in chunk.iter().enumerate() {
+                    let e = exp_fast(s - m_new);
+                    l_run += e;
+                    let v_p = &kv.value(0, 0, ci * bs + off)[hl..hl + d];
+                    for (o, &vv) in exact[hl..hl + d].iter_mut().zip(v_p) {
+                        *o += e * vv;
+                    }
+                }
+                m_run = m_new;
+            }
+            for o in exact[hl..hl + d].iter_mut() {
+                *o /= l_run;
+            }
+            // (b) Classic two-pass softmax over the same scores.
+            let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let exps: Vec<f32> = scores.iter().map(|&s| exp_fast(s - max)).collect();
+            let denom: f32 = exps.iter().sum();
+            for (p, &e) in exps.iter().enumerate() {
+                let w = e / denom;
+                let v_p = &kv.value(0, 0, p)[hl..hl + d];
+                for (o, &vv) in two_pass[hl..hl + d].iter_mut().zip(v_p) {
+                    *o += w * vv;
+                }
+            }
+        }
+        assert_eq!(fused, exact, "block-online oracle must match bitwise");
+        for (a, b) in fused.iter().zip(&two_pass) {
+            assert!((a - b).abs() < 1e-5, "two-pass softmax: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn threaded_batch_bit_matches_serial() {
+        // The same batched forward on a 1-lane and a 4-lane model must
+        // produce bit-identical hidden states and logits: GEMM strips and
+        // attention row splits never change any accumulation chain.
+        let cfg = TinyConfig::small();
+        let serial = Model::random_with(
+            &cfg,
+            42,
+            ComputeConfig {
+                precision: Precision::F32,
+                threads: 1,
+            },
+        );
+        let threaded = Model::random_with(
+            &cfg,
+            42,
+            ComputeConfig {
+                precision: Precision::F32,
+                threads: 4,
+            },
+        );
+        assert_eq!(threaded.threads(), 4);
+        // 32 rows of growing context: big enough that both the GEMM and
+        // the attention dispatch actually go parallel on the 4-lane pool.
+        let rows: Vec<BatchRow> = (0..32)
+            .map(|pos| BatchRow {
+                seq: 0,
+                pos,
+                token: (pos as u32 * 7 + 3) % cfg.vocab as u32,
+            })
+            .collect();
+        let mut out = Vec::new();
+        for m in [&serial, &threaded] {
+            let mut kv = m.make_kv(64, 16);
+            kv.register(0);
+            let mut scratch = Scratch::new();
+            m.forward_batch(&rows, &mut kv, &mut scratch);
+            m.logits_batch(&[rows.len() - 1], &mut scratch);
+            out.push((scratch.x.clone(), scratch.logits_row(0).to_vec()));
+        }
+        assert_eq!(out[0].0, out[1].0, "hidden states");
+        assert_eq!(out[0].1, out[1].1, "logits");
+    }
+
+    #[test]
+    fn int8_batch_close_to_f32_and_thread_deterministic() {
+        // Int8 is bounded-error vs. f32 (loose tolerance on logits) but
+        // fully deterministic: 1-lane and 4-lane int8 runs are bit-equal.
+        let cfg = TinyConfig::tiny();
+        let prompt = [7u32, 3, 11, 4, 9];
+        let rows: Vec<BatchRow> = prompt
+            .iter()
+            .enumerate()
+            .map(|(pos, &token)| BatchRow { seq: 0, pos, token })
+            .collect();
+        let run = |compute: ComputeConfig| {
+            let m = Model::random_with(&cfg, 42, compute);
+            let mut kv = m.make_kv(32, 16);
+            kv.register(0);
+            let mut scratch = Scratch::new();
+            m.forward_batch(&rows, &mut kv, &mut scratch);
+            m.logits_batch(&[prompt.len() - 1], &mut scratch);
+            scratch.logits_row(0).to_vec()
+        };
+        let f32_logits = run(ComputeConfig::default());
+        let q1 = run(ComputeConfig {
+            precision: Precision::Int8,
+            threads: 1,
+        });
+        let q4 = run(ComputeConfig {
+            precision: Precision::Int8,
+            threads: 4,
+        });
+        assert_eq!(q1, q4, "int8 must be thread-count invariant");
+        let mut max_diff = 0.0f32;
+        for (a, b) in f32_logits.iter().zip(&q1) {
+            max_diff = max_diff.max((a - b).abs());
+        }
+        assert!(max_diff > 0.0, "int8 should actually differ from f32");
+        assert!(max_diff < 0.05, "int8 drift too large: {max_diff}");
     }
 
     #[test]

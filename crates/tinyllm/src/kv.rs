@@ -8,6 +8,7 @@
 //! floats that the attention kernel reads back.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A sequence identifier.
 pub type SeqId = u64;
@@ -54,14 +55,36 @@ impl std::error::Error for PagedKvError {}
 /// position-major copy; batched attention's score pass reads it so the
 /// per-head dot products vectorize across a whole block of positions
 /// (contiguous in the position index) instead of striding row to row.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PagedKv {
     layers: usize,
     hidden: usize,
     block_size: usize,
-    storage: Vec<f32>,
+    /// Behind an [`Arc`] so the worker pool can hand attention workers a
+    /// `'static` read handle without copying the pool or using `unsafe`.
+    /// Writers reclaim exclusive access via [`Self::storage_mut`] once
+    /// all workers have dropped their clones (they do so before
+    /// signaling completion).
+    storage: Arc<Vec<f32>>,
     free: Vec<usize>,
     tables: HashMap<SeqId, Table>,
+}
+
+impl Clone for PagedKv {
+    /// Deep copy: the clone gets its own storage allocation, never a
+    /// shared handle — two caches must not see each other's writes, and
+    /// a shared handle would also pin [`Self::storage_mut`]'s
+    /// exclusivity check.
+    fn clone(&self) -> Self {
+        PagedKv {
+            layers: self.layers,
+            hidden: self.hidden,
+            block_size: self.block_size,
+            storage: Arc::new(self.storage.as_ref().clone()),
+            free: self.free.clone(),
+            tables: self.tables.clone(),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -84,10 +107,58 @@ impl PagedKv {
             layers,
             hidden,
             block_size,
-            storage: vec![0.0; block_floats * num_blocks],
+            storage: Arc::new(vec![0.0; block_floats * num_blocks]),
             free: (0..num_blocks).rev().collect(),
             tables: HashMap::new(),
         }
+    }
+
+    /// Positions per block.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// A cheap `'static` read handle to the backing floats, for farming
+    /// attention rows out to pool workers. Callers must drop the handle
+    /// before the next append (workers drop theirs before signaling
+    /// completion).
+    pub(crate) fn storage_arc(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.storage)
+    }
+
+    /// The block table and stored length of `seq`, for staging worker
+    /// attention jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is not registered.
+    pub(crate) fn table_parts(&self, seq: SeqId) -> (&[usize], usize) {
+        let table = self.tables.get(&seq).expect("sequence registered");
+        (&table.blocks, table.len)
+    }
+
+    /// `(hidden, block_size, block_floats, layer_base)` for `layer` —
+    /// everything [`KvLayerView::from_parts`] needs besides the table.
+    pub(crate) fn geometry(&self, layer: usize) -> (usize, usize, usize, usize) {
+        (
+            self.hidden,
+            self.block_size,
+            self.layers * self.layer_stride(),
+            layer * self.layer_stride(),
+        )
+    }
+
+    /// Exclusive access to the backing floats. Normally the handle count
+    /// is already 1 (workers drop their clones before completion is
+    /// observed); if a stale handle somehow survives, the storage is
+    /// copied out from under it rather than blocking — readers of the
+    /// old allocation see a consistent snapshot.
+    fn storage_mut(&mut self) -> &mut Vec<f32> {
+        if Arc::get_mut(&mut self.storage).is_none() {
+            self.storage = Arc::new(self.storage.as_ref().clone());
+        }
+        Arc::get_mut(&mut self.storage).expect("freshly copied storage is unshared")
     }
 
     /// Registers a new sequence with an empty block table.
@@ -205,15 +276,16 @@ impl PagedKv {
         let base = self.slot_base(block, layer, slot);
         let h = self.hidden;
         let w = k.len();
-        self.storage[base + dim_lo..base + dim_lo + w].copy_from_slice(k);
-        self.storage[base + h + dim_lo..base + h + dim_lo + w].copy_from_slice(v);
         // Mirror the key into the block's dim-major transposed panel
         // (this position's column of each written dim's row).
         let kt = block * self.layers * self.layer_stride()
             + layer * self.layer_stride()
             + 2 * h * block_size;
+        let storage = self.storage_mut();
+        storage[base + dim_lo..base + dim_lo + w].copy_from_slice(k);
+        storage[base + h + dim_lo..base + h + dim_lo + w].copy_from_slice(v);
         for (j, &kval) in k.iter().enumerate() {
-            self.storage[kt + (dim_lo + j) * block_size + slot] = kval;
+            storage[kt + (dim_lo + j) * block_size + slot] = kval;
         }
         Ok(())
     }
@@ -253,7 +325,7 @@ impl PagedKv {
         debug_assert!(layer < self.layers);
         let table = self.tables.get(&seq).expect("sequence registered");
         KvLayerView {
-            storage: &self.storage,
+            storage: &self.storage[..],
             blocks: &table.blocks,
             len: table.len,
             block_size: self.block_size,
@@ -309,6 +381,32 @@ pub struct KvLayerView<'a> {
     hidden: usize,
     block_floats: usize,
     layer_base: usize,
+}
+
+impl<'a> KvLayerView<'a> {
+    /// Reassembles a view from staged parts on a pool worker thread —
+    /// the same fields [`PagedKv::layer_view`] resolves, but with the
+    /// storage borrowed from an `Arc` handle and the block table from a
+    /// staged copy.
+    pub(crate) fn from_parts(
+        storage: &'a [f32],
+        blocks: &'a [usize],
+        len: usize,
+        block_size: usize,
+        hidden: usize,
+        block_floats: usize,
+        layer_base: usize,
+    ) -> Self {
+        KvLayerView {
+            storage,
+            blocks,
+            len,
+            block_size,
+            hidden,
+            block_floats,
+            layer_base,
+        }
+    }
 }
 
 impl KvLayerView<'_> {

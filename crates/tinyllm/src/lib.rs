@@ -17,7 +17,17 @@
 //! * a **batched compute tier** ([`engine::Model::forward_batch`]) —
 //!   prompts and fused decode batches as single GEMMs over pre-packed
 //!   weights ([`tensor::PackedMatrix`]) with a reusable [`engine::Scratch`]
-//!   arena, bit-identical to the token-at-a-time reference path.
+//!   arena, bit-identical to the token-at-a-time reference path;
+//! * a **persistent worker pool** ([`pool::WorkerPool`]) — spawned once
+//!   per model, splitting GEMM column strips and fused-attention rows
+//!   across cores with bit-identical results at any thread count
+//!   (configured via [`model::ComputeConfig`]);
+//! * **int8 weight quantization** ([`model::Precision::Int8`]) —
+//!   per-output-channel scales applied in-register inside the GEMM
+//!   microkernel, with a documented error bound vs. f32;
+//! * **flash-style fused attention** — one pass over the KV blocks with
+//!   an online softmax (running max + normalizer), never materializing
+//!   the `context × heads` score matrix.
 //!
 //! Weights are deterministic pseudo-random: serving behavior (the subject
 //! of the paper) depends on architecture shape, not weight values.
@@ -38,12 +48,14 @@ pub mod engine;
 pub mod kv;
 pub mod model;
 pub mod parallel;
+pub mod pool;
 pub mod sampling;
 pub mod scheduler;
 pub mod tensor;
 
 pub use engine::{BatchRow, Model, Scratch, Shard};
 pub use kv::PagedKv;
-pub use model::TinyConfig;
+pub use model::{ComputeConfig, Precision, TinyConfig};
+pub use pool::WorkerPool;
 pub use sampling::{Sampler, Sampling};
 pub use scheduler::{ContinuousBatcher, GenRequest};

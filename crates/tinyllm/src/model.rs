@@ -5,6 +5,55 @@ use rand::SeedableRng;
 
 use crate::tensor::Matrix;
 
+/// Numeric precision of the packed weight kernels.
+///
+/// `F32` is the default, bit-exact tier: batched outputs equal the
+/// token-at-a-time reference exactly. `Int8` quantizes the four big
+/// projection weights per output channel at pack time
+/// ([`crate::tensor::QuantMatrix`]) and dequantizes in-register inside
+/// the GEMM microkernel; embeddings, LayerNorms, and the tied-embedding
+/// logits projection stay f32. Int8 outputs carry the documented
+/// per-channel error bound relative to the f32 reference — bounded, not
+/// bit-exact — but remain fully deterministic (threaded output is
+/// bit-identical to serial at either precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision packed weights (bit-exact vs. the reference tier).
+    #[default]
+    F32,
+    /// Int8 per-output-channel weights (bounded error vs. f32).
+    Int8,
+}
+
+/// How a model executes: weight precision plus worker-pool width.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComputeConfig {
+    /// Weight precision for the packed GEMM kernels.
+    pub precision: Precision,
+    /// Worker-pool lanes (threads, including the caller's). `0` means
+    /// auto: `TINYLLM_THREADS` if set and positive, else the machine's
+    /// available parallelism.
+    pub threads: usize,
+}
+
+impl ComputeConfig {
+    /// Resolves `threads == 0` to the environment's answer.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("TINYLLM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
 /// Shape of a tinyllm transformer (OPT-style decoder).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TinyConfig {

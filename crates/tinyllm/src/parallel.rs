@@ -12,8 +12,15 @@
 //! activation matrix (one all-reduce per projection per layer instead of
 //! one per token), then decode proceeds a row at a time. The reduced
 //! buffers are `(m × hidden)`, so the all-reduce is width-agnostic.
+//!
+//! Ranks execute on the model's persistent [`crate::pool::WorkerPool`]
+//! (no thread spawn per call): each rank task moves a cheap [`Model`]
+//! clone (shared `Arc` weights) onto a pool worker. Inside a worker the
+//! engine's own data-parallel dispatch runs inline and serial, so ranks
+//! never re-enter the pool and the single-queue design stays
+//! deadlock-free.
 
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 
 use crate::engine::{BatchRow, Model, Scratch, Shard};
 use crate::tensor::argmax;
@@ -92,16 +99,18 @@ pub fn generate_tp(model: &Model, prompt: &[u32], max_new: usize, world: usize) 
         return Vec::new();
     }
 
-    let reduce = AllReduce::new(world);
+    let reduce = Arc::new(AllReduce::new(world));
     // The emitted token of each step, written by rank 0.
-    let emitted: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    let emitted = Arc::new(Mutex::new(Vec::new()));
 
-    crossbeam::thread::scope(|s| {
-        for rank in 0..world {
-            let reduce = &reduce;
-            let emitted = &emitted;
+    let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = (0..world)
+        .map(|rank| {
+            let model = model.clone();
+            let reduce = Arc::clone(&reduce);
+            let emitted = Arc::clone(&emitted);
             let cfg = cfg.clone();
-            s.spawn(move |_| {
+            let prompt = prompt.to_vec();
+            Box::new(move || {
                 let shard = Shard::of(&cfg, rank, world);
                 let mut kv = model.make_kv(prompt.len() + max_new, 16);
                 kv.register(0);
@@ -162,12 +171,15 @@ pub fn generate_tp(model: &Model, prompt: &[u32], max_new: usize, world: usize) 
                         emitted.lock().expect("no poisoning").push(last_token);
                     }
                 }
-            });
-        }
-    })
-    .expect("tensor-parallel workers do not panic");
+            }) as Box<dyn FnOnce() + Send + 'static>
+        })
+        .collect();
+    // Every rank runs on its own persistent pool worker; `run_tasks`
+    // re-raises any rank panic after all ranks finish.
+    model.pool().run_tasks(tasks);
 
-    emitted.into_inner().expect("no poisoning")
+    let tokens = emitted.lock().expect("no poisoning").clone();
+    tokens
 }
 
 #[cfg(test)]

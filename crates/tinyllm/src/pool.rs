@@ -1,0 +1,565 @@
+//! The persistent worker pool behind the parallel compute path.
+//!
+//! One pool is spawned per [`crate::engine::Model`] (not per call) and
+//! shared by clones of that model. It serves three job kinds:
+//!
+//! - **GEMM strips** — the N dimension of a packed GEMM is split into
+//!   [`NR`]-aligned column strips, one per lane. Workers compute their
+//!   strips into recycled per-worker buffers; the calling thread computes
+//!   strip 0 directly into the destination (using the stride-aware
+//!   kernel) and then gathers the worker strips. Because every output
+//!   element's multiply-add chain is independent of the strip split
+//!   (`tensor.rs` invariant), threaded output is bit-identical to serial.
+//! - **Attention rows** — batched fused attention farms contiguous row
+//!   ranges to workers. Inputs are staged into an [`AttnStage`] (query
+//!   slices, per-row block tables, cache geometry) plus an `Arc` read
+//!   handle on the KV storage, so jobs are `'static` without `unsafe`
+//!   (the workspace denies it).
+//! - **Tasks** — arbitrary `FnOnce` jobs, used by `tinyllm::parallel` to
+//!   run tensor-parallel ranks on persistent workers instead of
+//!   spawning threads per call. Completion is tracked by a latch;
+//!   panics inside a task are caught on the worker and re-raised on the
+//!   caller.
+//!
+//! Workers never nest: a thread-local flag marks pool threads, and any
+//! GEMM or attention dispatch issued from inside a worker (e.g. by a
+//! tensor-parallel rank task) runs inline and serial. That keeps the
+//! design deadlock-free with a single queue per worker.
+//!
+//! The hot path stays zero-alloc at steady state: staged activation and
+//! attention buffers live in `Arc`s that are exclusively reclaimed
+//! between dispatches (workers drop their handles before signaling
+//! completion), and each worker's output strip buffer is recycled
+//! through the channel round-trip.
+
+use std::cell::Cell;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::{attn_rows_strip, AttnScratch, AttnStage};
+use crate::tensor::{Kernel, NR};
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread. Dispatch helpers
+    /// consult it to run nested parallel work inline instead of queueing
+    /// it back onto the pool (which could deadlock a single queue).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is a pool worker.
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Minimum multiply-adds per GEMM before a parallel dispatch pays for
+/// its staging copy and wakeup latency; below it the call runs serial.
+const GEMM_PAR_MIN: usize = 32 * 1024;
+
+/// Minimum score+value multiply-adds before attention rows are farmed
+/// out.
+const ATTN_PAR_MIN: usize = 16 * 1024;
+
+/// One unit of work sent to a worker.
+enum Job {
+    /// Compute `strip = act × kern[k_off.., cols col_lo..col_lo+width]`.
+    Gemm {
+        kern: Kernel,
+        act: Arc<Vec<f32>>,
+        m: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        strip: Vec<f32>,
+    },
+    /// Run fused attention for staged rows `row_lo..row_hi`.
+    Attn {
+        stage: Arc<AttnStage>,
+        storage: Arc<Vec<f32>>,
+        row_lo: usize,
+        row_hi: usize,
+        strip: Vec<f32>,
+    },
+    /// Run an arbitrary closure (tensor-parallel rank bodies).
+    Task {
+        f: Box<dyn FnOnce() + Send + 'static>,
+        latch: Arc<Latch>,
+    },
+}
+
+/// Counts outstanding tasks and records whether any panicked.
+pub(crate) struct Latch {
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new((count, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn done(&self, panicked: bool) {
+        let mut s = self.state.lock().expect("latch lock");
+        s.0 -= 1;
+        s.1 |= panicked;
+        if s.0 == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until every task finished; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().expect("latch lock");
+        while s.0 > 0 {
+            s = self.cv.wait(s).expect("latch wait");
+        }
+        s.1
+    }
+}
+
+/// Main-thread handle to one worker.
+struct Worker {
+    tx: Sender<Job>,
+    rx: Receiver<Vec<f32>>,
+    /// Recycled strip buffer from the worker's last reply.
+    spare: Option<Vec<f32>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// State behind the pool's mutex: the workers plus the staged-input
+/// buffers reused across dispatches.
+struct PoolInner {
+    workers: Vec<Worker>,
+    act: Arc<Vec<f32>>,
+    stage: Arc<AttnStage>,
+    main_attn: AttnScratch,
+}
+
+impl PoolInner {
+    /// Grows the worker vec to at least `n` live workers.
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+            let (out_tx, out_rx) = std::sync::mpsc::channel::<Vec<f32>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("tinyllm-pool-{}", self.workers.len()))
+                .spawn(move || worker_loop(&job_rx, &out_tx))
+                .expect("spawn pool worker");
+            self.workers.push(Worker {
+                tx: job_tx,
+                rx: out_rx,
+                spare: None,
+                handle: Some(handle),
+            });
+        }
+    }
+
+    /// Exclusive access to a staged `Arc` buffer. Workers drop their
+    /// handles before signaling completion, so the count is normally 1;
+    /// a surviving stale handle just costs a fresh allocation.
+    fn exclusive_act(&mut self) -> &mut Vec<f32> {
+        if Arc::get_mut(&mut self.act).is_none() {
+            self.act = Arc::new(Vec::new());
+        }
+        Arc::get_mut(&mut self.act).expect("fresh arc is unshared")
+    }
+
+    /// Exclusive access to the staged attention inputs (same contract as
+    /// [`Self::exclusive_act`]).
+    fn exclusive_stage(&mut self) -> &mut AttnStage {
+        if Arc::get_mut(&mut self.stage).is_none() {
+            self.stage = Arc::new(AttnStage::default());
+        }
+        Arc::get_mut(&mut self.stage).expect("fresh arc is unshared")
+    }
+}
+
+fn worker_loop(jobs: &Receiver<Job>, out: &Sender<Vec<f32>>) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut attn_scr = AttnScratch::default();
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Gemm {
+                kern,
+                act,
+                m,
+                depth,
+                k_off,
+                col_lo,
+                width,
+                mut strip,
+            } => {
+                strip.resize(m * width, 0.0);
+                kern.gemm_strip(
+                    &act[..m * depth],
+                    m,
+                    depth,
+                    k_off,
+                    col_lo,
+                    width,
+                    width,
+                    &mut strip,
+                );
+                // Release the staged-input handles *before* replying so
+                // the dispatcher can reclaim the buffers exclusively on
+                // its next call.
+                drop(act);
+                drop(kern);
+                if out.send(strip).is_err() {
+                    break;
+                }
+            }
+            Job::Attn {
+                stage,
+                storage,
+                row_lo,
+                row_hi,
+                mut strip,
+            } => {
+                let width = stage.heads * stage.d;
+                strip.resize((row_hi - row_lo) * width, 0.0);
+                attn_rows_strip(&stage, &storage, row_lo, row_hi, &mut attn_scr, &mut strip);
+                drop(stage);
+                drop(storage);
+                if out.send(strip).is_err() {
+                    break;
+                }
+            }
+            Job::Task { f, latch } => {
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err();
+                latch.done(panicked);
+            }
+        }
+    }
+}
+
+/// A persistent thread pool owned by a model (see module docs).
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// Lanes used for data-parallel strip work, including the caller's
+    /// thread: `lanes` of compute means `lanes - 1` workers.
+    lanes: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for PoolInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolInner")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool that computes with `lanes` threads total (the
+    /// caller's plus `lanes - 1` persistent workers, spawned lazily on
+    /// first parallel dispatch).
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        WorkerPool {
+            lanes: lanes.max(1),
+            inner: Mutex::new(PoolInner {
+                workers: Vec::new(),
+                act: Arc::new(Vec::new()),
+                stage: Arc::new(AttnStage::default()),
+                main_attn: AttnScratch::default(),
+            }),
+        }
+    }
+
+    /// Compute lanes (threads, including the caller's).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// How many lanes a `(m × depth) × (depth × width)` GEMM should use.
+    fn gemm_lanes(&self, m: usize, depth: usize, width: usize) -> usize {
+        if self.lanes <= 1 || in_worker() {
+            return 1;
+        }
+        let work = m * depth * width;
+        self.lanes.min(width / NR).min(work / GEMM_PAR_MIN).max(1)
+    }
+
+    /// `out[m × width] = a[m × depth] × kern[k_off.., col_lo..+width]`,
+    /// split across lanes when the work justifies it; serial (and
+    /// bit-identical) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree with the shapes, or if a worker
+    /// died mid-job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        &self,
+        kern: &Kernel,
+        a: &[f32],
+        m: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(a.len(), m * depth, "activation shape");
+        debug_assert_eq!(out.len(), m * width, "output shape");
+        let lanes = self.gemm_lanes(m, depth, width);
+        if lanes <= 1 {
+            kern.gemm_strip(a, m, depth, k_off, col_lo, width, width, out);
+            return;
+        }
+        let mut guard = self.inner.lock().expect("pool lock");
+        let inner = &mut *guard;
+        inner.ensure_workers(lanes - 1);
+        let staged = inner.exclusive_act();
+        staged.clear();
+        staged.extend_from_slice(a);
+        // NR-aligned strip boundaries; every strip is non-empty because
+        // `lanes <= width / NR`.
+        let bound = |i: usize| {
+            if i == lanes {
+                width
+            } else {
+                width * i / lanes / NR * NR
+            }
+        };
+        for lane in 1..lanes {
+            let (lo, hi) = (bound(lane), bound(lane + 1));
+            let worker = &mut inner.workers[lane - 1];
+            let strip = worker.spare.take().unwrap_or_default();
+            worker
+                .tx
+                .send(Job::Gemm {
+                    kern: kern.clone(),
+                    act: Arc::clone(&inner.act),
+                    m,
+                    depth,
+                    k_off,
+                    col_lo: col_lo + lo,
+                    width: hi - lo,
+                    strip,
+                })
+                .expect("pool worker alive");
+        }
+        // The calling thread is lane 0: strip 0 goes straight into `out`
+        // via the stride-aware kernel while the workers run.
+        kern.gemm_strip(a, m, depth, k_off, col_lo, bound(1), width, out);
+        for lane in 1..lanes {
+            let (lo, hi) = (bound(lane), bound(lane + 1));
+            let sw = hi - lo;
+            let worker = &mut inner.workers[lane - 1];
+            let strip = worker.rx.recv().expect("pool worker completed");
+            for r in 0..m {
+                out[r * width + lo..r * width + hi].copy_from_slice(&strip[r * sw..(r + 1) * sw]);
+            }
+            worker.spare = Some(strip);
+        }
+    }
+
+    /// How many lanes a batched attention pass of `m` rows and roughly
+    /// `work` multiply-adds should use.
+    pub(crate) fn attn_lanes(&self, m: usize, work: usize) -> usize {
+        if self.lanes <= 1 || in_worker() {
+            return 1;
+        }
+        self.lanes.min(m).min(work / ATTN_PAR_MIN).max(1)
+    }
+
+    /// Farms staged attention rows across `lanes` threads. `fill`
+    /// populates the reused [`AttnStage`]; `out` is the dense
+    /// `(m × width)` destination. Row ranges are contiguous, so worker
+    /// strips gather with single copies. Bit-identical to the serial
+    /// per-row loop: each row's computation is untouched by the split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died mid-job.
+    pub(crate) fn attn_rows(
+        &self,
+        lanes: usize,
+        storage: &Arc<Vec<f32>>,
+        fill: impl FnOnce(&mut AttnStage),
+        m: usize,
+        width: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert!(lanes >= 2);
+        debug_assert_eq!(out.len(), m * width, "output shape");
+        let mut guard = self.inner.lock().expect("pool lock");
+        let inner = &mut *guard;
+        inner.ensure_workers(lanes - 1);
+        fill(inner.exclusive_stage());
+        let bound = |i: usize| m * i / lanes;
+        for lane in 1..lanes {
+            let (lo, hi) = (bound(lane), bound(lane + 1));
+            let worker = &mut inner.workers[lane - 1];
+            let strip = worker.spare.take().unwrap_or_default();
+            worker
+                .tx
+                .send(Job::Attn {
+                    stage: Arc::clone(&inner.stage),
+                    storage: Arc::clone(storage),
+                    row_lo: lo,
+                    row_hi: hi,
+                    strip,
+                })
+                .expect("pool worker alive");
+        }
+        attn_rows_strip(
+            &inner.stage,
+            storage,
+            0,
+            bound(1),
+            &mut inner.main_attn,
+            &mut out[..bound(1) * width],
+        );
+        for lane in 1..lanes {
+            let (lo, hi) = (bound(lane), bound(lane + 1));
+            let worker = &mut inner.workers[lane - 1];
+            let strip = worker.rx.recv().expect("pool worker completed");
+            out[lo * width..hi * width].copy_from_slice(&strip);
+            worker.spare = Some(strip);
+        }
+    }
+
+    /// Runs every closure on its own persistent worker (growing the pool
+    /// past `lanes` if needed — task concurrency is bounded by the
+    /// caller, not the lane count) and blocks until all complete.
+    ///
+    /// Must not be called from inside a pool worker: tasks that
+    /// rendezvous with each other (tensor-parallel barriers) would
+    /// deadlock if serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked, after all tasks finished.
+    pub(crate) fn run_tasks(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+        assert!(
+            !in_worker(),
+            "run_tasks must not be nested inside a pool worker"
+        );
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        {
+            let mut guard = self.inner.lock().expect("pool lock");
+            let inner = &mut *guard;
+            inner.ensure_workers(tasks.len());
+            for (i, f) in tasks.into_iter().enumerate() {
+                inner.workers[i]
+                    .tx
+                    .send(Job::Task {
+                        f,
+                        latch: Arc::clone(&latch),
+                    })
+                    .expect("pool worker alive");
+            }
+        }
+        // Wait outside the lock so long-running tasks don't block
+        // concurrent GEMM dispatch from other model clones.
+        let panicked = latch.wait();
+        assert!(!panicked, "pool task panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let inner = self.inner.get_mut().expect("pool lock");
+        for w in &mut inner.workers {
+            // Dropping the sender closes the worker's queue; it exits
+            // after draining.
+            let (closed_tx, _) = std::sync::mpsc::channel();
+            w.tx = closed_tx;
+            drop(std::mem::replace(&mut w.rx, std::sync::mpsc::channel().1));
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{Matrix, PackedMatrix};
+
+    fn test_weight(k: usize, n: usize) -> Matrix {
+        Matrix::from_vec(
+            k,
+            n,
+            (0..k * n)
+                .map(|i| ((i * 37 + 11) % 97) as f32 * 0.03 - 1.4)
+                .collect(),
+        )
+    }
+
+    fn test_act(m: usize, k: usize) -> Vec<f32> {
+        (0..m * k)
+            .map(|i| ((i * 53 + 5) % 89) as f32 * 0.021 - 0.9)
+            .collect()
+    }
+
+    #[test]
+    fn threaded_gemm_bit_matches_serial() {
+        // Big enough to clear the parallel threshold with several lanes.
+        let (m, k, n) = (16, 96, 512);
+        let a = test_act(m, k);
+        let w = Kernel::F32(PackedMatrix::pack(&test_weight(k, n)));
+        let mut serial = vec![0.0; m * n];
+        WorkerPool::new(1).gemm(&w, &a, m, k, 0, 0, n, &mut serial);
+        for lanes in [2, 3, 5, 8] {
+            let pool = WorkerPool::new(lanes);
+            let mut out = vec![7.0f32; m * n];
+            pool.gemm(&w, &a, m, k, 0, 0, n, &mut out);
+            assert_eq!(out, serial, "lanes {lanes}");
+        }
+    }
+
+    #[test]
+    fn small_gemm_stays_serial_and_correct() {
+        let (m, k, n) = (2, 8, 24);
+        let a = test_act(m, k);
+        let mat = test_weight(k, n);
+        let w = Kernel::F32(PackedMatrix::pack(&mat));
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.gemm_lanes(m, k, n), 1);
+        let mut out = vec![0.0; m * n];
+        pool.gemm(&w, &a, m, k, 0, 0, n, &mut out);
+        let reference = Matrix::from_vec(m, k, a).matmul(&mat);
+        assert_eq!(out, reference.data);
+    }
+
+    #[test]
+    fn tasks_run_concurrently_and_rendezvous() {
+        // Tasks must run on distinct threads: a barrier across them can
+        // only clear if all are live at once.
+        let pool = WorkerPool::new(1); // Task lanes grow past `lanes`.
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        let hits = Arc::new(Mutex::new(0usize));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let h = Arc::clone(&hits);
+                Box::new(move || {
+                    b.wait();
+                    *h.lock().expect("hits") += 1;
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.run_tasks(tasks);
+        assert_eq!(*hits.lock().expect("hits"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool task panicked")]
+    fn task_panic_propagates() {
+        let pool = WorkerPool::new(1);
+        pool.run_tasks(vec![Box::new(|| panic!("boom"))]);
+    }
+}

@@ -145,6 +145,13 @@ impl ContinuousBatcher {
         }
         self.sink = sink;
         self.track = track;
+        // The pool width is fixed at model construction; record it once
+        // so dashboards can normalize throughput by compute lanes.
+        self.sink.gauge_set(
+            metrics::COMPUTE_THREADS,
+            self.track,
+            self.model.threads() as f64,
+        );
         self
     }
 
@@ -547,6 +554,12 @@ mod tests {
         // Terminal gauges: nothing queued, nothing running, pool drained.
         assert_eq!(snap.metrics.gauge(metrics::DECODE_LOAD, 3), Some(0.0));
         assert_eq!(snap.metrics.gauge(metrics::KV_UTILIZATION, 3), Some(0.0));
+        // The engine's compute width is recorded once at sink attach.
+        let threads = snap
+            .metrics
+            .gauge(metrics::COMPUTE_THREADS, 3)
+            .expect("compute_threads gauge");
+        assert!(threads >= 1.0);
     }
 
     #[test]

@@ -13,7 +13,17 @@
 //! Every packed kernel accumulates each output element over `k` in
 //! ascending order with a single accumulator — the same association the
 //! reference `Matrix::matmul` uses — so the fast path is bit-compatible
-//! with the reference path, not merely close.
+//! with the reference path, not merely close. That invariant is also why
+//! the worker pool (`pool.rs`) can split the N dimension across threads
+//! freely: each output element's multiply-add chain never depends on
+//! which column strip it lands in, so threaded output is bit-identical
+//! to single-threaded, not merely close.
+//!
+//! [`QuantMatrix`] is the int8 tier: per-output-channel symmetric
+//! quantization done once at pack time, dequantized in-register inside
+//! the same 4×16 microkernel. See its docs for the error bound.
+
+use std::sync::Arc;
 
 /// A row-major matrix (reference tier).
 #[derive(Debug, Clone, PartialEq)]
@@ -114,13 +124,13 @@ impl Matrix {
 /// Four rows × two SIMD vectors of accumulators (8) plus a weight
 /// segment (2) and a broadcast lane leaves slack in a 16-register SIMD
 /// file; six rows (14+ live vectors) measurably spills.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 
 /// Output columns per register tile: two SIMD vectors' worth of
 /// accumulators per activation row. The `MR × NR` accumulator block stays
 /// in registers for the whole k-loop; the activation rows (≤ a few KB)
 /// stay in L1 while the packed weights stream through once.
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 
 /// A weight matrix packed for the fast path: an owned, contiguous,
 /// k-major copy (`k` = input dimension indexes rows, outputs are
@@ -133,8 +143,10 @@ pub struct PackedMatrix {
     /// Output dimension (columns of the logical weight).
     pub n: usize,
     /// `k × n` row-major: `data[kk * n + j]` = weight from input `kk` to
-    /// output `j`.
-    data: Vec<f32>,
+    /// output `j`. Behind an [`Arc`] so the worker pool can hand each
+    /// long-lived thread a `'static` handle to the weights without
+    /// copying them and without `unsafe` (the workspace denies it).
+    data: Arc<Vec<f32>>,
 }
 
 impl PackedMatrix {
@@ -144,7 +156,7 @@ impl PackedMatrix {
         PackedMatrix {
             k: w.rows,
             n: w.cols,
-            data: w.data.clone(),
+            data: Arc::new(w.data.clone()),
         }
     }
 
@@ -161,7 +173,11 @@ impl PackedMatrix {
                 data[kk * n + j] = v;
             }
         }
-        PackedMatrix { k, n, data }
+        PackedMatrix {
+            k,
+            n,
+            data: Arc::new(data),
+        }
     }
 
     /// `out = a × W` for `a` a dense `(m × k)` activation block, written
@@ -195,7 +211,7 @@ impl PackedMatrix {
         let width = col_hi - col_lo;
         assert_eq!(a.len(), m * self.k, "activation shape");
         assert_eq!(out.len(), m * width, "output shape");
-        self.gemm_into(a, m, self.k, 0, col_lo, width, out);
+        self.gemm_strip(a, m, self.k, 0, col_lo, width, width, out);
     }
 
     /// `out = a × W[row_lo..row_hi, :]` — the row-sliced product that
@@ -219,16 +235,22 @@ impl PackedMatrix {
         let depth = row_hi - row_lo;
         assert_eq!(a.len(), m * depth, "activation shape");
         assert_eq!(out.len(), m * self.n, "output shape");
-        self.gemm_into(a, m, depth, row_lo, 0, self.n, out);
+        self.gemm_strip(a, m, depth, row_lo, 0, self.n, self.n, out);
     }
 
-    /// Shared register-tiled kernel behind the three public entry points:
-    /// `out[m × width] = a[m × depth] × W[k_off.., col_lo..col_lo+width]`.
-    /// Every output element is overwritten (no pre-zeroing needed).
-    /// The argument list mirrors the GEMM operands (block offsets and
-    /// shapes); a parameter struct would just rename them.
+    /// Shared register-tiled kernel behind the public entry points and
+    /// the worker pool:
+    /// `out[m × stride] = a[m × depth] × W[k_off.., col_lo..col_lo+width]`,
+    /// where each output row starts at a multiple of `stride ≥ width`.
+    /// With `stride == width` this is a dense write; the pool uses
+    /// `stride` to let each worker compute its column strip into its own
+    /// narrow buffer while the main thread writes its strip straight into
+    /// the full-width destination. Every output element is overwritten
+    /// (no pre-zeroing needed). The argument list mirrors the GEMM
+    /// operands (block offsets and shapes); a parameter struct would just
+    /// rename them.
     #[allow(clippy::too_many_arguments)]
-    fn gemm_into(
+    pub(crate) fn gemm_strip(
         &self,
         a: &[f32],
         m: usize,
@@ -236,6 +258,7 @@ impl PackedMatrix {
         k_off: usize,
         col_lo: usize,
         width: usize,
+        stride: usize,
         out: &mut [f32],
     ) {
         let mut i = 0;
@@ -243,12 +266,12 @@ impl PackedMatrix {
             // Monomorphize the row-block height so the accumulator block
             // is a fixed-size array the compiler keeps in registers.
             match m - i {
-                1 => self.tile_rows::<1>(a, i, depth, k_off, col_lo, width, out),
-                2 => self.tile_rows::<2>(a, i, depth, k_off, col_lo, width, out),
-                3 => self.tile_rows::<3>(a, i, depth, k_off, col_lo, width, out),
-                4 => self.tile_rows::<4>(a, i, depth, k_off, col_lo, width, out),
-                5 => self.tile_rows::<5>(a, i, depth, k_off, col_lo, width, out),
-                _ => self.tile_rows::<MR>(a, i, depth, k_off, col_lo, width, out),
+                1 => self.tile_rows::<1>(a, i, depth, k_off, col_lo, width, stride, out),
+                2 => self.tile_rows::<2>(a, i, depth, k_off, col_lo, width, stride, out),
+                3 => self.tile_rows::<3>(a, i, depth, k_off, col_lo, width, stride, out),
+                4 => self.tile_rows::<4>(a, i, depth, k_off, col_lo, width, stride, out),
+                5 => self.tile_rows::<5>(a, i, depth, k_off, col_lo, width, stride, out),
+                _ => self.tile_rows::<MR>(a, i, depth, k_off, col_lo, width, stride, out),
             }
             i += (m - i).min(MR);
         }
@@ -258,7 +281,8 @@ impl PackedMatrix {
     /// lives in registers across the whole k-loop; each packed weight row
     /// segment is loaded once and reused by all `MB` activation rows.
     /// Every output accumulates over `k` ascending with a single
-    /// accumulator — bit-identical to the reference matmul.
+    /// accumulator — bit-identical to the reference matmul, and
+    /// independent of the `(col_lo, width)` strip an element lands in.
     // `kk` deliberately indexes both the activation rows and the packed
     // weight base address; an iterator over one of them would hide the
     // shared induction variable the vectorizer keys on.
@@ -271,6 +295,7 @@ impl PackedMatrix {
         k_off: usize,
         col_lo: usize,
         width: usize,
+        stride: usize,
         out: &mut [f32],
     ) {
         let a_rows: [&[f32]; MB] = core::array::from_fn(|r| &a[(i + r) * depth..][..depth]);
@@ -290,7 +315,7 @@ impl PackedMatrix {
                 }
             }
             for (r, acc_row) in acc.iter().enumerate() {
-                out[(i + r) * width + j..][..NR].copy_from_slice(acc_row);
+                out[(i + r) * stride + j..][..NR].copy_from_slice(acc_row);
             }
             j += NR;
         }
@@ -301,9 +326,246 @@ impl PackedMatrix {
                 for (kk, &av) in a_row.iter().enumerate() {
                     acc += av * self.data[(k_off + kk) * self.n + col_lo + j];
                 }
-                out[(i + r) * width + j] = acc;
+                out[(i + r) * stride + j] = acc;
             }
             j += 1;
+        }
+    }
+}
+
+/// A weight matrix quantized to int8 with one scale per *output channel*
+/// (column): `s_j = max_k |w[k][j]| / 127`, `q[k][j] =
+/// round(w[k][j] / s_j)` clamped to `[-127, 127]`. The GEMM microkernel
+/// accumulates `Σ_k a[k] · f32(q[k][j])` in f32 and multiplies by `s_j`
+/// once at the end — dequantization happens in-register, never as a
+/// materialized f32 copy of the weights.
+///
+/// # Error bound
+///
+/// Rounding puts each reconstructed weight within half a step of the
+/// original: `|w[k][j] − s_j·q[k][j]| ≤ s_j / 2`. An output column
+/// therefore satisfies
+///
+/// ```text
+/// |y_int8[j] − y_f32[j]| ≤ (s_j / 2) · ‖a‖₁ + ε_acc
+///                        = (max_k |w[k][j]| / 254) · ‖a‖₁ + ε_acc
+/// ```
+///
+/// where `‖a‖₁` is the L1 norm of the activation row and `ε_acc` covers
+/// f32 accumulation reassociation (a few ULPs of the running sum; the
+/// tests budget 1/64 of the rounding term for it). The proptest
+/// `int8_error_within_documented_bound` pins exactly this bound.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    /// Input dimension (rows of the logical weight).
+    pub k: usize,
+    /// Output dimension (columns of the logical weight).
+    pub n: usize,
+    /// `k × n` row-major int8 codes, same layout as [`PackedMatrix`].
+    data: Arc<Vec<i8>>,
+    /// Per-output-channel scales, `n` long.
+    scales: Arc<Vec<f32>>,
+}
+
+impl QuantMatrix {
+    /// Quantizes a `(k × n)` weight stored input-major. Deterministic:
+    /// `round` half-away-from-zero, scales derived only from the column
+    /// maxima.
+    #[must_use]
+    pub fn quantize(w: &Matrix) -> Self {
+        let (k, n) = (w.rows, w.cols);
+        let mut scales = vec![0.0f32; n];
+        for row in w.data.chunks_exact(n) {
+            for (s, &v) in scales.iter_mut().zip(row) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            *s /= 127.0;
+        }
+        let mut data = vec![0i8; k * n];
+        for (qrow, row) in data.chunks_exact_mut(n).zip(w.data.chunks_exact(n)) {
+            for ((q, &v), &s) in qrow.iter_mut().zip(row).zip(&scales) {
+                if s > 0.0 {
+                    *q = (v / s).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        QuantMatrix {
+            k,
+            n,
+            data: Arc::new(data),
+            scales: Arc::new(scales),
+        }
+    }
+
+    /// The scale of output channel `j`.
+    #[must_use]
+    pub fn scale(&self, j: usize) -> f32 {
+        self.scales[j]
+    }
+
+    /// Reconstructs the dequantized weights (`s_j · q[k][j]`) — test and
+    /// inspection helper, never on the hot path.
+    #[must_use]
+    pub fn dequantized(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.k, self.n);
+        for (row, qrow) in m
+            .data
+            .chunks_exact_mut(self.n)
+            .zip(self.data.chunks_exact(self.n))
+        {
+            for ((v, &q), &s) in row.iter_mut().zip(qrow).zip(self.scales.iter()) {
+                *v = s * f32::from(q);
+            }
+        }
+        m
+    }
+
+    /// Dense product into caller scratch, mirroring
+    /// [`PackedMatrix::matmul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k` or `out.len() != m * n`.
+    pub fn matmul_into(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        assert_eq!(a.len(), m * self.k, "activation shape");
+        assert_eq!(out.len(), m * self.n, "output shape");
+        self.gemm_strip(a, m, self.k, 0, 0, self.n, self.n, out);
+    }
+
+    /// Strip kernel with the same contract as
+    /// [`PackedMatrix::gemm_strip`], accumulating over int8 codes and
+    /// applying the per-channel scale once per output element.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gemm_strip(
+        &self,
+        a: &[f32],
+        m: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        stride: usize,
+        out: &mut [f32],
+    ) {
+        let mut i = 0;
+        while i < m {
+            match m - i {
+                1 => self.tile_rows_q::<1>(a, i, depth, k_off, col_lo, width, stride, out),
+                2 => self.tile_rows_q::<2>(a, i, depth, k_off, col_lo, width, stride, out),
+                3 => self.tile_rows_q::<3>(a, i, depth, k_off, col_lo, width, stride, out),
+                4 => self.tile_rows_q::<4>(a, i, depth, k_off, col_lo, width, stride, out),
+                5 => self.tile_rows_q::<5>(a, i, depth, k_off, col_lo, width, stride, out),
+                _ => self.tile_rows_q::<MR>(a, i, depth, k_off, col_lo, width, stride, out),
+            }
+            i += (m - i).min(MR);
+        }
+    }
+
+    /// Int8 twin of `PackedMatrix::tile_rows`: identical tiling, identical
+    /// accumulation order (so the threaded int8 path is bit-identical to
+    /// the serial int8 path); the only difference is the in-register
+    /// `i8 → f32` widening per weight load and the final scale multiply.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn tile_rows_q<const MB: usize>(
+        &self,
+        a: &[f32],
+        i: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        stride: usize,
+        out: &mut [f32],
+    ) {
+        let a_rows: [&[f32]; MB] = core::array::from_fn(|r| &a[(i + r) * depth..][..depth]);
+        let mut j = 0;
+        while j + NR <= width {
+            let mut acc = [[0.0f32; NR]; MB];
+            for kk in 0..depth {
+                let base = (k_off + kk) * self.n + col_lo + j;
+                let q: &[i8; NR] = self.data[base..base + NR]
+                    .try_into()
+                    .expect("NR-wide weight segment");
+                for r in 0..MB {
+                    let av = a_rows[r][kk];
+                    for (l, acc_l) in acc[r].iter_mut().enumerate() {
+                        *acc_l += av * f32::from(q[l]);
+                    }
+                }
+            }
+            let scales: &[f32; NR] = self.scales[col_lo + j..col_lo + j + NR]
+                .try_into()
+                .expect("NR-wide scale segment");
+            for r in 0..MB {
+                let dst = &mut out[(i + r) * stride + j..][..NR];
+                for (l, d) in dst.iter_mut().enumerate() {
+                    *d = acc[r][l] * scales[l];
+                }
+            }
+            j += NR;
+        }
+        while j < width {
+            let s = self.scales[col_lo + j];
+            for (r, a_row) in a_rows.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (kk, &av) in a_row.iter().enumerate() {
+                    acc += av * f32::from(self.data[(k_off + kk) * self.n + col_lo + j]);
+                }
+                out[(i + r) * stride + j] = acc * s;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// A GEMM operand the engine can dispatch without caring which precision
+/// tier backs it: both variants share the strip-kernel contract, so the
+/// worker pool schedules them identically.
+#[derive(Debug, Clone)]
+pub enum Kernel {
+    /// Full-precision packed weights (the default, bit-exact tier).
+    F32(PackedMatrix),
+    /// Int8 per-channel quantized weights (bounded-error tier).
+    Int8(QuantMatrix),
+}
+
+impl Kernel {
+    /// Input dimension.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        match self {
+            Kernel::F32(p) => p.k,
+            Kernel::Int8(q) => q.k,
+        }
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        match self {
+            Kernel::F32(p) => p.n,
+            Kernel::Int8(q) => q.n,
+        }
+    }
+
+    /// Strip kernel dispatch (see [`PackedMatrix::gemm_strip`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gemm_strip(
+        &self,
+        a: &[f32],
+        m: usize,
+        depth: usize,
+        k_off: usize,
+        col_lo: usize,
+        width: usize,
+        stride: usize,
+        out: &mut [f32],
+    ) {
+        match self {
+            Kernel::F32(p) => p.gemm_strip(a, m, depth, k_off, col_lo, width, stride, out),
+            Kernel::Int8(q) => q.gemm_strip(a, m, depth, k_off, col_lo, width, stride, out),
         }
     }
 }
@@ -403,7 +665,7 @@ fn sum_lanes(xs: &[f32], f: impl Fn(f32) -> f32) -> f32 {
 /// auto-vectorizes where `f32::exp` forces a scalar libm call per score.
 /// Both compute tiers share this function, keeping them bit-identical.
 #[inline]
-fn exp_fast(x: f32) -> f32 {
+pub(crate) fn exp_fast(x: f32) -> f32 {
     // Clamp keeps the exponent assembly in range; e^(z·ln2) for z below
     // -126 is zero at f32 precision anyway.
     let z = (x * std::f32::consts::LOG2_E).max(-126.0);
@@ -761,6 +1023,91 @@ mod tests {
             softmax_cols(&mut m, rows, cols, &mut tmp);
             assert_eq!(m, cols_ref, "cols {cols}");
         }
+    }
+
+    #[test]
+    fn gemm_strip_stride_matches_dense() {
+        // Writing a column strip into a wider destination (the worker-
+        // pool main-lane path) must produce the same bits as the dense
+        // product restricted to that strip.
+        let (m, k, n) = (5, 40, 48);
+        let a = test_act(m, k);
+        let b = test_weight(k, n);
+        let packed = PackedMatrix::pack(&b);
+        let mut dense = vec![0.0; m * n];
+        packed.matmul_into(&a.data, m, &mut dense);
+        let (lo, width) = (16, 24);
+        let mut strided = vec![99.0f32; m * n];
+        packed.gemm_strip(&a.data, m, k, 0, lo, width, n, &mut strided);
+        for r in 0..m {
+            // The strip lands at the *start* of each stride-wide row.
+            assert_eq!(
+                &dense[r * n + lo..r * n + lo + width],
+                &strided[r * n..r * n + width]
+            );
+            // Everything past the strip is untouched.
+            assert!(strided[r * n + width..(r + 1) * n]
+                .iter()
+                .all(|&v| v == 99.0));
+        }
+    }
+
+    #[test]
+    fn int8_quantization_roundtrip_bound() {
+        // Every reconstructed weight sits within half a quantization step
+        // of the original.
+        let w = test_weight(24, 33);
+        let q = QuantMatrix::quantize(&w);
+        let deq = q.dequantized();
+        for j in 0..w.cols {
+            let s = q.scale(j);
+            for kk in 0..w.rows {
+                let err = (w.row(kk)[j] - deq.row(kk)[j]).abs();
+                assert!(
+                    err <= s * 0.5 + 1e-7,
+                    "col {j} row {kk}: err {err} > s/2 {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_matmul_within_documented_bound() {
+        let (m, k, n) = (4, 64, 50);
+        let a = test_act(m, k);
+        let w = test_weight(k, n);
+        let q = QuantMatrix::quantize(&w);
+        let reference = a.matmul(&w);
+        let mut out = vec![0.0; m * n];
+        q.matmul_into(&a.data, m, &mut out);
+        for r in 0..m {
+            let a1: f32 = a.row(r).iter().map(|v| v.abs()).sum();
+            for j in 0..n {
+                let bound = q.scale(j) * 0.5 * a1 * (1.0 + 1.0 / 64.0) + 1e-6;
+                let err = (out[r * n + j] - reference.row(r)[j]).abs();
+                assert!(err <= bound, "row {r} col {j}: err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_matches_dequantized_reference_exactly_in_association() {
+        // The int8 kernel computes (Σ a·q)·s; the dequantized reference
+        // computes Σ a·(s·q). Not bit-equal in general, but close — and
+        // the int8 kernel must be deterministic across strip splits.
+        let (m, k, n) = (3, 32, 40);
+        let a = test_act(m, k);
+        let w = test_weight(k, n);
+        let q = QuantMatrix::quantize(&w);
+        let mut dense = vec![0.0; m * n];
+        q.matmul_into(&a.data, m, &mut dense);
+        // Split at an arbitrary non-tile-aligned column: strips must
+        // reproduce the dense bits exactly.
+        let split = 21;
+        let mut strips = vec![0.0f32; m * n];
+        q.gemm_strip(&a.data, m, k, 0, 0, split, n, &mut strips);
+        q.gemm_strip(&a.data, m, k, 0, split, n - split, n, &mut strips[split..]);
+        assert_eq!(dense, strips);
     }
 
     #[test]
