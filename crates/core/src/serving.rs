@@ -18,6 +18,7 @@ use distserve_placement::{
     high_affinity_placement, low_affinity_placement, materialize, vllm_plus_plus, SloSpec,
     TraceSource,
 };
+use distserve_router::{DecisionRecord, RouterPolicy};
 use distserve_telemetry::TelemetrySink;
 
 /// Plans placements for one model on one cluster.
@@ -257,6 +258,61 @@ pub fn serve_trace_with_faults(
     cfg.fidelity = fidelity;
     let sim = ServingSim::new(cfg, cost, cluster, specs)?;
     Ok(sim.with_faults(schedule, policy).with_sink(sink).run(trace))
+}
+
+/// [`serve_trace_with_sink`] in **routed** mode: the cluster router
+/// (`distserve_router::route`) decides every arrival's execution path
+/// under `policy`, mixed split/colocated fleets are allowed, and the
+/// returned decision log replays the run exactly via
+/// [`serve_trace_replayed`]. Telemetry and attribution flow through the
+/// identical sink plumbing as direct runs.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures (invalid deployments or
+/// routed topologies).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_routed(
+    cost: &dyn CostModel,
+    cluster: &Cluster,
+    arch: &ModelArch,
+    specs: Vec<InstanceSpec>,
+    trace: &distserve_workload::Trace,
+    fidelity: FidelityConfig,
+    seed: u64,
+    policy: RouterPolicy,
+    sink: &dyn TelemetrySink,
+) -> Result<(SimOutcome, Vec<DecisionRecord>), String> {
+    let mut cfg = SimConfig::new(arch.clone()).with_seed(seed);
+    cfg.fidelity = fidelity;
+    let sim = ServingSim::new_routed(cfg, cost, cluster, specs, policy)?;
+    Ok(sim.with_sink(sink).run_logged(trace))
+}
+
+/// Replays a routed run from its decision log: with the same
+/// configuration, trace, and seed as the [`serve_trace_routed`] call
+/// that produced `log`, the outcome is byte-identical. The replay
+/// harness in `tests/` gates on this.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures and malformed log records.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_replayed(
+    cost: &dyn CostModel,
+    cluster: &Cluster,
+    arch: &ModelArch,
+    specs: Vec<InstanceSpec>,
+    trace: &distserve_workload::Trace,
+    fidelity: FidelityConfig,
+    seed: u64,
+    log: &[DecisionRecord],
+    sink: &dyn TelemetrySink,
+) -> Result<(SimOutcome, Vec<DecisionRecord>), String> {
+    let mut cfg = SimConfig::new(arch.clone()).with_seed(seed);
+    cfg.fidelity = fidelity;
+    let sim = ServingSim::new_replayed(cfg, cost, cluster, specs, log)?;
+    Ok(sim.with_sink(sink).run_logged(trace))
 }
 
 /// One point of a rate or SLO-scale sweep.
@@ -520,6 +576,52 @@ mod tests {
         // The exporters work off a full serve: the trace JSON carries at
         // least one slice for the instance.
         assert!(snap.perfetto_json().contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn routed_serving_records_same_telemetry_shape_and_replays() {
+        let cost = RooflineModel::a100();
+        let cluster = Cluster::single_node(4);
+        let arch = OptModel::Opt13B.arch();
+        let planner = Planner::new(&cost, &cluster, arch.clone());
+        let vllm = planner.plan_vllm(ParallelismConfig::SINGLE, 2).unwrap();
+        let specs = planner.materialize(&vllm).unwrap();
+        let trace = source().make_trace(3.0, 60, 5);
+        let rec = distserve_telemetry::Recorder::new();
+        let (outcome, log) = serve_trace_routed(
+            &cost,
+            &cluster,
+            &arch,
+            specs.clone(),
+            &trace,
+            FidelityConfig::ideal(),
+            5,
+            distserve_router::RouterPolicy::default(),
+            &rec,
+        )
+        .unwrap();
+        assert_eq!(outcome.records.len() + outcome.rejected.len(), 60);
+        // Routed runs feed the same lifecycle stream as direct runs.
+        let snap = rec.snapshot();
+        assert_eq!(snap.lifecycles().len(), 60);
+        for lc in snap.lifecycles().values() {
+            lc.validate().unwrap();
+        }
+        // And the log replays to the identical outcome.
+        let (replayed, _) = serve_trace_replayed(
+            &cost,
+            &cluster,
+            &arch,
+            specs,
+            &trace,
+            FidelityConfig::ideal(),
+            5,
+            &log,
+            &distserve_telemetry::NOOP,
+        )
+        .unwrap();
+        assert_eq!(outcome.records, replayed.records);
+        assert_eq!(outcome.rejected, replayed.rejected);
     }
 
     #[test]

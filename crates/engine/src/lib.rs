@@ -25,12 +25,16 @@
 //! * [`batching`] — the prefill batch former (`L_m` policy, §4.3).
 //! * [`spec`] — instance and simulation configuration.
 //! * [`sim`] — the event loop tying everything together.
+//! * `routing` — the cluster router attachment: routed dispatch via
+//!   the pure `distserve_router::route` core, decision logging, and
+//!   deterministic replay.
 
 pub mod batching;
 pub mod fidelity;
 pub mod kvcache;
 pub mod pipeline;
 pub mod request;
+pub(crate) mod routing;
 pub mod sim;
 pub mod spec;
 

@@ -1,0 +1,90 @@
+//! Router integration for the serving simulator.
+//!
+//! In routed mode ([`crate::ServingSim::new_routed`]) every arrival —
+//! and every fault-driven re-dispatch — is decided by the pure
+//! `distserve_router::route` core instead of the built-in
+//! shortest-queue heuristics. [`RouterCtl`] owns the persistent
+//! [`RouterState`] (refreshed in place per consultation, so the hot
+//! path allocates nothing) and the decision log. Replay mode swaps the
+//! decision core for the recorded log: the simulator asks the same
+//! questions in the same order and gets the same answers, which is what
+//! makes a routed run reproducible byte-for-byte from its log.
+
+use std::collections::VecDeque;
+
+use distserve_router::{
+    route, Decision, DecisionRecord, ReplicaSnapshot, RequestFeatures, RouterPolicy, RouterState,
+};
+use distserve_simcore::FastHashMap;
+
+/// Where routing verdicts come from.
+enum RouterMode {
+    /// Consult the decision core against a fresh state snapshot.
+    Live(Box<RouterState>),
+    /// Pop pre-recorded decisions, per request in consultation order.
+    Replay(FastHashMap<u64, VecDeque<Decision>>),
+}
+
+/// The simulator's router attachment: decision source plus log.
+pub(crate) struct RouterCtl {
+    mode: RouterMode,
+    /// Every verdict issued this run, in decision order. A request that
+    /// queues appears once per consultation.
+    pub(crate) log: Vec<DecisionRecord>,
+}
+
+impl RouterCtl {
+    /// Live mode over `initial` replica snapshots (typically all idle;
+    /// they are rewritten on every consultation).
+    pub(crate) fn live(initial: Vec<ReplicaSnapshot>, policy: RouterPolicy, seed: u64) -> Self {
+        RouterCtl {
+            mode: RouterMode::Live(Box::new(RouterState::new(initial, policy, seed))),
+            log: Vec::new(),
+        }
+    }
+
+    /// Replay mode over a recorded decision log.
+    pub(crate) fn replay(records: &[DecisionRecord]) -> Result<Self, String> {
+        let mut per_request: FastHashMap<u64, VecDeque<Decision>> = FastHashMap::default();
+        for rec in records {
+            per_request
+                .entry(rec.request)
+                .or_default()
+                .push_back(rec.decision()?);
+        }
+        Ok(RouterCtl {
+            mode: RouterMode::Replay(per_request),
+            log: Vec::new(),
+        })
+    }
+
+    /// Issues the verdict for `req` given the current fleet `snapshots`
+    /// (ignored in replay mode) and appends it to the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics in replay mode when the log holds no further decision for
+    /// this request — the log does not match the run being replayed.
+    pub(crate) fn consult<I>(&mut self, snapshots: I, req: &RequestFeatures) -> Decision
+    where
+        I: IntoIterator<Item = ReplicaSnapshot>,
+    {
+        let decision = match &mut self.mode {
+            RouterMode::Live(state) => {
+                state.refresh(snapshots);
+                route(state, req)
+            }
+            RouterMode::Replay(per_request) => per_request
+                .get_mut(&req.id)
+                .and_then(VecDeque::pop_front)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "replay log exhausted for request {}: log/run mismatch",
+                        req.id
+                    )
+                }),
+        };
+        self.log.push(DecisionRecord::new(req.id, &decision));
+        decision
+    }
+}

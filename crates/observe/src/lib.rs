@@ -39,6 +39,6 @@ pub use attribution::{
 };
 pub use bottleneck::{diagnose, BindingSlo, BottleneckReport, InstanceReport};
 pub use dashboard::render_dashboard;
-pub use live::{InstanceUse, ObserverSink};
+pub use live::{InstanceLoad, InstanceUse, ObserverSink};
 pub use serve::{http_get, MetricsServer, Provider};
 pub use window::{BucketStats, SloWindow, WindowStats};

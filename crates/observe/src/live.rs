@@ -11,7 +11,9 @@ use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 
-use distserve_telemetry::{Event, LifecycleEvent, RequestKey, Slice, TelemetrySink, TrackId};
+use distserve_telemetry::{
+    metrics, Event, LifecycleEvent, RequestKey, Slice, TelemetrySink, TrackId,
+};
 
 use crate::window::{BucketStats, SloWindow, WindowStats};
 
@@ -50,12 +52,49 @@ pub struct InstanceUse {
     pub tokens: u64,
 }
 
+/// Last-seen load gauges for one track, stamped with the observer clock.
+#[derive(Debug, Clone, Copy, Default)]
+struct LoadGauges {
+    queued_tokens: f64,
+    decode_load: f64,
+    kv_utilization: f64,
+    /// Observer-clock time of the last gauge update.
+    stamped: f64,
+}
+
+/// Per-instance load as the router frontend reads it. Values come from
+/// the engine's queue/decode/KV gauges; an instance with **no** gauge
+/// sample inside the live window reports all-zero load (never a stale
+/// last value — an idle instance stops emitting gauges precisely
+/// because nothing is happening on it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceLoad {
+    /// Telemetry track id (= engine instance index).
+    pub track: TrackId,
+    /// Prompt tokens waiting in the prefill queue.
+    pub queued_tokens: f64,
+    /// Active decode slots (group members + overflow + pending pulls).
+    pub decode_load: f64,
+    /// KV pool occupancy in `[0, 1]`.
+    pub kv_utilization: f64,
+    /// Seconds since the last gauge sample (`f64::INFINITY` when the
+    /// track never reported).
+    pub age_secs: f64,
+}
+
 #[derive(Debug)]
 struct Inner {
     window: SloWindow,
     pending: HashMap<RequestKey, Pending>,
     tracks: BTreeMap<TrackId, TrackUse>,
     names: BTreeMap<TrackId, String>,
+    loads: BTreeMap<TrackId, LoadGauges>,
+    /// Latest telemetry timestamp seen (events and slices carry times;
+    /// gauges are stamped with this clock on arrival).
+    clock: f64,
+    /// Freshness horizon for [`ObserverSink::load_snapshot`]: the live
+    /// window span.
+    horizon_secs: f64,
 }
 
 /// A [`TelemetrySink`] that maintains windowed SLO attainment and
@@ -76,6 +115,9 @@ impl ObserverSink {
                 pending: HashMap::new(),
                 tracks: BTreeMap::new(),
                 names: BTreeMap::new(),
+                loads: BTreeMap::new(),
+                clock: 0.0,
+                horizon_secs: bucket_secs * buckets as f64,
             }),
         }
     }
@@ -130,6 +172,48 @@ impl ObserverSink {
     pub fn in_flight(&self) -> usize {
         self.inner.lock().pending.len()
     }
+
+    /// Per-instance load snapshot for the router frontend, one entry per
+    /// known track in track order.
+    ///
+    /// A track whose last gauge sample is older than the live window —
+    /// or that never emitted one — reports **zero** load, not the stale
+    /// last value: a drained instance stops emitting queue gauges, and
+    /// carrying its final (possibly busy) reading forward would make the
+    /// router forever avoid exactly the replicas that are free. (Same bug
+    /// class as the prefill-gauge fix in the attribution layer.)
+    #[must_use]
+    pub fn load_snapshot(&self) -> Vec<InstanceLoad> {
+        let inner = self.inner.lock();
+        inner
+            .names
+            .keys()
+            .chain(inner.loads.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|track| {
+                let sample = inner.loads.get(&track);
+                let age = sample.map_or(f64::INFINITY, |s| inner.clock - s.stamped);
+                match sample {
+                    Some(s) if age <= inner.horizon_secs => InstanceLoad {
+                        track,
+                        queued_tokens: s.queued_tokens,
+                        decode_load: s.decode_load,
+                        kv_utilization: s.kv_utilization,
+                        age_secs: age,
+                    },
+                    _ => InstanceLoad {
+                        track,
+                        queued_tokens: 0.0,
+                        decode_load: 0.0,
+                        kv_utilization: 0.0,
+                        age_secs: age,
+                    },
+                }
+            })
+            .collect()
+    }
 }
 
 impl TelemetrySink for ObserverSink {
@@ -139,6 +223,7 @@ impl TelemetrySink for ObserverSink {
 
     fn event(&self, ev: Event) {
         let mut inner = self.inner.lock();
+        inner.clock = inner.clock.max(ev.time_s);
         match ev.kind {
             LifecycleEvent::Arrived => {
                 inner.pending.insert(
@@ -183,6 +268,7 @@ impl TelemetrySink for ObserverSink {
 
     fn slice(&self, s: Slice) {
         let mut inner = self.inner.lock();
+        inner.clock = inner.clock.max(s.end_s);
         let u = inner.tracks.entry(s.track).or_insert(TrackUse {
             first_start: s.start_s,
             last_end: s.end_s,
@@ -197,6 +283,19 @@ impl TelemetrySink for ObserverSink {
 
     fn declare_track(&self, id: TrackId, name: &str) {
         self.inner.lock().names.insert(id, name.to_string());
+    }
+
+    fn gauge_set(&self, name: &'static str, instance: TrackId, value: f64) {
+        let mut inner = self.inner.lock();
+        let clock = inner.clock;
+        let g = inner.loads.entry(instance).or_default();
+        match name {
+            metrics::PREFILL_QUEUE_TOKENS => g.queued_tokens = value,
+            metrics::DECODE_LOAD => g.decode_load = value,
+            metrics::KV_UTILIZATION => g.kv_utilization = value,
+            _ => return,
+        }
+        g.stamped = clock;
     }
 }
 
@@ -279,5 +378,66 @@ mod tests {
         assert!((u[0].utilization - 0.5).abs() < 1e-12);
         assert_eq!(u[1].name, "track 1");
         assert_eq!(u[1].tokens, 2);
+    }
+
+    #[test]
+    fn load_snapshot_reads_fresh_gauges() {
+        use LifecycleEvent as E;
+        let obs = ObserverSink::new(0.25, 0.1, 1.0, 16);
+        obs.declare_track(0, "prefill[0]");
+        obs.declare_track(1, "decode[1]");
+        obs.event(ev(1, 5.0, E::Arrived));
+        obs.gauge_set(metrics::PREFILL_QUEUE_TOKENS, 0, 512.0);
+        obs.gauge_set(metrics::DECODE_LOAD, 1, 7.0);
+        obs.gauge_set(metrics::KV_UTILIZATION, 1, 0.4);
+        let snap = obs.load_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].queued_tokens, 512.0);
+        assert_eq!(snap[1].decode_load, 7.0);
+        assert_eq!(snap[1].kv_utilization, 0.4);
+        assert_eq!(snap[0].age_secs, 0.0);
+    }
+
+    /// Regression: an instance whose gauges went quiet must read as
+    /// idle, not at its last (stale) load. Same bug class as the
+    /// prefill-gauge staleness fix in the attribution layer: a drained
+    /// instance emits no gauges precisely because it has no work, and a
+    /// router trusting the stale value would shun the freest replica.
+    #[test]
+    fn load_snapshot_stale_gauges_fall_back_to_zero() {
+        use LifecycleEvent as E;
+        // 16 × 1 s live window.
+        let obs = ObserverSink::new(0.25, 0.1, 1.0, 16);
+        obs.declare_track(0, "prefill[0]");
+        obs.declare_track(1, "prefill[1]");
+        // Both instances report load early.
+        obs.event(ev(1, 1.0, E::Arrived));
+        obs.gauge_set(metrics::PREFILL_QUEUE_TOKENS, 0, 4096.0);
+        obs.gauge_set(metrics::PREFILL_QUEUE_TOKENS, 1, 4096.0);
+        // Much later, only instance 1 is still reporting.
+        obs.event(ev(2, 100.0, E::Arrived));
+        obs.gauge_set(metrics::PREFILL_QUEUE_TOKENS, 1, 64.0);
+        let snap = obs.load_snapshot();
+        // Instance 0's sample is 99 s old — outside the 16 s window: it
+        // must read as zero, not 4096.
+        assert_eq!(snap[0].queued_tokens, 0.0);
+        assert!((snap[0].age_secs - 99.0).abs() < 1e-9);
+        assert_eq!(snap[1].queued_tokens, 64.0);
+    }
+
+    /// A track that never emitted a gauge reads as zero with infinite
+    /// age (not missing from the snapshot).
+    #[test]
+    fn load_snapshot_covers_silent_tracks() {
+        let obs = ObserverSink::new(0.25, 0.1, 1.0, 16);
+        obs.declare_track(0, "prefill[0]");
+        obs.declare_track(1, "decode[1]");
+        obs.gauge_set(metrics::DECODE_LOAD, 1, 3.0);
+        let snap = obs.load_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].queued_tokens, 0.0);
+        assert_eq!(snap[0].decode_load, 0.0);
+        assert!(snap[0].age_secs.is_infinite());
+        assert_eq!(snap[1].decode_load, 3.0);
     }
 }

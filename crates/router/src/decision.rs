@@ -1,0 +1,687 @@
+//! The pure routing decision core.
+//!
+//! `route(&RouterState, &RequestFeatures) -> Decision` is a total,
+//! deterministic function: no clocks, no RNG draws, no interior
+//! mutability. Everything the router knows is in [`RouterState`]
+//! (replica snapshots + policy + a tie-breaking seed) and everything
+//! about the request is in [`RequestFeatures`]. Identical inputs produce
+//! identical decisions, which is what makes the decision log replayable
+//! and the core property-testable.
+//!
+//! ## Scoring
+//!
+//! All scores are integer token-equivalents (no float accumulation, so
+//! cross-platform determinism is trivial). For a request with prompt
+//! length `p` and predicted decode length `g`:
+//!
+//! - **split P/D path** via prefill replica `P` and decode replica `D`:
+//!   `score = load(P) + p + transfer_penalty_tokens + load(D) + g`
+//! - **colocated path** via replica `C`:
+//!   `score = load(C) + p + g + p·active(C)·coloc_interference_num /
+//!   coloc_interference_den`
+//!
+//! where `load(r) = queued_tokens + inflight_tokens +
+//! active_decodes·decode_load_weight`. The last colocated term is the
+//! paper's prefill/decoding interference: a long prompt executed on an
+//! instance with many active decodes stalls all of them, so its cost
+//! grows with `p × active`. At low load colocation wins (no KV transfer);
+//! under decode pressure or with long prompts the split path wins —
+//! exactly the EcoServe-style path migration the router exists for.
+//!
+//! ## Admission
+//!
+//! A replica is *eligible* when its health accepts new work and its
+//! prefill queue depth is under `queue_cap`. When no eligible replica
+//! exists on any viable path but some replica still accepts work, the
+//! router queues the request (bounded wait: retry every
+//! `retry_gap_secs`, shed once `waited_secs + retry_gap_secs >
+//! max_wait_secs`). Sheds therefore only happen above the configured
+//! capacity bound — a property test enforces this.
+
+use distserve_faults::InstanceHealth;
+
+/// Index of a replica within [`RouterState`] (and within the engine's
+/// instance vector when the state was built from a simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId(pub u32);
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica{}", self.0)
+    }
+}
+
+/// What a replica can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Dedicated prefill instance (split P/D path).
+    Prefill,
+    /// Dedicated decoding instance (split P/D path).
+    Decode,
+    /// vLLM-style instance running both phases.
+    Colocated,
+}
+
+/// Point-in-time view of one replica, as the router sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaSnapshot {
+    /// Replica identity.
+    pub id: ReplicaId,
+    /// Execution role.
+    pub role: ReplicaRole,
+    /// Health state (Down/Draining replicas are never selected).
+    pub health: InstanceHealth,
+    /// Requests waiting in the prefill queue (admission control input).
+    pub queue_depth: u32,
+    /// Prompt tokens waiting in the prefill queue.
+    pub queued_tokens: u64,
+    /// Prompt tokens launched but not finished prefilling.
+    pub inflight_tokens: u64,
+    /// Requests actively decoding on this replica.
+    pub active_decodes: u32,
+    /// KV pool occupancy in `[0, 1]`.
+    pub kv_utilization: f64,
+}
+
+impl ReplicaSnapshot {
+    /// An idle, healthy replica (useful as a baseline in tests).
+    #[must_use]
+    pub fn idle(id: ReplicaId, role: ReplicaRole) -> Self {
+        ReplicaSnapshot {
+            id,
+            role,
+            health: InstanceHealth::Up,
+            queue_depth: 0,
+            queued_tokens: 0,
+            inflight_tokens: 0,
+            active_decodes: 0,
+            kv_utilization: 0.0,
+        }
+    }
+
+    /// Load in token-equivalents under `policy`.
+    #[must_use]
+    pub fn load(&self, policy: &RouterPolicy) -> u64 {
+        self.queued_tokens
+            + self.inflight_tokens
+            + u64::from(self.active_decodes) * policy.decode_load_weight
+    }
+}
+
+/// Router configuration: scoring weights and the admission policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterPolicy {
+    /// Per-replica prefill-queue depth above which the replica stops
+    /// being eligible for new arrivals (the admission capacity bound).
+    pub queue_cap: u32,
+    /// Total time a request may wait in the router queue before it is
+    /// shed. `0.0` sheds immediately under overload.
+    pub max_wait_secs: f64,
+    /// Requeue interval while waiting for capacity.
+    pub retry_gap_secs: f64,
+    /// Token-equivalents of load contributed by one active decode.
+    pub decode_load_weight: u64,
+    /// Fixed token-equivalent cost of the split path's KV transfer.
+    pub transfer_penalty_tokens: u64,
+    /// Interference scaling for colocated prefills, as the rational
+    /// `num/den` applied to `prompt × active_decodes`. Keep this small:
+    /// interference is a transient per-step stall, and overpricing it
+    /// herds all traffic onto the dedicated prefill lanes while the
+    /// colocated lanes idle (exactly the TTFT collapse the router is
+    /// supposed to prevent).
+    pub coloc_interference_num: u64,
+    /// Denominator of the interference scaling (never zero).
+    pub coloc_interference_den: u64,
+}
+
+impl Default for RouterPolicy {
+    fn default() -> Self {
+        RouterPolicy {
+            queue_cap: 64,
+            max_wait_secs: 2.0,
+            retry_gap_secs: 0.25,
+            decode_load_weight: 32,
+            transfer_penalty_tokens: 96,
+            coloc_interference_num: 1,
+            coloc_interference_den: 64,
+        }
+    }
+}
+
+/// Everything the decision core consults: replica snapshots, policy, and
+/// the deterministic tie-breaking seed. Replicas are indexed by
+/// `(role, load-bucket)` so selection scans the lowest-loaded bucket
+/// instead of the whole fleet.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    replicas: Vec<ReplicaSnapshot>,
+    policy: RouterPolicy,
+    seed: u64,
+    index: RoleIndex,
+}
+
+/// Number of logarithmic load buckets per role.
+const BUCKETS: usize = 16;
+
+/// Bucket for a load value: 0 for idle, then log₂-spaced so that "an
+/// order of magnitude more work" lands a few buckets away regardless of
+/// fleet scale.
+fn bucket_of(load: u64) -> usize {
+    if load == 0 {
+        0
+    } else {
+        ((64 - load.leading_zeros()) as usize)
+            .div_ceil(4)
+            .min(BUCKETS - 1)
+    }
+}
+
+fn role_slot(role: ReplicaRole) -> usize {
+    match role {
+        ReplicaRole::Prefill => 0,
+        ReplicaRole::Decode => 1,
+        ReplicaRole::Colocated => 2,
+    }
+}
+
+/// `(role, load-bucket)` index over the replica set. Buckets hold
+/// replica indices; each replica remembers its `(bucket, slot)` so load
+/// updates move it in O(1) (swap-remove).
+#[derive(Debug, Clone, Default)]
+struct RoleIndex {
+    buckets: [[Vec<u32>; BUCKETS]; 3],
+    /// Per replica: `(bucket, slot within bucket)`.
+    pos: Vec<(u32, u32)>,
+}
+
+impl RoleIndex {
+    fn rebuild(&mut self, replicas: &[ReplicaSnapshot], policy: &RouterPolicy) {
+        for role in &mut self.buckets {
+            for b in role.iter_mut() {
+                b.clear();
+            }
+        }
+        self.pos.clear();
+        self.pos.resize(replicas.len(), (0, 0));
+        for (i, r) in replicas.iter().enumerate() {
+            let b = bucket_of(r.load(policy));
+            let lane = &mut self.buckets[role_slot(r.role)][b];
+            self.pos[i] = (b as u32, lane.len() as u32);
+            lane.push(i as u32);
+        }
+    }
+
+    fn relocate(&mut self, i: usize, role: ReplicaRole, new_bucket: usize) {
+        let (old_b, old_s) = self.pos[i];
+        if old_b as usize == new_bucket {
+            return;
+        }
+        let lane = &mut self.buckets[role_slot(role)][old_b as usize];
+        lane.swap_remove(old_s as usize);
+        if let Some(&moved) = lane.get(old_s as usize) {
+            self.pos[moved as usize].1 = old_s;
+        }
+        let lane = &mut self.buckets[role_slot(role)][new_bucket];
+        self.pos[i] = (new_bucket as u32, lane.len() as u32);
+        lane.push(i as u32);
+    }
+}
+
+/// SplitMix64 finalizer: the deterministic tie-break hash.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RouterState {
+    /// Builds a state over `replicas` (snapshot ids must equal their
+    /// vector position) with tie-breaks salted by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot's id disagrees with its position or the
+    /// policy's interference denominator is zero.
+    #[must_use]
+    pub fn new(replicas: Vec<ReplicaSnapshot>, policy: RouterPolicy, seed: u64) -> Self {
+        assert!(policy.coloc_interference_den > 0, "zero denominator");
+        for (i, r) in replicas.iter().enumerate() {
+            assert_eq!(r.id.0 as usize, i, "replica id must match position");
+        }
+        let mut index = RoleIndex::default();
+        index.rebuild(&replicas, &policy);
+        RouterState {
+            replicas,
+            policy,
+            seed,
+            index,
+        }
+    }
+
+    /// The replica snapshots, in id order.
+    #[must_use]
+    pub fn replicas(&self) -> &[ReplicaSnapshot] {
+        &self.replicas
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> &RouterPolicy {
+        &self.policy
+    }
+
+    /// The tie-breaking seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rewrites the snapshot set in place, reusing all allocations (the
+    /// engine refreshes one persistent state per arrival instead of
+    /// building a new one).
+    pub fn refresh<I: IntoIterator<Item = ReplicaSnapshot>>(&mut self, replicas: I) {
+        self.replicas.clear();
+        self.replicas.extend(replicas);
+        for (i, r) in self.replicas.iter().enumerate() {
+            assert_eq!(r.id.0 as usize, i, "replica id must match position");
+        }
+        self.index.rebuild(&self.replicas, &self.policy);
+    }
+
+    /// Applies `edit` to one snapshot and re-files it under its new load
+    /// bucket in O(1). This is the scale simulator's hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `edit` changes the role.
+    pub fn update(&mut self, id: ReplicaId, edit: impl FnOnce(&mut ReplicaSnapshot)) {
+        let i = id.0 as usize;
+        let role = self.replicas[i].role;
+        edit(&mut self.replicas[i]);
+        assert!(self.replicas[i].role == role, "role is immutable");
+        let b = bucket_of(self.replicas[i].load(&self.policy));
+        self.index.relocate(i, role, b);
+    }
+
+    /// Least-loaded replica of `role` passing `eligible`, scanning load
+    /// buckets from emptiest. Ties break on `mix(seed ^ id)` so equal
+    /// replicas share work instead of herding onto the lowest id.
+    fn best(
+        &self,
+        role: ReplicaRole,
+        mut eligible: impl FnMut(&ReplicaSnapshot) -> bool,
+    ) -> Option<&ReplicaSnapshot> {
+        for lane in &self.index.buckets[role_slot(role)] {
+            let mut found: Option<(u64, u64, &ReplicaSnapshot)> = None;
+            for &i in lane {
+                let r = &self.replicas[i as usize];
+                if !eligible(r) {
+                    continue;
+                }
+                let key = (r.load(&self.policy), mix(self.seed ^ u64::from(r.id.0)));
+                match found {
+                    Some((l, t, _)) if (key.0, key.1) >= (l, t) => {}
+                    _ => found = Some((key.0, key.1, r)),
+                }
+            }
+            if let Some((_, _, r)) = found {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Whether any replica of `role` currently accepts new work.
+    fn any_accepting(&self, role: ReplicaRole) -> bool {
+        self.replicas
+            .iter()
+            .any(|r| r.role == role && r.health.accepts_new_work())
+    }
+}
+
+/// Feature vector of one arriving request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestFeatures {
+    /// Request identity (only used for logging/tie-breaks, never for
+    /// ordering decisions).
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub prompt_len: u32,
+    /// Estimated decode length in tokens (a predictor output; the sim
+    /// harness uses the oracle value).
+    pub predicted_decode_len: u32,
+    /// Time this request has already spent queued at the router.
+    pub waited_secs: f64,
+    /// Re-dispatch after a fault: the system already admitted this
+    /// request once, so admission control is bypassed.
+    pub readmission: bool,
+}
+
+impl RequestFeatures {
+    /// Features for a fresh arrival.
+    #[must_use]
+    pub fn arrival(id: u64, prompt_len: u32, predicted_decode_len: u32) -> Self {
+        RequestFeatures {
+            id,
+            prompt_len,
+            predicted_decode_len,
+            waited_secs: 0.0,
+            readmission: false,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Every eligible replica is at or over `queue_cap` and the wait
+    /// budget is exhausted.
+    OverCapacity,
+    /// No healthy replica can execute the request on any path.
+    NoCapablePath,
+}
+
+/// The routing verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Execute split: prefill on `prefill`, decode on the hinted replica
+    /// (the engine re-binds decode at prefill completion per §4.3; the
+    /// scale simulator uses the hint directly).
+    Disagg {
+        /// Chosen prefill replica.
+        prefill: ReplicaId,
+        /// Least-loaded decode replica at decision time.
+        decode: ReplicaId,
+    },
+    /// Execute both phases on one colocated replica.
+    Coloc {
+        /// Chosen colocated replica.
+        replica: ReplicaId,
+    },
+    /// All paths over capacity: hold the request and re-route after this
+    /// many seconds.
+    Queue {
+        /// Retry delay, seconds.
+        retry_after_secs: f64,
+    },
+    /// Reject the request.
+    Shed {
+        /// Why it was rejected.
+        reason: ShedReason,
+    },
+}
+
+/// Routes one request. Pure and deterministic: identical
+/// `(RouterState, RequestFeatures)` pairs (including the state's seed)
+/// always produce identical decisions.
+#[must_use]
+pub fn route(state: &RouterState, req: &RequestFeatures) -> Decision {
+    let policy = state.policy;
+    let cap = policy.queue_cap;
+    let eligible = |r: &ReplicaSnapshot| {
+        r.health.accepts_new_work() && (req.readmission || r.queue_depth < cap)
+    };
+
+    let prompt = u64::from(req.prompt_len);
+    let predicted = u64::from(req.predicted_decode_len);
+
+    // Split path: needs an eligible prefill replica and an accepting
+    // decode replica (decode admission happens at transfer time against
+    // KV capacity, not queue depth).
+    let split = state.best(ReplicaRole::Prefill, eligible).and_then(|p| {
+        let d = state.best(ReplicaRole::Decode, |r| r.health.accepts_new_work())?;
+        let score =
+            p.load(&policy) + prompt + policy.transfer_penalty_tokens + d.load(&policy) + predicted;
+        Some((score, p.id, d.id))
+    });
+
+    // Colocated path: one replica runs both phases; its cost includes
+    // the prefill/decoding interference term.
+    let coloc = state.best(ReplicaRole::Colocated, eligible).map(|c| {
+        let interference = prompt * u64::from(c.active_decodes) * policy.coloc_interference_num
+            / policy.coloc_interference_den;
+        let score = c.load(&policy) + prompt + predicted + interference;
+        (score, c.id)
+    });
+
+    match (split, coloc) {
+        (Some((s, p, d)), Some((c, _))) if s <= c => Decision::Disagg {
+            prefill: p,
+            decode: d,
+        },
+        (_, Some((_, c))) => Decision::Coloc { replica: c },
+        (Some((_, p, d)), None) => Decision::Disagg {
+            prefill: p,
+            decode: d,
+        },
+        (None, None) => {
+            // No eligible replica. If something still accepts work the
+            // fleet is merely over its queue cap: wait (bounded) for
+            // capacity. Otherwise nothing can run the request at all.
+            let split_accepts = state.any_accepting(ReplicaRole::Prefill)
+                && state.any_accepting(ReplicaRole::Decode);
+            let path_exists = split_accepts || state.any_accepting(ReplicaRole::Colocated);
+            if !path_exists {
+                return Decision::Shed {
+                    reason: ShedReason::NoCapablePath,
+                };
+            }
+            if req.waited_secs + policy.retry_gap_secs <= policy.max_wait_secs {
+                Decision::Queue {
+                    retry_after_secs: policy.retry_gap_secs,
+                }
+            } else {
+                Decision::Shed {
+                    reason: ShedReason::OverCapacity,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(spec: &[(ReplicaRole, u64, u32)]) -> Vec<ReplicaSnapshot> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(role, queued_tokens, queue_depth))| ReplicaSnapshot {
+                queued_tokens,
+                queue_depth,
+                ..ReplicaSnapshot::idle(ReplicaId(i as u32), role)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_least_loaded_prefill() {
+        let state = RouterState::new(
+            fleet(&[
+                (ReplicaRole::Prefill, 4000, 3),
+                (ReplicaRole::Prefill, 10, 1),
+                (ReplicaRole::Decode, 0, 0),
+            ]),
+            RouterPolicy::default(),
+            7,
+        );
+        let d = route(&state, &RequestFeatures::arrival(0, 512, 64));
+        assert_eq!(
+            d,
+            Decision::Disagg {
+                prefill: ReplicaId(1),
+                decode: ReplicaId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn idle_coloc_beats_split_transfer_cost() {
+        // With everything idle the colocated path avoids the KV
+        // transfer penalty and wins.
+        let state = RouterState::new(
+            fleet(&[
+                (ReplicaRole::Prefill, 0, 0),
+                (ReplicaRole::Decode, 0, 0),
+                (ReplicaRole::Colocated, 0, 0),
+            ]),
+            RouterPolicy::default(),
+            7,
+        );
+        let d = route(&state, &RequestFeatures::arrival(0, 256, 64));
+        assert_eq!(
+            d,
+            Decision::Coloc {
+                replica: ReplicaId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn long_prompt_under_decode_pressure_splits() {
+        let mut replicas = fleet(&[
+            (ReplicaRole::Prefill, 0, 0),
+            (ReplicaRole::Decode, 0, 0),
+            (ReplicaRole::Colocated, 0, 0),
+        ]);
+        replicas[2].active_decodes = 48;
+        let state = RouterState::new(replicas, RouterPolicy::default(), 7);
+        let d = route(&state, &RequestFeatures::arrival(0, 1024, 64));
+        assert!(
+            matches!(d, Decision::Disagg { .. }),
+            "interference must push the long prompt to the split path, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn down_replicas_never_selected() {
+        let mut replicas = fleet(&[
+            (ReplicaRole::Prefill, 0, 0),
+            (ReplicaRole::Prefill, 900, 2),
+            (ReplicaRole::Decode, 0, 0),
+        ]);
+        replicas[0].health = InstanceHealth::Down;
+        let state = RouterState::new(replicas, RouterPolicy::default(), 7);
+        let d = route(&state, &RequestFeatures::arrival(0, 128, 32));
+        assert_eq!(
+            d,
+            Decision::Disagg {
+                prefill: ReplicaId(1),
+                decode: ReplicaId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn overload_queues_then_sheds() {
+        let policy = RouterPolicy {
+            queue_cap: 2,
+            max_wait_secs: 1.0,
+            retry_gap_secs: 0.5,
+            ..RouterPolicy::default()
+        };
+        let state = RouterState::new(
+            fleet(&[(ReplicaRole::Prefill, 500, 2), (ReplicaRole::Decode, 0, 0)]),
+            policy,
+            7,
+        );
+        let mut req = RequestFeatures::arrival(0, 128, 32);
+        assert_eq!(
+            route(&state, &req),
+            Decision::Queue {
+                retry_after_secs: 0.5
+            }
+        );
+        req.waited_secs = 1.0;
+        assert_eq!(
+            route(&state, &req),
+            Decision::Shed {
+                reason: ShedReason::OverCapacity
+            }
+        );
+    }
+
+    #[test]
+    fn readmission_bypasses_queue_cap() {
+        let policy = RouterPolicy {
+            queue_cap: 1,
+            ..RouterPolicy::default()
+        };
+        let state = RouterState::new(
+            fleet(&[(ReplicaRole::Prefill, 500, 5), (ReplicaRole::Decode, 0, 0)]),
+            policy,
+            7,
+        );
+        let req = RequestFeatures {
+            readmission: true,
+            ..RequestFeatures::arrival(0, 128, 32)
+        };
+        assert!(matches!(route(&state, &req), Decision::Disagg { .. }));
+    }
+
+    #[test]
+    fn no_capable_path_sheds_with_reason() {
+        let mut replicas = fleet(&[(ReplicaRole::Prefill, 0, 0), (ReplicaRole::Decode, 0, 0)]);
+        replicas[1].health = InstanceHealth::Down;
+        let state = RouterState::new(replicas, RouterPolicy::default(), 7);
+        let d = route(&state, &RequestFeatures::arrival(0, 128, 32));
+        assert_eq!(
+            d,
+            Decision::Shed {
+                reason: ShedReason::NoCapablePath
+            }
+        );
+    }
+
+    #[test]
+    fn update_relocates_buckets() {
+        let mut state = RouterState::new(
+            fleet(&[
+                (ReplicaRole::Prefill, 0, 0),
+                (ReplicaRole::Prefill, 0, 0),
+                (ReplicaRole::Decode, 0, 0),
+            ]),
+            RouterPolicy::default(),
+            7,
+        );
+        // Pile work onto replica 0; the index must steer to replica 1.
+        state.update(ReplicaId(0), |r| {
+            r.queued_tokens = 100_000;
+            r.queue_depth = 10;
+        });
+        let d = route(&state, &RequestFeatures::arrival(0, 128, 32));
+        assert_eq!(
+            d,
+            Decision::Disagg {
+                prefill: ReplicaId(1),
+                decode: ReplicaId(2)
+            }
+        );
+        // And back.
+        state.update(ReplicaId(0), |r| {
+            r.queued_tokens = 0;
+            r.queue_depth = 0;
+        });
+        state.update(ReplicaId(1), |r| r.queued_tokens = 9_999);
+        let d = route(&state, &RequestFeatures::arrival(1, 128, 32));
+        assert_eq!(
+            d,
+            Decision::Disagg {
+                prefill: ReplicaId(0),
+                decode: ReplicaId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn bucket_of_is_monotone() {
+        let mut prev = 0;
+        for load in [0u64, 1, 7, 100, 5_000, 80_000, 1 << 30, u64::MAX] {
+            let b = bucket_of(load);
+            assert!(b >= prev, "bucket_of not monotone at {load}");
+            assert!(b < BUCKETS);
+            prev = b;
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The decision log: a flat, JSON-serializable record of every routing
+//! verdict a run produced, in decision order.
+//!
+//! A routed simulation appends one [`DecisionRecord`] per `route()`
+//! consultation (a request that queues appears once per consultation).
+//! Feeding the log back into the engine in replay mode reproduces the
+//! run byte-for-byte without invoking the decision core — the replay
+//! harness in `tests/` asserts outcome equality, so any behavioral
+//! change to the router shows up as a golden-file diff.
+
+use serde::{Deserialize, Serialize};
+
+use crate::decision::{Decision, ReplicaId, ShedReason};
+
+/// Which arm of [`Decision`] a record encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionKind {
+    /// Split P/D execution.
+    Disagg,
+    /// Colocated execution.
+    Coloc,
+    /// Bounded-wait requeue.
+    Queue,
+    /// Rejected.
+    Shed,
+}
+
+/// One routing verdict, flattened for serialization (`-1` marks an
+/// absent replica field).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Request the verdict applies to.
+    pub request: u64,
+    /// Decision arm.
+    pub kind: DecisionKind,
+    /// Prefill replica (`Disagg`) or the colocated replica (`Coloc`).
+    pub target: i64,
+    /// Decode replica hint (`Disagg` only).
+    pub decode: i64,
+    /// Retry delay for `Queue`, else `0`.
+    pub retry_after_secs: f64,
+    /// For `Shed`: whether the cause was capacity (vs. no capable path).
+    pub over_capacity: bool,
+}
+
+impl DecisionRecord {
+    /// Flattens `decision` for request `request`.
+    #[must_use]
+    pub fn new(request: u64, decision: &Decision) -> Self {
+        let mut rec = DecisionRecord {
+            request,
+            kind: DecisionKind::Shed,
+            target: -1,
+            decode: -1,
+            retry_after_secs: 0.0,
+            over_capacity: false,
+        };
+        match *decision {
+            Decision::Disagg { prefill, decode } => {
+                rec.kind = DecisionKind::Disagg;
+                rec.target = i64::from(prefill.0);
+                rec.decode = i64::from(decode.0);
+            }
+            Decision::Coloc { replica } => {
+                rec.kind = DecisionKind::Coloc;
+                rec.target = i64::from(replica.0);
+            }
+            Decision::Queue { retry_after_secs } => {
+                rec.kind = DecisionKind::Queue;
+                rec.retry_after_secs = retry_after_secs;
+            }
+            Decision::Shed { reason } => {
+                rec.kind = DecisionKind::Shed;
+                rec.over_capacity = reason == ShedReason::OverCapacity;
+            }
+        }
+        rec
+    }
+
+    /// Reconstructs the [`Decision`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a replica field is absent or out of range
+    /// for the record's kind.
+    pub fn decision(&self) -> Result<Decision, String> {
+        let replica = |v: i64| -> Result<ReplicaId, String> {
+            u32::try_from(v).map(ReplicaId).map_err(|_| {
+                format!(
+                    "record for request {} has invalid replica {v}",
+                    self.request
+                )
+            })
+        };
+        Ok(match self.kind {
+            DecisionKind::Disagg => Decision::Disagg {
+                prefill: replica(self.target)?,
+                decode: replica(self.decode)?,
+            },
+            DecisionKind::Coloc => Decision::Coloc {
+                replica: replica(self.target)?,
+            },
+            DecisionKind::Queue => Decision::Queue {
+                retry_after_secs: self.retry_after_secs,
+            },
+            DecisionKind::Shed => Decision::Shed {
+                reason: if self.over_capacity {
+                    ShedReason::OverCapacity
+                } else {
+                    ShedReason::NoCapablePath
+                },
+            },
+        })
+    }
+}
+
+/// Serializes a decision log as pretty JSON (stable across runs: the
+/// log is already in decision order).
+///
+/// # Errors
+///
+/// Propagates serializer errors (none in practice).
+pub fn log_to_json(log: &[DecisionRecord]) -> Result<String, String> {
+    serde_json::to_string_pretty(&log.to_vec()).map_err(|e| e.to_string())
+}
+
+/// Parses a decision log from JSON.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or shape mismatch.
+pub fn log_from_json(json: &str) -> Result<Vec<DecisionRecord>, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_kind() {
+        let decisions = [
+            Decision::Disagg {
+                prefill: ReplicaId(3),
+                decode: ReplicaId(9),
+            },
+            Decision::Coloc {
+                replica: ReplicaId(0),
+            },
+            Decision::Queue {
+                retry_after_secs: 0.25,
+            },
+            Decision::Shed {
+                reason: ShedReason::OverCapacity,
+            },
+            Decision::Shed {
+                reason: ShedReason::NoCapablePath,
+            },
+        ];
+        let log: Vec<DecisionRecord> = decisions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DecisionRecord::new(i as u64, d))
+            .collect();
+        let json = log_to_json(&log).unwrap();
+        let back = log_from_json(&json).unwrap();
+        assert_eq!(log, back);
+        for (rec, want) in back.iter().zip(&decisions) {
+            assert_eq!(&rec.decision().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn invalid_replica_rejected() {
+        let rec = DecisionRecord {
+            request: 1,
+            kind: DecisionKind::Coloc,
+            target: -1,
+            decode: -1,
+            retry_after_secs: 0.0,
+            over_capacity: false,
+        };
+        assert!(rec.decision().is_err());
+    }
+}

@@ -1,0 +1,618 @@
+//! Cluster-scale routed serving simulator.
+//!
+//! The engine's token-granular simulator ([`distserve_engine`]-level
+//! fidelity) prices every decode iteration; that is the right tool for
+//! latency attribution but caps out far below the request volumes a
+//! frontend tier must be tested at. This module trades token granularity
+//! for *request* granularity: each replica is a calibrated service
+//! model (serial prefill clock, concurrency-priced decode pool), so one
+//! request costs O(1) routing work plus two future-event-list
+//! operations, and 10M+ requests stream through in seconds.
+//!
+//! Hot-path design, per the profile of `engine/src/sim.rs`:
+//!
+//! - **No per-request allocation.** In-flight requests live in a pooled
+//!   slab ([`ScaleSim::pool`]) with an intrusive free list; the decision
+//!   log, records, and hash maps of the engine path are all absent.
+//! - **No fleet scans.** The router's `(role, load-bucket)` index is
+//!   maintained incrementally ([`RouterState::update`], O(1) bucket
+//!   relocation) instead of being rebuilt per arrival.
+//! - **Streaming workload.** Arrivals come from any
+//!   `Iterator<Item = Request>` (see `distserve_workload`'s streaming
+//!   generators), so the trace is never materialized.
+//!
+//! Everything is deterministic given the workload stream and seed.
+
+use distserve_simcore::{EventQueue, SimTime};
+use distserve_workload::Request;
+
+use crate::decision::{
+    route, Decision, ReplicaId, ReplicaRole, ReplicaSnapshot, RequestFeatures, RouterPolicy,
+    RouterState,
+};
+
+/// Calibrated per-replica service model, seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceProfile {
+    /// Fixed prefill launch overhead.
+    pub prefill_fixed_s: f64,
+    /// Prefill compute per prompt token.
+    pub prefill_per_token_s: f64,
+    /// Fixed KV-transfer latency (split path only).
+    pub transfer_fixed_s: f64,
+    /// KV-transfer wire time per prompt token (split path only).
+    pub transfer_per_token_s: f64,
+    /// Decode step time at concurrency 1.
+    pub decode_step_base_s: f64,
+    /// Added step time per concurrent decode (batching pressure).
+    pub decode_step_per_active_s: f64,
+    /// Added step time on a colocated replica whose prefill lane is
+    /// busy (the interference term the split path removes).
+    pub coloc_interference_s: f64,
+}
+
+impl ServiceProfile {
+    /// Roughly an A100 serving a 13B model (the paper's chatbot point):
+    /// ~130 ms to prefill 512 tokens, ~25 ms decode steps that stretch
+    /// under batching, ~1.5 ms to move a 512-token KV cache.
+    #[must_use]
+    pub fn a100_13b() -> Self {
+        ServiceProfile {
+            prefill_fixed_s: 0.004,
+            prefill_per_token_s: 0.000_25,
+            transfer_fixed_s: 0.000_8,
+            transfer_per_token_s: 0.000_001_5,
+            decode_step_base_s: 0.025,
+            decode_step_per_active_s: 0.000_15,
+            coloc_interference_s: 0.012,
+        }
+    }
+}
+
+/// Fleet composition for a scale run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Dedicated prefill replicas.
+    pub prefill: u32,
+    /// Dedicated decode replicas.
+    pub decode: u32,
+    /// Colocated replicas.
+    pub colocated: u32,
+    /// Shared service model.
+    pub profile: ServiceProfile,
+}
+
+impl FleetSpec {
+    /// Total replica count.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.prefill + self.decode + self.colocated
+    }
+
+    fn roles(&self) -> impl Iterator<Item = ReplicaRole> + '_ {
+        std::iter::repeat_n(ReplicaRole::Prefill, self.prefill as usize)
+            .chain(std::iter::repeat_n(
+                ReplicaRole::Decode,
+                self.decode as usize,
+            ))
+            .chain(std::iter::repeat_n(
+                ReplicaRole::Colocated,
+                self.colocated as usize,
+            ))
+    }
+}
+
+/// SLO thresholds used for goodput accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleSlo {
+    /// Time to first token, seconds.
+    pub ttft_s: f64,
+    /// Time per output token, seconds.
+    pub tpot_s: f64,
+}
+
+/// Routing mode for a run.
+#[derive(Debug, Clone, Copy)]
+pub enum Assignment {
+    /// The EPP-style decision core: load-aware path choice + admission.
+    Routed,
+    /// Static hash assignment over entry replicas (prefill + colocated),
+    /// no load awareness, no admission control — the baseline the
+    /// routed goodput must beat at matched SLOs.
+    Static,
+}
+
+/// Aggregated outcome of one scale run (no per-request records are
+/// retained — the point is to stream).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScaleOutcome {
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests that completed decoding.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Completions meeting both SLOs.
+    pub slo_ok: u64,
+    /// Router requeue consultations (bounded-wait holds).
+    pub requeues: u64,
+    /// Simulated span from first arrival to last completion, seconds.
+    pub sim_secs: f64,
+    /// Mean TTFT over completions, seconds.
+    pub mean_ttft_s: f64,
+    /// Mean TPOT over completions, seconds.
+    pub mean_tpot_s: f64,
+}
+
+impl ScaleOutcome {
+    /// Goodput: SLO-attaining completions per simulated second.
+    #[must_use]
+    pub fn goodput_rps(&self) -> f64 {
+        if self.sim_secs > 0.0 {
+            self.slo_ok as f64 / self.sim_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of *offered* requests that met both SLOs (sheds count
+    /// as misses, exactly like the engine's attainment).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.offered > 0 {
+            self.slo_ok as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Scale-sim events. Requests are identified by pool slot, not id — the
+/// slab is the only per-request state.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Prefill (and, split path, transfer) finished for the slot.
+    FirstToken(u32),
+    /// Decoding finished for the slot.
+    Done(u32),
+    /// A queued request re-consults the router.
+    Retry(u32),
+}
+
+/// Pooled per-request state. `next_free` makes freed slots an intrusive
+/// free list, so steady-state runs allocate nothing.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    arrival: SimTime,
+    prompt: u32,
+    decode_len: u32,
+    waited_secs: f64,
+    ttft_s: f64,
+    tpot_s: f64,
+    prefill_on: ReplicaId,
+    decode_on: ReplicaId,
+    next_free: u32,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Per-replica service state (parallel to the router's snapshots).
+#[derive(Debug, Clone, Copy)]
+struct Server {
+    role: ReplicaRole,
+    /// Serial prefill lane: next instant the lane is free.
+    prefill_free_at: SimTime,
+    /// Concurrent decodes.
+    active: u32,
+}
+
+/// The request-granular simulator.
+pub struct ScaleSim {
+    fleet: FleetSpec,
+    slo: ScaleSlo,
+    assignment: Assignment,
+    state: RouterState,
+    servers: Vec<Server>,
+    events: EventQueue<Ev>,
+    pool: Vec<Slot>,
+    free_head: u32,
+    outcome: ScaleOutcome,
+    ttft_sum: f64,
+    tpot_sum: f64,
+    last_completion: SimTime,
+    first_arrival: Option<SimTime>,
+    rr_cursor: u64,
+}
+
+impl ScaleSim {
+    /// Builds a simulator over `fleet` with the given routing policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet or a fleet with prefill but no decode
+    /// replicas (no executable path).
+    #[must_use]
+    pub fn new(
+        fleet: FleetSpec,
+        policy: RouterPolicy,
+        slo: ScaleSlo,
+        assignment: Assignment,
+        seed: u64,
+    ) -> Self {
+        assert!(fleet.total() > 0, "empty fleet");
+        assert!(
+            fleet.prefill == 0 || fleet.decode > 0,
+            "prefill replicas need at least one decode replica"
+        );
+        assert!(
+            fleet.prefill > 0 || fleet.colocated > 0,
+            "fleet has no entry replicas"
+        );
+        let replicas: Vec<ReplicaSnapshot> = fleet
+            .roles()
+            .enumerate()
+            .map(|(i, role)| ReplicaSnapshot::idle(ReplicaId(i as u32), role))
+            .collect();
+        let servers = replicas
+            .iter()
+            .map(|r| Server {
+                role: r.role,
+                prefill_free_at: SimTime::ZERO,
+                active: 0,
+            })
+            .collect();
+        ScaleSim {
+            fleet,
+            slo,
+            assignment,
+            state: RouterState::new(replicas, policy, seed),
+            servers,
+            events: EventQueue::new(),
+            pool: Vec::new(),
+            free_head: NO_SLOT,
+            outcome: ScaleOutcome::default(),
+            ttft_sum: 0.0,
+            tpot_sum: 0.0,
+            last_completion: SimTime::ZERO,
+            first_arrival: None,
+            rr_cursor: 0,
+        }
+    }
+
+    fn alloc_slot(&mut self, slot: Slot) -> u32 {
+        if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            self.free_head = self.pool[idx as usize].next_free;
+            self.pool[idx as usize] = slot;
+            idx
+        } else {
+            self.pool.push(slot);
+            (self.pool.len() - 1) as u32
+        }
+    }
+
+    fn free_slot(&mut self, idx: u32) {
+        self.pool[idx as usize].next_free = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Runs requests from `stream` to completion and returns the
+    /// aggregated outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream yields arrivals out of order.
+    pub fn run(mut self, stream: impl IntoIterator<Item = Request>) -> ScaleOutcome {
+        let mut stream = stream.into_iter();
+        let mut next_arrival = stream.next();
+        loop {
+            // Merge the arrival stream with the future-event list:
+            // always advance whichever comes first so the router sees
+            // loads exactly as they stood at each arrival instant.
+            let next_ev = self.events.peek_time();
+            match (&next_arrival, next_ev) {
+                (Some(r), Some(t)) if t <= r.arrival => {
+                    let (now, ev) = self.events.pop().expect("peeked");
+                    self.on_event(now, ev);
+                }
+                (Some(_), _) => {
+                    let r = next_arrival.take().expect("checked");
+                    next_arrival = stream.next();
+                    self.on_arrival(&r);
+                }
+                (None, Some(_)) => {
+                    let (now, ev) = self.events.pop().expect("peeked");
+                    self.on_event(now, ev);
+                }
+                (None, None) => break,
+            }
+        }
+        let mut out = self.outcome;
+        if let Some(first) = self.first_arrival {
+            out.sim_secs = self.last_completion.since(first).max(0.0);
+        }
+        if out.completed > 0 {
+            out.mean_ttft_s = self.ttft_sum / out.completed as f64;
+            out.mean_tpot_s = self.tpot_sum / out.completed as f64;
+        }
+        out
+    }
+
+    fn on_arrival(&mut self, r: &Request) {
+        self.outcome.offered += 1;
+        self.first_arrival.get_or_insert(r.arrival);
+        let slot = self.alloc_slot(Slot {
+            arrival: r.arrival,
+            prompt: r.input_len,
+            decode_len: r.output_len.max(1),
+            waited_secs: 0.0,
+            ttft_s: 0.0,
+            tpot_s: 0.0,
+            prefill_on: ReplicaId(0),
+            decode_on: ReplicaId(0),
+            next_free: NO_SLOT,
+        });
+        self.route_slot(slot, r.id.0, r.arrival);
+    }
+
+    /// Routes the request in `slot` (fresh arrival or requeue retry).
+    fn route_slot(&mut self, slot: u32, req_id: u64, now: SimTime) {
+        let s = self.pool[slot as usize];
+        let decision = match self.assignment {
+            Assignment::Routed => {
+                let features = RequestFeatures {
+                    id: req_id,
+                    prompt_len: s.prompt,
+                    predicted_decode_len: s.decode_len,
+                    waited_secs: s.waited_secs,
+                    readmission: false,
+                };
+                route(&self.state, &features)
+            }
+            Assignment::Static => self.static_decision(),
+        };
+        match decision {
+            Decision::Disagg { prefill, decode } => {
+                self.start_prefill(slot, prefill, decode, now, true);
+            }
+            Decision::Coloc { replica } => {
+                self.start_prefill(slot, replica, replica, now, false);
+            }
+            Decision::Queue { retry_after_secs } => {
+                self.outcome.requeues += 1;
+                self.pool[slot as usize].waited_secs += retry_after_secs;
+                self.events
+                    .push(now.after(retry_after_secs), Ev::Retry(slot));
+            }
+            Decision::Shed { .. } => {
+                self.outcome.shed += 1;
+                self.free_slot(slot);
+            }
+        }
+    }
+
+    /// The baseline: hash requests over entry replicas in fixed
+    /// round-robin order, ignoring load and health alike (a down entry
+    /// replica would drop traffic; baselines run fault-free).
+    fn static_decision(&mut self) -> Decision {
+        let entries = u64::from(self.fleet.prefill + self.fleet.colocated);
+        let pick = self.rr_cursor % entries;
+        self.rr_cursor += 1;
+        if pick < u64::from(self.fleet.prefill) {
+            let decode_pick = self.rr_cursor % u64::from(self.fleet.decode);
+            Decision::Disagg {
+                prefill: ReplicaId(pick as u32),
+                decode: ReplicaId(self.fleet.prefill + decode_pick as u32),
+            }
+        } else {
+            Decision::Coloc {
+                replica: ReplicaId((u64::from(self.fleet.decode) + pick) as u32),
+            }
+        }
+    }
+
+    /// Books the prompt onto `target`'s serial prefill lane; for the
+    /// split path (`split == true`) the KV transfer rides on the end of
+    /// prefill and decoding starts on `decode_on`.
+    fn start_prefill(
+        &mut self,
+        slot: u32,
+        target: ReplicaId,
+        decode_on: ReplicaId,
+        now: SimTime,
+        split: bool,
+    ) {
+        let p = &self.fleet.profile;
+        let s = self.pool[slot as usize];
+        let prefill_secs = p.prefill_fixed_s + p.prefill_per_token_s * f64::from(s.prompt);
+        let srv = &mut self.servers[target.0 as usize];
+        let start = srv.prefill_free_at.max(now);
+        let first_token_at = start.after(prefill_secs);
+        srv.prefill_free_at = first_token_at;
+        let handoff = if split {
+            p.transfer_fixed_s + p.transfer_per_token_s * f64::from(s.prompt)
+        } else {
+            0.0
+        };
+        {
+            let sl = &mut self.pool[slot as usize];
+            sl.ttft_s = first_token_at.since(s.arrival);
+            sl.prefill_on = target;
+            sl.decode_on = decode_on;
+        }
+        // The router sees the booked work immediately.
+        let backlog_tokens = u64::from(s.prompt);
+        self.state.update(target, |r| {
+            r.queue_depth += 1;
+            r.queued_tokens += backlog_tokens;
+        });
+        self.events
+            .push(first_token_at.after(handoff), Ev::FirstToken(slot));
+    }
+
+    fn on_event(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Retry(slot) => {
+                let id = u64::from(slot);
+                self.route_slot(slot, id, now);
+            }
+            Ev::FirstToken(slot) => {
+                let s = self.pool[slot as usize];
+                // Release the prefill booking.
+                let freed = u64::from(s.prompt);
+                // The prefill lane lives on the replica the prompt ran
+                // on; for the split path that differs from decode_on.
+                self.state.update(s.prefill_on, |r| {
+                    r.queue_depth = r.queue_depth.saturating_sub(1);
+                    r.queued_tokens = r.queued_tokens.saturating_sub(freed);
+                });
+                // Admit to the decode pool and price the steps at the
+                // concurrency observed now.
+                let d = s.decode_on;
+                let srv = &mut self.servers[d.0 as usize];
+                srv.active += 1;
+                let p = &self.fleet.profile;
+                let mut step =
+                    p.decode_step_base_s + p.decode_step_per_active_s * f64::from(srv.active);
+                if matches!(srv.role, ReplicaRole::Colocated)
+                    && self.servers[d.0 as usize].prefill_free_at > now
+                {
+                    step += p.coloc_interference_s;
+                }
+                let decode_secs = step * f64::from(s.decode_len);
+                self.pool[slot as usize].tpot_s = step;
+                self.state.update(d, |r| r.active_decodes += 1);
+                self.events.push(now.after(decode_secs), Ev::Done(slot));
+            }
+            Ev::Done(slot) => {
+                let s = self.pool[slot as usize];
+                self.servers[s.decode_on.0 as usize].active -= 1;
+                self.state.update(s.decode_on, |r| r.active_decodes -= 1);
+                self.outcome.completed += 1;
+                self.ttft_sum += s.ttft_s;
+                self.tpot_sum += s.tpot_s;
+                if s.ttft_s <= self.slo.ttft_s && s.tpot_s <= self.slo.tpot_s {
+                    self.outcome.slo_ok += 1;
+                }
+                self.last_completion = self.last_completion.max(now);
+                self.free_slot(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distserve_simcore::SimRng;
+    use distserve_workload::{Dataset, TraceBuilder};
+
+    fn small_fleet() -> FleetSpec {
+        FleetSpec {
+            prefill: 2,
+            decode: 2,
+            colocated: 2,
+            profile: ServiceProfile::a100_13b(),
+        }
+    }
+
+    /// Admission matched to the 0.4s TTFT SLO: a few-deep prefill queue
+    /// is the most backlog that can still meet it, so overload is shed
+    /// quickly instead of served late (where it would count against
+    /// goodput anyway).
+    fn slo_policy() -> RouterPolicy {
+        RouterPolicy {
+            queue_cap: 4,
+            max_wait_secs: 0.5,
+            retry_gap_secs: 0.1,
+            ..RouterPolicy::default()
+        }
+    }
+
+    fn run(assignment: Assignment, rate: f64, n: usize) -> ScaleOutcome {
+        let mut rng = SimRng::seed(11);
+        let trace = TraceBuilder::new(Dataset::ShareGpt.sampler())
+            .rate(rate)
+            .num_requests(n)
+            .build(&mut rng);
+        let sim = ScaleSim::new(
+            small_fleet(),
+            slo_policy(),
+            ScaleSlo {
+                ttft_s: 0.4,
+                tpot_s: 0.1,
+            },
+            assignment,
+            3,
+        );
+        sim.run(trace.requests().iter().cloned())
+    }
+
+    #[test]
+    fn conserves_every_request() {
+        for assignment in [Assignment::Routed, Assignment::Static] {
+            let out = run(assignment, 20.0, 2000);
+            assert_eq!(out.offered, 2000);
+            assert_eq!(out.completed + out.shed, out.offered);
+        }
+    }
+
+    #[test]
+    fn routed_beats_static_goodput_under_pressure() {
+        let routed = run(Assignment::Routed, 60.0, 5000);
+        let fixed = run(Assignment::Static, 60.0, 5000);
+        assert!(
+            routed.goodput_rps() >= fixed.goodput_rps(),
+            "routed {:.2} rps < static {:.2} rps",
+            routed.goodput_rps(),
+            fixed.goodput_rps()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(Assignment::Routed, 40.0, 3000);
+        let b = run(Assignment::Routed, 40.0, 3000);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.slo_ok, b.slo_ok);
+        assert!((a.mean_ttft_s - b.mean_ttft_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_reuses_slots() {
+        let mut rng = SimRng::seed(5);
+        let trace = TraceBuilder::new(Dataset::ShareGpt.sampler())
+            .rate(5.0)
+            .num_requests(500)
+            .build(&mut rng);
+        let sim = ScaleSim::new(
+            small_fleet(),
+            RouterPolicy::default(),
+            ScaleSlo {
+                ttft_s: 0.4,
+                tpot_s: 0.1,
+            },
+            Assignment::Routed,
+            3,
+        );
+        // Low rate: requests finish before many more arrive, so the
+        // pool must stay tiny even over 500 requests.
+        let mut sim = sim;
+        let mut peak = 0usize;
+        for r in trace.requests() {
+            // Drain events that precede this arrival.
+            while sim.events.peek_time().is_some_and(|t| t <= r.arrival) {
+                let (now, ev) = sim.events.pop().expect("peeked");
+                sim.on_event(now, ev);
+            }
+            sim.on_arrival(r);
+            peak = peak.max(sim.pool.len());
+        }
+        while let Some((now, ev)) = sim.events.pop() {
+            sim.on_event(now, ev);
+        }
+        assert_eq!(sim.outcome.completed + sim.outcome.shed, 500);
+        assert!(peak < 64, "pool grew to {peak} slots at 5 rps");
+    }
+}

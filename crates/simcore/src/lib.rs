@@ -10,6 +10,8 @@
 //!   splitting, so concurrent components draw from independent streams.
 //! * [`stats`] — streaming summaries, exact percentiles, histograms, and
 //!   CDFs used by the serving metrics and experiment harnesses.
+//! * [`hash`] — a deterministic multiply-rotate hasher for the
+//!   simulators' integer-keyed maps, replacing SipHash on hot paths.
 //!
 //! # Examples
 //!
@@ -24,11 +26,13 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, Summary};
 pub use time::SimTime;

@@ -10,6 +10,9 @@
 //! * [`datasets`] — synthetic length-pair generators whose shapes match
 //!   Figure 7, plus empirical distributions that resample recorded pairs.
 //! * [`arrival`] — Poisson and bursty (gamma inter-arrival) processes.
+//! * [`stream`] — O(1)-memory streaming generators for cluster-scale
+//!   runs: diurnal (non-homogeneous Poisson) curves and multi-tenant
+//!   superpositions that never materialize a trace.
 //! * [`trace`] — the [`trace::Request`] record and trace builders.
 //! * [`profiler`] — the workload profiler behind replanning (§4.3): it
 //!   watches recent history, detects pattern shifts, and refits an
@@ -33,8 +36,10 @@ pub mod arrival;
 pub mod datasets;
 pub mod dist;
 pub mod profiler;
+pub mod stream;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use datasets::{Dataset, EmpiricalLengths, LengthSampler};
+pub use stream::{DiurnalCurve, MultiTenantMix, RequestStream, TenantSpec};
 pub use trace::{Request, RequestId, Trace, TraceBuilder};

@@ -31,6 +31,9 @@ pub use distserve_models as models;
 /// live dashboard.
 pub use distserve_observe as observe;
 pub use distserve_placement as placement;
+/// Cluster-scale request router: EPP-style scoring, admission control,
+/// and the 10M-request scale simulator.
+pub use distserve_router as router;
 /// Discrete-event simulation kernel and statistics.
 pub use distserve_simcore as simcore;
 /// Request-lifecycle tracing, metrics, and Perfetto/Prometheus export.

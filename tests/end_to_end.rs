@@ -257,3 +257,74 @@ fn high_affinity_plan_on_ib_cluster() {
     let att = outcome.attainment(slo.ttft, slo.tpot);
     assert!(att >= 0.8, "attainment {att}");
 }
+
+/// Golden replay gate: a routed run's decision log is serialized JSON;
+/// this fixture pins the exact decisions for a fixed (config, trace,
+/// seed) triple, and re-running from the fixture must reproduce the
+/// live outcome record-for-record. Regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test --test end_to_end golden_replay` after
+/// any intentional routing change.
+#[test]
+fn golden_replay_fixture_reproduces_routed_run() {
+    use distserve::core::{serve_trace_replayed, serve_trace_routed};
+    use distserve::models::{OptModel, ParallelismConfig};
+    use distserve::router::{log_from_json, log_to_json, RouterPolicy};
+    use distserve::workload::Dataset;
+
+    let cost = RooflineModel::a100();
+    let cluster = Cluster::single_node(4);
+    let arch = OptModel::Opt13B.arch();
+    let planner = Planner::new(&cost, &cluster, arch.clone());
+    let plan = planner
+        .plan_vllm(ParallelismConfig::SINGLE, 2)
+        .expect("plans");
+    let specs = planner.materialize(&plan).expect("fits");
+    let trace = Dataset::ShareGpt.make_trace(3.0, 40, 21);
+
+    let (live, log) = serve_trace_routed(
+        &cost,
+        &cluster,
+        &arch,
+        specs.clone(),
+        &trace,
+        FidelityConfig::ideal(),
+        21,
+        RouterPolicy::default(),
+        &distserve::telemetry::NOOP,
+    )
+    .expect("routed run");
+    let json = log_to_json(&log).expect("serializes");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/router_replay.golden.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &json).expect("write fixture");
+    }
+    let golden = std::fs::read_to_string(path).expect("fixture exists");
+    assert_eq!(
+        json, golden,
+        "decision log drifted from the golden fixture; if the routing \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+
+    let fixture_log = log_from_json(&golden).expect("fixture parses");
+    let (replayed, replay_log) = serve_trace_replayed(
+        &cost,
+        &cluster,
+        &arch,
+        specs,
+        &trace,
+        FidelityConfig::ideal(),
+        21,
+        &fixture_log,
+        &distserve::telemetry::NOOP,
+    )
+    .expect("replayed run");
+    assert_eq!(replayed.records, live.records, "byte-identical outcome");
+    assert_eq!(replayed.rejected, live.rejected);
+    assert_eq!(replayed.failed, live.failed);
+    assert_eq!(replayed.makespan, live.makespan);
+    assert_eq!(replay_log, fixture_log, "replay re-emits the golden log");
+}
