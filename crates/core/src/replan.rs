@@ -215,6 +215,7 @@ mod tests {
             arrival: SimTime::from_secs(t),
             input_len: input,
             output_len: output,
+            tenant: 0,
         }
     }
 

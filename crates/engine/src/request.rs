@@ -277,6 +277,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_len: 10,
             output_len: 10,
+            tenant: 0,
         };
         let state = RequestState::new(req);
         let _ = state.into_record();
@@ -289,6 +290,7 @@ mod tests {
             arrival: SimTime::from_secs(1.0),
             input_len: 10,
             output_len: 2,
+            tenant: 0,
         };
         let mut state = RequestState::new(req);
         state.phase = RequestPhase::Done;

@@ -21,8 +21,9 @@ use distserve_simcore::FastHashMap;
 enum RouterMode {
     /// Consult the decision core against a fresh state snapshot.
     Live(Box<RouterState>),
-    /// Pop pre-recorded decisions, per request in consultation order.
-    Replay(FastHashMap<u64, VecDeque<Decision>>),
+    /// Pop pre-recorded decisions (with their original trace ids), per
+    /// request in consultation order.
+    Replay(FastHashMap<u64, VecDeque<(Decision, u64)>>),
 }
 
 /// The simulator's router attachment: decision source plus log.
@@ -45,12 +46,12 @@ impl RouterCtl {
 
     /// Replay mode over a recorded decision log.
     pub(crate) fn replay(records: &[DecisionRecord]) -> Result<Self, String> {
-        let mut per_request: FastHashMap<u64, VecDeque<Decision>> = FastHashMap::default();
+        let mut per_request: FastHashMap<u64, VecDeque<(Decision, u64)>> = FastHashMap::default();
         for rec in records {
             per_request
                 .entry(rec.request)
                 .or_default()
-                .push_back(rec.decision()?);
+                .push_back((rec.decision()?, rec.trace_id));
         }
         Ok(RouterCtl {
             mode: RouterMode::Replay(per_request),
@@ -69,10 +70,11 @@ impl RouterCtl {
     where
         I: IntoIterator<Item = ReplicaSnapshot>,
     {
-        let decision = match &mut self.mode {
+        let (decision, trace_id) = match &mut self.mode {
             RouterMode::Live(state) => {
                 state.refresh(snapshots);
-                route(state, req)
+                let tid = distserve_telemetry::trace_id(state.seed(), req.id);
+                (route(state, req), tid)
             }
             RouterMode::Replay(per_request) => per_request
                 .get_mut(&req.id)
@@ -84,7 +86,8 @@ impl RouterCtl {
                     )
                 }),
         };
-        self.log.push(DecisionRecord::new(req.id, &decision));
+        self.log
+            .push(DecisionRecord::new(req.id, &decision).with_trace_id(trace_id));
         decision
     }
 }

@@ -510,10 +510,24 @@ impl<'a> ServingSim<'a> {
         self
     }
 
-    /// Emits one lifecycle event for `id` at sim time `t`.
+    /// Emits one lifecycle event for `id` at sim time `t`, resolving the
+    /// tenant from the live request state (only when the sink records —
+    /// the no-op path skips the lookup). Callers emitting after the
+    /// state is gone use [`Self::emit_tenant`] directly.
     fn emit(&self, id: RequestId, t: SimTime, kind: LifecycleEvent) {
+        let tenant = if self.sink.enabled() {
+            self.states.get(&id).map_or(0, |s| s.request.tenant)
+        } else {
+            0
+        };
+        self.emit_tenant(id, tenant, t, kind);
+    }
+
+    /// Emits one lifecycle event with an explicit tenant.
+    fn emit_tenant(&self, id: RequestId, tenant: u32, t: SimTime, kind: LifecycleEvent) {
         self.sink.event(Event {
             request: id.0,
+            tenant,
             time_s: t.as_secs(),
             kind,
         });
@@ -811,6 +825,7 @@ impl<'a> ServingSim<'a> {
             id: req.id.0,
             prompt_len: req.input_len,
             predicted_decode_len: req.output_len,
+            tenant: req.tenant,
             waited_secs: now.since(req.arrival).max(0.0),
             readmission: false,
         };
@@ -1619,7 +1634,7 @@ impl<'a> ServingSim<'a> {
         st.decode_start = decode_start;
         st.completion = now;
         st.phase = RequestPhase::Done;
-        self.emit(id, now, LifecycleEvent::Finished);
+        self.emit_tenant(id, st.request.tenant, now, LifecycleEvent::Finished);
         self.sink
             .counter_add(metrics::REQUESTS_FINISHED, track_id(track), 1);
         self.records.push(st.into_record());
@@ -1637,8 +1652,8 @@ impl<'a> ServingSim<'a> {
         if let Some(home) = self.kv_home.remove(&id) {
             let _ = self.instances[home].kv.free(id);
         }
-        if self.states.remove(&id).is_some() {
-            self.emit(id, now, LifecycleEvent::Failed);
+        if let Some(st) = self.states.remove(&id) {
+            self.emit_tenant(id, st.request.tenant, now, LifecycleEvent::Failed);
             self.sink
                 .counter_add(metrics::REQUESTS_FAILED, track_id(0), 1);
             self.failed.push(id);
@@ -1687,6 +1702,7 @@ impl<'a> ServingSim<'a> {
                 id: id.0,
                 prompt_len: input_len,
                 predicted_decode_len: self.states[&id].request.output_len,
+                tenant: self.states[&id].request.tenant,
                 waited_secs: 0.0,
                 readmission: true,
             };

@@ -260,6 +260,7 @@ mod tests {
 
     fn lc(events: &[(f64, E)]) -> Lifecycle {
         Lifecycle {
+            tenant: 0,
             events: events.to_vec(),
         }
     }

@@ -306,17 +306,20 @@ mod tests {
         ] {
             rec.event(Event {
                 request: 1,
+                tenant: 0,
                 time_s: t,
                 kind,
             });
         }
         rec.event(Event {
             request: 2,
+            tenant: 0,
             time_s: 0.2,
             kind: E::Arrived,
         });
         rec.event(Event {
             request: 2,
+            tenant: 0,
             time_s: 0.2,
             kind: E::Rejected,
         });

@@ -1,0 +1,387 @@
+//! Per-tenant SLO burn-rate monitoring (multi-window, multi-burn-rate).
+//!
+//! Attainment alone is a lagging signal: by the time a whole-run
+//! average dips, the budget is gone. SRE practice alerts on the *burn
+//! rate* — the ratio of the observed miss fraction to the error budget
+//! (`1 - attainment_target`). Burn 1× spends exactly the budget over
+//! the SLO period; burn 10× exhausts it ten times as fast. To be both
+//! fast and unflappable, an alert requires **two** windows to agree:
+//!
+//! * a **fast** window (seconds) so detection is prompt, and
+//! * a **slow** window (minutes) so a short blip cannot fire it.
+//!
+//! Both are O(1) bucket rings — recording is allocation-free after the
+//! first touch of a tenant. [`TenantBurnMonitor`] tracks one pair per
+//! tenant and latches: [`BurnEvent::Fired`] once when both windows
+//! cross the threshold, [`BurnEvent::Cleared`] once when the fast
+//! window recovers. The consumer arms the §4.3 replanning loop
+//! (`ReplanController::observe_attainment`) and the router's tenant
+//! throttle (`RouterState::set_tenant_throttle`) from these events —
+//! `examples/trace_flight.rs` wires the full loop.
+
+/// Burn-rate alerting policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BurnConfig {
+    /// SLO attainment target; the error budget is `1 - target`.
+    pub attainment_target: f64,
+    /// Fast window span, seconds (detection latency).
+    pub fast_window_s: f64,
+    /// Slow window span, seconds (blip rejection).
+    pub slow_window_s: f64,
+    /// Burn-rate multiple both windows must exceed to fire.
+    pub threshold: f64,
+    /// Requests the fast window must hold before it may fire (a
+    /// two-request tenant missing once is not an incident).
+    pub min_requests: u64,
+}
+
+impl Default for BurnConfig {
+    fn default() -> Self {
+        BurnConfig {
+            attainment_target: 0.99,
+            fast_window_s: 30.0,
+            slow_window_s: 300.0,
+            threshold: 4.0,
+            min_requests: 20,
+        }
+    }
+}
+
+/// Buckets per window ring; more buckets = smoother expiry.
+const BUCKETS: usize = 30;
+
+/// Fixed-size ring of `(total, missed)` counts over time buckets.
+#[derive(Debug, Clone)]
+struct RateWindow {
+    width_s: f64,
+    buckets: [(u64, u64); BUCKETS],
+    /// Absolute index of the bucket `cursor` points at (-1 = empty).
+    abs: i64,
+    cursor: usize,
+    total: u64,
+    missed: u64,
+}
+
+impl RateWindow {
+    fn new(span_s: f64) -> Self {
+        RateWindow {
+            width_s: span_s / BUCKETS as f64,
+            buckets: [(0, 0); BUCKETS],
+            abs: -1,
+            cursor: 0,
+            total: 0,
+            missed: 0,
+        }
+    }
+
+    /// Advances the ring to cover `t`, expiring stale buckets.
+    fn advance(&mut self, t: f64) {
+        let idx = (t / self.width_s).floor() as i64;
+        if self.abs < 0 {
+            self.abs = idx;
+            return;
+        }
+        let steps = (idx - self.abs).clamp(0, BUCKETS as i64) as usize;
+        for _ in 0..steps {
+            self.cursor = (self.cursor + 1) % BUCKETS;
+            let (t0, m0) = self.buckets[self.cursor];
+            self.total -= t0;
+            self.missed -= m0;
+            self.buckets[self.cursor] = (0, 0);
+        }
+        if idx > self.abs {
+            self.abs = idx;
+        }
+    }
+
+    fn record(&mut self, t: f64, miss: bool) {
+        self.advance(t);
+        let b = &mut self.buckets[self.cursor];
+        b.0 += 1;
+        self.total += 1;
+        if miss {
+            b.1 += 1;
+            self.missed += 1;
+        }
+    }
+
+    fn miss_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.total as f64
+        }
+    }
+}
+
+/// One tenant's burn state.
+#[derive(Debug, Clone)]
+struct TenantBurn {
+    fast: RateWindow,
+    slow: RateWindow,
+    alerting: bool,
+    /// Lifetime counts (for panels, not alerting).
+    total: u64,
+    missed: u64,
+}
+
+/// Instantaneous burn-rate reading for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnReading {
+    /// Fast-window burn multiple.
+    pub fast: f64,
+    /// Slow-window burn multiple.
+    pub slow: f64,
+    /// Whether the alert is currently latched.
+    pub alerting: bool,
+    /// Lifetime requests observed for the tenant.
+    pub total: u64,
+    /// Lifetime SLO misses (sheds and failures included).
+    pub missed: u64,
+}
+
+/// A latched burn-rate transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BurnEvent {
+    /// Both windows crossed the threshold; fired once per episode.
+    Fired {
+        /// Affected tenant.
+        tenant: u32,
+        /// Observation time, seconds.
+        time_s: f64,
+        /// Fast-window burn multiple at firing.
+        fast_burn: f64,
+        /// Slow-window burn multiple at firing.
+        slow_burn: f64,
+    },
+    /// The fast window recovered below the threshold.
+    Cleared {
+        /// Recovered tenant.
+        tenant: u32,
+        /// Observation time, seconds.
+        time_s: f64,
+    },
+}
+
+/// Multi-tenant burn-rate monitor (see module docs).
+#[derive(Debug, Clone)]
+pub struct TenantBurnMonitor {
+    cfg: BurnConfig,
+    budget: f64,
+    tenants: Vec<TenantBurn>,
+}
+
+impl TenantBurnMonitor {
+    /// A monitor with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the attainment target leaves no error budget or the
+    /// windows are not positive with `fast < slow`.
+    #[must_use]
+    pub fn new(cfg: BurnConfig) -> Self {
+        assert!(
+            cfg.attainment_target > 0.0 && cfg.attainment_target < 1.0,
+            "attainment target must leave an error budget"
+        );
+        assert!(
+            cfg.fast_window_s > 0.0 && cfg.fast_window_s < cfg.slow_window_s,
+            "windows must be positive with fast < slow"
+        );
+        TenantBurnMonitor {
+            cfg,
+            budget: 1.0 - cfg.attainment_target,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn config(&self) -> BurnConfig {
+        self.cfg
+    }
+
+    fn tenant_mut(&mut self, tenant: u32) -> &mut TenantBurn {
+        let i = tenant as usize;
+        if i >= self.tenants.len() {
+            let proto = TenantBurn {
+                fast: RateWindow::new(self.cfg.fast_window_s),
+                slow: RateWindow::new(self.cfg.slow_window_s),
+                alerting: false,
+                total: 0,
+                missed: 0,
+            };
+            self.tenants.resize(i + 1, proto);
+        }
+        &mut self.tenants[i]
+    }
+
+    /// Records one terminal request outcome (`ok = false` for an SLO
+    /// miss, shed, or failure) and returns the alert transition it
+    /// caused, if any.
+    pub fn record(&mut self, tenant: u32, time_s: f64, ok: bool) -> Option<BurnEvent> {
+        let threshold = self.cfg.threshold;
+        let min_requests = self.cfg.min_requests;
+        let budget = self.budget;
+        let tb = self.tenant_mut(tenant);
+        tb.total += 1;
+        if !ok {
+            tb.missed += 1;
+        }
+        tb.fast.record(time_s, !ok);
+        tb.slow.record(time_s, !ok);
+        let fast_burn = tb.fast.miss_fraction() / budget;
+        let slow_burn = tb.slow.miss_fraction() / budget;
+        if !tb.alerting
+            && fast_burn > threshold
+            && slow_burn > threshold
+            && tb.fast.total >= min_requests
+        {
+            tb.alerting = true;
+            return Some(BurnEvent::Fired {
+                tenant,
+                time_s,
+                fast_burn,
+                slow_burn,
+            });
+        }
+        if tb.alerting && fast_burn < threshold {
+            tb.alerting = false;
+            return Some(BurnEvent::Cleared { tenant, time_s });
+        }
+        None
+    }
+
+    /// The current reading for `tenant` (zeros for a never-seen one).
+    #[must_use]
+    pub fn reading(&self, tenant: u32) -> BurnReading {
+        match self.tenants.get(tenant as usize) {
+            Some(tb) => BurnReading {
+                fast: tb.fast.miss_fraction() / self.budget,
+                slow: tb.slow.miss_fraction() / self.budget,
+                alerting: tb.alerting,
+                total: tb.total,
+                missed: tb.missed,
+            },
+            None => BurnReading {
+                fast: 0.0,
+                slow: 0.0,
+                alerting: false,
+                total: 0,
+                missed: 0,
+            },
+        }
+    }
+
+    /// Number of tenants observed so far.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BurnConfig {
+        BurnConfig {
+            attainment_target: 0.9,
+            fast_window_s: 10.0,
+            slow_window_s: 100.0,
+            threshold: 3.0,
+            min_requests: 10,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_fires() {
+        let mut m = TenantBurnMonitor::new(cfg());
+        for i in 0..1000 {
+            // 5% misses against a 10% budget: burn 0.5×.
+            let ok = i % 20 != 0;
+            assert_eq!(m.record(0, i as f64 * 0.1, ok), None);
+        }
+        let r = m.reading(0);
+        assert!(!r.alerting);
+        assert!(r.fast < 1.0 && r.slow < 1.0);
+    }
+
+    #[test]
+    fn degraded_tenant_fires_once_then_clears() {
+        let mut m = TenantBurnMonitor::new(cfg());
+        // Warm both windows with healthy traffic for two tenants.
+        for i in 0..200 {
+            m.record(0, i as f64 * 0.5, true);
+            m.record(1, i as f64 * 0.5, true);
+        }
+        // Tenant 1 collapses: 50% misses (burn 5× against 10% budget).
+        let mut fired = 0;
+        let mut t = 100.0;
+        for i in 0..600 {
+            t += 0.1;
+            m.record(0, t, true);
+            match m.record(1, t, i % 2 != 0) {
+                Some(BurnEvent::Fired { tenant, .. }) => {
+                    assert_eq!(tenant, 1);
+                    fired += 1;
+                }
+                Some(BurnEvent::Cleared { .. }) => panic!("no recovery yet"),
+                None => {}
+            }
+        }
+        assert_eq!(fired, 1, "alert latches instead of re-firing");
+        assert!(m.reading(1).alerting);
+        assert!(!m.reading(0).alerting, "healthy tenant unaffected");
+        // Recovery: all-ok traffic drains the fast window.
+        let mut cleared = 0;
+        for _ in 0..400 {
+            t += 0.1;
+            if let Some(BurnEvent::Cleared { tenant, .. }) = m.record(1, t, true) {
+                assert_eq!(tenant, 1);
+                cleared += 1;
+            }
+        }
+        assert_eq!(cleared, 1);
+        assert!(!m.reading(1).alerting);
+    }
+
+    #[test]
+    fn min_requests_suppresses_thin_evidence() {
+        let mut m = TenantBurnMonitor::new(cfg());
+        // 5 consecutive misses: burn 10×, but only 5 requests.
+        for i in 0..5 {
+            assert_eq!(m.record(0, i as f64 * 0.01, false), None);
+        }
+        assert!(!m.reading(0).alerting);
+    }
+
+    #[test]
+    fn slow_window_rejects_blips() {
+        let mut m = TenantBurnMonitor::new(cfg());
+        // A long healthy history...
+        for i in 0..2000 {
+            m.record(0, i as f64 * 0.05, true);
+        }
+        // ...then a 2-second 100%-miss blip (fast window saturates, slow
+        // window barely moves).
+        let mut fired = false;
+        for i in 0..20 {
+            fired |= m.record(0, 100.0 + i as f64 * 0.1, false).is_some();
+        }
+        assert!(!fired, "blip must not fire a multi-window alert");
+    }
+
+    #[test]
+    fn windows_expire_old_buckets() {
+        let mut w = RateWindow::new(10.0);
+        for i in 0..50 {
+            w.record(i as f64 * 0.2, true);
+        }
+        assert!(w.total <= 51, "window holds ~10s of 5rps traffic");
+        // Jump far ahead: everything expires.
+        w.record(1000.0, true);
+        assert_eq!(w.total, 1);
+        assert_eq!(w.missed, 1);
+    }
+}

@@ -6,9 +6,10 @@
 
 use std::fmt::Write as _;
 
-use distserve_telemetry::LogHistogram;
+use distserve_telemetry::{span_flags, LogHistogram, SpanEvent, SpanKind, NO_PARENT};
 
 use crate::bottleneck::BottleneckReport;
+use crate::burn::TenantBurnMonitor;
 
 const COLORS: [&str; 9] = [
     "#8da0cb", "#e78ac3", "#66c2a5", "#fc8d62", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3",
@@ -141,6 +142,128 @@ fn attribution_bar(report: &BottleneckReport) -> String {
     svg + &legend
 }
 
+/// HTML table fragment of per-tenant SLO burn state, worst burn first.
+///
+/// Pairs with [`crate::TenantBurnMonitor`]: one row per tenant with
+/// lifetime counts, fast/slow burn multiples, and the latched alert
+/// state — the panel version of the events that arm the router throttle
+/// and the replan controller.
+#[must_use]
+pub fn tenant_panel(monitor: &TenantBurnMonitor) -> String {
+    let mut rows: Vec<(u32, crate::BurnReading)> = (0..monitor.tenants() as u32)
+        .map(|t| (t, monitor.reading(t)))
+        .filter(|(_, r)| r.total > 0)
+        .collect();
+    if rows.is_empty() {
+        return String::from("<p class=\"empty\">no tenant traffic</p>");
+    }
+    rows.sort_by(|a, b| b.1.fast.total_cmp(&a.1.fast));
+    let mut out = String::from(
+        "<table class=\"tenants\"><tr><th>tenant</th><th>requests</th><th>missed</th>\
+         <th>fast burn</th><th>slow burn</th><th>state</th></tr>",
+    );
+    for (t, r) in rows {
+        let state = if r.alerting {
+            "<td class=\"alert\">BURNING</td>"
+        } else {
+            "<td>ok</td>"
+        };
+        let _ = write!(
+            out,
+            "<tr><td>{t}</td><td>{}</td><td>{}</td><td>{:.2}&times;</td>\
+             <td>{:.2}&times;</td>{state}</tr>",
+            r.total, r.missed, r.fast, r.slow,
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn span_color(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Request => COLORS[7],
+        SpanKind::RouterDecision => COLORS[5],
+        SpanKind::PrefillQueue => COLORS[1],
+        SpanKind::PrefillExec => COLORS[0],
+        SpanKind::KvTransfer => COLORS[3],
+        SpanKind::DecodeQueue => COLORS[4],
+        SpanKind::DecodeExec => COLORS[2],
+        SpanKind::DecodeStep => COLORS[6],
+    }
+}
+
+/// Inline-SVG waterfall of one kept trace (one row per span, time left
+/// to right, root request span on top).
+///
+/// The HTML sibling of the Perfetto export: embeddable in the dashboard
+/// artifact with zero JavaScript. Returns an empty-state paragraph for
+/// a rootless or empty trace.
+#[must_use]
+pub fn trace_waterfall_svg(trace: &[SpanEvent]) -> String {
+    let Some(root) = trace.iter().find(|s| s.ctx.parent == NO_PARENT) else {
+        return String::from("<p class=\"empty\">no finalized trace</p>");
+    };
+    let t0 = trace
+        .iter()
+        .map(|s| s.start_s)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = trace
+        .iter()
+        .map(|s| s.end_s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span_total = (t1 - t0).max(1e-9);
+    let mut ordered: Vec<&SpanEvent> = trace.iter().collect();
+    // Root first, then children by start time.
+    ordered.sort_by(|a, b| {
+        (a.ctx.parent != NO_PARENT)
+            .cmp(&(b.ctx.parent != NO_PARENT))
+            .then(a.start_s.total_cmp(&b.start_s))
+    });
+    let (w, row_h, label_w, pad) = (640.0, 18.0, 120.0, 4.0);
+    let h = pad * 2.0 + row_h * ordered.len() as f64;
+    let mut flags = String::new();
+    for (bit, name) in [
+        (span_flags::SLO_MISS, "slo-miss"),
+        (span_flags::SHED, "shed"),
+        (span_flags::RETRIED, "retried"),
+        (span_flags::FAILED, "failed"),
+    ] {
+        if root.payload & bit != 0 {
+            flags.push(' ');
+            flags.push_str(name);
+        }
+    }
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         role=\"img\" aria-label=\"trace waterfall req {} trace {:016x}{flags}\">\
+         <rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"#f7f7f9\"/>",
+        root.request, root.ctx.trace_id
+    );
+    let scale = (w - label_w - 2.0 * pad) / span_total;
+    for (i, s) in ordered.iter().enumerate() {
+        let y = pad + row_h * i as f64;
+        let x = label_w + pad + (s.start_s - t0) * scale;
+        let bw = ((s.end_s - s.start_s) * scale).max(1.0);
+        let _ = write!(
+            svg,
+            "<text x=\"{pad:.0}\" y=\"{:.1}\" font-size=\"10\" fill=\"#444\">{}</text>\
+             <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bw:.1}\" height=\"{:.1}\" \
+             fill=\"{}\"><title>{} [{:.4}s, {:.4}s] track {} payload {}</title></rect>",
+            y + row_h * 0.7,
+            s.kind.name(),
+            row_h - 3.0,
+            span_color(s.kind),
+            s.kind.name(),
+            s.start_s,
+            s.end_s,
+            s.track,
+            s.payload
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
 fn tile(label: &str, value: &str) -> String {
     format!(
         "<div class=\"tile\"><div class=\"value\">{}</div>\
@@ -256,6 +379,7 @@ mod tests {
         ] {
             rec.event(Event {
                 request: 1,
+                tenant: 0,
                 time_s: t,
                 kind,
             });
@@ -279,5 +403,57 @@ mod tests {
         // No external references: offline CI must render it unchanged.
         assert!(!html.contains("http://") && !html.contains("https://"));
         assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn tenant_panel_orders_by_burn_and_marks_alerts() {
+        let mut m = crate::TenantBurnMonitor::new(crate::BurnConfig {
+            attainment_target: 0.9,
+            fast_window_s: 10.0,
+            slow_window_s: 100.0,
+            threshold: 3.0,
+            min_requests: 10,
+        });
+        for i in 0..200 {
+            m.record(0, i as f64 * 0.1, true);
+            m.record(1, i as f64 * 0.1, i % 2 != 0);
+        }
+        let html = tenant_panel(&m);
+        assert!(html.contains("BURNING"));
+        let t1 = html.find("<td>1</td>").unwrap();
+        let t0 = html.find("<td>0</td>").unwrap();
+        assert!(t1 < t0, "burning tenant sorts first");
+        assert!(
+            tenant_panel(&crate::TenantBurnMonitor::new(crate::BurnConfig::default()))
+                .contains("no tenant traffic")
+        );
+    }
+
+    #[test]
+    fn waterfall_svg_renders_each_span_with_flags() {
+        use distserve_telemetry::{span_flags, SpanEvent, SpanKind, TraceCtx};
+        let root = TraceCtx::root(9);
+        let mk = |ctx, kind, s, e, payload| SpanEvent {
+            ctx,
+            request: 42,
+            tenant: 1,
+            track: 3,
+            kind,
+            start_s: s,
+            end_s: e,
+            payload,
+        };
+        let trace = vec![
+            mk(root.child(1), SpanKind::PrefillExec, 0.1, 0.3, 0),
+            mk(root.child(2), SpanKind::DecodeExec, 0.3, 0.9, 12),
+            mk(root, SpanKind::Request, 0.0, 0.9, span_flags::SLO_MISS),
+        ];
+        let svg = trace_waterfall_svg(&trace);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect x=").count(), 3, "one bar per span");
+        assert!(svg.contains("slo-miss"));
+        assert!(svg.contains("prefill_exec"));
+        // Rootless input degrades gracefully.
+        assert!(trace_waterfall_svg(&[]).contains("no finalized trace"));
     }
 }

@@ -28,6 +28,7 @@
 
 mod attribution;
 mod bottleneck;
+mod burn;
 mod dashboard;
 mod live;
 mod serve;
@@ -38,7 +39,8 @@ pub use attribution::{
     COMPONENT_NAMES,
 };
 pub use bottleneck::{diagnose, BindingSlo, BottleneckReport, InstanceReport};
-pub use dashboard::render_dashboard;
+pub use burn::{BurnConfig, BurnEvent, BurnReading, TenantBurnMonitor};
+pub use dashboard::{render_dashboard, tenant_panel, trace_waterfall_svg};
 pub use live::{InstanceLoad, InstanceUse, ObserverSink};
 pub use serve::{http_get, MetricsServer, Provider};
 pub use window::{BucketStats, SloWindow, WindowStats};

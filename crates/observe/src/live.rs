@@ -306,6 +306,7 @@ mod tests {
     fn ev(request: RequestKey, time_s: f64, kind: LifecycleEvent) -> Event {
         Event {
             request,
+            tenant: 0,
             time_s,
             kind,
         }

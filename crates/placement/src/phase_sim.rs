@@ -24,6 +24,7 @@ use distserve_workload::{RequestId, Trace};
 fn emit(sink: &dyn TelemetrySink, id: RequestId, t: SimTime, kind: LifecycleEvent) {
     sink.event(Event {
         request: id.0,
+        tenant: 0,
         time_s: t.as_secs(),
         kind,
     });

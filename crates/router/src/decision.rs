@@ -37,6 +37,16 @@
 //! `retry_gap_secs`, shed once `waited_secs + retry_gap_secs >
 //! max_wait_secs`). Sheds therefore only happen above the configured
 //! capacity bound — a property test enforces this.
+//!
+//! ## Tenant throttling
+//!
+//! A burn-rate monitor (see `observe::burn`) may mark a tenant
+//! *throttled* via [`RouterState::set_tenant_throttle`]. Requests from a
+//! throttled tenant face stricter admission — half the queue cap, and no
+//! bounded-wait queueing (immediate shed when over the reduced cap) — so
+//! a tenant burning its error budget stops displacing the others'
+//! traffic. The throttle set is part of [`RouterState`], so `route()`
+//! stays a pure function of `(state, features)`.
 
 use distserve_faults::InstanceHealth;
 
@@ -158,6 +168,9 @@ pub struct RouterState {
     policy: RouterPolicy,
     seed: u64,
     index: RoleIndex,
+    /// Tenants under burn-rate throttling, indexed by tenant id (grows
+    /// on demand; absent entries mean unthrottled).
+    throttled: Vec<bool>,
 }
 
 /// Number of logarithmic load buckets per role.
@@ -256,6 +269,7 @@ impl RouterState {
             policy,
             seed,
             index,
+            throttled: Vec::new(),
         }
     }
 
@@ -302,6 +316,29 @@ impl RouterState {
         assert!(self.replicas[i].role == role, "role is immutable");
         let b = bucket_of(self.replicas[i].load(&self.policy));
         self.index.relocate(i, role, b);
+    }
+
+    /// Marks (or clears) burn-rate throttling for `tenant`. While
+    /// throttled, the tenant's fresh arrivals face half the queue cap
+    /// and are shed instead of queueing when over it.
+    pub fn set_tenant_throttle(&mut self, tenant: u32, on: bool) {
+        let i = tenant as usize;
+        if i >= self.throttled.len() {
+            if !on {
+                return;
+            }
+            self.throttled.resize(i + 1, false);
+        }
+        self.throttled[i] = on;
+    }
+
+    /// Whether `tenant` is currently throttled.
+    #[must_use]
+    pub fn tenant_throttled(&self, tenant: u32) -> bool {
+        self.throttled
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Least-loaded replica of `role` passing `eligible`, scanning load
@@ -351,6 +388,10 @@ pub struct RequestFeatures {
     /// Estimated decode length in tokens (a predictor output; the sim
     /// harness uses the oracle value).
     pub predicted_decode_len: u32,
+    /// Tenant the request belongs to (`workload::TenantSpec` index; `0`
+    /// for single-tenant workloads). Consulted against the state's
+    /// throttle set.
+    pub tenant: u32,
     /// Time this request has already spent queued at the router.
     pub waited_secs: f64,
     /// Re-dispatch after a fault: the system already admitted this
@@ -366,9 +407,17 @@ impl RequestFeatures {
             id,
             prompt_len,
             predicted_decode_len,
+            tenant: 0,
             waited_secs: 0.0,
             readmission: false,
         }
+    }
+
+    /// The same features tagged with a tenant id.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -418,7 +467,14 @@ pub enum Decision {
 #[must_use]
 pub fn route(state: &RouterState, req: &RequestFeatures) -> Decision {
     let policy = state.policy;
-    let cap = policy.queue_cap;
+    let throttled = state.tenant_throttled(req.tenant);
+    // Throttled tenants face half the admission headroom (floor 1 so a
+    // healthy idle fleet still serves them).
+    let cap = if throttled {
+        (policy.queue_cap / 2).max(1)
+    } else {
+        policy.queue_cap
+    };
     let eligible = |r: &ReplicaSnapshot| {
         r.health.accepts_new_work() && (req.readmission || r.queue_depth < cap)
     };
@@ -467,7 +523,10 @@ pub fn route(state: &RouterState, req: &RequestFeatures) -> Decision {
                     reason: ShedReason::NoCapablePath,
                 };
             }
-            if req.waited_secs + policy.retry_gap_secs <= policy.max_wait_secs {
+            // Throttled tenants don't get the bounded-wait grace: holding
+            // their requests in the router queue is exactly the budget
+            // burn the throttle exists to stop.
+            if !throttled && req.waited_secs + policy.retry_gap_secs <= policy.max_wait_secs {
                 Decision::Queue {
                     retry_after_secs: policy.retry_gap_secs,
                 }
@@ -672,6 +731,59 @@ mod tests {
                 decode: ReplicaId(2)
             }
         );
+    }
+
+    #[test]
+    fn throttled_tenant_faces_half_cap_and_no_queue_grace() {
+        let policy = RouterPolicy {
+            queue_cap: 4,
+            max_wait_secs: 2.0,
+            retry_gap_secs: 0.25,
+            ..RouterPolicy::default()
+        };
+        // Queue depth 3: under the full cap (4) but at the throttled
+        // cap (2).
+        let mut state = RouterState::new(
+            fleet(&[(ReplicaRole::Prefill, 500, 3), (ReplicaRole::Decode, 0, 0)]),
+            policy,
+            7,
+        );
+        let normal = RequestFeatures::arrival(0, 128, 32).with_tenant(1);
+        assert!(matches!(route(&state, &normal), Decision::Disagg { .. }));
+
+        state.set_tenant_throttle(1, true);
+        assert!(state.tenant_throttled(1));
+        // Same fleet, same request: now over the halved cap, and the
+        // throttle also denies the bounded-wait queue.
+        assert_eq!(
+            route(&state, &normal),
+            Decision::Shed {
+                reason: ShedReason::OverCapacity
+            }
+        );
+        // Other tenants are unaffected.
+        let other = RequestFeatures::arrival(1, 128, 32).with_tenant(0);
+        assert!(matches!(route(&state, &other), Decision::Disagg { .. }));
+
+        state.set_tenant_throttle(1, false);
+        assert!(!state.tenant_throttled(1));
+        assert!(matches!(route(&state, &normal), Decision::Disagg { .. }));
+    }
+
+    #[test]
+    fn throttle_set_grows_on_demand_and_defaults_off() {
+        let mut state = RouterState::new(
+            fleet(&[(ReplicaRole::Colocated, 0, 0)]),
+            RouterPolicy::default(),
+            7,
+        );
+        assert!(!state.tenant_throttled(900));
+        // Clearing an unknown tenant must not allocate.
+        state.set_tenant_throttle(900, false);
+        assert!(!state.tenant_throttled(900));
+        state.set_tenant_throttle(3, true);
+        assert!(state.tenant_throttled(3));
+        assert!(!state.tenant_throttled(2));
     }
 
     #[test]

@@ -30,4 +30,6 @@ pub use decision::{
     RouterState, ShedReason,
 };
 pub use log::{log_from_json, log_to_json, DecisionKind, DecisionRecord};
-pub use scale::{Assignment, FleetSpec, ScaleOutcome, ScaleSim, ScaleSlo, ServiceProfile};
+pub use scale::{
+    Assignment, Completion, FleetSpec, ScaleOutcome, ScaleSim, ScaleSlo, ServiceProfile,
+};

@@ -41,6 +41,12 @@ pub struct DecisionRecord {
     pub retry_after_secs: f64,
     /// For `Shed`: whether the cause was capacity (vs. no capable path).
     pub over_capacity: bool,
+    /// Trace id joining this verdict to the request's exported span
+    /// trace (`telemetry::trace_id(seed, request)`); `0` when the run
+    /// was untraced. `default` so decision logs written before tracing
+    /// existed still parse.
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 impl DecisionRecord {
@@ -54,6 +60,7 @@ impl DecisionRecord {
             decode: -1,
             retry_after_secs: 0.0,
             over_capacity: false,
+            trace_id: 0,
         };
         match *decision {
             Decision::Disagg { prefill, decode } => {
@@ -75,6 +82,13 @@ impl DecisionRecord {
             }
         }
         rec
+    }
+
+    /// The same record carrying a trace id.
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self
     }
 
     /// Reconstructs the [`Decision`].
@@ -160,7 +174,7 @@ mod tests {
         let log: Vec<DecisionRecord> = decisions
             .iter()
             .enumerate()
-            .map(|(i, d)| DecisionRecord::new(i as u64, d))
+            .map(|(i, d)| DecisionRecord::new(i as u64, d).with_trace_id(0x5EED + i as u64))
             .collect();
         let json = log_to_json(&log).unwrap();
         let back = log_from_json(&json).unwrap();
@@ -168,6 +182,24 @@ mod tests {
         for (rec, want) in back.iter().zip(&decisions) {
             assert_eq!(&rec.decision().unwrap(), want);
         }
+        assert_eq!(back[3].trace_id, 0x5EED + 3);
+    }
+
+    #[test]
+    fn pre_tracing_logs_parse_with_zero_trace_id() {
+        // A record serialized before the trace_id field existed.
+        let json = r#"[{
+            "request": 4, "kind": "Coloc", "target": 2, "decode": -1,
+            "retry_after_secs": 0.0, "over_capacity": false
+        }]"#;
+        let back = log_from_json(json).unwrap();
+        assert_eq!(back[0].trace_id, 0);
+        assert_eq!(
+            back[0].decision().unwrap(),
+            Decision::Coloc {
+                replica: ReplicaId(2)
+            }
+        );
     }
 
     #[test]
@@ -179,6 +211,7 @@ mod tests {
             decode: -1,
             retry_after_secs: 0.0,
             over_capacity: false,
+            trace_id: 0,
         };
         assert!(rec.decision().is_err());
     }

@@ -22,6 +22,165 @@ pub type RequestKey = u64;
 /// instance's index) or per real engine worker.
 pub type TrackId = u32;
 
+/// Identifies the tenant a request belongs to (the index of its
+/// `workload::stream::TenantSpec`, `0` for single-tenant workloads).
+pub type TenantId = u32;
+
+/// Sentinel parent id marking a root span.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Derives the trace id for `request` under a run `seed`.
+///
+/// A SplitMix64 finalizer over `seed ^ request`: pure, so a replayed run
+/// (same seed, same request ids) produces the same trace ids, which is
+/// what lets a `DecisionRecord` in a decision log be joined against an
+/// exported trace file. Never returns `0` — exporters use `0` as "no
+/// trace attached".
+#[must_use]
+pub fn trace_id(seed: u64, request: RequestKey) -> u64 {
+    let mut z = (seed ^ request.rotate_left(32)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// Causal coordinates of one span within one request's trace.
+///
+/// `trace_id` names the whole request trace (stable across retries and
+/// replays — derived deterministically from the run seed and request
+/// id), `span_id` names this span within the trace, and `parent` points
+/// at the enclosing span (`NO_PARENT` for the per-request root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Trace (request) identity, stable across retries and replays.
+    pub trace_id: u64,
+    /// This span's id, unique within the trace.
+    pub span_id: u32,
+    /// Enclosing span's id, or [`NO_PARENT`] for the root.
+    pub parent: u32,
+}
+
+impl TraceCtx {
+    /// The root context of trace `trace_id` (span 0, no parent).
+    #[must_use]
+    pub fn root(trace_id: u64) -> Self {
+        TraceCtx {
+            trace_id,
+            span_id: 0,
+            parent: NO_PARENT,
+        }
+    }
+
+    /// A child context of `self` with the given span id.
+    #[must_use]
+    pub fn child(self, span_id: u32) -> Self {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id,
+            parent: self.span_id,
+        }
+    }
+}
+
+/// What stage of the request lifecycle a span covers.
+///
+/// The causal tree for a disaggregated request:
+///
+/// ```text
+/// Request
+/// ├── RouterDecision
+/// ├── PrefillQueue
+/// ├── PrefillExec
+/// ├── KvTransfer
+/// ├── DecodeQueue
+/// └── DecodeExec        (payload = decode steps; expanded to
+///     └── DecodeStep*    per-step children at export time)
+/// ```
+///
+/// Colocated requests skip `KvTransfer`; shed requests stop after
+/// `RouterDecision`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Root span: arrival to terminal event.
+    Request,
+    /// The router consultation (and any bounded-wait requeue delay).
+    RouterDecision,
+    /// Waiting in a prefill queue.
+    PrefillQueue,
+    /// Prefill execution (TTFT boundary at its end).
+    PrefillExec,
+    /// KV-cache migration prefill → decode instance.
+    KvTransfer,
+    /// Waiting to join a decode batch group.
+    DecodeQueue,
+    /// The whole decode phase; `payload` carries the step count.
+    DecodeExec,
+    /// One decode iteration; `payload` carries tokens generated so far.
+    DecodeStep,
+}
+
+impl SpanKind {
+    /// Stable name used by the exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::RouterDecision => "router_decision",
+            SpanKind::PrefillQueue => "prefill_queue",
+            SpanKind::PrefillExec => "prefill_exec",
+            SpanKind::KvTransfer => "kv_transfer",
+            SpanKind::DecodeQueue => "decode_queue",
+            SpanKind::DecodeExec => "decode_exec",
+            SpanKind::DecodeStep => "decode_step",
+        }
+    }
+}
+
+/// One completed causal span: a stage of one request on one track.
+///
+/// `Copy` and allocation-free like every other sink payload, so tracing
+/// the hot path costs one virtual call per span when sampling is off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Causal coordinates (trace, span, parent).
+    pub ctx: TraceCtx,
+    /// Which request.
+    pub request: RequestKey,
+    /// Which tenant the request belongs to.
+    pub tenant: TenantId,
+    /// Instance track the work ran on (router/queue spans use the
+    /// deciding or target instance).
+    pub track: TrackId,
+    /// Stage covered.
+    pub kind: SpanKind,
+    /// Start, seconds from the run origin.
+    pub start_s: f64,
+    /// End, seconds from the run origin (`>= start_s`).
+    pub end_s: f64,
+    /// Kind-specific payload: decode steps for `DecodeExec`, tokens
+    /// generated for `DecodeStep`, else `0`.
+    pub payload: u32,
+}
+
+/// Outcome flags carried in the root [`SpanKind::Request`] span's
+/// `payload`. A nonzero payload marks the trace *interesting* — the
+/// tail-based sampler keeps it unconditionally.
+pub mod span_flags {
+    /// The request finished but missed at least one SLO.
+    pub const SLO_MISS: u32 = 1;
+    /// Admission shed the request.
+    pub const SHED: u32 = 2;
+    /// The request was requeued or retried at least once.
+    pub const RETRIED: u32 = 4;
+    /// The request terminally failed (retry budget exhausted).
+    pub const FAILED: u32 = 8;
+}
+
 /// A typed point in a request's lifecycle.
 ///
 /// The full DistServe lifecycle (§6.3's five stages plus terminal
@@ -110,6 +269,8 @@ impl LifecycleEvent {
 pub struct Event {
     /// Which request.
     pub request: RequestKey,
+    /// Which tenant the request belongs to (`0` when single-tenant).
+    pub tenant: TenantId,
     /// When, in seconds from the run origin.
     pub time_s: f64,
     /// What happened.

@@ -108,10 +108,11 @@ impl Recording {
                 format!(
                     "{{\"ph\":\"i\",\"pid\":{LIFECYCLE_TRACK},\"tid\":0,\"s\":\"p\",\
                      \"name\":\"{}\",\"ts\":{:.3},\
-                     \"args\":{{\"request\":{}}}}}",
+                     \"args\":{{\"request\":{},\"tenant\":{}}}}}",
                     ev.kind.name(),
                     us(ev.time_s),
-                    ev.request
+                    ev.request,
+                    ev.tenant
                 ),
                 &mut out,
                 &mut first,
@@ -124,13 +125,14 @@ impl Recording {
     /// Renders the per-request lifecycle CSV: one row per request, one
     /// column per boundary (empty when the request skipped a stage),
     /// plus the decode-step count, the failure timestamp (empty unless
-    /// the request terminally failed), and the retry count.
+    /// the request terminally failed), the retry count, and the tenant
+    /// the request belongs to.
     #[must_use]
     pub fn lifecycle_csv(&self) -> String {
         let mut out = String::from(
             "request,arrived,prefill_queued,prefill_start,prefill_end,\
              kv_migrate_start,kv_migrate_end,decode_queued,first_decode_step,\
-             finished,rejected,decode_steps,failed,retries\n",
+             finished,rejected,decode_steps,failed,retries,tenant\n",
         );
         for (req, lc) in self.lifecycles() {
             let cell = |kind: LifecycleEvent| -> String {
@@ -142,9 +144,10 @@ impl Recording {
                 .filter(|(_, e)| matches!(e, LifecycleEvent::DecodeStep { .. }))
                 .count();
             let retries = lc.retries();
+            let tenant = lc.tenant;
             let _ = writeln!(
                 out,
-                "{req},{},{},{},{},{},{},{},{},{},{},{steps},{},{retries}",
+                "{req},{},{},{},{},{},{},{},{},{},{},{steps},{},{retries},{tenant}",
                 cell(LifecycleEvent::Arrived),
                 cell(LifecycleEvent::PrefillQueued),
                 cell(LifecycleEvent::PrefillStart),
@@ -277,6 +280,7 @@ mod tests {
         ] {
             rec.event(Event {
                 request: 7,
+                tenant: 2,
                 time_s: t,
                 kind,
             });
@@ -333,6 +337,8 @@ mod tests {
         assert_eq!(cells[1], "0.000000000"); // arrived
         assert_eq!(cells[5], ""); // no KV migration
         assert_eq!(cells[11], "1"); // one decode step
+        assert_eq!(lines[0].split(',').nth(14), Some("tenant"));
+        assert_eq!(cells[14], "2"); // tenant carried through
     }
 
     #[test]
@@ -344,6 +350,7 @@ mod tests {
         for (t, kind) in [(0.5, E::Arrived), (0.5, E::Rejected)] {
             rec.event(Event {
                 request: 9,
+                tenant: 0,
                 time_s: t,
                 kind,
             });
@@ -376,6 +383,7 @@ mod tests {
         ] {
             rec.event(Event {
                 request: 11,
+                tenant: 1,
                 time_s: t,
                 kind,
             });

@@ -13,6 +13,10 @@
 //!   per-instance timeline tracks. Simulated engines stamp slices with
 //!   sim-clock seconds; the real engine scopes them with a
 //!   [`SpanGuard`] over a [`WallClock`].
+//! * **Spans** ([`SpanEvent`], [`TraceCtx`]): causal parent/child spans
+//!   linking one request's path across tiers (router decision → prefill
+//!   → KV transfer → decode steps), consumed by `crates/trace`'s
+//!   tail-based sampler.
 //! * **Metrics** ([`MetricsRegistry`]): counters, gauges, and
 //!   log-bucketed [`LogHistogram`]s keyed by `(name, instance)`.
 //! * **Exporters**: Chrome/Perfetto trace JSON
@@ -30,8 +34,8 @@
 //!
 //! let rec = Recorder::new();
 //! rec.declare_track(0, "prefill[0]");
-//! rec.event(Event { request: 1, time_s: 0.0, kind: LifecycleEvent::Arrived });
-//! rec.event(Event { request: 1, time_s: 0.4, kind: LifecycleEvent::Finished });
+//! rec.event(Event { request: 1, tenant: 0, time_s: 0.0, kind: LifecycleEvent::Arrived });
+//! rec.event(Event { request: 1, tenant: 0, time_s: 0.4, kind: LifecycleEvent::Finished });
 //! rec.slice(Slice {
 //!     track: 0, name: "prefill", start_s: 0.1, end_s: 0.3, batch: 1, tokens: 256,
 //! });
@@ -48,7 +52,10 @@ mod recorder;
 mod registry;
 mod sink;
 
-pub use event::{metrics, Event, LifecycleEvent, RequestKey, Slice, SpanGuard, TrackId, WallClock};
+pub use event::{
+    metrics, span_flags, trace_id, Event, LifecycleEvent, RequestKey, Slice, SpanEvent, SpanGuard,
+    SpanKind, TenantId, TraceCtx, TrackId, WallClock, NO_PARENT,
+};
 pub use export::{prometheus_text, LIFECYCLE_TRACK};
 pub use recorder::{Lifecycle, Recorder, Recording};
 pub use registry::{LogHistogram, MetricsRegistry};

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
-use crate::event::{Event, LifecycleEvent, RequestKey, Slice, TrackId};
+use crate::event::{Event, LifecycleEvent, RequestKey, Slice, SpanEvent, TenantId, TrackId};
 use crate::registry::MetricsRegistry;
 use crate::sink::TelemetrySink;
 
@@ -13,6 +13,7 @@ use crate::sink::TelemetrySink;
 struct RecorderInner {
     events: Vec<Event>,
     slices: Vec<Slice>,
+    spans: Vec<SpanEvent>,
     tracks: BTreeMap<TrackId, String>,
     metrics: MetricsRegistry,
 }
@@ -29,7 +30,7 @@ struct RecorderInner {
 /// use distserve_telemetry::{Event, LifecycleEvent, Recorder, TelemetrySink};
 ///
 /// let rec = Recorder::new();
-/// rec.event(Event { request: 0, time_s: 1.0, kind: LifecycleEvent::Arrived });
+/// rec.event(Event { request: 0, tenant: 0, time_s: 1.0, kind: LifecycleEvent::Arrived });
 /// assert_eq!(rec.snapshot().events.len(), 1);
 /// ```
 #[derive(Debug, Default)]
@@ -51,6 +52,7 @@ impl Recorder {
         Recording {
             events: inner.events.clone(),
             slices: inner.slices.clone(),
+            spans: inner.spans.clone(),
             tracks: inner.tracks.clone(),
             metrics: inner.metrics.clone(),
         }
@@ -68,6 +70,10 @@ impl TelemetrySink for Recorder {
 
     fn slice(&self, s: Slice) {
         self.inner.lock().slices.push(s);
+    }
+
+    fn span(&self, s: SpanEvent) {
+        self.inner.lock().spans.push(s);
     }
 
     fn declare_track(&self, id: TrackId, name: &str) {
@@ -94,6 +100,8 @@ pub struct Recording {
     pub events: Vec<Event>,
     /// Execution slices in emission order.
     pub slices: Vec<Slice>,
+    /// Causal spans in emission order.
+    pub spans: Vec<SpanEvent>,
     /// Declared track names.
     pub tracks: BTreeMap<TrackId, String>,
     /// The metrics registry.
@@ -108,10 +116,9 @@ impl Recording {
     pub fn lifecycles(&self) -> BTreeMap<RequestKey, Lifecycle> {
         let mut out: BTreeMap<RequestKey, Lifecycle> = BTreeMap::new();
         for ev in &self.events {
-            out.entry(ev.request)
-                .or_default()
-                .events
-                .push((ev.time_s, ev.kind));
+            let lc = out.entry(ev.request).or_default();
+            lc.tenant = ev.tenant;
+            lc.events.push((ev.time_s, ev.kind));
         }
         out
     }
@@ -132,6 +139,8 @@ impl Recording {
 /// One request's lifecycle events, in emission order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Lifecycle {
+    /// Tenant the request belongs to (from its events; `0` default).
+    pub tenant: TenantId,
     /// `(time_s, event)` pairs as emitted.
     pub events: Vec<(f64, LifecycleEvent)>,
 }
@@ -278,6 +287,7 @@ mod tests {
         for &(t, kind) in evs {
             rec.event(Event {
                 request: req,
+                tenant: 0,
                 time_s: t,
                 kind,
             });
@@ -359,6 +369,7 @@ mod tests {
         ];
         for (needle, evs) in cases {
             let l = Lifecycle {
+                tenant: 0,
                 events: evs.clone(),
             };
             let err = l.validate().expect_err(needle);
@@ -369,6 +380,7 @@ mod tests {
     #[test]
     fn rejected_is_a_valid_terminal() {
         let l = Lifecycle {
+            tenant: 0,
             events: vec![(0.0, E::Arrived), (0.0, E::Rejected)],
         };
         l.validate().unwrap();
@@ -379,6 +391,7 @@ mod tests {
         // Prefill crashed mid-batch: the first PrefillStart never ends,
         // Retried abandons it, the second attempt completes.
         let l = Lifecycle {
+            tenant: 0,
             events: vec![
                 (0.0, E::Arrived),
                 (0.0, E::PrefillQueued),
@@ -403,6 +416,7 @@ mod tests {
     #[test]
     fn failed_terminal_forgives_open_pairs() {
         let l = Lifecycle {
+            tenant: 0,
             events: vec![
                 (0.0, E::Arrived),
                 (0.0, E::PrefillQueued),
@@ -422,6 +436,7 @@ mod tests {
     #[test]
     fn retry_attempts_must_increase() {
         let l = Lifecycle {
+            tenant: 0,
             events: vec![
                 (0.0, E::Arrived),
                 (0.1, E::Retried { attempt: 2 }),

@@ -149,15 +149,20 @@ impl LogHistogram {
             if c == 0 {
                 continue;
             }
+            // Tighten every occupied bucket to the recorded value range,
+            // not just the open underflow/overflow buckets: when all
+            // samples land in one bucket the quantile then interpolates
+            // across `[min, max]` instead of saturating at the bucket
+            // upper bound for every q past the first sample.
             let lo_b = if i == 0 {
                 self.min
             } else {
-                self.lo * self.growth.powi(i as i32 - 1)
+                (self.lo * self.growth.powi(i as i32 - 1)).max(self.min)
             };
             let hi_b = if i + 1 == n {
                 self.max
             } else {
-                self.lo * self.growth.powi(i as i32)
+                (self.lo * self.growth.powi(i as i32)).min(self.max)
             };
             let before = cum;
             cum += c;
@@ -391,6 +396,42 @@ mod tests {
                     "q={q} v={v} outside [{lo}, {hi}]");
                 proptest::prop_assert!(v >= prev, "quantile not monotone at q={q}");
                 prev = v;
+            }
+        }
+
+        /// Samples confined to one bucket: the quantile must interpolate
+        /// within the recorded `[min, max]` — linearly, since bucket
+        /// occupancy is all the histogram knows — instead of pinning to
+        /// the bucket upper bound (clamped to `max`) for every interior
+        /// q the way the untightened bounds did.
+        #[test]
+        fn quantile_single_bucket_interpolates_within_range(
+            base in 1e-5f64..1e2,
+            spread in 0.0f64..0.4,
+            n in 2usize..50,
+            q in 0.0f64..=1.0,
+        ) {
+            let mut h = LogHistogram::latency_seconds();
+            let (lo, hi) = (base, base * (1.0 + spread));
+            for i in 0..n {
+                let f = i as f64 / (n - 1) as f64;
+                h.record(lo + f * (hi - lo));
+            }
+            // The span may straddle a bucket boundary; only the
+            // single-bucket draws exercise the edge case under test.
+            let occupied = {
+                let mut prev = 0;
+                h.cumulative().filter(|&(_, c)| {
+                    let grew = c > prev;
+                    prev = c;
+                    grew
+                }).count()
+            };
+            if occupied == 1 && hi > lo {
+                let v = h.quantile(q).unwrap();
+                let expect = lo + q * (hi - lo);
+                proptest::prop_assert!((v - expect).abs() <= 1e-9 * hi.max(1.0),
+                    "q={q} v={v}, want linear interpolation {expect} in [{lo}, {hi}]");
             }
         }
 

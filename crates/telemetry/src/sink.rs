@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use crate::event::{Event, Slice, TrackId};
+use crate::event::{Event, Slice, SpanEvent, TrackId};
 
 /// Receives telemetry from instrumented engines.
 ///
@@ -30,6 +30,9 @@ pub trait TelemetrySink: Send + Sync {
 
     /// Records an execution slice on an instance track.
     fn slice(&self, _s: Slice) {}
+
+    /// Records one completed causal span of a request trace.
+    fn span(&self, _s: SpanEvent) {}
 
     /// Names a track (cold path — called once per instance at startup).
     fn declare_track(&self, _id: TrackId, _name: &str) {}
@@ -101,6 +104,12 @@ impl TelemetrySink for TeeSink {
         }
     }
 
+    fn span(&self, sp: SpanEvent) {
+        for s in &self.sinks {
+            s.span(sp);
+        }
+    }
+
     fn declare_track(&self, id: TrackId, name: &str) {
         for s in &self.sinks {
             s.declare_track(id, name);
@@ -137,6 +146,7 @@ mod tests {
         assert!(!sink.enabled());
         sink.event(Event {
             request: 1,
+            tenant: 0,
             time_s: 0.0,
             kind: LifecycleEvent::Arrived,
         });

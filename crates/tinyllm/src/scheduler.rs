@@ -158,6 +158,7 @@ impl ContinuousBatcher {
     fn emit(&self, id: SeqId, t: f64, kind: LifecycleEvent) {
         self.sink.event(Event {
             request: id,
+            tenant: 0,
             time_s: t,
             kind,
         });

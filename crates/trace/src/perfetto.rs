@@ -1,0 +1,238 @@
+//! Perfetto / Chrome trace-event export of kept traces.
+//!
+//! One process per trace (requests are the unit of investigation), one
+//! thread lane per [`SpanKind`], `"B"`/`"E"` pairs per span — load the
+//! file in [ui.perfetto.dev](https://ui.perfetto.dev) and each request
+//! reads as a waterfall: router decision → prefill queue → prefill exec
+//! → KV transfer → decode.
+//!
+//! [`SpanKind::DecodeExec`] spans are *expanded* at export time: the
+//! hot path emits one span carrying the step count in `payload`, and
+//! the exporter subdivides it into up to [`MAX_STEP_SLICES`] per-step
+//! `"X"` slices on the decode-step lane (coalescing evenly when the
+//! request generated more). Trace memory during the run stays O(1) per
+//! request; the waterfall still shows the per-step cadence.
+
+use distserve_telemetry::{SpanEvent, SpanKind, NO_PARENT};
+
+/// Most per-step slices emitted for one `DecodeExec` span; longer
+/// decodes coalesce several steps per slice (the `steps_per_slice` arg
+/// says how many).
+pub const MAX_STEP_SLICES: u32 = 64;
+
+fn lane(kind: SpanKind) -> u32 {
+    match kind {
+        SpanKind::Request => 0,
+        SpanKind::RouterDecision => 1,
+        SpanKind::PrefillQueue => 2,
+        SpanKind::PrefillExec => 3,
+        SpanKind::KvTransfer => 4,
+        SpanKind::DecodeQueue => 5,
+        SpanKind::DecodeExec => 6,
+        SpanKind::DecodeStep => 7,
+    }
+}
+
+fn us(t: f64) -> i64 {
+    let v = t * 1e6;
+    if v >= 0.0 {
+        (v + 0.5) as i64
+    } else {
+        (v - 0.5) as i64
+    }
+}
+
+/// Renders `traces` (as drained from `TailSampler::take_kept`) as a
+/// Chrome trace-event JSON object (`{"traceEvents": [...]}`).
+#[must_use]
+pub fn waterfall_json(traces: &[Vec<SpanEvent>]) -> String {
+    let mut out = String::with_capacity(256 + traces.len() * 1024);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    for (i, trace) in traces.iter().enumerate() {
+        let pid = i + 1;
+        let Some(root) = trace.iter().find(|s| s.ctx.parent == NO_PARENT) else {
+            continue;
+        };
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\
+                 \"req {} tenant {} trace {:016x}\"}}}}",
+                root.request, root.tenant, root.ctx.trace_id
+            ),
+            &mut first,
+        );
+        let mut lanes_seen = 0u32;
+        for s in trace {
+            let l = lane(s.kind);
+            if lanes_seen & (1 << l) == 0 {
+                lanes_seen |= 1 << l;
+                push(
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{l},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        s.kind.name()
+                    ),
+                    &mut first,
+                );
+            }
+            let args = format!(
+                "{{\"trace_id\":\"{:016x}\",\"span\":{},\"parent\":{},\"track\":{},\
+                 \"tenant\":{},\"payload\":{}}}",
+                s.ctx.trace_id,
+                s.ctx.span_id,
+                i64::from(s.ctx.parent as i32),
+                i64::from(s.track as i32),
+                s.tenant,
+                s.payload
+            );
+            push(
+                format!(
+                    "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{l},\"ts\":{},\"name\":\"{}\",\
+                     \"cat\":\"span\",\"args\":{args}}}",
+                    us(s.start_s),
+                    s.kind.name()
+                ),
+                &mut first,
+            );
+            push(
+                format!(
+                    "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{l},\"ts\":{}}}",
+                    us(s.end_s)
+                ),
+                &mut first,
+            );
+            if s.kind == SpanKind::DecodeExec && s.payload > 1 && s.end_s > s.start_s {
+                expand_decode_steps(pid, s, &mut push, &mut first, &mut lanes_seen);
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Emits per-step `"X"` slices for one decode-exec span.
+fn expand_decode_steps(
+    pid: usize,
+    s: &SpanEvent,
+    push: &mut impl FnMut(String, &mut bool),
+    first: &mut bool,
+    lanes_seen: &mut u32,
+) {
+    let steps = s.payload;
+    let slices = steps.min(MAX_STEP_SLICES);
+    let per_slice = steps.div_ceil(slices);
+    let l = lane(SpanKind::DecodeStep);
+    if *lanes_seen & (1 << l) == 0 {
+        *lanes_seen |= 1 << l;
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{l},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"decode_step\"}}}}"
+            ),
+            first,
+        );
+    }
+    let span_s = s.end_s - s.start_s;
+    let mut emitted = 0u32;
+    let mut k = 0u32;
+    while emitted < steps {
+        let batch = per_slice.min(steps - emitted);
+        let t0 = s.start_s + span_s * f64::from(emitted) / f64::from(steps);
+        let t1 = s.start_s + span_s * f64::from(emitted + batch) / f64::from(steps);
+        push(
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{l},\"ts\":{},\"dur\":{},\
+                 \"name\":\"decode_step\",\"cat\":\"step\",\"args\":{{\"step\":{},\
+                 \"steps_per_slice\":{batch},\"parent\":{}}}}}",
+                us(t0),
+                (us(t1) - us(t0)).max(1),
+                emitted + 1,
+                s.ctx.span_id
+            ),
+            first,
+        );
+        emitted += batch;
+        k += 1;
+        debug_assert!(k <= MAX_STEP_SLICES);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distserve_telemetry::TraceCtx;
+
+    fn span(tid: u64, id: u32, kind: SpanKind, start: f64, end: f64, payload: u32) -> SpanEvent {
+        let ctx = if id == 0 {
+            TraceCtx::root(tid)
+        } else {
+            TraceCtx::root(tid).child(id)
+        };
+        SpanEvent {
+            ctx,
+            request: 42,
+            tenant: 1,
+            track: 3,
+            kind,
+            start_s: start,
+            end_s: end,
+            payload,
+        }
+    }
+
+    fn sample_trace() -> Vec<SpanEvent> {
+        vec![
+            span(9, 1, SpanKind::RouterDecision, 0.0, 0.0, 0),
+            span(9, 2, SpanKind::PrefillQueue, 0.0, 0.1, 0),
+            span(9, 3, SpanKind::PrefillExec, 0.1, 0.3, 256),
+            span(9, 4, SpanKind::KvTransfer, 0.3, 0.31, 256),
+            span(9, 5, SpanKind::DecodeExec, 0.31, 0.95, 4),
+            span(9, 0, SpanKind::Request, 0.0, 0.95, 1),
+        ]
+    }
+
+    #[test]
+    fn waterfall_has_matched_pairs_and_expanded_steps() {
+        let json = waterfall_json(&[sample_trace()]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 6, "one B per span");
+        assert_eq!(b, e, "matched B/E pairs");
+        // 4 decode steps expand into 4 X slices.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"name\":\"prefill_exec\""));
+        assert!(json.contains("req 42 tenant 1 trace 0000000000000009"));
+        // Timestamps are µs integers.
+        assert!(json.contains("\"ts\":310000"));
+    }
+
+    #[test]
+    fn long_decodes_coalesce_to_the_slice_cap() {
+        let trace = vec![
+            span(9, 1, SpanKind::DecodeExec, 0.0, 10.0, 1000),
+            span(9, 0, SpanKind::Request, 0.0, 10.0, 0),
+        ];
+        let json = waterfall_json(&[trace]);
+        let x = json.matches("\"ph\":\"X\"").count();
+        assert!(x <= MAX_STEP_SLICES as usize, "{x} step slices");
+        assert!(json.contains("\"steps_per_slice\":16"));
+    }
+
+    #[test]
+    fn empty_input_is_valid_and_rootless_traces_skipped() {
+        let json = waterfall_json(&[]);
+        assert!(json.contains("\"traceEvents\":[\n\n]"));
+        let rootless = vec![span(9, 1, SpanKind::PrefillExec, 0.0, 1.0, 0)];
+        let json = waterfall_json(&[rootless]);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 0);
+    }
+}

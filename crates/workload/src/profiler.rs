@@ -45,6 +45,7 @@ pub struct WorkloadSnapshot {
 ///         arrival: SimTime::from_secs(i as f64 * 0.5),
 ///         input_len: 300,
 ///         output_len: 100,
+///         tenant: 0,
 ///     });
 /// }
 /// let snap = p.snapshot().unwrap();
@@ -175,6 +176,7 @@ mod tests {
             arrival: SimTime::from_secs(t),
             input_len: input,
             output_len: output,
+            tenant: 0,
         }
     }
 

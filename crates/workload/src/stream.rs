@@ -159,6 +159,7 @@ impl Iterator for RequestStream {
             arrival: SimTime::from_secs(self.now),
             input_len,
             output_len,
+            tenant: 0,
         })
     }
 }
@@ -238,8 +239,9 @@ impl MultiTenantMix {
         self.tenants.iter().map(|t| t.spec.name.as_str()).collect()
     }
 
-    /// Drops the tenant tags, yielding bare requests (what the sim
-    /// harnesses consume).
+    /// Yields bare requests (what the sim harnesses consume). Tenant
+    /// identity survives in `Request::tenant`, so downstream telemetry
+    /// can still attribute each request to its tenant.
     pub fn requests(self) -> impl Iterator<Item = Request> {
         self.map(|(_, r)| r)
     }
@@ -267,6 +269,7 @@ impl Iterator for MultiTenantMix {
                 arrival: SimTime::from_secs(at),
                 input_len,
                 output_len,
+                tenant: idx as u32,
             },
         ))
     }
@@ -436,6 +439,7 @@ mod tests {
         for (tenant, r) in &reqs {
             let want = if *tenant == 0 { 512 } else { 2048 };
             assert_eq!(r.input_len, want);
+            assert_eq!(r.tenant as usize, *tenant, "request must carry its tenant");
         }
         assert!(reqs.iter().any(|(t, _)| *t == 0));
         assert!(reqs.iter().any(|(t, _)| *t == 1));

@@ -34,6 +34,11 @@ pub struct Request {
     /// Number of tokens the request will generate (the first is produced
     /// by prefill, the remaining `output_len - 1` by decoding steps).
     pub output_len: u32,
+    /// Tenant the request belongs to: the index of its
+    /// `stream::TenantSpec` in a multi-tenant mix, `0` for single-tenant
+    /// workloads (defaulted when deserializing pre-tenant traces).
+    #[serde(default)]
+    pub tenant: u32,
 }
 
 impl Request {
@@ -216,6 +221,7 @@ impl TraceBuilder {
                 arrival: t,
                 input_len,
                 output_len,
+                tenant: 0,
             });
             id += 1;
         }
@@ -236,12 +242,14 @@ mod tests {
                 arrival: SimTime::from_secs(5.0),
                 input_len: 10,
                 output_len: 5,
+                tenant: 0,
             },
             Request {
                 id: RequestId(0),
                 arrival: SimTime::from_secs(1.0),
                 input_len: 20,
                 output_len: 5,
+                tenant: 0,
             },
         ];
         let trace = Trace::new(reqs);
@@ -317,6 +325,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_len: 512,
             output_len: 64,
+            tenant: 0,
         };
         assert_eq!(r.final_context_len(), 576);
     }

@@ -175,6 +175,7 @@ fn main() {
             arrival: r.arrival.after(offset),
             input_len: r.input_len,
             output_len: r.output_len,
+            tenant: r.tenant,
         })
         .collect();
     let trace_c = Trace::new(shifted);

@@ -79,6 +79,7 @@ fn main() {
             arrival: r.arrival.after(offset),
             input_len: r.input_len,
             output_len: r.output_len,
+            tenant: r.tenant,
         })
         .collect();
     phase2 = distserve::workload::Trace::new(shifted);

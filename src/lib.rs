@@ -38,6 +38,8 @@ pub use distserve_router as router;
 pub use distserve_simcore as simcore;
 /// Request-lifecycle tracing, metrics, and Perfetto/Prometheus export.
 pub use distserve_telemetry as telemetry;
+/// Causal spans, tail-based sampling, waterfalls, and a flight recorder.
+pub use distserve_trace as trace;
 /// Synthetic datasets, arrival processes, and workload profiling.
 pub use distserve_workload as workload;
 /// A real CPU transformer inference engine with paged KV cache.

@@ -219,6 +219,7 @@ fn goodput_recovers_after_capacity_replan() {
             arrival: r.arrival.after(offset),
             input_len: r.input_len,
             output_len: r.output_len,
+            tenant: r.tenant,
         })
         .collect();
     let trace_c = Trace::new(cont);

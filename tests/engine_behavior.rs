@@ -355,6 +355,7 @@ fn arb_trace(max_requests: usize) -> impl Strategy<Value = Trace> {
                     arrival: SimTime::from_secs(at),
                     input_len: input,
                     output_len: output,
+                    tenant: 0,
                 })
                 .collect();
             Trace::new(requests)

@@ -333,6 +333,7 @@ fn observe_load_snapshot_feeds_routing() {
     obs.declare_track(2, "decode[2]");
     obs.event(distserve::telemetry::Event {
         request: 1,
+        tenant: 0,
         time_s: 5.0,
         kind: distserve::telemetry::LifecycleEvent::Arrived,
     });

@@ -5,13 +5,24 @@
 //! named fields, tuple structs, and enums whose variants are all unit.
 //! Generated impls target the simplified value-tree `serde` stand-in
 //! (`Serialize::to_value` / `Deserialize::from_value`).
+//!
+//! The only field attribute honored is `#[serde(default)]`: a missing
+//! key deserializes to `Default::default()` instead of erroring, which
+//! is what lets new fields (request tenants, decision trace ids) read
+//! old JSON fixtures.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its name and whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
 
 /// The shape of the deriving type.
 enum Shape {
     /// Struct with named fields.
-    Named(Vec<String>),
+    Named(Vec<Field>),
     /// Tuple struct with this many fields.
     Tuple(usize),
     /// Enum whose variants are all unit.
@@ -24,7 +35,7 @@ struct Parsed {
 }
 
 /// Derives `Serialize` (value-tree model).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse(input) {
         Ok(p) => gen_serialize(&p).parse().expect("generated code parses"),
@@ -33,7 +44,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `Deserialize` (value-tree model).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse(input) {
         Ok(p) => gen_deserialize(&p).parse().expect("generated code parses"),
@@ -101,17 +112,39 @@ fn parse(input: TokenStream) -> Result<Parsed, String> {
     }
 }
 
-/// Field names of a named-field struct body.
-fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(default)`.
+fn is_serde_default(g: &proc_macro::Group) -> bool {
+    let mut toks = g.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" && inner.delimiter() == Delimiter::Parenthesis =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Field names (with `#[serde(default)]` flags) of a named-field
+/// struct body.
+fn named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Skip per-field attributes and visibility.
+        // Skip per-field attributes and visibility, noting
+        // `#[serde(default)]` when it appears.
+        let mut default = false;
         loop {
             match iter.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     iter.next();
-                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        default |= is_serde_default(&g);
+                    }
                 }
                 Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
                     iter.next();
@@ -125,7 +158,10 @@ fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
         }
         match iter.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             None => break,
             other => return Err(format!("expected field name, got {other:?}")),
         }
@@ -203,6 +239,7 @@ fn gen_serialize(p: &Parsed) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -240,12 +277,22 @@ fn gen_deserialize(p: &Parsed) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                             obj.iter().find(|(k, _)| k == {f:?}).map(|(_, v)| v)\
-                                 .ok_or_else(|| ::serde::DeError::new(\
-                                     concat!(\"missing field \", {f:?})))?)?"
-                    )
+                    let (f, default) = (&f.name, f.default);
+                    if default {
+                        format!(
+                            "{f}: match obj.iter().find(|(k, _)| k == {f:?}) {{\
+                                 Some((_, v)) => ::serde::Deserialize::from_value(v)?,\
+                                 None => ::core::default::Default::default(),\
+                             }}"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                 obj.iter().find(|(k, _)| k == {f:?}).map(|(_, v)| v)\
+                                     .ok_or_else(|| ::serde::DeError::new(\
+                                         concat!(\"missing field \", {f:?})))?)?"
+                        )
+                    }
                 })
                 .collect();
             format!(
