@@ -541,7 +541,9 @@ fn write_tinyllm_json(c: &Criterion, paired: (f64, f64), scaling: (usize, Vec<Sc
         ("int8_batch16_tok_s".into(), Value::Float(int8_tok_s)),
     ]);
 
+    let provenance = distserve_bench::sentinel::Provenance::capture("TinyConfig::small()", 5);
     let doc = Value::Object(vec![
+        ("provenance".into(), provenance.value()),
         ("config".into(), Value::Str("TinyConfig::small()".into())),
         ("decode_steps".into(), Value::UInt(DECODE_STEPS as u64)),
         ("decode".into(), Value::Object(decode)),

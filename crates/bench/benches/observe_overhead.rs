@@ -84,7 +84,9 @@ fn main() {
     tee_s /= ROUNDS as f64;
     let overhead_pct = (tee_s / noop_s - 1.0) * 100.0;
 
+    let provenance = distserve_bench::sentinel::Provenance::capture("TinyConfig::small()", 5);
     let doc = serde::Value::Object(vec![
+        ("provenance".into(), provenance.value()),
         (
             "config".into(),
             serde::Value::Str("TinyConfig::small()".into()),

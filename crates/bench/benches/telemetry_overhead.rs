@@ -77,7 +77,9 @@ fn main() {
     recording_s /= ROUNDS as f64;
     let overhead_pct = (recording_s / noop_s - 1.0) * 100.0;
 
+    let provenance = distserve_bench::sentinel::Provenance::capture("TinyConfig::small()", 5);
     let doc = serde::Value::Object(vec![
+        ("provenance".into(), provenance.value()),
         (
             "config".into(),
             serde::Value::Str("TinyConfig::small()".into()),

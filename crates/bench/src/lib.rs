@@ -7,6 +7,8 @@
 //! measurement against full-system simulations, and uniform headers so
 //! `bench_output.txt` is self-describing.
 
+pub mod sentinel;
+
 use distserve_cluster::Cluster;
 use distserve_core::serve_trace;
 use distserve_engine::{FidelityConfig, InstanceSpec};

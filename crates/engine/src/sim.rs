@@ -602,6 +602,7 @@ impl<'a> ServingSim<'a> {
     }
 
     fn run_core(&mut self, trace: &Trace) {
+        let _prof = distserve_prof::scope("sim_run");
         if self.sink.enabled() {
             for (i, inst) in self.instances.iter().enumerate() {
                 let role = match inst.spec.role {
@@ -640,21 +641,64 @@ impl<'a> ServingSim<'a> {
             };
             processed += 1;
             assert!(processed < 100_000_000, "event budget exceeded: livelock?");
+            // One profiler scope per event kind: the simulator's
+            // per-phase attribution. Handlers are heavyweight relative
+            // to a scope (queue surgery, routing, commit bookkeeping),
+            // so per-event granularity stays inside the <3% budget.
             match ev {
-                Ev::Arrive(idx) => self.on_arrive(trace, idx, now),
-                Ev::PrefillFree(i) => self.try_prefill(i, now),
-                Ev::PrefillDone(i, b) => self.on_prefill_done(i, b, now),
-                Ev::TransferDone(i, r, gen) => self.on_transfer_done(i, r, gen, now),
-                Ev::DecodeFree(i) => self.try_decode(i, now),
-                Ev::DecodeDone(i, b) => self.on_decode_done(i, b, now),
-                Ev::ColocDone(i, b) => self.on_coloc_done(i, b, now),
-                Ev::Fault(idx) => self.on_fault(idx, now),
-                Ev::InstanceRecovering(i, gen) => self.on_instance_recovering(i, gen),
-                Ev::InstanceUp(i, gen) => self.on_instance_up(i, gen, now),
-                Ev::StragglerEnd(i) => self.on_straggler_end(i),
+                Ev::Arrive(idx) => {
+                    let _prof = distserve_prof::scope("ev_arrive");
+                    self.on_arrive(trace, idx, now);
+                }
+                Ev::PrefillFree(i) => {
+                    let _prof = distserve_prof::scope("ev_prefill_free");
+                    self.try_prefill(i, now);
+                }
+                Ev::PrefillDone(i, b) => {
+                    let _prof = distserve_prof::scope("ev_prefill_done");
+                    self.on_prefill_done(i, b, now);
+                }
+                Ev::TransferDone(i, r, gen) => {
+                    let _prof = distserve_prof::scope("ev_transfer_done");
+                    self.on_transfer_done(i, r, gen, now);
+                }
+                Ev::DecodeFree(i) => {
+                    let _prof = distserve_prof::scope("ev_decode_free");
+                    self.try_decode(i, now);
+                }
+                Ev::DecodeDone(i, b) => {
+                    let _prof = distserve_prof::scope("ev_decode_done");
+                    self.on_decode_done(i, b, now);
+                }
+                Ev::ColocDone(i, b) => {
+                    let _prof = distserve_prof::scope("ev_coloc_done");
+                    self.on_coloc_done(i, b, now);
+                }
+                Ev::Fault(idx) => {
+                    let _prof = distserve_prof::scope("ev_fault");
+                    self.on_fault(idx, now);
+                }
+                Ev::InstanceRecovering(i, gen) => {
+                    let _prof = distserve_prof::scope("ev_recovering");
+                    self.on_instance_recovering(i, gen);
+                }
+                Ev::InstanceUp(i, gen) => {
+                    let _prof = distserve_prof::scope("ev_instance_up");
+                    self.on_instance_up(i, gen, now);
+                }
+                Ev::StragglerEnd(i) => {
+                    let _prof = distserve_prof::scope("ev_straggler_end");
+                    self.on_straggler_end(i);
+                }
                 Ev::LinkRestore => self.link_slowdown = 1.0,
-                Ev::RetryPull(d, r, gen) => self.on_retry_pull(d, r, gen, now),
-                Ev::RouterRetry(idx) => self.on_router_retry(trace, idx, now),
+                Ev::RetryPull(d, r, gen) => {
+                    let _prof = distserve_prof::scope("ev_retry_pull");
+                    self.on_retry_pull(d, r, gen, now);
+                }
+                Ev::RouterRetry(idx) => {
+                    let _prof = distserve_prof::scope("ev_router_retry");
+                    self.on_router_retry(trace, idx, now);
+                }
             }
             if chaos {
                 self.check_drains(now);

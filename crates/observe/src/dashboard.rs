@@ -16,10 +16,15 @@ const COLORS: [&str; 9] = [
     "#d53e4f",
 ];
 
+// Escapes for both text nodes and attribute values: labels flow into
+// `aria-label="..."` and `<title>` alike, so quotes must be covered or a
+// name like `pool "a"` would terminate the attribute early.
 fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&#39;")
 }
 
 /// Polyline sparkline of per-bucket attainment (0–100%).
@@ -250,10 +255,10 @@ pub fn trace_waterfall_svg(trace: &[SpanEvent]) -> String {
              <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bw:.1}\" height=\"{:.1}\" \
              fill=\"{}\"><title>{} [{:.4}s, {:.4}s] track {} payload {}</title></rect>",
             y + row_h * 0.7,
-            s.kind.name(),
+            esc(s.kind.name()),
             row_h - 3.0,
             span_color(s.kind),
-            s.kind.name(),
+            esc(s.kind.name()),
             s.start_s,
             s.end_s,
             s.track,
@@ -262,6 +267,66 @@ pub fn trace_waterfall_svg(trace: &[SpanEvent]) -> String {
     }
     svg.push_str("</svg>");
     svg
+}
+
+/// Per-worker utilization panel for the compute worker pool: one row per
+/// worker with busy/idle seconds, completed jobs, and a busy-fraction
+/// bar, plus the dispatcher's gather-wait footer. Rows are
+/// `(busy_s, idle_s, jobs)` in worker order — the shape `tinyllm`'s
+/// `PoolUtilization` reports, taken as plain tuples so observe stays
+/// decoupled from the compute tier.
+#[must_use]
+pub fn pool_panel(workers: &[(f64, f64, u64)], dispatch_wait_s: f64, dispatches: u64) -> String {
+    if workers.is_empty() {
+        return String::from("<p class=\"empty\">no pool workers (single-lane run)</p>");
+    }
+    let mut out = String::from(
+        "<table class=\"pool\"><tr><th>worker</th><th>busy s</th><th>idle s</th>\
+         <th>jobs</th><th>busy %</th></tr>",
+    );
+    for (i, &(busy, idle, jobs)) in workers.iter().enumerate() {
+        let frac = if busy + idle > 0.0 {
+            busy / (busy + idle)
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            "<tr><td>{i}</td><td>{busy:.3}</td><td>{idle:.3}</td><td>{jobs}</td>\
+             <td><svg width=\"104\" height=\"12\" role=\"img\" \
+             aria-label=\"worker {i} busy {:.1}%\">\
+             <rect width=\"104\" height=\"12\" fill=\"#f0f0f3\"/>\
+             <rect width=\"{:.1}\" height=\"12\" fill=\"#66c2a5\"/>\
+             </svg> {:.1}%</td></tr>",
+            frac * 100.0,
+            2.0 + 100.0 * frac,
+            frac * 100.0,
+        );
+    }
+    let _ = write!(
+        out,
+        "</table><p>dispatcher gather-wait {dispatch_wait_s:.3} s over {dispatches} dispatches</p>"
+    );
+    out
+}
+
+/// Flamegraph panel: a self-profiler snapshot rendered as an embeddable
+/// fragment — headline numbers plus the full icicle SVG from
+/// [`distserve_prof::Profile::flamegraph_svg`] (same zero-JS contract as
+/// every other panel). Empty-state paragraph when the profiler was
+/// disabled or captured nothing.
+#[must_use]
+pub fn profile_panel(profile: &distserve_prof::Profile, title: &str) -> String {
+    let total = profile.total_ns();
+    if total == 0 {
+        return String::from("<p class=\"empty\">no profile samples (profiler disabled?)</p>");
+    }
+    format!(
+        "<p>{} scope paths, {:.3} s attributed</p>\n{}",
+        profile.node_count(),
+        total as f64 / 1e9,
+        profile.flamegraph_svg(title),
+    )
 }
 
 fn tile(label: &str, value: &str) -> String {
@@ -368,7 +433,7 @@ mod tests {
     #[test]
     fn dashboard_is_self_contained_html() {
         let rec = Recorder::new();
-        rec.declare_track(0, "colocated[0] <tp1>");
+        rec.declare_track(0, "colocated[0] <tp1> \"primary\" & 'spare'");
         for (t, kind) in [
             (0.0, E::Arrived),
             (0.0, E::PrefillQueued),
@@ -397,12 +462,47 @@ mod tests {
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.ends_with("</html>\n"));
         assert!(html.contains("<svg"));
-        // Track name is escaped.
-        assert!(html.contains("colocated[0] &lt;tp1&gt;"));
+        // Track name is escaped, including quotes (labels are embedded in
+        // attribute values, not just text nodes).
+        assert!(html.contains("colocated[0] &lt;tp1&gt; &quot;primary&quot; &amp; &#39;spare&#39;"));
         assert!(!html.contains("<tp1>"));
+        assert!(!html.contains("\"primary\""));
         // No external references: offline CI must render it unchanged.
         assert!(!html.contains("http://") && !html.contains("https://"));
         assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn pool_panel_renders_worker_rows_and_waits() {
+        let panel = pool_panel(&[(3.0, 1.0, 40), (0.0, 0.0, 0)], 0.25, 16);
+        assert_eq!(panel.matches("<tr><td>").count(), 2, "one row per worker");
+        assert!(panel.contains("75.0%"), "busy fraction renders");
+        assert!(panel.contains("0.0%"), "idle worker renders zero, not NaN");
+        assert!(panel.contains("gather-wait 0.250 s over 16 dispatches"));
+        assert!(pool_panel(&[], 0.0, 0).contains("no pool workers"));
+    }
+
+    #[test]
+    fn profile_panel_embeds_flamegraph_or_empty_state() {
+        use distserve_prof::{NodeStat, Profile};
+        let profile = Profile {
+            roots: vec![NodeStat {
+                name: "sim_run".into(),
+                total_ns: 2_000_000,
+                calls: 1,
+                children: vec![NodeStat {
+                    name: "ev_arrive".into(),
+                    total_ns: 500_000,
+                    calls: 100,
+                    children: vec![],
+                }],
+            }],
+        };
+        let panel = profile_panel(&profile, "fleet profile");
+        assert!(panel.contains("<svg"));
+        assert!(panel.contains("sim_run") && panel.contains("ev_arrive"));
+        assert!(!panel.contains("<script") && !panel.contains("href"));
+        assert!(profile_panel(&Profile::default(), "x").contains("no profile samples"));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Self-contained flamegraph SVG rendering (no JavaScript, no external
+//! tools or fonts) in the same offline style as `observe::dashboard`.
+//!
+//! Icicle layout: depth grows downward, width is proportional to total
+//! time at a global nanoseconds-per-pixel scale, children are laid left
+//! to right in name order (deterministic output for golden-file diffs),
+//! and the gap a parent keeps past its children *is* its self time.
+//! Every frame carries a `<title>` tooltip with the full folded path,
+//! total/self time, share of the run, and call count.
+
+use std::fmt::Write as _;
+
+use crate::{NodeStat, Profile};
+
+const WIDTH: f64 = 1100.0;
+const MARGIN: f64 = 10.0;
+const FRAME_H: f64 = 19.0;
+const HEADER_H: f64 = 46.0;
+const FOOTER_H: f64 = 26.0;
+/// Frames narrower than this get no inline text (tooltip only).
+const TEXT_MIN_W: f64 = 40.0;
+/// Approximate glyph advance of the 11px monospace label font.
+const CHAR_W: f64 = 6.7;
+
+/// Warm flame palette, picked per frame by name hash so a scope keeps
+/// its color across runs and panels.
+const PALETTE: [&str; 10] = [
+    "#e4593b", "#e87a3c", "#ec9a3e", "#f0b840", "#d8623a", "#c94f36", "#f2a559", "#e06a2f",
+    "#d98843", "#bf5b2e",
+];
+
+/// Escapes text for embedding in SVG text nodes *and* attribute values
+/// (quotes included — attribute context is the dangerous one).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Human time with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} µs", v / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn max_depth(n: &NodeStat) -> usize {
+    1 + n.children.iter().map(max_depth).max().unwrap_or(0)
+}
+
+struct Ctx<'a> {
+    out: &'a mut String,
+    per_ns: f64,
+    root_total: u64,
+}
+
+/// Emits one frame and recurses into children. `x` is the frame's left
+/// edge in px, `depth` its row (0 = the synthetic "all" row).
+fn frame(ctx: &mut Ctx<'_>, node: &NodeStat, path: &str, x: f64, depth: usize) {
+    let w = node.total_ns as f64 * ctx.per_ns;
+    if w < 0.08 {
+        return; // Sub-tenth-pixel frames are invisible and bloat the file.
+    }
+    let y = HEADER_H + depth as f64 * FRAME_H;
+    let color = PALETTE[(fnv1a(&node.name) % PALETTE.len() as u64) as usize];
+    let pct = 100.0 * node.total_ns as f64 / ctx.root_total.max(1) as f64;
+    let tip = format!(
+        "{path}: {} total ({pct:.1}% of run), {} self, {} call{}",
+        fmt_ns(node.total_ns),
+        fmt_ns(node.self_ns()),
+        node.calls,
+        if node.calls == 1 { "" } else { "s" },
+    );
+    let _ = write!(
+        ctx.out,
+        "<g><rect class=\"f\" x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" \
+         height=\"{:.1}\" fill=\"{color}\"><title>{}</title></rect>",
+        FRAME_H - 1.0,
+        esc(&tip)
+    );
+    if w >= TEXT_MIN_W {
+        let fit = ((w - 6.0) / CHAR_W) as usize;
+        let label = if node.name.chars().count() <= fit {
+            node.name.clone()
+        } else {
+            let cut: String = node.name.chars().take(fit.saturating_sub(1)).collect();
+            format!("{cut}…")
+        };
+        let _ = write!(
+            ctx.out,
+            "<text x=\"{:.2}\" y=\"{:.1}\">{}</text>",
+            x + 3.0,
+            y + FRAME_H - 6.0,
+            esc(&label)
+        );
+    }
+    ctx.out.push_str("</g>\n");
+    let mut cx = x;
+    for c in &node.children {
+        let child_path = format!("{path};{}", c.name);
+        frame(ctx, c, &child_path, cx, depth + 1);
+        cx += c.total_ns as f64 * ctx.per_ns;
+    }
+}
+
+/// Renders `profile` as a complete SVG document (see module docs).
+pub(crate) fn render(profile: &Profile, title: &str) -> String {
+    let root_total = profile.total_ns().max(1);
+    let depth = 1 + profile.roots.iter().map(max_depth).max().unwrap_or(0);
+    let height = HEADER_H + depth as f64 * FRAME_H + FOOTER_H;
+    let usable = WIDTH - 2.0 * MARGIN;
+    let per_ns = usable / root_total as f64;
+
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH:.0}\" \
+         height=\"{height:.0}\" viewBox=\"0 0 {WIDTH:.0} {height:.0}\" \
+         role=\"img\" aria-label=\"{} flamegraph\">",
+        esc(title)
+    );
+    out.push_str(
+        "<style>text{font:11px ui-monospace,monospace;fill:#222;pointer-events:none}\
+         .hd{font:600 14px system-ui,sans-serif}.sub{fill:#666}\
+         .f{stroke:#f7f7f9;stroke-width:0.6;rx:1}</style>\n",
+    );
+    let _ = write!(
+        out,
+        "<rect width=\"{WIDTH:.0}\" height=\"{height:.0}\" fill=\"#f7f7f9\"/>\n\
+         <text class=\"hd\" x=\"{MARGIN:.0}\" y=\"20\">{}</text>\n\
+         <text class=\"sub\" x=\"{MARGIN:.0}\" y=\"36\">{} profiled across {} scopes — \
+         width ∝ total time, hover frames for detail</text>\n",
+        esc(title),
+        fmt_ns(root_total),
+        profile.node_count(),
+    );
+
+    // Synthetic "all" row spanning the run, then the real roots.
+    let all = NodeStat {
+        name: "all".to_string(),
+        total_ns: root_total,
+        calls: 1,
+        children: Vec::new(),
+    };
+    let mut ctx = Ctx {
+        out: &mut out,
+        per_ns,
+        root_total,
+    };
+    frame(&mut ctx, &all, "all", MARGIN, 0);
+    let mut cx = MARGIN;
+    for r in &profile.roots {
+        frame(&mut ctx, r, &r.name, cx, 1);
+        cx += r.total_ns as f64 * per_ns;
+    }
+
+    let _ = write!(
+        out,
+        "<text class=\"sub\" x=\"{MARGIN:.0}\" y=\"{:.1}\">self time = frame minus its \
+         children; all threads merged by folded path</text>\n</svg>\n",
+        height - 9.0
+    );
+    out
+}

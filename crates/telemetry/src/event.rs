@@ -425,6 +425,13 @@ pub mod metrics {
     pub const INSTANCE_UP: &str = "instance_up";
     /// Compute threads (worker-pool lanes) an engine runs with (gauge).
     pub const COMPUTE_THREADS: &str = "compute_threads";
+    /// Cumulative worker-pool busy seconds, summed over workers (gauge).
+    pub const POOL_BUSY_S: &str = "pool_busy_s";
+    /// Cumulative worker-pool idle seconds, summed over workers (gauge).
+    pub const POOL_IDLE_S: &str = "pool_idle_s";
+    /// Cumulative seconds dispatching threads spent blocked gathering
+    /// worker strips (gauge).
+    pub const POOL_DISPATCH_WAIT_S: &str = "pool_dispatch_wait_s";
 }
 
 #[cfg(test)]

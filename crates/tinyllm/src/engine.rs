@@ -236,6 +236,7 @@ pub(crate) fn attn_rows_strip(
     scr: &mut AttnScratch,
     out: &mut [f32],
 ) {
+    let _prof = distserve_prof::scope("fused_attn_rows");
     let width = stage.heads * stage.d;
     for r in row_lo..row_hi {
         let (ctx, blk_lo, blk_hi) = stage.rows[r];
@@ -532,6 +533,13 @@ impl Model {
         self.pool.lanes()
     }
 
+    /// Busy/idle/dispatch-wait accounting of the model's worker pool
+    /// (shared by all clones of this model).
+    #[must_use]
+    pub fn pool_utilization(&self) -> crate::pool::PoolUtilization {
+        self.pool.utilization()
+    }
+
     /// Weight precision of the packed kernels.
     #[must_use]
     pub fn precision(&self) -> Precision {
@@ -803,26 +811,32 @@ impl Model {
 
         // One GEMM for every row's Q, K and V, strip-split across the
         // pool when the batch is worth it.
-        scratch.qkv.resize(m * 3 * h, 0.0);
-        self.pool.gemm(
-            &pw.wqkv,
-            &scratch.normed[..m * h],
-            m,
-            h,
-            0,
-            0,
-            3 * h,
-            &mut scratch.qkv[..m * 3 * h],
-        );
+        {
+            let _prof = distserve_prof::scope("qkv_gemm");
+            scratch.qkv.resize(m * 3 * h, 0.0);
+            self.pool.gemm(
+                &pw.wqkv,
+                &scratch.normed[..m * h],
+                m,
+                h,
+                0,
+                0,
+                3 * h,
+                &mut scratch.qkv[..m * 3 * h],
+            );
+        }
 
         // Append each row's K/V (shard dims only) before any row attends:
         // within one batch a prefill row must see its predecessors' keys.
-        for (i, row) in rows.iter().enumerate() {
-            let qkv_row = &scratch.qkv[i * 3 * h..(i + 1) * 3 * h];
-            let k = &qkv_row[h..2 * h];
-            let v = &qkv_row[2 * h..3 * h];
-            kv.append_range(row.seq, layer, row.pos, lo, &k[lo..hi], &v[lo..hi])
-                .expect("KV append within capacity");
+        {
+            let _prof = distserve_prof::scope("kv_append");
+            for (i, row) in rows.iter().enumerate() {
+                let qkv_row = &scratch.qkv[i * 3 * h..(i + 1) * 3 * h];
+                let k = &qkv_row[h..2 * h];
+                let v = &qkv_row[2 * h..3 * h];
+                kv.append_range(row.seq, layer, row.pos, lo, &k[lo..hi], &v[lo..hi])
+                    .expect("KV append within capacity");
+            }
         }
 
         // Fused causal attention per row — scores, online softmax, and
@@ -832,6 +846,7 @@ impl Model {
         // are farmed across the pool: attention rows are embarrassingly
         // parallel, so the split is trivially bit-identical to the serial
         // loop.
+        let _prof_attn = distserve_prof::scope("fused_attn");
         let scale = 1.0 / (d as f32).sqrt();
         let heads = shard.head_hi - shard.head_lo;
         scratch.attn.resize(m * width, 0.0);
@@ -892,8 +907,11 @@ impl Model {
             }
         }
 
+        drop(_prof_attn);
+
         // Output projection: only the shard's rows of W_O, fed by the
         // tight shard-width context (no zero padding).
+        let _prof = distserve_prof::scope("out_proj_gemm");
         scratch.partial.resize(m * h, 0.0);
         self.pool.gemm(
             &pw.wo,
@@ -963,15 +981,29 @@ impl Model {
             scratch.x.clear();
             return;
         }
+        let _prof = distserve_prof::scope("forward_batch");
         let shard = Shard::full(&self.cfg);
         let m = rows.len();
-        self.embed_rows(rows, scratch);
+        {
+            let _prof = distserve_prof::scope("embed");
+            self.embed_rows(rows, scratch);
+        }
+        // LayerNorms run unscoped: at ~µs bodies, two extra scope pairs
+        // per layer per step would spend the <3% overhead budget on the
+        // least interesting kernels. Their time reads as `forward_batch`
+        // self-time.
         for layer in 0..self.cfg.layers {
             self.ln1_batch(layer, m, scratch);
-            self.attn_batch(layer, rows, kv, shard, scratch);
+            {
+                let _prof = distserve_prof::scope("attn");
+                self.attn_batch(layer, rows, kv, shard, scratch);
+            }
             self.add_partial(m, scratch);
             self.ln2_batch(layer, m, scratch);
-            self.ffn_batch(layer, m, shard, scratch);
+            {
+                let _prof = distserve_prof::scope("ffn");
+                self.ffn_batch(layer, m, shard, scratch);
+            }
             self.add_partial(m, scratch);
         }
     }
@@ -986,6 +1018,7 @@ impl Model {
     ///
     /// Panics if an index is out of range for the forwarded batch.
     pub fn logits_batch(&self, picks: &[usize], scratch: &mut Scratch) {
+        let _prof = distserve_prof::scope("logits");
         let h = self.cfg.hidden;
         let r = picks.len();
         scratch.sel.resize(r * h, 0.0);

@@ -56,6 +56,6 @@ pub mod tensor;
 pub use engine::{BatchRow, Model, Scratch, Shard};
 pub use kv::PagedKv;
 pub use model::{ComputeConfig, Precision, TinyConfig};
-pub use pool::WorkerPool;
+pub use pool::{PoolUtilization, WorkerPool, WorkerUtil};
 pub use sampling::{Sampler, Sampling};
 pub use scheduler::{ContinuousBatcher, GenRequest};

@@ -33,9 +33,13 @@
 //! through the channel round-trip.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use distserve_prof as prof;
 
 use crate::engine::{attn_rows_strip, AttnScratch, AttnStage};
 use crate::tensor::{Kernel, NR};
@@ -121,12 +125,61 @@ impl Latch {
     }
 }
 
+/// Cumulative per-worker time accounting, written by the worker thread
+/// with relaxed stores and read by [`WorkerPool::utilization`]. Busy is
+/// time executing a job; idle is time blocked on the queue.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    jobs: AtomicU64,
+}
+
+/// One worker's utilization snapshot (see [`PoolUtilization`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerUtil {
+    /// Seconds spent executing jobs since the worker spawned.
+    pub busy_s: f64,
+    /// Seconds spent blocked waiting for work.
+    pub idle_s: f64,
+    /// Jobs completed.
+    pub jobs: u64,
+}
+
+impl WorkerUtil {
+    /// Busy share of the worker's observed lifetime (0 before any job).
+    #[must_use]
+    pub fn busy_frac(&self) -> f64 {
+        let span = self.busy_s + self.idle_s;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.busy_s / span
+        }
+    }
+}
+
+/// Point-in-time pool accounting: per-worker busy/idle plus the
+/// dispatcher-side time spent blocked gathering worker strips.
+#[derive(Debug, Clone, Default)]
+pub struct PoolUtilization {
+    /// Compute lanes the pool was built with (callers + workers).
+    pub lanes: usize,
+    /// One entry per spawned worker, in lane order.
+    pub workers: Vec<WorkerUtil>,
+    /// Seconds dispatching threads spent blocked in strip gathers.
+    pub dispatch_wait_s: f64,
+    /// Parallel dispatches issued (GEMM + attention).
+    pub dispatches: u64,
+}
+
 /// Main-thread handle to one worker.
 struct Worker {
     tx: Sender<Job>,
     rx: Receiver<Vec<f32>>,
     /// Recycled strip buffer from the worker's last reply.
     spare: Option<Vec<f32>>,
+    stats: Arc<WorkerStats>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -145,14 +198,17 @@ impl PoolInner {
         while self.workers.len() < n {
             let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
             let (out_tx, out_rx) = std::sync::mpsc::channel::<Vec<f32>>();
+            let stats = Arc::new(WorkerStats::default());
+            let worker_stats = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name(format!("tinyllm-pool-{}", self.workers.len()))
-                .spawn(move || worker_loop(&job_rx, &out_tx))
+                .spawn(move || worker_loop(&job_rx, &out_tx, &worker_stats))
                 .expect("spawn pool worker");
             self.workers.push(Worker {
                 tx: job_tx,
                 rx: out_rx,
                 spare: None,
+                stats,
                 handle: Some(handle),
             });
         }
@@ -178,11 +234,17 @@ impl PoolInner {
     }
 }
 
-fn worker_loop(jobs: &Receiver<Job>, out: &Sender<Vec<f32>>) {
+fn worker_loop(jobs: &Receiver<Job>, out: &Sender<Vec<f32>>, stats: &WorkerStats) {
     IN_WORKER.with(|w| w.set(true));
     let mut attn_scr = AttnScratch::default();
-    while let Ok(job) = jobs.recv() {
-        match job {
+    loop {
+        let waited = Instant::now();
+        let Ok(job) = jobs.recv() else { break };
+        stats
+            .idle_ns
+            .fetch_add(elapsed_ns(waited), Ordering::Relaxed);
+        let working = Instant::now();
+        let delivered = match job {
             Job::Gemm {
                 kern,
                 act,
@@ -193,6 +255,7 @@ fn worker_loop(jobs: &Receiver<Job>, out: &Sender<Vec<f32>>) {
                 width,
                 mut strip,
             } => {
+                let _prof = prof::scope("pool_gemm_job");
                 strip.resize(m * width, 0.0);
                 kern.gemm_strip(
                     &act[..m * depth],
@@ -209,9 +272,7 @@ fn worker_loop(jobs: &Receiver<Job>, out: &Sender<Vec<f32>>) {
                 // its next call.
                 drop(act);
                 drop(kern);
-                if out.send(strip).is_err() {
-                    break;
-                }
+                out.send(strip).is_ok()
             }
             Job::Attn {
                 stage,
@@ -220,21 +281,34 @@ fn worker_loop(jobs: &Receiver<Job>, out: &Sender<Vec<f32>>) {
                 row_hi,
                 mut strip,
             } => {
+                let _prof = prof::scope("pool_attn_job");
                 let width = stage.heads * stage.d;
                 strip.resize((row_hi - row_lo) * width, 0.0);
                 attn_rows_strip(&stage, &storage, row_lo, row_hi, &mut attn_scr, &mut strip);
                 drop(stage);
                 drop(storage);
-                if out.send(strip).is_err() {
-                    break;
-                }
+                out.send(strip).is_ok()
             }
             Job::Task { f, latch } => {
+                let _prof = prof::scope("pool_task");
                 let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err();
                 latch.done(panicked);
+                true
             }
+        };
+        stats
+            .busy_ns
+            .fetch_add(elapsed_ns(working), Ordering::Relaxed);
+        stats.jobs.fetch_add(1, Ordering::Relaxed);
+        if !delivered {
+            break;
         }
     }
+}
+
+/// Elapsed nanoseconds since `t`, saturating.
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A persistent thread pool owned by a model (see module docs).
@@ -243,6 +317,10 @@ pub struct WorkerPool {
     /// Lanes used for data-parallel strip work, including the caller's
     /// thread: `lanes` of compute means `lanes - 1` workers.
     lanes: usize,
+    /// Dispatcher time blocked gathering worker strips (all callers).
+    dispatch_wait_ns: AtomicU64,
+    /// Parallel dispatches issued.
+    dispatches: AtomicU64,
     inner: Mutex<PoolInner>,
 }
 
@@ -262,6 +340,8 @@ impl WorkerPool {
     pub fn new(lanes: usize) -> Self {
         WorkerPool {
             lanes: lanes.max(1),
+            dispatch_wait_ns: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
             inner: Mutex::new(PoolInner {
                 workers: Vec::new(),
                 act: Arc::new(Vec::new()),
@@ -275,6 +355,28 @@ impl WorkerPool {
     #[must_use]
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Snapshot of per-worker busy/idle time and dispatcher gather
+    /// waits. Cheap enough to publish every scheduler step: a few
+    /// relaxed atomic loads per worker under the pool lock.
+    #[must_use]
+    pub fn utilization(&self) -> PoolUtilization {
+        let inner = self.inner.lock().expect("pool lock");
+        PoolUtilization {
+            lanes: self.lanes,
+            workers: inner
+                .workers
+                .iter()
+                .map(|w| WorkerUtil {
+                    busy_s: w.stats.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                    idle_s: w.stats.idle_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                    jobs: w.stats.jobs.load(Ordering::Relaxed),
+                })
+                .collect(),
+            dispatch_wait_s: self.dispatch_wait_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+        }
     }
 
     /// How many lanes a `(m × depth) × (depth × width)` GEMM should use.
@@ -315,10 +417,6 @@ impl WorkerPool {
         }
         let mut guard = self.inner.lock().expect("pool lock");
         let inner = &mut *guard;
-        inner.ensure_workers(lanes - 1);
-        let staged = inner.exclusive_act();
-        staged.clear();
-        staged.extend_from_slice(a);
         // NR-aligned strip boundaries; every strip is non-empty because
         // `lanes <= width / NR`.
         let bound = |i: usize| {
@@ -328,37 +426,50 @@ impl WorkerPool {
                 width * i / lanes / NR * NR
             }
         };
-        for lane in 1..lanes {
-            let (lo, hi) = (bound(lane), bound(lane + 1));
-            let worker = &mut inner.workers[lane - 1];
-            let strip = worker.spare.take().unwrap_or_default();
-            worker
-                .tx
-                .send(Job::Gemm {
-                    kern: kern.clone(),
-                    act: Arc::clone(&inner.act),
-                    m,
-                    depth,
-                    k_off,
-                    col_lo: col_lo + lo,
-                    width: hi - lo,
-                    strip,
-                })
-                .expect("pool worker alive");
+        {
+            let _prof = prof::scope("pool_dispatch");
+            inner.ensure_workers(lanes - 1);
+            let staged = inner.exclusive_act();
+            staged.clear();
+            staged.extend_from_slice(a);
+            for lane in 1..lanes {
+                let (lo, hi) = (bound(lane), bound(lane + 1));
+                let worker = &mut inner.workers[lane - 1];
+                let strip = worker.spare.take().unwrap_or_default();
+                worker
+                    .tx
+                    .send(Job::Gemm {
+                        kern: kern.clone(),
+                        act: Arc::clone(&inner.act),
+                        m,
+                        depth,
+                        k_off,
+                        col_lo: col_lo + lo,
+                        width: hi - lo,
+                        strip,
+                    })
+                    .expect("pool worker alive");
+            }
         }
         // The calling thread is lane 0: strip 0 goes straight into `out`
         // via the stride-aware kernel while the workers run.
         kern.gemm_strip(a, m, depth, k_off, col_lo, bound(1), width, out);
+        let _prof = prof::scope("pool_gather");
+        let mut wait_ns = 0u64;
         for lane in 1..lanes {
             let (lo, hi) = (bound(lane), bound(lane + 1));
             let sw = hi - lo;
             let worker = &mut inner.workers[lane - 1];
+            let waited = Instant::now();
             let strip = worker.rx.recv().expect("pool worker completed");
+            wait_ns += elapsed_ns(waited);
             for r in 0..m {
                 out[r * width + lo..r * width + hi].copy_from_slice(&strip[r * sw..(r + 1) * sw]);
             }
             worker.spare = Some(strip);
         }
+        self.dispatch_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// How many lanes a batched attention pass of `m` rows and roughly
@@ -392,23 +503,26 @@ impl WorkerPool {
         debug_assert_eq!(out.len(), m * width, "output shape");
         let mut guard = self.inner.lock().expect("pool lock");
         let inner = &mut *guard;
-        inner.ensure_workers(lanes - 1);
-        fill(inner.exclusive_stage());
         let bound = |i: usize| m * i / lanes;
-        for lane in 1..lanes {
-            let (lo, hi) = (bound(lane), bound(lane + 1));
-            let worker = &mut inner.workers[lane - 1];
-            let strip = worker.spare.take().unwrap_or_default();
-            worker
-                .tx
-                .send(Job::Attn {
-                    stage: Arc::clone(&inner.stage),
-                    storage: Arc::clone(storage),
-                    row_lo: lo,
-                    row_hi: hi,
-                    strip,
-                })
-                .expect("pool worker alive");
+        {
+            let _prof = prof::scope("pool_dispatch");
+            inner.ensure_workers(lanes - 1);
+            fill(inner.exclusive_stage());
+            for lane in 1..lanes {
+                let (lo, hi) = (bound(lane), bound(lane + 1));
+                let worker = &mut inner.workers[lane - 1];
+                let strip = worker.spare.take().unwrap_or_default();
+                worker
+                    .tx
+                    .send(Job::Attn {
+                        stage: Arc::clone(&inner.stage),
+                        storage: Arc::clone(storage),
+                        row_lo: lo,
+                        row_hi: hi,
+                        strip,
+                    })
+                    .expect("pool worker alive");
+            }
         }
         attn_rows_strip(
             &inner.stage,
@@ -418,13 +532,19 @@ impl WorkerPool {
             &mut inner.main_attn,
             &mut out[..bound(1) * width],
         );
+        let _prof = prof::scope("pool_gather");
+        let mut wait_ns = 0u64;
         for lane in 1..lanes {
             let (lo, hi) = (bound(lane), bound(lane + 1));
             let worker = &mut inner.workers[lane - 1];
+            let waited = Instant::now();
             let strip = worker.rx.recv().expect("pool worker completed");
+            wait_ns += elapsed_ns(waited);
             out[lo * width..hi * width].copy_from_slice(&strip);
             worker.spare = Some(strip);
         }
+        self.dispatch_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Runs every closure on its own persistent worker (growing the pool
@@ -561,5 +681,32 @@ mod tests {
     fn task_panic_propagates() {
         let pool = WorkerPool::new(1);
         pool.run_tasks(vec![Box::new(|| panic!("boom"))]);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_idle_and_dispatch_wait() {
+        let (m, k, n) = (16, 96, 512);
+        let a = test_act(m, k);
+        let w = Kernel::F32(PackedMatrix::pack(&test_weight(k, n)));
+        let pool = WorkerPool::new(4);
+        let empty = pool.utilization();
+        assert_eq!(empty.lanes, 4);
+        assert!(empty.workers.is_empty(), "workers spawn lazily");
+        let mut out = vec![0.0; m * n];
+        for _ in 0..8 {
+            pool.gemm(&w, &a, m, k, 0, 0, n, &mut out);
+        }
+        // Let workers settle back into their recv so idle registers.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let u = pool.utilization();
+        assert_eq!(u.workers.len(), 3, "lanes - 1 workers spawned");
+        assert_eq!(u.dispatches, 8);
+        for (i, wk) in u.workers.iter().enumerate() {
+            assert_eq!(wk.jobs, 8, "worker {i} ran every dispatch");
+            assert!(wk.busy_s > 0.0, "worker {i} accumulated busy time");
+            assert!(wk.idle_s > 0.0, "worker {i} accumulated idle time");
+            assert!((0.0..=1.0).contains(&wk.busy_frac()));
+        }
+        assert!(u.dispatch_wait_s >= 0.0);
     }
 }

@@ -183,6 +183,17 @@ impl ContinuousBatcher {
             self.track,
             self.waiting.iter().map(|r| r.prompt.len()).sum::<usize>() as f64,
         );
+        // Worker-pool accounting, published next to `compute_threads`.
+        // Guarded so the no-op sink never pays the pool-mutex snapshot.
+        if self.sink.enabled() {
+            let u = self.model.pool_utilization();
+            let busy: f64 = u.workers.iter().map(|w| w.busy_s).sum();
+            let idle: f64 = u.workers.iter().map(|w| w.idle_s).sum();
+            self.sink.gauge_set(metrics::POOL_BUSY_S, self.track, busy);
+            self.sink.gauge_set(metrics::POOL_IDLE_S, self.track, idle);
+            self.sink
+                .gauge_set(metrics::POOL_DISPATCH_WAIT_S, self.track, u.dispatch_wait_s);
+        }
     }
 
     /// Submits a request.
@@ -214,6 +225,7 @@ impl ContinuousBatcher {
 
     /// Executes one scheduler iteration (prefill prioritized).
     pub fn step(&mut self) -> StepKind {
+        let _prof = distserve_prof::scope("batcher_step");
         self.steps += 1;
         // Admission: the whole lifetime footprint must fit the pool, the
         // running set must have room, and the step's token budget must
@@ -259,6 +271,7 @@ impl ContinuousBatcher {
                 self.emit(req.id, t_start, LifecycleEvent::PrefillStart);
             }
             {
+                let _prof = distserve_prof::scope("prefill");
                 let _span = SpanGuard::enter(
                     self.sink.as_ref(),
                     &self.clock,
@@ -315,6 +328,7 @@ impl ContinuousBatcher {
             })
             .collect();
         {
+            let _prof = distserve_prof::scope("decode");
             let _span = SpanGuard::enter(
                 self.sink.as_ref(),
                 &self.clock,

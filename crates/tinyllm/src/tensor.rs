@@ -249,6 +249,11 @@ impl PackedMatrix {
     /// (no pre-zeroing needed). The argument list mirrors the GEMM
     /// operands (block offsets and shapes); a parameter struct would just
     /// rename them.
+    // Deliberately unprofiled: every caller is already inside a named
+    // scope (`qkv_gemm`/`out_proj_gemm`/`ffn`/`logits` serially,
+    // `pool_gemm_job` on pool workers), and a scope here would double the
+    // bracket count on the hottest path in the engine — see the < 3%
+    // overhead budget in `distserve_prof`'s module docs.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn gemm_strip(
         &self,
@@ -449,6 +454,7 @@ impl QuantMatrix {
         stride: usize,
         out: &mut [f32],
     ) {
+        let _prof = distserve_prof::scope("gemm_int8");
         let mut i = 0;
         while i < m {
             match m - i {

@@ -111,6 +111,38 @@ impl FlightRecorder {
     }
 }
 
+/// One incident's full evidence bundle (see
+/// [`FlightRecorder::dump_incident`]): the event window as Perfetto
+/// JSON plus the self-profiler's view of where compute time was going
+/// when the trigger fired.
+pub struct IncidentDump {
+    /// Chrome trace-event JSON of the retained event window.
+    pub perfetto: String,
+    /// Self-contained flamegraph SVG of the profiler snapshot (an
+    /// empty-but-valid SVG when the profiler is disabled).
+    pub flamegraph_svg: String,
+    /// The same snapshot as folded-stack text (`a;b;c <self_ns>`), for
+    /// grepping and external flamegraph tooling.
+    pub folded: String,
+}
+
+impl FlightRecorder {
+    /// Dumps the retained window *and* a snapshot of the continuous
+    /// self-profiler, so a fault storm leaves behind both *what
+    /// happened* (the event ring) and *where the time went* (the
+    /// flamegraph) in one bundle. The profiler is left running and its
+    /// accumulators untouched.
+    #[must_use]
+    pub fn dump_incident(&self, reason: &str) -> IncidentDump {
+        let profile = distserve_prof::snapshot();
+        IncidentDump {
+            perfetto: self.dump_perfetto(reason),
+            flamegraph_svg: profile.flamegraph_svg(&format!("incident: {reason}")),
+            folded: profile.folded(),
+        }
+    }
+}
+
 impl TelemetrySink for FlightRecorder {
     fn enabled(&self) -> bool {
         true
@@ -166,6 +198,23 @@ mod tests {
         assert!(json.contains("(2 retained of 2 seen)"));
         assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
         assert!(json.contains("\"ts\":500000"));
+    }
+
+    #[test]
+    fn incident_dump_bundles_perfetto_and_flamegraph() {
+        let fr = FlightRecorder::new(16);
+        fr.event(ev(1, 0.5));
+        distserve_prof::set_enabled(true);
+        {
+            let _g = distserve_prof::scope("incident_work");
+            std::hint::black_box(0u64);
+        }
+        let dump = fr.dump_incident("storm test");
+        distserve_prof::set_enabled(false);
+        assert!(dump.perfetto.contains("storm test"));
+        assert!(dump.flamegraph_svg.starts_with("<svg"));
+        assert!(dump.flamegraph_svg.contains("incident_work"));
+        assert!(dump.folded.contains("incident_work"));
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod sampler;
 mod synth;
 
 pub use distserve_telemetry::trace_id;
-pub use flight::FlightRecorder;
+pub use flight::{FlightRecorder, IncidentDump};
 pub use perfetto::{waterfall_json, MAX_STEP_SLICES};
 pub use sampler::{SamplerStats, TailSampler, TailSamplerConfig};
 pub use synth::SpanSynthesizer;

@@ -1,0 +1,380 @@
+//! Continuous self-profiler harness: profile a ≥1M-request routed
+//! `ScaleSim` run *and* the real tinyllm batch-16 decode loop, render
+//! the merged flamegraph, and feed the perf-regression sentinel.
+//!
+//! Four artifacts come out of one run:
+//!
+//! - `profile_fleet_flamegraph.svg` — self-contained icicle flamegraph
+//!   (no JavaScript, no external fetches) of everything the profiler
+//!   saw: router phases (`workload_gen`/`route_offer`/`drain_events`),
+//!   tinyllm kernels (`forward_batch` down to `qkv_gemm`), and the
+//!   worker-pool job scopes from the compute threads.
+//! - `profile_fleet.folded.txt` — the same data as folded stacks for
+//!   external flamegraph tooling and grep.
+//! - `profile_dashboard.html` — the flamegraph and per-worker pool
+//!   utilization panels as one offline dashboard page.
+//! - `BENCH_prof.json` — profiler overhead on the batch-16 decode loop
+//!   (paired off/on rounds, per-step-position minima; budget <3%),
+//!   decode and sim
+//!   throughput, and the sentinel's verdicts against the bench-history
+//!   ledger. The run's key metrics are appended to `BENCH_history.jsonl`
+//!   with a full provenance stamp.
+//!
+//! Self-validates: the flamegraph's leaf re-sum (Σ self time) must match
+//! the profile total within 1%, and the profile must contain both the
+//! router and kernel hot paths.
+//!
+//! Env knobs: `PROFILE_FLEET_REQUESTS=100000` for a CI-sized smoke;
+//! `PROFILE_FLEET_INJECT_SLOWDOWN_PCT=10` fakes a decode regression in
+//! the *current* record only (the ledger is not polluted) so CI can
+//! prove the sentinel catches it.
+//!
+//! Run with: `cargo run --release --example profile_fleet`
+
+use std::time::Instant;
+
+use distserve::observe::{pool_panel, profile_panel};
+use distserve::prof;
+use distserve::router::{Assignment, FleetSpec, RouterPolicy, ScaleSim, ScaleSlo, ServiceProfile};
+use distserve::workload::{Dataset, DiurnalCurve, RequestStream};
+use distserve_bench::sentinel::{
+    self, append_record, check, load_ledger, render_verdicts, BenchRecord, KEY_METRICS,
+};
+use serde::Value;
+use tinyllm::{ContinuousBatcher, GenRequest, Model, TinyConfig};
+
+const BATCH: usize = 16;
+const PROMPT_LEN: usize = 32;
+const DECODE_STEPS: usize = 64;
+const WARMUP_ROUNDS: usize = 2;
+const ROUNDS: usize = 96;
+const EXTRA_OFF_ROUNDS: usize = 24;
+const SIM_RUNS: usize = 3;
+const BUDGET_PCT: f64 = 3.0;
+const SENTINEL_K: f64 = 3.0;
+
+/// One batch-16 decode run (prefill excluded), fresh batcher each time
+/// so rounds measure the same KV-growth trajectory. Each of the
+/// `DECODE_STEPS` steps is timed individually and returned by position:
+/// step `s` always runs at the same KV length, so its cost is a fixed
+/// quantity that run-to-run interference can only inflate.
+fn decode_once(model: &Model) -> Vec<f64> {
+    let mut b = ContinuousBatcher::new(model.clone(), 8192);
+    for i in 0..BATCH {
+        b.submit(GenRequest {
+            id: i as u64,
+            prompt: (0..PROMPT_LEN)
+                .map(|p| ((i * 17 + p * 5) % 512) as u32)
+                .collect(),
+            max_new: DECODE_STEPS + 2,
+        });
+    }
+    b.step();
+    let mut steps = Vec::with_capacity(DECODE_STEPS);
+    for _ in 0..DECODE_STEPS {
+        let t = Instant::now();
+        b.step();
+        steps.push(t.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(b.steps());
+    steps
+}
+
+/// Median of `xs` (which it sorts in place).
+fn median_mut(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Profiler overhead on the decode loop, built for a noisy shared host.
+///
+/// Interleaved off/on rounds with alternating order cancel slow drift.
+/// Step `s` of every round runs at the same KV length, so per-position
+/// statistics compare like with like:
+///
+/// - **Overhead** is the per-position *median of paired within-round
+///   deltas* `on[s] − off[s]`, summed across positions. A neighbor-VM
+///   spike inflates one side of one round at one position; the median
+///   over all rounds shrugs it off, where a mean (or a pair of
+///   independent minima) would carry it into the estimate.
+/// - **Baseline decode time** (the denominator, and the tok/s fed to
+///   the sentinel ledger) is the per-position *minimum* over all
+///   profiler-off rounds, summed. Interference only ever slows a step
+///   down, so each position's minimum converges to that KV length's
+///   true cost, and summing 64 independently-converged minima averages
+///   away the residual a single global minimum would keep. A few extra
+///   off-only rounds widen the sampling window for this minimum.
+///
+/// Returns `(off decode secs, on decode secs, overhead pct)` where the
+/// decode secs cover all `DECODE_STEPS` steps.
+fn decode_overhead(model: &Model) -> (f64, f64, f64) {
+    let mut min_off = vec![f64::INFINITY; DECODE_STEPS];
+    let mut deltas: Vec<Vec<f64>> = (0..DECODE_STEPS)
+        .map(|_| Vec::with_capacity(ROUNDS))
+        .collect();
+    for round in 0..WARMUP_ROUNDS + ROUNDS {
+        let (off, on) = if round % 2 == 0 {
+            let off = decode_once(model);
+            prof::set_enabled(true);
+            let on = decode_once(model);
+            prof::set_enabled(false);
+            (off, on)
+        } else {
+            prof::set_enabled(true);
+            let on = decode_once(model);
+            prof::set_enabled(false);
+            (decode_once(model), on)
+        };
+        if round >= WARMUP_ROUNDS {
+            for s in 0..DECODE_STEPS {
+                min_off[s] = min_off[s].min(off[s]);
+                deltas[s].push(on[s] - off[s]);
+            }
+        }
+    }
+    for _ in 0..EXTRA_OFF_ROUNDS {
+        let off = decode_once(model);
+        for s in 0..DECODE_STEPS {
+            min_off[s] = min_off[s].min(off[s]);
+        }
+    }
+    let off_s: f64 = min_off.iter().sum();
+    let overhead_s: f64 = deltas.iter_mut().map(|d| median_mut(d)).sum();
+    let on_s = off_s + overhead_s;
+    (off_s, on_s, overhead_s / off_s * 100.0)
+}
+
+/// The routed fleet-scale run under the profiler, same fleet and diurnal
+/// overload shape as `router_scale`. Returns simulated requests/sec —
+/// the best of [`SIM_RUNS`] identical runs, since a single wall-clock
+/// window carries whatever the host's neighbors were doing that second
+/// (the profiler accumulates across all runs, which only adds samples).
+fn profiled_sim(n: u64) -> f64 {
+    (0..SIM_RUNS)
+        .map(|_| profiled_sim_once(n))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn profiled_sim_once(n: u64) -> f64 {
+    let fleet = FleetSpec {
+        prefill: 6,
+        decode: 10,
+        colocated: 8,
+        profile: ServiceProfile::a100_13b(),
+    };
+    let policy = RouterPolicy {
+        queue_cap: 4,
+        max_wait_secs: 0.5,
+        retry_gap_secs: 0.1,
+        ..RouterPolicy::default()
+    };
+    let slo = ScaleSlo {
+        ttft_s: 0.4,
+        tpot_s: 0.1,
+    };
+    let stream = RequestStream::diurnal(
+        Dataset::ShareGpt.sampler(),
+        DiurnalCurve::new(150.0, 0.5, 3600.0),
+        20_240_624,
+    )
+    .take(n as usize);
+    let sim = ScaleSim::new(fleet, policy, slo, Assignment::Routed, 7);
+    prof::set_enabled(true);
+    let started = Instant::now();
+    let out = sim.run(stream);
+    let wall = started.elapsed().as_secs_f64();
+    prof::set_enabled(false);
+    assert_eq!(
+        out.completed + out.shed,
+        out.offered,
+        "request conservation"
+    );
+    n as f64 / wall
+}
+
+fn main() {
+    let n: u64 = std::env::var("PROFILE_FLEET_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let inject_pct: f64 = std::env::var("PROFILE_FLEET_INJECT_SLOWDOWN_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    println!(
+        "profile_fleet: batch-{BATCH} decode x{ROUNDS} paired rounds, then {n} routed requests"
+    );
+
+    // --- Part 1: profiler overhead on the real decode hot path ----------
+    let model = Model::random(&TinyConfig::small(), 5);
+    let (off_s, on_s, overhead_pct) = decode_overhead(&model);
+    let decode_tok_s = (BATCH * DECODE_STEPS) as f64 / off_s;
+    println!(
+        "  decode: {DECODE_STEPS} steps off {:.1} µs/step, on {:.1} µs/step → overhead \
+         {overhead_pct:+.2}% (budget {BUDGET_PCT}%), {decode_tok_s:.0} tok/s",
+        off_s / DECODE_STEPS as f64 * 1e6,
+        on_s / DECODE_STEPS as f64 * 1e6,
+    );
+    if overhead_pct >= BUDGET_PCT {
+        eprintln!(
+            "  WARN: profiler overhead {overhead_pct:.2}% is over the {BUDGET_PCT}% budget on this host"
+        );
+    }
+
+    // --- Part 2: profiled fleet-scale routed run -------------------------
+    let sim_req_s = profiled_sim(n);
+    println!(
+        "  sim: {n} requests routed at {sim_req_s:.0} sim-req/s under the profiler \
+         (best of {SIM_RUNS} runs)"
+    );
+
+    // --- Part 3: flamegraph + folded stacks + dashboard ------------------
+    let profile = prof::snapshot();
+    let total_s = profile.total_ns() as f64 / 1e9;
+    let resum_err_pct = if profile.total_ns() > 0 {
+        (profile.self_ns_sum() as f64 - profile.total_ns() as f64).abs() / profile.total_ns() as f64
+            * 100.0
+    } else {
+        f64::NAN
+    };
+    assert!(
+        resum_err_pct < 1.0,
+        "flamegraph leaf re-sum must match the total within 1% (err {resum_err_pct:.3}%)"
+    );
+    let svg = profile.flamegraph_svg("profile_fleet: routed sim + batch-16 decode");
+    let folded = profile.folded();
+    assert!(
+        folded.contains("route_offer") && folded.contains("forward_batch"),
+        "profile must cover both the router and kernel hot paths"
+    );
+    assert!(
+        !svg.contains("<script") && !svg.contains("href") && !svg.contains("@import"),
+        "flamegraph must stay self-contained"
+    );
+    std::fs::write("profile_fleet_flamegraph.svg", &svg)
+        .expect("write profile_fleet_flamegraph.svg");
+    std::fs::write("profile_fleet.folded.txt", &folded).expect("write profile_fleet.folded.txt");
+
+    let util = model.pool_utilization();
+    let workers: Vec<(f64, f64, u64)> = util
+        .workers
+        .iter()
+        .map(|w| (w.busy_s, w.idle_s, w.jobs))
+        .collect();
+    let html = format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>profile fleet</title><style>\
+         body{{font:14px/1.5 system-ui,sans-serif;margin:2rem;color:#222}}\
+         table{{border-collapse:collapse}}td,th{{border:1px solid #ddd;padding:.3rem .7rem}}\
+         th{{background:#f0f0f3}}h2{{font-size:1.1rem;margin-top:1.5rem}}\
+         .empty{{color:#888;font-style:italic}}</style></head><body>\n\
+         <h1>Self-profiler: fleet sim + decode</h1>\n\
+         <h2>Flamegraph</h2>\n{}\n\
+         <h2>Worker pool ({} lanes)</h2>\n{}\n\
+         </body></html>\n",
+        profile_panel(&profile, "profile_fleet"),
+        util.lanes,
+        pool_panel(&workers, util.dispatch_wait_s, util.dispatches),
+    );
+    assert!(!html.contains("<script"), "dashboard must stay offline");
+    std::fs::write("profile_dashboard.html", &html).expect("write profile_dashboard.html");
+    println!(
+        "  wrote profile_fleet_flamegraph.svg ({} paths, {total_s:.3} s attributed, \
+         re-sum err {resum_err_pct:.4}%), profile_fleet.folded.txt, profile_dashboard.html",
+        profile.node_count(),
+    );
+
+    // --- Part 4: sentinel — ledger append + regression check -------------
+    let provenance =
+        sentinel::Provenance::capture("TinyConfig::small() batch16 + diurnal routed sim", 7);
+    let reported_tok_s = decode_tok_s / (1.0 + inject_pct / 100.0);
+    if inject_pct != 0.0 {
+        println!("  injecting synthetic {inject_pct:.0}% decode slowdown into the current record");
+    }
+    let current = BenchRecord::new(
+        provenance.clone(),
+        vec![
+            ("decode_tok_s".into(), reported_tok_s),
+            ("sim_req_s".into(), sim_req_s),
+            ("prof_overhead_pct".into(), overhead_pct),
+        ],
+    );
+    let history = load_ledger("BENCH_history.jsonl");
+    let verdicts = check(&history, &current, KEY_METRICS, SENTINEL_K);
+    let regressed = verdicts.iter().any(|v| v.regressed);
+    println!(
+        "  sentinel vs {} ledger records:\n{}",
+        history.len(),
+        render_verdicts(&verdicts)
+    );
+    if regressed {
+        eprintln!("  WARN: sentinel flagged a regression (see verdicts above)");
+    }
+    // Synthetic-slowdown runs exist to prove detection; keep them out of
+    // the ledger so they don't drag the baseline down.
+    if inject_pct == 0.0 {
+        append_record("BENCH_history.jsonl", &current).expect("append BENCH_history.jsonl");
+        println!("  appended provenance-stamped record to BENCH_history.jsonl");
+    }
+
+    let verdict_values: Vec<Value> = verdicts
+        .iter()
+        .map(|v| {
+            Value::Object(vec![
+                ("metric".into(), Value::Str(v.metric.clone())),
+                ("baseline_median".into(), Value::Float(v.baseline_median)),
+                ("noise_sigma".into(), Value::Float(v.noise_sigma)),
+                ("current".into(), Value::Float(v.current)),
+                ("threshold".into(), Value::Float(v.threshold)),
+                ("samples".into(), Value::UInt(v.samples as u64)),
+                ("enough_history".into(), Value::Bool(v.enough_history)),
+                ("regressed".into(), Value::Bool(v.regressed)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("provenance".into(), provenance.value()),
+        ("batch".into(), Value::UInt(BATCH as u64)),
+        ("decode_steps".into(), Value::UInt(DECODE_STEPS as u64)),
+        ("rounds".into(), Value::UInt(ROUNDS as u64)),
+        (
+            "decode_step_off_us".into(),
+            Value::Float(off_s / DECODE_STEPS as f64 * 1e6),
+        ),
+        (
+            "decode_step_on_us".into(),
+            Value::Float(on_s / DECODE_STEPS as f64 * 1e6),
+        ),
+        ("overhead_pct".into(), Value::Float(overhead_pct)),
+        ("budget_pct".into(), Value::Float(BUDGET_PCT)),
+        ("decode_tok_s".into(), Value::Float(reported_tok_s)),
+        ("sim_requests".into(), Value::UInt(n)),
+        ("sim_req_s".into(), Value::Float(sim_req_s)),
+        (
+            "profile".into(),
+            Value::Object(vec![
+                ("paths".into(), Value::UInt(profile.node_count() as u64)),
+                ("total_s".into(), Value::Float(total_s)),
+                ("self_resum_err_pct".into(), Value::Float(resum_err_pct)),
+            ]),
+        ),
+        (
+            "sentinel".into(),
+            Value::Object(vec![
+                ("history_len".into(), Value::UInt(history.len() as u64)),
+                ("k".into(), Value::Float(SENTINEL_K)),
+                ("injected_slowdown_pct".into(), Value::Float(inject_pct)),
+                ("regressed".into(), Value::Bool(regressed)),
+                ("verdicts".into(), Value::Array(verdict_values)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench results");
+    std::fs::write("BENCH_prof.json", json + "\n").expect("write BENCH_prof.json");
+    println!("  wrote BENCH_prof.json");
+}

@@ -156,9 +156,12 @@ fn main() {
         eprintln!("  WARN: {rate:.0} sim-req/s is below the 1M/s target on this host");
     }
 
+    let provenance = distserve_bench::sentinel::Provenance::capture("router_scale diurnal", 7);
+    let prov_json = serde_json::to_string(&provenance.value()).expect("serialize provenance stamp");
     let json = format!(
         concat!(
             "{{\n",
+            "  \"provenance\": {},\n",
             "  \"requests\": {},\n",
             "  \"wall_secs\": {:.3},\n",
             "  \"sim_requests_per_sec\": {:.0},\n",
@@ -173,6 +176,7 @@ fn main() {
             "  \"static\": {}\n",
             "}}\n"
         ),
+        prov_json,
         n,
         routed_wall,
         rate,

@@ -216,7 +216,7 @@ fn traced_fleet(n: u64) -> FleetRun {
 /// Part 2: token-granular engine under a fault storm, with the
 /// synthesizer turning lifecycle events into spans and the flight
 /// recorder capturing the moments before impact.
-fn storm_flight(sampler: &Arc<TailSampler>) -> (String, u64) {
+fn storm_flight(sampler: &Arc<TailSampler>) -> (distserve::trace::IncidentDump, u64) {
     let cost = RooflineModel::a100_conservative();
     let cluster = Cluster::single_node(2);
     let specs = vec![
@@ -264,6 +264,9 @@ fn storm_flight(sampler: &Arc<TailSampler>) -> (String, u64) {
         synth as Arc<dyn TelemetrySink>,
         recorder.clone() as Arc<dyn TelemetrySink>,
     ]);
+    // Profile the storm run so the incident dump carries a flamegraph of
+    // where simulation time went around the trigger.
+    distserve::prof::set_enabled(true);
     let out = serve_trace_with_faults(
         &cost,
         &cluster,
@@ -277,6 +280,8 @@ fn storm_flight(sampler: &Arc<TailSampler>) -> (String, u64) {
         &tee,
     )
     .expect("storm run serves");
+    let dump = recorder.dump_incident(&reason);
+    distserve::prof::set_enabled(false);
     println!(
         "  storm run: {} finished, {} rejected, {} failed under {} faults",
         out.records.len(),
@@ -284,7 +289,7 @@ fn storm_flight(sampler: &Arc<TailSampler>) -> (String, u64) {
         out.failed.len(),
         storm.len()
     );
-    (recorder.dump_perfetto(&reason), recorder.total_seen())
+    (dump, recorder.total_seen())
 }
 
 /// Part 3: tracing overhead on the real engine's decode hot path,
@@ -430,16 +435,23 @@ fn main() {
 
     // --- Part 2: fault storm into the flight recorder --------------------
     let sampler = Arc::new(TailSampler::new(TailSamplerConfig::default()));
-    let (flight_json, seen) = storm_flight(&sampler);
+    let (incident, seen) = storm_flight(&sampler);
+    let flight_json = &incident.perfetto;
     assert!(
         flight_json.contains("fault storm"),
         "dump must carry the trigger reason"
     );
     assert!(flight_json.matches("\"ph\":\"i\"").count() > 0);
-    std::fs::write("flight_recorder.json", &flight_json).expect("write flight_recorder.json");
+    assert!(
+        incident.flamegraph_svg.contains("sim_run"),
+        "incident flamegraph must show the simulation hot path"
+    );
+    std::fs::write("flight_recorder.json", flight_json).expect("write flight_recorder.json");
+    std::fs::write("incident_flamegraph.svg", &incident.flamegraph_svg)
+        .expect("write incident_flamegraph.svg");
     println!(
-        "  wrote flight_recorder.json ({} lifecycle events seen, ring dump on storm)",
-        seen
+        "  wrote flight_recorder.json + incident_flamegraph.svg \
+         ({seen} lifecycle events seen, ring dump on storm)",
     );
     let engine_kept = sampler.take_kept();
     println!(
@@ -476,9 +488,12 @@ fn main() {
         eprintln!("  WARN: tracing overhead {overhead_pct:.2}% is over the 3% budget on this host");
     }
 
+    let provenance = distserve_bench::sentinel::Provenance::capture("trace_flight diurnal", 7);
+    let prov_json = serde_json::to_string(&provenance.value()).expect("serialize provenance stamp");
     let json = format!(
         concat!(
             "{{\n",
+            "  \"provenance\": {},\n",
             "  \"requests\": {},\n",
             "  \"wall_secs\": {:.3},\n",
             "  \"sim_requests_per_sec\": {:.0},\n",
@@ -495,6 +510,7 @@ fn main() {
             "  \"budget_pct\": 3.0\n",
             "}}\n"
         ),
+        prov_json,
         run.offered,
         run.wall_secs,
         run.offered as f64 / run.wall_secs,

@@ -31,6 +31,8 @@ pub use distserve_models as models;
 /// live dashboard.
 pub use distserve_observe as observe;
 pub use distserve_placement as placement;
+/// Always-on scoped self-profiler: folded stacks and flamegraph SVG.
+pub use distserve_prof as prof;
 /// Cluster-scale request router: EPP-style scoring, admission control,
 /// and the 10M-request scale simulator.
 pub use distserve_router as router;
