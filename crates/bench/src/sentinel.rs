@@ -280,6 +280,24 @@ pub const KEY_METRICS: &[MetricSpec] = &[
         abs_floor: 1.0,
         rel_cap: 0.0,
     },
+    // Prefix-cache metrics (`examples/prefix_goodput.rs`). The hit rate
+    // is a property of the workload + cache logic, not the host, so its
+    // noise band is tight; warm goodput shares the sim metric's
+    // wall-clock-window sensitivity and gets the same wide floor.
+    MetricSpec {
+        name: "prefix_hit_rate",
+        higher_is_better: true,
+        rel_floor: 0.05,
+        abs_floor: 0.02,
+        rel_cap: 0.1,
+    },
+    MetricSpec {
+        name: "cached_goodput_rps",
+        higher_is_better: true,
+        rel_floor: 0.25,
+        abs_floor: 0.0,
+        rel_cap: 0.5,
+    },
 ];
 
 /// One metric's judgement (see [`check`]).

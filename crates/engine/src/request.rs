@@ -158,6 +158,11 @@ pub struct RequestState {
     pub resume_generated: u32,
     /// KV-transfer attempts for the current migration (backoff ladder).
     pub transfer_attempt: u32,
+    /// Prompt tokens a prefix cache already holds for this request
+    /// (analytic hit model, drawn at arrival): they skip prefill compute
+    /// but still occupy KV memory, and the cached radix nodes outlive
+    /// the sequence so fault-driven recomputations keep the discount.
+    pub cached_tokens: u32,
 }
 
 impl RequestState {
@@ -177,6 +182,7 @@ impl RequestState {
             retries: 0,
             resume_generated: 0,
             transfer_attempt: 0,
+            cached_tokens: 0,
         }
     }
 
@@ -186,6 +192,18 @@ impl RequestState {
     #[must_use]
     pub fn prefill_len(&self) -> u32 {
         self.request.input_len + self.resume_generated
+    }
+
+    /// Prompt tokens the next prefill pass must actually *compute*:
+    /// [`RequestState::prefill_len`] minus the prefix-cached tokens. KV
+    /// allocation always uses the full length — cached blocks are shared,
+    /// not absent.
+    #[must_use]
+    pub fn billed_prefill_len(&self) -> u32 {
+        self.prefill_len()
+            - self
+                .cached_tokens
+                .min(self.request.input_len.saturating_sub(1))
     }
 
     /// Freezes the state into an immutable record.

@@ -86,8 +86,11 @@ impl RouterCtl {
                     )
                 }),
         };
-        self.log
-            .push(DecisionRecord::new(req.id, &decision).with_trace_id(trace_id));
+        self.log.push(
+            DecisionRecord::new(req.id, &decision)
+                .with_trace_id(trace_id)
+                .with_prefix(req.prefix_group, req.matched_tokens),
+        );
         decision
     }
 }

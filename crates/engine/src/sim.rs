@@ -617,7 +617,9 @@ impl<'a> ServingSim<'a> {
         self.states.reserve(trace.len());
         for (i, r) in trace.requests().iter().enumerate() {
             self.events.push(r.arrival, Ev::Arrive(i));
-            self.states.insert(r.id, RequestState::new(r.clone()));
+            let mut st = RequestState::new(r.clone());
+            st.cached_tokens = self.draw_cached_tokens(r.id.0, r.input_len);
+            self.states.insert(r.id, st);
         }
         let chaos = !self.faults.is_empty();
         if chaos {
@@ -846,6 +848,31 @@ impl<'a> ServingSim<'a> {
             .map(|(i, inst)| Self::snapshot_of(i, inst))
     }
 
+    /// Deterministic per-request draw from the analytic prefix hit model
+    /// (§ [`crate::spec::PrefixHitModel`]): a splitmix64 hash of
+    /// `seed ^ id` decides the Bernoulli hit, and the matched share is
+    /// block-aligned and capped at prompt − 1 so the last prompt token's
+    /// logits are always computed — mirroring `distserve_prefix`'s match
+    /// cap. Independent of the jitter RNG, so enabling the model never
+    /// perturbs fidelity draws.
+    fn draw_cached_tokens(&self, req_id: u64, input_len: u32) -> u32 {
+        let m = &self.cfg.prefix;
+        if !m.enabled() || input_len < 2 {
+            return 0;
+        }
+        let mut z = (self.cfg.seed ^ req_id).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= m.hit_prob {
+            return 0;
+        }
+        let bs = self.cfg.block_size.max(1);
+        let matched = (f64::from(input_len) * m.matched_frac) as u32;
+        ((matched / bs) * bs).min(input_len - 1)
+    }
+
     /// One router consultation: refresh the persistent state from the
     /// fleet (in place, no per-request allocation) and take — or replay
     /// — the verdict.
@@ -865,14 +892,17 @@ impl<'a> ServingSim<'a> {
     /// and act on the verdict.
     fn route_arrival(&mut self, trace: &Trace, idx: usize, now: SimTime) {
         let req = &trace.requests()[idx];
+        // The engine's hit model is instance-independent (no per-replica
+        // cache directory at token granularity), so the features carry
+        // the resolved match for logging/admission but no lineage group:
+        // cache-affine placement stays a `ScaleSim` concern.
+        let cached = self.states[&req.id].cached_tokens;
         let features = RequestFeatures {
-            id: req.id.0,
-            prompt_len: req.input_len,
-            predicted_decode_len: req.output_len,
             tenant: req.tenant,
             waited_secs: now.since(req.arrival).max(0.0),
-            readmission: false,
-        };
+            ..RequestFeatures::arrival(req.id.0, req.input_len, req.output_len)
+        }
+        .with_prefix(0, cached, self.cfg.prefix.hit_prob);
         let decision = self.consult_router(&features);
         match decision {
             // The decode field is a hint: the engine re-binds the decode
@@ -985,7 +1015,12 @@ impl<'a> ServingSim<'a> {
             return;
         };
         inst.note_kv();
-        let lens: Vec<u32> = batch.iter().map(|b| b.input_len).collect();
+        // Compute is priced on the billed suffix (cached prefix tokens
+        // skip the forward pass); KV was allocated on the full length.
+        let lens: Vec<u32> = batch
+            .iter()
+            .map(|b| self.states[&b.id].billed_prefill_len())
+            .collect();
         let pbatch = PrefillBatch::new(lens);
         let raw = self
             .cost
@@ -997,7 +1032,10 @@ impl<'a> ServingSim<'a> {
         let inst = &mut self.instances[i];
         let commit = inst.pipeline.commit(now, stage_time);
         let members: Vec<RequestId> = batch.iter().map(|b| b.id).collect();
-        let batch_tokens = batch.iter().map(|b| u64::from(b.input_len)).sum::<u64>();
+        let batch_tokens = members
+            .iter()
+            .map(|id| u64::from(self.states[id].billed_prefill_len()))
+            .sum::<u64>();
         inst.inflight_prefill_tokens += batch_tokens;
         inst.prefill_inflight.insert(bid, members.clone());
         for id in &members {
@@ -1036,7 +1074,7 @@ impl<'a> ServingSim<'a> {
         };
         let done_tokens: u64 = members
             .iter()
-            .map(|id| u64::from(self.states[id].prefill_len()))
+            .map(|id| u64::from(self.states[id].billed_prefill_len()))
             .sum();
         self.instances[i].inflight_prefill_tokens = self.instances[i]
             .inflight_prefill_tokens
@@ -1369,7 +1407,12 @@ impl<'a> ServingSim<'a> {
             });
             if let Some(batch) = batch {
                 inst.note_kv();
-                let lens: Vec<u32> = batch.iter().map(|b| b.input_len).collect();
+                // Billed suffix only, as on the split path; KV was
+                // allocated on the full lifetime footprint above.
+                let lens: Vec<u32> = batch
+                    .iter()
+                    .map(|b| self.states[&b.id].billed_prefill_len())
+                    .collect();
                 let pbatch = PrefillBatch::new(lens);
                 let raw = self
                     .cost
@@ -1383,7 +1426,10 @@ impl<'a> ServingSim<'a> {
                 let commit = inst.pipeline.commit(now, stage_time);
                 inst.coloc_busy = true;
                 let members: Vec<RequestId> = batch.iter().map(|b| b.id).collect();
-                let batch_tokens = batch.iter().map(|b| u64::from(b.input_len)).sum::<u64>();
+                let batch_tokens = members
+                    .iter()
+                    .map(|id| u64::from(self.states[id].billed_prefill_len()))
+                    .sum::<u64>();
                 for id in &members {
                     let st = self.states.get_mut(id).expect("state exists");
                     st.prefill_start = commit.start;
@@ -1475,7 +1521,7 @@ impl<'a> ServingSim<'a> {
             if budget == 0 {
                 break;
             }
-            let prior = *self.instances[c].chunk_progress.get(&head.id).unwrap_or(&0);
+            let mut prior = *self.instances[c].chunk_progress.get(&head.id).unwrap_or(&0);
             if prior == 0 {
                 // First chunk: admit with the whole lifetime footprint.
                 if self.instances[c].running.len() + chunks.len() >= max_running {
@@ -1495,6 +1541,10 @@ impl<'a> ServingSim<'a> {
                 st.phase = RequestPhase::Prefilling;
                 self.emit(head.id, now, LifecycleEvent::PrefillStart);
                 self.emit_kv(c);
+                // Prefix-cached tokens are pre-existing context: chunks
+                // attend over them (the `prior` offset) without ever
+                // computing them, so they count as progress up front.
+                prior = head.input_len - self.states[&head.id].billed_prefill_len();
             }
             let remaining = head.input_len - prior;
             let take = remaining.min(budget);
@@ -1742,14 +1792,13 @@ impl<'a> ServingSim<'a> {
     fn dispatch_prefill(&mut self, id: RequestId, now: SimTime) {
         let input_len = self.states[&id].prefill_len();
         if self.router.is_some() {
+            let st = &self.states[&id];
             let features = RequestFeatures {
-                id: id.0,
-                prompt_len: input_len,
-                predicted_decode_len: self.states[&id].request.output_len,
-                tenant: self.states[&id].request.tenant,
-                waited_secs: 0.0,
                 readmission: true,
-            };
+                ..RequestFeatures::arrival(id.0, input_len, st.request.output_len)
+            }
+            .with_tenant(st.request.tenant)
+            .with_prefix(0, st.cached_tokens, self.cfg.prefix.hit_prob);
             match self.consult_router(&features) {
                 Decision::Disagg { prefill, .. } => {
                     self.admit_routed(id, input_len, prefill.0 as usize, now);
@@ -2375,6 +2424,77 @@ mod tests {
             let b = r.breakdown();
             assert!((b.total() - r.total_latency()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn prefix_hit_model_discounts_ttft_on_every_path() {
+        // A certain hit on half the prompt must shorten prefill — and
+        // therefore TTFT — on the split, colocated, and chunked paths
+        // alike, without changing completion counts.
+        let cl = cluster();
+        let trace = fixed_trace(80, 2.0, 5);
+        let cost = RooflineModel::a100();
+        let chunked = |c: &Cluster| {
+            vec![InstanceSpec::new(
+                InstanceRole::Colocated,
+                ParallelismConfig::SINGLE,
+                vec![vec![c.gpu(0, 0)]],
+            )
+            .unwrap()
+            .with_policy(crate::spec::ColocatedPolicy {
+                chunked_prefill: Some(256),
+                ..Default::default()
+            })]
+        };
+        for specs in [disagg_deployment(&cl), coloc_deployment(&cl), chunked(&cl)] {
+            let cold_cfg = SimConfig::new(OptModel::Opt13B.arch());
+            let warm_cfg = SimConfig::new(OptModel::Opt13B.arch()).with_prefix_model(1.0, 0.5);
+            let cold = ServingSim::new(cold_cfg, &cost, &cl, specs.clone())
+                .unwrap()
+                .run(&trace);
+            let warm = ServingSim::new(warm_cfg, &cost, &cl, specs)
+                .unwrap()
+                .run(&trace);
+            assert_eq!(warm.records.len(), cold.records.len());
+            let cold_ttft = cold.ttft_summary().mean();
+            let warm_ttft = warm.ttft_summary().mean();
+            assert!(
+                warm_ttft < cold_ttft,
+                "warm mean TTFT {warm_ttft} not below cold {cold_ttft}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_hit_draw_is_deterministic_and_block_aligned() {
+        let cl = cluster();
+        let cost = RooflineModel::a100();
+        let cfg = SimConfig::new(OptModel::Opt13B.arch()).with_prefix_model(0.6, 0.5);
+        let bs = cfg.block_size;
+        let sim = ServingSim::new(cfg.clone(), &cost, &cl, coloc_deployment(&cl)).unwrap();
+        let mut hits = 0u32;
+        for id in 0..200u64 {
+            let a = sim.draw_cached_tokens(id, 512);
+            let b = sim.draw_cached_tokens(id, 512);
+            assert_eq!(a, b, "draw must be a pure function of (seed, id)");
+            assert_eq!(a % bs, 0, "matched tokens must be block-aligned");
+            assert!(a < 512);
+            if a > 0 {
+                hits += 1;
+            }
+        }
+        // 0.6 hit probability over 200 draws: comfortably within
+        // [60, 180] unless the hash is broken.
+        assert!((60..=180).contains(&hits), "implausible hit count {hits}");
+        // Disabled model never matches.
+        let off = ServingSim::new(
+            SimConfig::new(OptModel::Opt13B.arch()),
+            &cost,
+            &cl,
+            coloc_deployment(&cl),
+        )
+        .unwrap();
+        assert_eq!(off.draw_cached_tokens(7, 512), 0);
     }
 
     #[test]

@@ -121,6 +121,43 @@ impl InstanceSpec {
     }
 }
 
+/// Analytic prefix-cache hit model for the token-granular simulator.
+///
+/// The engine never materializes token content, so cache behavior is
+/// modeled statistically instead of structurally: each arriving request
+/// draws a deterministic Bernoulli hit with probability `hit_prob`
+/// (seeded per request id), and on a hit a `matched_frac` share of its
+/// prompt — block-aligned, capped at prompt − 1 so the last token's
+/// logits are always computed — skips prefill compute on whichever path
+/// serves it (split, colocated, or chunked). KV allocation is *not*
+/// discounted: shared blocks still occupy pool memory, exactly as
+/// refcounted `distserve_prefix` sharing keeps blocks resident.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PrefixHitModel {
+    /// Probability an arriving prompt finds a cached prefix.
+    pub hit_prob: f64,
+    /// Fraction of the prompt matched when a hit occurs.
+    pub matched_frac: f64,
+}
+
+impl Default for PrefixHitModel {
+    /// Cold cache: no hits, nothing matched.
+    fn default() -> Self {
+        PrefixHitModel {
+            hit_prob: 0.0,
+            matched_frac: 0.0,
+        }
+    }
+}
+
+impl PrefixHitModel {
+    /// Whether the model can ever produce a hit.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.hit_prob > 0.0 && self.matched_frac > 0.0
+    }
+}
+
 /// Global simulation configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -149,6 +186,10 @@ pub struct SimConfig {
     pub admission_cap: Option<usize>,
     /// RNG seed for jitter and tie-breaking randomness.
     pub seed: u64,
+    /// Analytic prefix-cache hit model (`default` = cold cache, so
+    /// configs serialized before prefix caching existed still parse).
+    #[serde(default)]
+    pub prefix: PrefixHitModel,
 }
 
 impl SimConfig {
@@ -166,6 +207,7 @@ impl SimConfig {
             prefill_discipline: crate::batching::QueueDiscipline::Fcfs,
             admission_cap: None,
             seed: 0,
+            prefix: PrefixHitModel::default(),
         }
     }
 
@@ -202,6 +244,17 @@ impl SimConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables the analytic prefix-cache hit model (probabilities are
+    /// clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_prefix_model(mut self, hit_prob: f64, matched_frac: f64) -> Self {
+        self.prefix = PrefixHitModel {
+            hit_prob: hit_prob.clamp(0.0, 1.0),
+            matched_frac: matched_frac.clamp(0.0, 1.0),
+        };
         self
     }
 }

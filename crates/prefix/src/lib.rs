@@ -1,0 +1,637 @@
+//! Radix-tree prefix cache over token sequences.
+//!
+//! Production serving stacks treat prompt-prefix reuse as a first-class
+//! scheduling input: vLLM's `--enable-prefix-caching` and SGLang's radix
+//! attention both keep the KV of recently seen prompt prefixes resident
+//! and prefill only the unmatched suffix. This crate rebuilds that layer
+//! over [`tinyllm::PagedKv`]:
+//!
+//! * **Radix layout** — a trie whose edges are *whole KV blocks*
+//!   (`block_size` tokens per node). Lookup walks the query's full-block
+//!   chunks, hashing one chunk per level: O(matched tokens) total.
+//! * **Refcounted copy-on-write sharing** — the cache takes its own
+//!   reference on every block it indexes ([`PagedKv::retain_block`]);
+//!   serving sequences fork over matched blocks
+//!   ([`PagedKv::fork_prefix`]) and append into fresh blocks only.
+//!   Nothing is ever copied, and a block is freed exactly when the last
+//!   referent (cache or sequence) drops it.
+//! * **Block-granularity invariant** — only whole blocks are shared.
+//!   Matches are capped by callers so at least the prompt's final token
+//!   is recomputed (its logits seed decoding), which also keeps every
+//!   append landing in an exclusively owned block (asserted by the KV
+//!   pool in debug builds).
+//! * **LRU eviction over unpinned leaves** — interior nodes are live
+//!   prefixes of their descendants and are never evicted; the
+//!   least-recently-touched unpinned leaf goes first, and its parent
+//!   becomes evictable in turn.
+//! * **Bit-exactness** — a KV row is a pure function of the token prefix
+//!   below it (batched rows compute independently), so prefilling only
+//!   the suffix over cached blocks yields byte-identical logits and
+//!   token streams to a cold run, on both compute tiers at any thread
+//!   count. `tests/prefix_props.rs` (workspace root) proptests this
+//!   end to end.
+//!
+//! [`PagedKv::retain_block`]: tinyllm::PagedKv::retain_block
+//! [`PagedKv::fork_prefix`]: tinyllm::PagedKv::fork_prefix
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use distserve_telemetry::{metrics, NoopSink, TelemetrySink, TrackId};
+use tinyllm::scheduler::PrefixReuse;
+use tinyllm::PagedKv;
+
+/// Sentinel: the root node owns no block.
+const NO_BLOCK: usize = usize::MAX;
+/// Arena index of the root node.
+const ROOT: usize = 0;
+
+/// One radix node: a whole KV block's worth of tokens, the physical
+/// block holding their K/V, and children keyed by their token chunk.
+#[derive(Debug)]
+struct Node {
+    /// The `block_size` tokens this edge covers (empty for the root).
+    chunk: Box<[u32]>,
+    /// Physical KV block id ([`NO_BLOCK`] for the root).
+    block: usize,
+    /// Children keyed by their full token chunk. Hashing a key is
+    /// O(block_size), which is what keeps lookup O(matched tokens).
+    children: HashMap<Box<[u32]>, usize>,
+    parent: usize,
+    /// Logical LRU timestamp (bumped on every match/insert touch).
+    last_used: u64,
+    /// Explicit pins; a pinned leaf is exempt from eviction.
+    pins: u32,
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixMatch {
+    /// Physical block ids of the longest cached prefix, in position
+    /// order. Callers fork a sequence over (a prefix of) these.
+    pub blocks: Vec<usize>,
+    /// Tokens covered: `blocks.len() * block_size`.
+    pub matched_tokens: usize,
+}
+
+/// Cumulative cache counters (monotone; snapshot with
+/// [`PrefixCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that matched at least one block.
+    pub hits: u64,
+    /// Lookups that matched nothing.
+    pub misses: u64,
+    /// Blocks evicted under capacity pressure.
+    pub evictions: u64,
+    /// Blocks adopted into the tree.
+    pub inserted_blocks: u64,
+    /// Sum of matched tokens over all lookups.
+    pub matched_tokens: u64,
+    /// Sum of query lengths over all lookups.
+    pub lookup_tokens: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit (0 when no lookups yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of looked-up tokens served from cache.
+    #[must_use]
+    pub fn token_hit_rate(&self) -> f64 {
+        if self.lookup_tokens == 0 {
+            0.0
+        } else {
+            self.matched_tokens as f64 / self.lookup_tokens as f64
+        }
+    }
+}
+
+/// Radix-tree prefix cache with LRU eviction (see the crate docs).
+pub struct PrefixCache {
+    block_size: usize,
+    capacity_blocks: usize,
+    nodes: Vec<Node>,
+    /// Recycled arena slots.
+    free_nodes: Vec<usize>,
+    /// `(last_used, node)` for every evictable node: an unpinned,
+    /// non-root leaf. Kept in lockstep with the arena so eviction is
+    /// O(log n), not a scan.
+    lru: BTreeSet<(u64, usize)>,
+    /// Blocks the cache currently holds a reference on.
+    owned: usize,
+    clock: u64,
+    stats: CacheStats,
+    sink: Arc<dyn TelemetrySink>,
+    track: TrackId,
+}
+
+impl std::fmt::Debug for PrefixCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixCache")
+            .field("block_size", &self.block_size)
+            .field("capacity_blocks", &self.capacity_blocks)
+            .field("owned", &self.owned)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrefixCache {
+    /// Creates a cache sharing blocks of `block_size` tokens, holding at
+    /// most `capacity_blocks` block references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(block_size: usize, capacity_blocks: usize) -> Self {
+        assert!(block_size > 0 && capacity_blocks > 0);
+        PrefixCache {
+            block_size,
+            capacity_blocks,
+            nodes: vec![Node {
+                chunk: Box::new([]),
+                block: NO_BLOCK,
+                children: HashMap::new(),
+                parent: ROOT,
+                last_used: 0,
+                pins: 0,
+            }],
+            free_nodes: Vec::new(),
+            lru: BTreeSet::new(),
+            owned: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+            sink: Arc::new(NoopSink),
+            track: 0,
+        }
+    }
+
+    /// Routes `prefix_*` counters and the shared-block gauge into
+    /// `sink`, labelled with `track`.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>, track: TrackId) -> Self {
+        self.sink = sink;
+        self.track = track;
+        self
+    }
+
+    /// Tokens per shared block.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Blocks the cache currently pins.
+    #[must_use]
+    pub fn owned_blocks(&self) -> usize {
+        self.owned
+    }
+
+    /// Snapshot of the cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Whether `node` belongs in the LRU set (evictable).
+    fn evictable(&self, node: usize) -> bool {
+        node != ROOT && self.nodes[node].children.is_empty() && self.nodes[node].pins == 0
+    }
+
+    /// Bumps `node`'s LRU stamp, repositioning it in the eviction order
+    /// if it is currently evictable.
+    fn touch(&mut self, node: usize) {
+        let now = self.tick();
+        if self.evictable(node) {
+            self.lru.remove(&(self.nodes[node].last_used, node));
+            self.lru.insert((now, node));
+        }
+        self.nodes[node].last_used = now;
+    }
+
+    /// The longest cached prefix of `tokens`, touching every node on the
+    /// matched path. O(matched tokens) plus O(log n) per level for the
+    /// LRU bookkeeping.
+    pub fn match_prefix(&mut self, tokens: &[u32]) -> PrefixMatch {
+        let _prof = distserve_prof::scope("prefix_match");
+        let bs = self.block_size;
+        let mut cur = ROOT;
+        let mut blocks = Vec::new();
+        for chunk in tokens.chunks_exact(bs) {
+            match self.nodes[cur].children.get(chunk).copied() {
+                Some(child) => {
+                    self.touch(child);
+                    blocks.push(self.nodes[child].block);
+                    cur = child;
+                }
+                None => break,
+            }
+        }
+        let matched_tokens = blocks.len() * bs;
+        self.stats.lookup_tokens += tokens.len() as u64;
+        self.stats.matched_tokens += matched_tokens as u64;
+        if blocks.is_empty() {
+            self.stats.misses += 1;
+            self.sink.counter_add(metrics::PREFIX_MISSES, self.track, 1);
+        } else {
+            self.stats.hits += 1;
+            self.sink.counter_add(metrics::PREFIX_HITS, self.track, 1);
+        }
+        PrefixMatch {
+            blocks,
+            matched_tokens,
+        }
+    }
+
+    /// Indexes the whole-block prefix of `tokens`, whose K/V live in
+    /// `blocks` (`tokens.len()` is truncated to whole blocks; `blocks`
+    /// must cover them). Every newly adopted block gets a cache-owned
+    /// reference; already-present prefixes are just touched (the caller
+    /// keeps its own copy until its sequence releases). Evicts LRU
+    /// leaves to stay within capacity; stops early if eviction cannot
+    /// make room. Returns the number of blocks adopted.
+    pub fn insert(&mut self, tokens: &[u32], blocks: &[usize], kv: &mut PagedKv) -> usize {
+        let bs = self.block_size;
+        debug_assert_eq!(bs, kv.block_size());
+        let full = (tokens.len() / bs).min(blocks.len());
+        let mut cur = ROOT;
+        let mut adopted = 0;
+        for (i, chunk) in tokens.chunks_exact(bs).take(full).enumerate() {
+            if let Some(&child) = self.nodes[cur].children.get(chunk) {
+                self.touch(child);
+                cur = child;
+                continue;
+            }
+            // Make room, but never evict the node we are extending: pin
+            // it across the eviction (ancestors have children and are
+            // structurally safe).
+            if self.evictable(cur) {
+                self.lru.remove(&(self.nodes[cur].last_used, cur));
+            }
+            self.nodes[cur].pins += 1;
+            let mut room = true;
+            while self.owned >= self.capacity_blocks {
+                if !self.evict_one(kv) {
+                    room = false;
+                    break;
+                }
+            }
+            self.unpin_node(cur);
+            if !room {
+                break;
+            }
+            let now = self.tick();
+            kv.retain_block(blocks[i]);
+            let node = Node {
+                chunk: chunk.into(),
+                block: blocks[i],
+                children: HashMap::new(),
+                parent: cur,
+                last_used: now,
+                pins: 0,
+            };
+            let idx = if let Some(idx) = self.free_nodes.pop() {
+                self.nodes[idx] = node;
+                idx
+            } else {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            };
+            // The parent stops being a leaf once it gains a child.
+            if self.evictable(cur) {
+                self.lru.remove(&(self.nodes[cur].last_used, cur));
+            }
+            self.nodes[cur].children.insert(chunk.into(), idx);
+            self.lru.insert((now, idx));
+            self.owned += 1;
+            adopted += 1;
+            self.stats.inserted_blocks += 1;
+            cur = idx;
+        }
+        self.sink
+            .gauge_set(metrics::PREFIX_BLOCKS_SHARED, self.track, self.owned as f64);
+        adopted
+    }
+
+    fn unpin_node(&mut self, node: usize) {
+        self.nodes[node].pins -= 1;
+        if self.evictable(node) {
+            self.lru.insert((self.nodes[node].last_used, node));
+        }
+    }
+
+    /// Pins the deepest cached node covering `tokens` (whole blocks),
+    /// exempting its whole path from eviction — interior nodes are never
+    /// evicted while they have descendants. Returns the pinned depth in
+    /// blocks (0 = nothing matched, nothing pinned).
+    pub fn pin_prefix(&mut self, tokens: &[u32]) -> usize {
+        let (node, depth) = self.walk(tokens);
+        if depth > 0 {
+            if self.evictable(node) {
+                self.lru.remove(&(self.nodes[node].last_used, node));
+            }
+            self.nodes[node].pins += 1;
+        }
+        depth
+    }
+
+    /// Releases one pin taken by [`pin_prefix`] on the same token
+    /// prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix is not cached to the pinned depth or was
+    /// never pinned.
+    ///
+    /// [`pin_prefix`]: PrefixCache::pin_prefix
+    pub fn unpin_prefix(&mut self, tokens: &[u32]) {
+        let (node, depth) = self.walk(tokens);
+        assert!(depth > 0, "unpin of an uncached prefix");
+        assert!(self.nodes[node].pins > 0, "unpin without matching pin");
+        self.unpin_node(node);
+    }
+
+    /// Walks the whole-block chunks of `tokens`; returns the deepest
+    /// node reached and its depth in blocks.
+    fn walk(&self, tokens: &[u32]) -> (usize, usize) {
+        let mut cur = ROOT;
+        let mut depth = 0;
+        for chunk in tokens.chunks_exact(self.block_size) {
+            match self.nodes[cur].children.get(chunk).copied() {
+                Some(child) => {
+                    cur = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        (cur, depth)
+    }
+
+    /// Evicts the least-recently-used unpinned leaf, releasing its block
+    /// reference. Returns false when nothing is evictable.
+    pub fn evict_one(&mut self, kv: &mut PagedKv) -> bool {
+        let Some(&(stamp, node)) = self.lru.iter().next() else {
+            return false;
+        };
+        self.lru.remove(&(stamp, node));
+        let parent = self.nodes[node].parent;
+        let chunk = std::mem::take(&mut self.nodes[node].chunk);
+        self.nodes[parent].children.remove(&chunk);
+        kv.release_block(self.nodes[node].block);
+        self.nodes[node].block = NO_BLOCK;
+        self.nodes[node].children = HashMap::new();
+        self.free_nodes.push(node);
+        self.owned -= 1;
+        self.stats.evictions += 1;
+        // The parent may have just become a leaf.
+        if self.evictable(parent) {
+            self.lru.insert((self.nodes[parent].last_used, parent));
+        }
+        self.sink
+            .counter_add(metrics::PREFIX_EVICTIONS, self.track, 1);
+        self.sink
+            .gauge_set(metrics::PREFIX_BLOCKS_SHARED, self.track, self.owned as f64);
+        true
+    }
+
+    /// Releases every cached block reference and resets the tree. After
+    /// all sequences are also released, `kv.free_blocks() ==
+    /// kv.total_blocks()` — the leak proptest's closing move.
+    pub fn clear(&mut self, kv: &mut PagedKv) {
+        for node in &self.nodes {
+            if node.block != NO_BLOCK {
+                kv.release_block(node.block);
+            }
+        }
+        let root = Node {
+            chunk: Box::new([]),
+            block: NO_BLOCK,
+            children: HashMap::new(),
+            parent: ROOT,
+            last_used: 0,
+            pins: 0,
+        };
+        self.nodes = vec![root];
+        self.free_nodes.clear();
+        self.lru.clear();
+        self.owned = 0;
+        self.sink
+            .gauge_set(metrics::PREFIX_BLOCKS_SHARED, self.track, 0.0);
+    }
+}
+
+impl PrefixReuse for PrefixCache {
+    fn match_blocks(&mut self, tokens: &[u32]) -> Vec<usize> {
+        self.match_prefix(tokens).blocks
+    }
+
+    fn offer(&mut self, tokens: &[u32], blocks: &[usize], kv: &mut PagedKv) {
+        self.insert(tokens, blocks, kv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pool matching the cache under test: 1 layer, hidden 2, block
+    /// size 4.
+    fn kv(blocks: usize) -> PagedKv {
+        PagedKv::new(1, 2, 4, blocks)
+    }
+
+    /// Prefills `tokens` for `seq` (dummy values) and returns its full
+    /// blocks.
+    fn fill(kv: &mut PagedKv, seq: u64, tokens: &[u32]) -> Vec<usize> {
+        kv.register(seq);
+        for (pos, &t) in tokens.iter().enumerate() {
+            kv.append(seq, 0, pos, &[t as f32; 2], &[0.0; 2]).unwrap();
+        }
+        kv.block_table(seq).unwrap()[..tokens.len() / 4].to_vec()
+    }
+
+    #[test]
+    fn match_is_block_granular() {
+        let mut kv = kv(16);
+        let mut cache = PrefixCache::new(4, 8);
+        let tokens: Vec<u32> = (0..8).collect();
+        let blocks = fill(&mut kv, 1, &tokens);
+        cache.insert(&tokens, &blocks, &mut kv);
+
+        // Full match: both blocks.
+        let m = cache.match_prefix(&tokens);
+        assert_eq!(m.matched_tokens, 8);
+        assert_eq!(m.blocks, blocks);
+        // 6 tokens match only the first block (whole blocks only).
+        let m = cache.match_prefix(&tokens[..6]);
+        assert_eq!(m.matched_tokens, 4);
+        assert_eq!(m.blocks, blocks[..1]);
+        // A diverging second block matches only the first.
+        let mut other = tokens.clone();
+        other[5] = 99;
+        let m = cache.match_prefix(&other);
+        assert_eq!(m.matched_tokens, 4);
+        // Diverging first token: nothing.
+        other[0] = 7;
+        assert_eq!(cache.match_prefix(&other).matched_tokens, 0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+    }
+
+    #[test]
+    fn insert_adopts_references_and_shares_suffixes() {
+        let mut kv = kv(16);
+        let mut cache = PrefixCache::new(4, 8);
+        let a: Vec<u32> = (0..8).collect();
+        let blocks_a = fill(&mut kv, 1, &a);
+        assert_eq!(cache.insert(&a, &blocks_a, &mut kv), 2);
+        assert_eq!(kv.block_ref_count(blocks_a[0]), 2);
+
+        // Same first block, different second: only one new adoption.
+        let mut b = a.clone();
+        b[6] = 42;
+        let blocks_b = fill(&mut kv, 2, &b);
+        assert_eq!(cache.insert(&b, &blocks_b, &mut kv), 1);
+        assert_eq!(cache.owned_blocks(), 3);
+        // The shared first block is the *cache's* copy (seq 1's), not
+        // seq 2's duplicate.
+        assert_eq!(cache.match_prefix(&b).blocks[0], blocks_a[0]);
+
+        // Releasing both sequences keeps cached blocks alive.
+        kv.release(1).unwrap();
+        kv.release(2).unwrap();
+        assert_eq!(kv.block_ref_count(blocks_a[0]), 1);
+        let m = cache.match_prefix(&a);
+        assert_eq!(m.matched_tokens, 8);
+        // And a full clear returns the pool to pristine.
+        cache.clear(&mut kv);
+        assert_eq!(kv.free_blocks(), kv.total_blocks());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_leaf_only() {
+        let mut kv = kv(32);
+        let mut cache = PrefixCache::new(4, 2);
+        let a: Vec<u32> = (0..8).collect(); // Chain: block0 -> block1.
+        let blocks = fill(&mut kv, 1, &a);
+        cache.insert(&a, &blocks, &mut kv);
+        assert_eq!(cache.owned_blocks(), 2);
+
+        // Inserting an unrelated prompt forces eviction; the chain's
+        // *leaf* (block1) must go, never the interior block0.
+        let b: Vec<u32> = (100..104).collect();
+        let blocks_b = fill(&mut kv, 2, &b);
+        cache.insert(&b, &blocks_b, &mut kv);
+        assert_eq!(cache.owned_blocks(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.match_prefix(&a).matched_tokens, 4); // Block0 survives.
+        assert_eq!(cache.match_prefix(&b).matched_tokens, 4);
+    }
+
+    #[test]
+    fn touch_order_drives_eviction() {
+        let mut kv = kv(32);
+        let mut cache = PrefixCache::new(4, 2);
+        let a: Vec<u32> = (0..4).collect();
+        let b: Vec<u32> = (10..14).collect();
+        let ba = fill(&mut kv, 1, &a);
+        let bb = fill(&mut kv, 2, &b);
+        cache.insert(&a, &ba, &mut kv);
+        cache.insert(&b, &bb, &mut kv);
+        // Touch `a` so `b` is the LRU leaf.
+        cache.match_prefix(&a);
+        let c: Vec<u32> = (20..24).collect();
+        let bc = fill(&mut kv, 3, &c);
+        cache.insert(&c, &bc, &mut kv);
+        assert_eq!(cache.match_prefix(&a).matched_tokens, 4);
+        assert_eq!(cache.match_prefix(&b).matched_tokens, 0);
+        assert_eq!(cache.match_prefix(&c).matched_tokens, 4);
+    }
+
+    #[test]
+    fn pinned_leaves_survive_pressure() {
+        let mut kv = kv(32);
+        let mut cache = PrefixCache::new(4, 1);
+        let a: Vec<u32> = (0..4).collect();
+        let ba = fill(&mut kv, 1, &a);
+        cache.insert(&a, &ba, &mut kv);
+        assert_eq!(cache.pin_prefix(&a), 1);
+
+        // Capacity 1 and the only resident block is pinned: the insert
+        // cannot make room and adopts nothing.
+        let b: Vec<u32> = (10..14).collect();
+        let bb = fill(&mut kv, 2, &b);
+        assert_eq!(cache.insert(&b, &bb, &mut kv), 0);
+        assert_eq!(cache.match_prefix(&a).matched_tokens, 4);
+
+        cache.unpin_prefix(&a);
+        let bc = fill(&mut kv, 3, &b);
+        cache.insert(&b, &bc, &mut kv);
+        assert_eq!(cache.match_prefix(&a).matched_tokens, 0); // Evicted now.
+        assert_eq!(cache.match_prefix(&b).matched_tokens, 4);
+    }
+
+    #[test]
+    fn eviction_never_frees_live_sequence_blocks() {
+        let mut kv = kv(32);
+        let mut cache = PrefixCache::new(4, 1);
+        let a: Vec<u32> = (0..4).collect();
+        let ba = fill(&mut kv, 1, &a);
+        cache.insert(&a, &ba, &mut kv);
+        // Seq 2 forks over the cached block, then the block is evicted.
+        kv.fork_prefix(2, &ba);
+        let b: Vec<u32> = (10..14).collect();
+        let bb = fill(&mut kv, 3, &b);
+        cache.insert(&b, &bb, &mut kv);
+        assert_eq!(cache.stats().evictions, 1);
+        // Still readable through the live fork — refcount held it.
+        assert_eq!(kv.key(2, 0, 0), &[0.0; 2]);
+        assert_eq!(kv.block_ref_count(ba[0]), 2); // Seqs 1 and 2.
+    }
+
+    #[test]
+    fn capacity_one_chain_insert_does_not_evict_own_parent() {
+        let mut kv = kv(32);
+        let mut cache = PrefixCache::new(4, 1);
+        let a: Vec<u32> = (0..12).collect(); // Three-block chain.
+        let ba = fill(&mut kv, 1, &a);
+        cache.insert(&a, &ba, &mut kv);
+        // Only one block fits; it must be the chain head (the node being
+        // extended is pinned during eviction, and deeper links stop when
+        // no room remains).
+        assert_eq!(cache.owned_blocks(), 1);
+        assert_eq!(cache.match_prefix(&a).matched_tokens, 4);
+    }
+
+    #[test]
+    fn stats_track_token_ratios() {
+        let mut kv = kv(16);
+        let mut cache = PrefixCache::new(4, 8);
+        let a: Vec<u32> = (0..8).collect();
+        let ba = fill(&mut kv, 1, &a);
+        cache.insert(&a, &ba, &mut kv);
+        cache.match_prefix(&a); // 8 of 8.
+        cache.match_prefix(&[77, 78, 79, 80]); // 0 of 4.
+        let s = cache.stats();
+        assert_eq!(s.lookup_tokens, 12);
+        assert_eq!(s.matched_tokens, 8);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.token_hit_rate() - 8.0 / 12.0).abs() < 1e-12);
+    }
+}

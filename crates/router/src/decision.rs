@@ -28,6 +28,20 @@
 //! under decode pressure or with long prompts the split path wins —
 //! exactly the EcoServe-style path migration the router exists for.
 //!
+//! ## Prefix-cache affinity
+//!
+//! Requests whose prompt opens with a reusable prefix (multi-turn
+//! histories, shared system prompts) carry `prefix_group` /
+//! `matched_tokens` / `prefix_hit_prob` features. The state tracks which
+//! replica last served each group ([`RouterState::note_prefix_served`],
+//! mutated *outside* `route()` like the throttle set, so the core stays
+//! pure); scoring discounts the prefill term `p` by `matched ·
+//! hit_prob` on that replica only — a cached prefill skips the matched
+//! tokens, and only the holder has them resident. That single-replica
+//! discount is what makes routing cache-affine (llm-d's endpoint-picker
+//! heuristic): the holder wins ties and keeps the group's traffic, until
+//! its load premium outgrows the discounted tokens.
+//!
 //! ## Admission
 //!
 //! A replica is *eligible* when its health accepts new work and its
@@ -47,6 +61,8 @@
 //! a tenant burning its error budget stops displacing the others'
 //! traffic. The throttle set is part of [`RouterState`], so `route()`
 //! stays a pure function of `(state, features)`.
+
+use std::collections::{HashMap, VecDeque};
 
 use distserve_faults::InstanceHealth;
 
@@ -171,7 +187,17 @@ pub struct RouterState {
     /// Tenants under burn-rate throttling, indexed by tenant id (grows
     /// on demand; absent entries mean unthrottled).
     throttled: Vec<bool>,
+    /// Which replica last served each prefix group, with a lazy-deletion
+    /// FIFO bounding memory (stale queue entries are skipped when their
+    /// stamp no longer matches the map's).
+    prefix_holders: HashMap<u64, (ReplicaId, u64)>,
+    prefix_order: VecDeque<(u64, u64)>,
+    prefix_stamp: u64,
 }
+
+/// Bound on tracked prefix groups: past this, the oldest noted group is
+/// forgotten (matching a real cache's finite residency).
+const PREFIX_GROUP_CAP: usize = 1 << 16;
 
 /// Number of logarithmic load buckets per role.
 const BUCKETS: usize = 16;
@@ -270,6 +296,9 @@ impl RouterState {
             seed,
             index,
             throttled: Vec::new(),
+            prefix_holders: HashMap::new(),
+            prefix_order: VecDeque::new(),
+            prefix_stamp: 0,
         }
     }
 
@@ -330,6 +359,52 @@ impl RouterState {
             self.throttled.resize(i + 1, false);
         }
         self.throttled[i] = on;
+    }
+
+    /// Records that `replica` just served (and therefore now caches) a
+    /// request of prefix group `group`. Called by the dispatch harness
+    /// *after* acting on a decision — like [`Self::set_tenant_throttle`],
+    /// mutation stays outside `route()` so the core remains pure. Group
+    /// 0 (no reusable prefix) is ignored. Tracking is bounded at
+    /// `PREFIX_GROUP_CAP` groups, oldest forgotten first.
+    pub fn note_prefix_served(&mut self, group: u64, replica: ReplicaId) {
+        if group == 0 {
+            return;
+        }
+        self.prefix_stamp += 1;
+        self.prefix_holders
+            .insert(group, (replica, self.prefix_stamp));
+        self.prefix_order.push_back((group, self.prefix_stamp));
+        // Re-notes leave stale queue entries behind; compact (amortized
+        // O(1)) once they dominate so the queue stays O(live groups).
+        if self.prefix_order.len() >= 2 * PREFIX_GROUP_CAP {
+            let holders = &self.prefix_holders;
+            self.prefix_order
+                .retain(|&(g, s)| holders.get(&g).is_some_and(|&(_, st)| st == s));
+        }
+        while self.prefix_holders.len() > PREFIX_GROUP_CAP {
+            let Some((old_group, old_stamp)) = self.prefix_order.pop_front() else {
+                break;
+            };
+            // Lazy deletion: only drop the mapping if this queue entry
+            // is still the group's latest note.
+            if self
+                .prefix_holders
+                .get(&old_group)
+                .is_some_and(|&(_, s)| s == old_stamp)
+            {
+                self.prefix_holders.remove(&old_group);
+            }
+        }
+    }
+
+    /// The replica that last served `group`, if still tracked.
+    #[must_use]
+    pub fn prefix_holder(&self, group: u64) -> Option<ReplicaId> {
+        if group == 0 {
+            return None;
+        }
+        self.prefix_holders.get(&group).map(|&(r, _)| r)
     }
 
     /// Whether `tenant` is currently throttled.
@@ -397,6 +472,17 @@ pub struct RequestFeatures {
     /// Re-dispatch after a fault: the system already admitted this
     /// request once, so admission control is bypassed.
     pub readmission: bool,
+    /// Identity of the prompt's reusable-prefix lineage (conversation or
+    /// shared system prompt); 0 = no reusable prefix. Consulted against
+    /// the state's prefix-holder map for cache-affine placement.
+    pub prefix_group: u64,
+    /// Leading prompt tokens a warm prefix cache would skip (whole-block
+    /// granularity is the executor's concern; the router treats this as
+    /// an upper bound on saved prefill work).
+    pub matched_tokens: u32,
+    /// Probability the prefix is still resident where the group last
+    /// ran (an analytic hit model or cache telemetry feeds this).
+    pub prefix_hit_prob: f64,
 }
 
 impl RequestFeatures {
@@ -410,6 +496,9 @@ impl RequestFeatures {
             tenant: 0,
             waited_secs: 0.0,
             readmission: false,
+            prefix_group: 0,
+            matched_tokens: 0,
+            prefix_hit_prob: 0.0,
         }
     }
 
@@ -417,6 +506,17 @@ impl RequestFeatures {
     #[must_use]
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// The same features carrying prefix-cache context: the request's
+    /// lineage, how many leading tokens a warm cache would skip, and the
+    /// probability they are still resident on the lineage's holder.
+    #[must_use]
+    pub fn with_prefix(mut self, group: u64, matched_tokens: u32, hit_prob: f64) -> Self {
+        self.prefix_group = group;
+        self.matched_tokens = matched_tokens;
+        self.prefix_hit_prob = hit_prob;
         self
     }
 }
@@ -482,23 +582,69 @@ pub fn route(state: &RouterState, req: &RequestFeatures) -> Decision {
     let prompt = u64::from(req.prompt_len);
     let predicted = u64::from(req.predicted_decode_len);
 
+    // Prefix-cache discount: only the group's holder has the matched
+    // tokens resident, and a warm prefill skips them. Quantized to
+    // per-mille so scores stay integer-deterministic; capped at
+    // `prompt − 1` (the final prompt token is always recomputed — its
+    // logits seed decoding).
+    let holder = state.prefix_holder(req.prefix_group);
+    let hit_pm = (req.prefix_hit_prob.clamp(0.0, 1.0) * 1000.0).round() as u64;
+    let matched = u64::from(req.matched_tokens).min(prompt.saturating_sub(1));
+    let saved_on = |id: ReplicaId| -> u64 {
+        if holder == Some(id) {
+            matched * hit_pm / 1000
+        } else {
+            0
+        }
+    };
+    // The holder as a scoring candidate alongside the least-loaded pick
+    // (it may carry more load yet win on discounted tokens).
+    let holder_snap = holder.and_then(|id| state.replicas.get(id.0 as usize));
+
     // Split path: needs an eligible prefill replica and an accepting
     // decode replica (decode admission happens at transfer time against
     // KV capacity, not queue depth).
     let split = state.best(ReplicaRole::Prefill, eligible).and_then(|p| {
         let d = state.best(ReplicaRole::Decode, |r| r.health.accepts_new_work())?;
-        let score =
-            p.load(&policy) + prompt + policy.transfer_penalty_tokens + d.load(&policy) + predicted;
-        Some((score, p.id, d.id))
+        let score_via = |p: &ReplicaSnapshot| {
+            p.load(&policy)
+                + (prompt - saved_on(p.id))
+                + policy.transfer_penalty_tokens
+                + d.load(&policy)
+                + predicted
+        };
+        let mut pick = (score_via(p), p.id);
+        if let Some(h) = holder_snap {
+            if h.role == ReplicaRole::Prefill && h.id != p.id && eligible(h) {
+                let hs = score_via(h);
+                if hs < pick.0 {
+                    pick = (hs, h.id);
+                }
+            }
+        }
+        Some((pick.0, pick.1, d.id))
     });
 
     // Colocated path: one replica runs both phases; its cost includes
-    // the prefill/decoding interference term.
+    // the prefill/decoding interference term (on the *discounted*
+    // prompt — cached tokens are never executed, so they stall no one).
     let coloc = state.best(ReplicaRole::Colocated, eligible).map(|c| {
-        let interference = prompt * u64::from(c.active_decodes) * policy.coloc_interference_num
-            / policy.coloc_interference_den;
-        let score = c.load(&policy) + prompt + predicted + interference;
-        (score, c.id)
+        let score_via = |c: &ReplicaSnapshot| {
+            let eff = prompt - saved_on(c.id);
+            let interference = eff * u64::from(c.active_decodes) * policy.coloc_interference_num
+                / policy.coloc_interference_den;
+            c.load(&policy) + eff + predicted + interference
+        };
+        let mut pick = (score_via(c), c.id);
+        if let Some(h) = holder_snap {
+            if h.role == ReplicaRole::Colocated && h.id != c.id && eligible(h) {
+                let hs = score_via(h);
+                if hs < pick.0 {
+                    pick = (hs, h.id);
+                }
+            }
+        }
+        pick
     });
 
     match (split, coloc) {
@@ -784,6 +930,142 @@ mod tests {
         state.set_tenant_throttle(3, true);
         assert!(state.tenant_throttled(3));
         assert!(!state.tenant_throttled(2));
+    }
+
+    #[test]
+    fn prefix_holder_wins_despite_load_premium() {
+        // Replica 0 holds the group's prefix but carries more load than
+        // replica 1. The discount (900 of 1000 prompt tokens at
+        // certainty) outweighs the 500-token load premium.
+        let mut state = RouterState::new(
+            fleet(&[
+                (ReplicaRole::Prefill, 600, 1),
+                (ReplicaRole::Prefill, 100, 0),
+                (ReplicaRole::Decode, 0, 0),
+            ]),
+            RouterPolicy::default(),
+            7,
+        );
+        state.note_prefix_served(42, ReplicaId(0));
+        assert_eq!(state.prefix_holder(42), Some(ReplicaId(0)));
+        let req = RequestFeatures::arrival(0, 1000, 64).with_prefix(42, 900, 1.0);
+        assert_eq!(
+            route(&state, &req),
+            Decision::Disagg {
+                prefill: ReplicaId(0),
+                decode: ReplicaId(2)
+            }
+        );
+        // Without the prefix context the load premium decides.
+        let cold = RequestFeatures::arrival(1, 1000, 64);
+        assert_eq!(
+            route(&state, &cold),
+            Decision::Disagg {
+                prefill: ReplicaId(1),
+                decode: ReplicaId(2)
+            }
+        );
+        // A low hit probability shrinks the discount below the premium.
+        let stale = RequestFeatures::arrival(2, 1000, 64).with_prefix(42, 900, 0.2);
+        assert_eq!(
+            route(&state, &stale),
+            Decision::Disagg {
+                prefill: ReplicaId(1),
+                decode: ReplicaId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn coloc_discount_applies_to_interference_too() {
+        // The colocated holder discounts both the prefill tokens and
+        // the interference they would have caused.
+        let mut replicas = fleet(&[
+            (ReplicaRole::Colocated, 300, 0),
+            (ReplicaRole::Colocated, 0, 0),
+        ]);
+        replicas[0].active_decodes = 8;
+        let mut state = RouterState::new(replicas, RouterPolicy::default(), 7);
+        state.note_prefix_served(9, ReplicaId(0));
+        // Load premium: 300 + 8·32 = 556 token-equivalents. Discount at
+        // full certainty: 960 prompt tokens + 960·8/64 = 120
+        // interference tokens.
+        let req = RequestFeatures::arrival(0, 1024, 32).with_prefix(9, 960, 1.0);
+        assert_eq!(
+            route(&state, &req),
+            Decision::Coloc {
+                replica: ReplicaId(0)
+            }
+        );
+        let cold = RequestFeatures::arrival(1, 1024, 32);
+        assert_eq!(
+            route(&state, &cold),
+            Decision::Coloc {
+                replica: ReplicaId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn ineligible_holder_loses_affinity() {
+        let mut replicas = fleet(&[
+            (ReplicaRole::Prefill, 0, 70), // Over the queue cap.
+            (ReplicaRole::Prefill, 50, 0),
+            (ReplicaRole::Decode, 0, 0),
+        ]);
+        replicas[0].queued_tokens = 10;
+        let mut state = RouterState::new(replicas, RouterPolicy::default(), 7);
+        state.note_prefix_served(5, ReplicaId(0));
+        let req = RequestFeatures::arrival(0, 800, 64).with_prefix(5, 512, 1.0);
+        assert_eq!(
+            route(&state, &req),
+            Decision::Disagg {
+                prefill: ReplicaId(1),
+                decode: ReplicaId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn matched_tokens_capped_below_prompt() {
+        // A (bogus) claim of matching the whole prompt must still leave
+        // one token of prefill in the score: matched is capped at
+        // prompt − 1, so the saturating subtraction never underflows
+        // and scores stay ordered.
+        let mut state = RouterState::new(
+            fleet(&[(ReplicaRole::Prefill, 0, 0), (ReplicaRole::Decode, 0, 0)]),
+            RouterPolicy::default(),
+            7,
+        );
+        state.note_prefix_served(3, ReplicaId(0));
+        let req = RequestFeatures::arrival(0, 64, 8).with_prefix(3, 5000, 1.0);
+        assert!(matches!(route(&state, &req), Decision::Disagg { .. }));
+    }
+
+    #[test]
+    fn prefix_tracking_is_bounded_and_group_zero_ignored() {
+        let mut state = RouterState::new(
+            fleet(&[(ReplicaRole::Colocated, 0, 0)]),
+            RouterPolicy::default(),
+            7,
+        );
+        state.note_prefix_served(0, ReplicaId(0));
+        assert_eq!(state.prefix_holder(0), None);
+        // Overflow the cap; the earliest groups are forgotten, the
+        // newest survive, and re-notes don't leak queue memory.
+        for g in 1..=(PREFIX_GROUP_CAP as u64 + 10) {
+            state.note_prefix_served(g, ReplicaId(0));
+        }
+        for _ in 0..(4 * PREFIX_GROUP_CAP) {
+            state.note_prefix_served(7, ReplicaId(0));
+        }
+        assert_eq!(state.prefix_holder(1), None);
+        assert_eq!(
+            state.prefix_holder(PREFIX_GROUP_CAP as u64 + 10),
+            Some(ReplicaId(0))
+        );
+        assert_eq!(state.prefix_holder(7), Some(ReplicaId(0)));
+        assert!(state.prefix_order.len() <= 2 * PREFIX_GROUP_CAP);
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub struct DecisionRecord {
     /// existed still parse.
     #[serde(default)]
     pub trace_id: u64,
+    /// Reusable-prefix lineage the request belonged to (`0` = none).
+    /// `default` so logs written before prefix caching existed still
+    /// parse.
+    #[serde(default)]
+    pub prefix_group: u64,
+    /// Prefix tokens the router expected the affine replica to serve
+    /// from cache when it scored this verdict.
+    #[serde(default)]
+    pub matched_tokens: u32,
 }
 
 impl DecisionRecord {
@@ -61,6 +70,8 @@ impl DecisionRecord {
             retry_after_secs: 0.0,
             over_capacity: false,
             trace_id: 0,
+            prefix_group: 0,
+            matched_tokens: 0,
         };
         match *decision {
             Decision::Disagg { prefill, decode } => {
@@ -88,6 +99,15 @@ impl DecisionRecord {
     #[must_use]
     pub fn with_trace_id(mut self, trace_id: u64) -> Self {
         self.trace_id = trace_id;
+        self
+    }
+
+    /// The same record carrying the prefix-cache context the router
+    /// scored with.
+    #[must_use]
+    pub fn with_prefix(mut self, prefix_group: u64, matched_tokens: u32) -> Self {
+        self.prefix_group = prefix_group;
+        self.matched_tokens = matched_tokens;
         self
     }
 
@@ -203,6 +223,31 @@ mod tests {
     }
 
     #[test]
+    fn pre_prefix_logs_parse_with_cold_cache_fields() {
+        // A record serialized before the prefix-cache fields existed
+        // (but after tracing) must parse as a cold, ungrouped verdict.
+        let json = r#"[{
+            "request": 7, "kind": "Disagg", "target": 1, "decode": 3,
+            "retry_after_secs": 0.0, "over_capacity": false,
+            "trace_id": 42
+        }]"#;
+        let back = log_from_json(json).unwrap();
+        assert_eq!(back[0].prefix_group, 0);
+        assert_eq!(back[0].matched_tokens, 0);
+        assert_eq!(back[0].trace_id, 42);
+        let rec = DecisionRecord::new(
+            9,
+            &Decision::Coloc {
+                replica: ReplicaId(0),
+            },
+        )
+        .with_prefix(0xABCD, 96);
+        let round = log_from_json(&log_to_json(&[rec]).unwrap()).unwrap();
+        assert_eq!(round[0].prefix_group, 0xABCD);
+        assert_eq!(round[0].matched_tokens, 96);
+    }
+
+    #[test]
     fn invalid_replica_rejected() {
         let rec = DecisionRecord {
             request: 1,
@@ -212,6 +257,8 @@ mod tests {
             retry_after_secs: 0.0,
             over_capacity: false,
             trace_id: 0,
+            prefix_group: 0,
+            matched_tokens: 0,
         };
         assert!(rec.decision().is_err());
     }

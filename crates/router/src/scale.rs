@@ -43,7 +43,7 @@ use distserve_simcore::{EventQueue, SimTime};
 use distserve_telemetry::{
     span_flags, trace_id, SpanEvent, SpanKind, TelemetrySink, TraceCtx, NOOP,
 };
-use distserve_workload::Request;
+use distserve_workload::{Request, SessionRequest};
 
 use crate::decision::{
     route, Decision, ReplicaId, ReplicaRole, ReplicaSnapshot, RequestFeatures, RouterPolicy,
@@ -161,6 +161,11 @@ pub struct ScaleOutcome {
     pub mean_ttft_s: f64,
     /// Mean TPOT over completions, seconds.
     pub mean_tpot_s: f64,
+    /// Requests whose booked prefill was discounted by a prefix-cache
+    /// hit on the replica that served them.
+    pub prefix_hits: u64,
+    /// Total prompt tokens skipped across those hits.
+    pub cached_prompt_tokens: u64,
 }
 
 impl ScaleOutcome {
@@ -180,6 +185,17 @@ impl ScaleOutcome {
     pub fn attainment(&self) -> f64 {
         if self.offered > 0 {
             self.slo_ok as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of offered requests whose prefill was served (at least
+    /// partially) out of a replica's prefix cache.
+    #[must_use]
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.offered > 0 {
+            self.prefix_hits as f64 / self.offered as f64
         } else {
             0.0
         }
@@ -228,6 +244,12 @@ struct Slot {
     tpot_s: f64,
     prefill_on: ReplicaId,
     decode_on: ReplicaId,
+    /// Reusable-prefix lineage (0 = none; see
+    /// [`SessionRequest::prefix_group`]).
+    prefix_group: u64,
+    /// Prompt tokens actually booked on the prefill lane (prompt minus
+    /// any prefix-cache discount; set when prefill is booked).
+    billed_tokens: u32,
     /// Next span id to allocate for this request's trace (0 is the
     /// root, so children start at 1).
     next_span: u32,
@@ -250,6 +272,57 @@ struct Server {
     active: u32,
 }
 
+/// Prefix-group lineages a replica may cache concurrently. Sized like a
+/// real radix cache bounded by KV capacity: big enough that a tenant mix
+/// of system prompts fits, small enough that per-session lineages churn.
+const GROUPS_PER_SERVER: usize = 256;
+
+/// Emulated per-replica prefix-cache directory: a bounded LRU of
+/// `(group → cached prefix tokens)`. This is the request-granular
+/// abstraction of `distserve_prefix::PrefixCache` — no token content,
+/// just how much of a lineage's prompt the replica could serve from
+/// cache. Linear scans are fine: only grouped requests consult it, and
+/// the map is a few hundred entries.
+#[derive(Debug, Clone, Default)]
+struct GroupCache {
+    /// `(group, cached tokens, recency stamp)`.
+    entries: Vec<(u64, u32, u64)>,
+    stamp: u64,
+}
+
+impl GroupCache {
+    /// Cached prefix tokens for `group`, without touching recency.
+    fn peek(&self, group: u64) -> u32 {
+        self.entries
+            .iter()
+            .find(|e| e.0 == group)
+            .map_or(0, |e| e.1)
+    }
+
+    /// Records that this replica now caches `tokens` prefix tokens of
+    /// `group` (after prefilling a prompt of that length), touching
+    /// recency and evicting the stalest lineage at capacity.
+    fn record(&mut self, group: u64, tokens: u32) {
+        self.stamp += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == group) {
+            e.1 = e.1.max(tokens);
+            e.2 = self.stamp;
+            return;
+        }
+        if self.entries.len() >= GROUPS_PER_SERVER {
+            let stalest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("entries non-empty at capacity");
+            self.entries.swap_remove(stalest);
+        }
+        self.entries.push((group, tokens, self.stamp));
+    }
+}
+
 /// The request-granular simulator.
 pub struct ScaleSim {
     fleet: FleetSpec,
@@ -257,6 +330,7 @@ pub struct ScaleSim {
     assignment: Assignment,
     state: RouterState,
     servers: Vec<Server>,
+    prefix_dirs: Vec<GroupCache>,
     events: EventQueue<Ev>,
     pool: Vec<Slot>,
     free_head: u32,
@@ -311,12 +385,14 @@ impl ScaleSim {
                 active: 0,
             })
             .collect();
+        let prefix_dirs = vec![GroupCache::default(); fleet.total() as usize];
         ScaleSim {
             fleet,
             slo,
             assignment,
             state: RouterState::new(replicas, policy, seed),
             servers,
+            prefix_dirs,
             events: EventQueue::new(),
             pool: Vec::new(),
             free_head: NO_SLOT,
@@ -426,8 +502,49 @@ impl ScaleSim {
     /// they stood when the request landed. Arrivals must be offered in
     /// time order.
     pub fn offer(&mut self, r: &Request) {
+        self.offer_with_prefix(r, 0);
+    }
+
+    /// [`ScaleSim::offer`] with a reusable-prefix lineage id (0 = no
+    /// shared prefix). Grouped requests are routed cache-affine and the
+    /// chosen replica's booked prefill is discounted by the prefix it
+    /// already caches for the group.
+    pub fn offer_with_prefix(&mut self, r: &Request, prefix_group: u64) {
         self.drain_until(r.arrival);
-        self.on_arrival(r);
+        self.on_arrival(r, prefix_group);
+    }
+
+    /// Runs a session-structured workload (see
+    /// `distserve_workload::sessions`) to completion, carrying each
+    /// request's prefix lineage into routing and prefill pricing.
+    pub fn run_sessions(
+        mut self,
+        stream: impl IntoIterator<Item = SessionRequest>,
+    ) -> ScaleOutcome {
+        let mut it = stream.into_iter();
+        let mut buf: Vec<SessionRequest> = Vec::with_capacity(Self::RUN_CHUNK);
+        loop {
+            {
+                let _prof = distserve_prof::scope("workload_gen");
+                buf.clear();
+                while buf.len() < Self::RUN_CHUNK {
+                    let Some(r) = it.next() else { break };
+                    buf.push(r);
+                }
+            }
+            if buf.is_empty() {
+                break;
+            }
+            let _prof = distserve_prof::scope("route_offer");
+            for r in &buf {
+                self.offer_with_prefix(&r.request, r.prefix_group);
+            }
+        }
+        {
+            let _prof = distserve_prof::scope("drain_events");
+            self.drain();
+        }
+        self.finish()
     }
 
     /// Processes every pending event at or before `t`.
@@ -468,7 +585,7 @@ impl ScaleSim {
         out
     }
 
-    fn on_arrival(&mut self, r: &Request) {
+    fn on_arrival(&mut self, r: &Request, prefix_group: u64) {
         self.outcome.offered += 1;
         self.first_arrival.get_or_insert(r.arrival);
         let slot = self.alloc_slot(Slot {
@@ -482,6 +599,8 @@ impl ScaleSim {
             tpot_s: 0.0,
             prefill_on: ReplicaId(0),
             decode_on: ReplicaId(0),
+            prefix_group,
+            billed_tokens: 0,
             next_span: 1,
             next_free: NO_SLOT,
         });
@@ -544,14 +663,26 @@ impl ScaleSim {
         let s = self.pool[slot as usize];
         let decision = match self.assignment {
             Assignment::Routed => {
+                // What the router can expect from cache affinity: the
+                // tokens the group's last-serving replica still caches.
+                // The sim resolves hits deterministically, so the hit
+                // probability is 1 whenever any prefix is cached there.
+                let matched = match self.state.prefix_holder(s.prefix_group) {
+                    Some(h) => self.prefix_dirs[h.0 as usize]
+                        .peek(s.prefix_group)
+                        .min(s.prompt.saturating_sub(1)),
+                    None => 0,
+                };
                 let features = RequestFeatures {
-                    id: s.req_id,
-                    prompt_len: s.prompt,
-                    predicted_decode_len: s.decode_len,
                     tenant: s.tenant,
                     waited_secs: s.waited_secs,
-                    readmission: false,
-                };
+                    ..RequestFeatures::arrival(s.req_id, s.prompt, s.decode_len)
+                }
+                .with_prefix(
+                    s.prefix_group,
+                    matched,
+                    if matched > 0 { 1.0 } else { 0.0 },
+                );
                 route(&self.state, &features)
             }
             Assignment::Static => self.static_decision(),
@@ -638,7 +769,29 @@ impl ScaleSim {
     ) {
         let p = &self.fleet.profile;
         let s = self.pool[slot as usize];
-        let prefill_secs = p.prefill_fixed_s + p.prefill_per_token_s * f64::from(s.prompt);
+        // Prefix-cache discount: tokens of this lineage the target
+        // already caches never re-run prefill (at least one token always
+        // does — its logits seed decoding, mirroring
+        // `distserve_prefix::PrefixCache`'s match cap). The full prompt's
+        // KV still exists on the replica, so the split-path transfer is
+        // never discounted.
+        let cached = if s.prefix_group != 0 {
+            self.prefix_dirs[target.0 as usize]
+                .peek(s.prefix_group)
+                .min(s.prompt.saturating_sub(1))
+        } else {
+            0
+        };
+        let billed = s.prompt - cached;
+        if cached > 0 {
+            self.outcome.prefix_hits += 1;
+            self.outcome.cached_prompt_tokens += u64::from(cached);
+        }
+        if s.prefix_group != 0 {
+            self.prefix_dirs[target.0 as usize].record(s.prefix_group, s.prompt);
+            self.state.note_prefix_served(s.prefix_group, target);
+        }
+        let prefill_secs = p.prefill_fixed_s + p.prefill_per_token_s * f64::from(billed);
         let srv = &mut self.servers[target.0 as usize];
         let start = srv.prefill_free_at.max(now);
         let first_token_at = start.after(prefill_secs);
@@ -653,6 +806,7 @@ impl ScaleSim {
             sl.ttft_s = first_token_at.since(s.arrival);
             sl.prefill_on = target;
             sl.decode_on = decode_on;
+            sl.billed_tokens = billed;
         }
         if self.traced {
             // The service model fixes these boundaries at booking time,
@@ -679,7 +833,7 @@ impl ScaleSim {
             }
         }
         // The router sees the booked work immediately.
-        let backlog_tokens = u64::from(s.prompt);
+        let backlog_tokens = u64::from(billed);
         self.state.update(target, |r| {
             r.queue_depth += 1;
             r.queued_tokens += backlog_tokens;
@@ -696,7 +850,7 @@ impl ScaleSim {
             Ev::FirstToken(slot) => {
                 let s = self.pool[slot as usize];
                 // Release the prefill booking.
-                let freed = u64::from(s.prompt);
+                let freed = u64::from(s.billed_tokens);
                 // The prefill lane lives on the replica the prompt ran
                 // on; for the split path that differs from decode_on.
                 self.state.update(s.prefill_on, |r| {
@@ -962,6 +1116,92 @@ mod tests {
         seen += sim.drain_completions().count() as u64;
         let out = sim.finish();
         assert_eq!(seen, out.offered, "every terminal request is logged");
+    }
+
+    #[test]
+    fn warm_sessions_beat_cold_cache_at_matched_slos() {
+        use distserve_workload::{ChatConfig, ChatSessionStream, Dataset};
+        let cfg = ChatConfig {
+            session_rate: 6.0,
+            mean_turns: 6.0,
+            think_mean_s: 2.0,
+            system_prompt_tokens: 256,
+            ..ChatConfig::default()
+        };
+        let run = |warm: bool| {
+            let sim = ScaleSim::new(
+                small_fleet(),
+                slo_policy(),
+                ScaleSlo {
+                    ttft_s: 0.4,
+                    tpot_s: 0.1,
+                },
+                Assignment::Routed,
+                3,
+            );
+            let stream = ChatSessionStream::new(cfg.clone(), Dataset::ShareGpt.sampler(), 21)
+                .take(4000)
+                .map(move |mut sr| {
+                    if !warm {
+                        sr.prefix_group = 0;
+                    }
+                    sr
+                });
+            sim.run_sessions(stream)
+        };
+        let warm = run(true);
+        let cold = run(false);
+        assert_eq!(warm.offered, cold.offered);
+        assert!(warm.prefix_hits > 0, "grouped run must see cache hits");
+        assert_eq!(cold.prefix_hits, 0, "ungrouped run must stay cold");
+        assert!(
+            warm.goodput_rps() >= cold.goodput_rps(),
+            "warm {:.2} rps < cold {:.2} rps",
+            warm.goodput_rps(),
+            cold.goodput_rps()
+        );
+        assert!(
+            warm.mean_ttft_s <= cold.mean_ttft_s,
+            "warm TTFT {:.4}s worse than cold {:.4}s",
+            warm.mean_ttft_s,
+            cold.mean_ttft_s
+        );
+    }
+
+    #[test]
+    fn prefix_discount_conserves_requests_and_bookings() {
+        use distserve_workload::Dataset;
+        use distserve_workload::{SharedPrefixMix, SharedPrefixTenant};
+        let tenants = vec![
+            SharedPrefixTenant {
+                name: "support".into(),
+                rate: 20.0,
+                sampler: Dataset::ShareGpt.sampler(),
+                system_prompt_tokens: 512,
+            },
+            SharedPrefixTenant {
+                name: "code".into(),
+                rate: 10.0,
+                sampler: Dataset::HumanEval.sampler(),
+                system_prompt_tokens: 128,
+            },
+        ];
+        let sim = ScaleSim::new(
+            small_fleet(),
+            slo_policy(),
+            ScaleSlo {
+                ttft_s: 0.4,
+                tpot_s: 0.1,
+            },
+            Assignment::Routed,
+            7,
+        );
+        let out = sim.run_sessions(SharedPrefixMix::new(tenants, 9).take(3000));
+        assert_eq!(out.offered, 3000);
+        assert_eq!(out.completed + out.shed, out.offered);
+        assert!(out.prefix_hits > 0);
+        assert!(out.cached_prompt_tokens >= out.prefix_hits);
+        assert!(out.prefix_hit_rate() <= 1.0);
     }
 
     #[test]

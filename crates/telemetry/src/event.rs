@@ -432,6 +432,14 @@ pub mod metrics {
     /// Cumulative seconds dispatching threads spent blocked gathering
     /// worker strips (gauge).
     pub const POOL_DISPATCH_WAIT_S: &str = "pool_dispatch_wait_s";
+    /// Prefix-cache lookups that matched at least one block (counter).
+    pub const PREFIX_HITS: &str = "prefix_hits";
+    /// Prefix-cache lookups that matched nothing (counter).
+    pub const PREFIX_MISSES: &str = "prefix_misses";
+    /// Prefix-cache blocks evicted under capacity pressure (counter).
+    pub const PREFIX_EVICTIONS: &str = "prefix_evictions";
+    /// KV blocks currently pinned by the prefix cache (gauge).
+    pub const PREFIX_BLOCKS_SHARED: &str = "prefix_blocks_shared";
 }
 
 #[cfg(test)]

@@ -68,6 +68,11 @@ pub struct PagedKv {
     storage: Arc<Vec<f32>>,
     free: Vec<usize>,
     tables: HashMap<SeqId, Table>,
+    /// Per-block reference counts. A freshly allocated block has count 1
+    /// (its owning sequence); [`Self::fork_prefix`] and
+    /// [`Self::retain_block`] bump counts for shared prefix blocks, and a
+    /// block only returns to the free list when its count reaches zero.
+    ref_counts: Vec<u32>,
 }
 
 impl Clone for PagedKv {
@@ -83,6 +88,7 @@ impl Clone for PagedKv {
             storage: Arc::new(self.storage.as_ref().clone()),
             free: self.free.clone(),
             tables: self.tables.clone(),
+            ref_counts: self.ref_counts.clone(),
         }
     }
 }
@@ -110,6 +116,7 @@ impl PagedKv {
             storage: Arc::new(vec![0.0; block_floats * num_blocks]),
             free: (0..num_blocks).rev().collect(),
             tables: HashMap::new(),
+            ref_counts: vec![0; num_blocks],
         }
     }
 
@@ -250,6 +257,7 @@ impl PagedKv {
             if pos == table.len {
                 if pos == table.blocks.len() * block_size {
                     let block = self.free.pop().ok_or(PagedKvError::OutOfBlocks)?;
+                    self.ref_counts[block] = 1;
                     let table = self.tables.get_mut(&seq).expect("just present");
                     table.blocks.push(block);
                     table.len += 1;
@@ -272,6 +280,13 @@ impl PagedKv {
         }
         let table = self.tables.get(&seq).expect("present");
         let block = table.blocks[pos / block_size];
+        // Copy-on-write invariant: writes land only in exclusively owned
+        // blocks. Forks are block-aligned, so a forked sequence's appends
+        // always start a fresh block and never mutate shared prefix data.
+        debug_assert_eq!(
+            self.ref_counts[block], 1,
+            "write to shared block {block} (seq {seq} pos {pos})"
+        );
         let slot = pos % block_size;
         let base = self.slot_base(block, layer, slot);
         let h = self.hidden;
@@ -355,7 +370,10 @@ impl PagedKv {
             + slot * 2 * self.hidden
     }
 
-    /// Frees a sequence's blocks.
+    /// Drops one reference from each of a sequence's blocks and removes
+    /// the sequence; blocks whose count reaches zero return to the free
+    /// list. Blocks still pinned by a prefix cache or another forked
+    /// sequence stay allocated.
     ///
     /// # Errors
     ///
@@ -365,8 +383,85 @@ impl PagedKv {
             .tables
             .remove(&seq)
             .ok_or(PagedKvError::UnknownSeq(seq))?;
-        self.free.extend(table.blocks);
+        for block in table.blocks {
+            self.release_block(block);
+        }
         Ok(())
+    }
+
+    /// Registers `seq` whose first `shared.len() * block_size` positions
+    /// are the already-filled blocks `shared`, bumping each block's
+    /// reference count. The forked sequence reads the shared prefix
+    /// through its block table exactly as if it had prefilled it; its own
+    /// appends start at the first position past the shared blocks, in
+    /// fresh blocks (the fork is block-aligned by construction, which is
+    /// what keeps shared blocks copy-on-write without any copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is already registered or a shared block is free.
+    pub fn fork_prefix(&mut self, seq: SeqId, shared: &[usize]) {
+        assert!(
+            !self.tables.contains_key(&seq),
+            "fork_prefix: seq {seq} already registered"
+        );
+        for &block in shared {
+            assert!(
+                self.ref_counts[block] > 0,
+                "fork_prefix: block {block} is not live"
+            );
+            self.ref_counts[block] += 1;
+        }
+        self.tables.insert(
+            seq,
+            Table {
+                blocks: shared.to_vec(),
+                len: shared.len() * self.block_size,
+            },
+        );
+    }
+
+    /// Adds one reference to `block`, pinning it against release. Used by
+    /// the prefix cache to take ownership of blocks it indexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is on the free list (count zero).
+    pub fn retain_block(&mut self, block: usize) {
+        assert!(
+            self.ref_counts[block] > 0,
+            "retain_block: block {block} is not live"
+        );
+        self.ref_counts[block] += 1;
+    }
+
+    /// Drops one reference from `block`; at zero the block returns to the
+    /// free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is already zero.
+    pub fn release_block(&mut self, block: usize) {
+        let rc = &mut self.ref_counts[block];
+        assert!(*rc > 0, "release_block: block {block} already free");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push(block);
+        }
+    }
+
+    /// The current reference count of `block` (0 = free).
+    #[must_use]
+    pub fn block_ref_count(&self, block: usize) -> u32 {
+        self.ref_counts[block]
+    }
+
+    /// The physical block ids backing `seq`, in position order (`None`
+    /// if the sequence is unknown). The prefix cache reads this after
+    /// prefill to index the prompt's full blocks.
+    #[must_use]
+    pub fn block_table(&self, seq: SeqId) -> Option<&[usize]> {
+        self.tables.get(&seq).map(|t| t.blocks.as_slice())
     }
 }
 
@@ -699,6 +794,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fork_prefix_shares_blocks_and_reads_back() {
+        let mut kv = kv(); // 2 layers, hidden 4, block size 4, 8 blocks.
+        kv.register(1);
+        for pos in 0..8 {
+            for layer in 0..2 {
+                kv.append(1, layer, pos, &[pos as f32; 4], &[layer as f32; 4])
+                    .unwrap();
+            }
+        }
+        let shared: Vec<usize> = kv.block_table(1).unwrap().to_vec();
+        assert_eq!(shared.len(), 2);
+        kv.fork_prefix(2, &shared);
+        assert_eq!(kv.seq_len(2), 8);
+        assert_eq!(kv.free_blocks(), 6); // No new blocks consumed.
+        for pos in 0..8 {
+            assert_eq!(kv.key(2, 0, pos), kv.key(1, 0, pos));
+            assert_eq!(kv.value(2, 1, pos), kv.value(1, 1, pos));
+        }
+        // The fork appends into a fresh block, not the shared ones.
+        kv.append(2, 0, 8, &[99.0; 4], &[0.0; 4]).unwrap();
+        assert_eq!(kv.free_blocks(), 5);
+        assert_eq!(kv.key(2, 0, 8), &[99.0; 4]);
+        assert_eq!(kv.key(1, 0, 7), &[7.0; 4]); // Parent untouched.
+    }
+
+    #[test]
+    fn release_respects_shared_refcounts() {
+        let mut kv = kv();
+        kv.register(1);
+        for pos in 0..4 {
+            kv.append(1, 0, pos, &[1.0; 4], &[1.0; 4]).unwrap();
+        }
+        let shared: Vec<usize> = kv.block_table(1).unwrap().to_vec();
+        kv.fork_prefix(2, &shared);
+        kv.release(1).unwrap();
+        // Block still held by seq 2.
+        assert_eq!(kv.free_blocks(), 7);
+        assert_eq!(kv.key(2, 0, 3), &[1.0; 4]);
+        kv.release(2).unwrap();
+        assert_eq!(kv.free_blocks(), 8);
+    }
+
+    #[test]
+    fn retain_block_pins_against_release() {
+        let mut kv = kv();
+        kv.register(1);
+        for pos in 0..4 {
+            kv.append(1, 0, pos, &[2.0; 4], &[2.0; 4]).unwrap();
+        }
+        let block = kv.block_table(1).unwrap()[0];
+        kv.retain_block(block);
+        assert_eq!(kv.block_ref_count(block), 2);
+        kv.release(1).unwrap();
+        assert_eq!(kv.free_blocks(), 7); // Pinned by the extra reference.
+        kv.release_block(block);
+        assert_eq!(kv.free_blocks(), 8);
+        assert_eq!(kv.block_ref_count(block), 0);
     }
 
     #[test]

@@ -58,4 +58,4 @@ pub use kv::PagedKv;
 pub use model::{ComputeConfig, Precision, TinyConfig};
 pub use pool::{PoolUtilization, WorkerPool, WorkerUtil};
 pub use sampling::{Sampler, Sampling};
-pub use scheduler::{ContinuousBatcher, GenRequest};
+pub use scheduler::{ContinuousBatcher, GenRequest, PrefixReuse};

@@ -26,6 +26,33 @@ use crate::engine::{BatchRow, Model, Scratch};
 use crate::kv::{PagedKv, SeqId};
 use crate::tensor::argmax;
 
+/// Hook for a shared-prompt KV reuse layer (`distserve-prefix`'s radix
+/// cache implements this; `tinyllm` stays dependency-free).
+///
+/// The contract that keeps reuse bit-exact: [`match_blocks`] returns
+/// *full* KV blocks whose contents are exactly the KV a cold prefill of
+/// that token prefix would write (KV rows are a pure function of the
+/// prefix tokens — each batched row computes independently from the
+/// cache contents below its position). The batcher forks a sequence over
+/// the matched blocks and prefills only the suffix.
+///
+/// [`match_blocks`]: PrefixReuse::match_blocks
+/// [`offer`]: PrefixReuse::offer
+pub trait PrefixReuse {
+    /// The longest cached prefix of `tokens`, as whole-block physical
+    /// block ids (block `i` covers positions `i*block_size ..
+    /// (i+1)*block_size`). The blocks must stay live until the caller
+    /// forks over them (callers fork before any other cache call).
+    fn match_blocks(&mut self, tokens: &[u32]) -> Vec<usize>;
+
+    /// Offers the full blocks backing a just-prefilled prompt to the
+    /// cache. `tokens` is the whole-block prefix of the prompt and
+    /// `blocks` its physical blocks (`tokens.len() == blocks.len() *
+    /// block_size`). The cache takes its own references on any blocks it
+    /// adopts (and may evict others).
+    fn offer(&mut self, tokens: &[u32], blocks: &[usize], kv: &mut PagedKv);
+}
+
 /// A generation request.
 #[derive(Debug, Clone)]
 pub struct GenRequest {
@@ -225,6 +252,15 @@ impl ContinuousBatcher {
 
     /// Executes one scheduler iteration (prefill prioritized).
     pub fn step(&mut self) -> StepKind {
+        self.step_with(None)
+    }
+
+    /// One scheduler iteration with an optional prefix cache: admitted
+    /// prompts are matched against the cache, forked over shared blocks,
+    /// and only the unmatched suffix is prefilled; full prompt blocks are
+    /// offered back to the cache after the pass. The caller keeps
+    /// ownership of the cache (and its hit statistics).
+    pub fn step_with(&mut self, mut prefix: Option<&mut dyn PrefixReuse>) -> StepKind {
         let _prof = distserve_prof::scope("batcher_step");
         self.steps += 1;
         // Admission: the whole lifetime footprint must fit the pool, the
@@ -251,11 +287,35 @@ impl ContinuousBatcher {
         if !admitted.is_empty() {
             // Batched prefill: all admitted prompts stacked into one
             // activation matrix, logits only at each prompt's last row.
+            // With a prefix cache attached, each prompt forks over its
+            // matched whole blocks and stacks only suffix rows — capped
+            // so the last prompt token is always computed (its logits
+            // seed decoding).
+            let bs = self.kv.block_size();
             let mut rows = Vec::new();
             let mut last_rows = Vec::with_capacity(admitted.len());
+            let mut cached_tokens = 0usize;
             for req in &admitted {
-                self.kv.register(req.id);
-                for (pos, &token) in req.prompt.iter().enumerate() {
+                let matched = match prefix.as_deref_mut() {
+                    Some(cache) => {
+                        let _prof = distserve_prof::scope("prefix_match");
+                        let blocks = cache.match_blocks(&req.prompt);
+                        let usable = blocks.len().min((req.prompt.len() - 1) / bs);
+                        if usable > 0 {
+                            self.kv.fork_prefix(req.id, &blocks[..usable]);
+                            usable * bs
+                        } else {
+                            self.kv.register(req.id);
+                            0
+                        }
+                    }
+                    None => {
+                        self.kv.register(req.id);
+                        0
+                    }
+                };
+                cached_tokens += matched;
+                for (pos, &token) in req.prompt.iter().enumerate().skip(matched) {
                     rows.push(BatchRow {
                         seq: req.id,
                         pos,
@@ -271,18 +331,39 @@ impl ContinuousBatcher {
                 self.emit(req.id, t_start, LifecycleEvent::PrefillStart);
             }
             {
-                let _prof = distserve_prof::scope("prefill");
+                // Flamegraphs attribute cache savings: a step that skipped
+                // any matched tokens prefills under `suffix_prefill`.
+                let scope_name = if cached_tokens > 0 {
+                    "suffix_prefill"
+                } else {
+                    "prefill"
+                };
+                let _prof = distserve_prof::scope(scope_name);
                 let _span = SpanGuard::enter(
                     self.sink.as_ref(),
                     &self.clock,
                     self.track,
-                    "prefill",
+                    scope_name,
                     u32::try_from(n).unwrap_or(u32::MAX),
                     u32::try_from(tokens).unwrap_or(u32::MAX),
                 );
                 self.model
                     .forward_batch(&rows, &mut self.kv, &mut self.scratch);
                 self.model.logits_batch(&last_rows, &mut self.scratch);
+            }
+            if let Some(cache) = prefix {
+                // Offer each prompt's whole-block prefix back to the
+                // cache; partially filled tail blocks stay private (the
+                // sequence keeps appending into them during decode).
+                for req in &admitted {
+                    let full = req.prompt.len() / bs;
+                    if full == 0 {
+                        continue;
+                    }
+                    let blocks: Vec<usize> =
+                        self.kv.block_table(req.id).expect("registered")[..full].to_vec();
+                    cache.offer(&req.prompt[..full * bs], &blocks, &mut self.kv);
+                }
             }
             let t_end = self.clock.now_s();
             self.sink
@@ -412,6 +493,47 @@ impl ContinuousBatcher {
             }
         }
         std::mem::take(&mut self.finished)
+    }
+
+    /// [`run_to_completion`] with a prefix cache consulted on every
+    /// prefill step.
+    ///
+    /// [`run_to_completion`]: ContinuousBatcher::run_to_completion
+    pub fn run_to_completion_with(&mut self, cache: &mut dyn PrefixReuse) -> Vec<FinishedGen> {
+        let mut idle_streak = 0;
+        while !self.waiting.is_empty() || !self.running.is_empty() {
+            match self.step_with(Some(cache)) {
+                StepKind::Idle => {
+                    idle_streak += 1;
+                    assert!(
+                        idle_streak < 3,
+                        "scheduler idle with work outstanding: admission livelock"
+                    );
+                }
+                _ => idle_streak = 0,
+            }
+        }
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Free blocks in the paged KV pool (cache-pinned blocks count as
+    /// used).
+    #[must_use]
+    pub fn kv_free_blocks(&self) -> usize {
+        self.kv.free_blocks()
+    }
+
+    /// Total blocks in the paged KV pool.
+    #[must_use]
+    pub fn kv_total_blocks(&self) -> usize {
+        self.kv.total_blocks()
+    }
+
+    /// Mutable access to the KV pool, for prefix-cache maintenance that
+    /// needs both the cache and the pool (e.g. releasing every cached
+    /// block at shutdown to verify nothing leaks).
+    pub fn kv_mut(&mut self) -> &mut PagedKv {
+        &mut self.kv
     }
 }
 

@@ -13,6 +13,10 @@
 //! * [`stream`] — O(1)-memory streaming generators for cluster-scale
 //!   runs: diurnal (non-homogeneous Poisson) curves and multi-tenant
 //!   superpositions that never materialize a trace.
+//! * [`sessions`] — structured prefix-sharing workloads: multi-turn
+//!   chatbot conversation trees that re-send growing histories, and
+//!   shared-system-prompt tenant mixes, with side-band prefix metadata
+//!   for cache-aware consumers.
 //! * [`trace`] — the [`trace::Request`] record and trace builders.
 //! * [`profiler`] — the workload profiler behind replanning (§4.3): it
 //!   watches recent history, detects pattern shifts, and refits an
@@ -36,10 +40,14 @@ pub mod arrival;
 pub mod datasets;
 pub mod dist;
 pub mod profiler;
+pub mod sessions;
 pub mod stream;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use datasets::{Dataset, EmpiricalLengths, LengthSampler};
+pub use sessions::{
+    ChatConfig, ChatSessionStream, SessionRequest, SharedPrefixMix, SharedPrefixTenant,
+};
 pub use stream::{DiurnalCurve, MultiTenantMix, RequestStream, TenantSpec};
 pub use trace::{Request, RequestId, Trace, TraceBuilder};

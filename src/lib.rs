@@ -31,6 +31,9 @@ pub use distserve_models as models;
 /// live dashboard.
 pub use distserve_observe as observe;
 pub use distserve_placement as placement;
+/// Radix-tree prefix cache: copy-on-write KV block sharing across
+/// requests.
+pub use distserve_prefix as prefix;
 /// Always-on scoped self-profiler: folded stacks and flamegraph SVG.
 pub use distserve_prof as prof;
 /// Cluster-scale request router: EPP-style scoring, admission control,
